@@ -1,0 +1,149 @@
+// Command welmax solves a WelMax instance: it loads or generates a social
+// network, picks a utility configuration, runs one of the allocation
+// algorithms, and reports the allocation and its estimated expected
+// social welfare.
+//
+// Examples:
+//
+//	welmax -network flixster -config config1 -budgets 50,50
+//	welmax -graph edges.txt -directed -config real -budgets 30,30,20,10,10 -algo bundle-disj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/expr"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge-list file (\"u v [p]\" lines); overrides -network")
+		directed   = flag.Bool("directed", true, "treat the edge-list file as directed")
+		network    = flag.String("network", "flixster", "built-in network stand-in (flixster|douban-book|douban-movie|twitter|orkut)")
+		scale      = flag.Float64("scale", 1.0, "network scale factor")
+		configName = flag.String("config", "config1", "utility configuration (config1|config3|additive|cone|levelwise|real|real-smoothed)")
+		items      = flag.Int("items", 5, "item count for additive/cone/levelwise configurations")
+		budgetsStr = flag.String("budgets", "50,50", "comma-separated per-item seed budgets")
+		algo       = flag.String("algo", "bundleGRD", "allocation algorithm (bundleGRD|item-disj|bundle-disj)")
+		eps        = flag.Float64("eps", 0.5, "approximation parameter ε")
+		ell        = flag.Float64("ell", 1.0, "confidence exponent ℓ")
+		runs       = flag.Int("runs", 10000, "Monte-Carlo runs for the welfare estimate")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print the full allocation")
+	)
+	flag.Parse()
+
+	budgets, err := parseBudgets(*budgetsStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	g, err := loadOrGenerate(*graphPath, *directed, *network, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network: %v\n", g)
+
+	m, err := buildModel(*configName, *items, len(budgets), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if len(budgets) != m.K() {
+		fatal(fmt.Errorf("%d budgets for %d items", len(budgets), m.K()))
+	}
+
+	prob, err := core.NewProblem(g, m, budgets)
+	if err != nil {
+		fatal(err)
+	}
+	rng := stats.NewRNG(*seed)
+	opts := core.Options{Eps: *eps, Ell: *ell}
+
+	var res core.Result
+	switch *algo {
+	case "bundleGRD":
+		res = core.BundleGRD(prob, opts, rng)
+	case "item-disj":
+		res = core.ItemDisjoint(prob, opts, rng)
+	case "bundle-disj":
+		res = core.BundleDisjoint(prob, opts, rng)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	fmt.Printf("algorithm: %s (RR sets: %d, IMM invocations: %d)\n",
+		*algo, res.NumRRSets, res.IMMInvocations)
+
+	if *verbose {
+		for i, seeds := range res.Alloc.Seeds {
+			fmt.Printf("  item %d (budget %d): %v\n", i, budgets[i], seeds)
+		}
+	}
+
+	est := uic.NewSimulator(g, m).EstimateWelfare(res.Alloc, stats.NewRNG(*seed+1), *runs)
+	fmt.Printf("expected social welfare: %.2f ± %.2f (%d runs)\n", est.Mean, 1.96*est.StdErr, est.Runs)
+}
+
+func parseBudgets(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || b < 0 {
+			return nil, fmt.Errorf("bad budget %q", p)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func loadOrGenerate(path string, directed bool, network string, scale float64, seed uint64) (*graph.Graph, error) {
+	if path != "" {
+		g, err := graph.LoadEdgeList(path, !directed)
+		if err != nil {
+			return nil, err
+		}
+		return g.WeightedCascade(), nil
+	}
+	spec, err := expr.NetworkByName(network)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(scale, seed), nil
+}
+
+func buildModel(name string, items, budgetCount int, seed uint64) (*utility.Model, error) {
+	if items <= 0 {
+		items = budgetCount
+	}
+	switch name {
+	case "config1":
+		return utility.Config1(), nil
+	case "config3":
+		return utility.Config3(), nil
+	case "additive":
+		return utility.Config5(items), nil
+	case "cone":
+		return utility.ConfigCone(items, 0), nil
+	case "levelwise":
+		return utility.Config8(items, stats.NewRNG(seed^0xbeef)), nil
+	case "real":
+		return utility.RealParams(), nil
+	case "real-smoothed":
+		return utility.RealParamsSmoothed(), nil
+	}
+	return nil, fmt.Errorf("unknown configuration %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "welmax:", err)
+	os.Exit(1)
+}

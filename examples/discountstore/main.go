@@ -1,0 +1,83 @@
+// Discount store: the §5 pricing extension. A retailer sells three
+// complementary smart-home devices and considers a bundle discount
+// (submodular pricing). Because supermodular value minus submodular price
+// is still supermodular, bundleGRD's guarantee carries over — and the
+// discount visibly lifts welfare by making bundles adoptable earlier.
+// The example also contrasts the IC and LT diffusion semantics on the
+// same campaign.
+//
+// Run with: go run ./examples/discountstore
+package main
+
+import (
+	"fmt"
+
+	welfare "uicwelfare"
+)
+
+func main() {
+	rng := welfare.NewRNG(21)
+	g := welfare.GenerateNetwork("douban-book", 0.5, 21)
+	fmt.Printf("network: %v\n\n", g)
+
+	// Three devices: hub, camera, doorbell. Alone each is worth slightly
+	// less than its price; together they complete a system.
+	val, err := welfare.TableValuation(3, []float64{
+		0,  // ∅
+		9,  // {hub}
+		7,  // {camera}
+		19, // {hub,camera}
+		7,  // {doorbell}
+		19, // {hub,doorbell}
+		15, // {camera,doorbell}
+		34, // all three
+	})
+	if err != nil {
+		panic(err)
+	}
+	base := []float64{10, 8, 8}
+	noise := []welfare.NoiseDist{
+		welfare.GaussianNoise(1), welfare.GaussianNoise(1), welfare.GaussianNoise(1),
+	}
+
+	flat, err := welfare.NewModel(val, base, noise)
+	if err != nil {
+		panic(err)
+	}
+	discounted, err := welfare.NewModelWithPrice(val, welfare.VolumeDiscount(base, 1.5, 0.4), base, noise)
+	if err != nil {
+		panic(err)
+	}
+
+	all := welfare.NewItemSet(0, 1, 2)
+	fmt.Printf("bundle price: %.1f flat vs %.1f with volume discount\n",
+		flat.Price(all), discounted.Price(all))
+	fmt.Printf("bundle utility: %+.1f flat vs %+.1f discounted\n\n",
+		flat.DetUtility(all), discounted.DetUtility(all))
+
+	budgets := []int{30, 30, 30}
+	for _, tc := range []struct {
+		name    string
+		m       *welfare.Model
+		cascade welfare.Cascade
+	}{
+		{"flat prices, IC", flat, welfare.CascadeIC},
+		{"discounted, IC", discounted, welfare.CascadeIC},
+		{"discounted, LT", discounted, welfare.CascadeLT},
+	} {
+		p, err := welfare.NewProblem(g, tc.m, budgets)
+		if err != nil {
+			panic(err)
+		}
+		res := welfare.BundleGRD(p, welfare.Options{Cascade: tc.cascade}, rng)
+		sim := welfare.NewSimulator(g, tc.m)
+		sim.Cascade = tc.cascade
+		est := sim.EstimateWelfare(res.Alloc, welfare.NewRNG(5), 10000)
+		fmt.Printf("%-18s welfare %8.1f ± %6.1f\n", tc.name, est.Mean, 1.96*est.StdErr)
+	}
+
+	fmt.Println("\nthe discount turns a marginal bundle into a propagating one.")
+	fmt.Println("under weighted-cascade weights (in-probabilities summing to 1), LT")
+	fmt.Println("gives every user exactly one influencing friend — denser live-edge")
+	fmt.Println("worlds than IC's independent coin flips, hence the larger cascade.")
+}

@@ -1,0 +1,69 @@
+// PS4 bundle campaign: the paper's real-parameter scenario (§4.3.4).
+// A marketplace wants to seed a PlayStation 4, its controller, and three
+// games — items whose utilities were learned from real bidding data
+// (Table 5). No single item is worth buying alone (every singleton has
+// negative utility); only the console + controller + two or more games
+// carry a surplus. The example shows why bundling at the seeds is
+// essential and how the three allocation algorithms compare.
+//
+// Run with: go run ./examples/ps4bundle
+package main
+
+import (
+	"fmt"
+
+	welfare "uicwelfare"
+)
+
+func main() {
+	rng := welfare.NewRNG(7)
+
+	// A Twitter-like follower network stand-in.
+	g := welfare.GenerateNetwork("twitter", 0.5, 7)
+	fmt.Printf("network: %v\n\n", g)
+
+	// Table 5's learned utilities: prices C$260/20/5/5/5, values from
+	// eBay bidding histories, Gaussian noise.
+	m := welfare.RealParams()
+	items := []string{"PlayStation", "controller", "game 1", "game 2", "game 3"}
+	fmt.Println("deterministic utilities of key bundles:")
+	show := func(name string, s welfare.ItemSet) {
+		fmt.Printf("  %-28s %+.1f\n", name, m.DetUtility(s))
+	}
+	show("{PlayStation}", welfare.NewItemSet(0))
+	show("{PlayStation, controller}", welfare.NewItemSet(0, 1))
+	show("{PS, ctrl, 2 games}", welfare.NewItemSet(0, 1, 2, 3))
+	show("{PS, ctrl, 3 games}", welfare.NewItemSet(0, 1, 2, 3, 4))
+	fmt.Println()
+
+	// The paper's Fig 8(b) budget split: 30/30/20/10/10 percent.
+	total := 250
+	budgets := []int{total * 30 / 100, total * 30 / 100, total * 20 / 100, total * 10 / 100, total * 10 / 100}
+	fmt.Printf("budgets (total %d):", total)
+	for i, b := range budgets {
+		fmt.Printf(" %s=%d", items[i], b)
+	}
+	fmt.Println()
+
+	p, err := welfare.NewProblem(g, m, budgets)
+	if err != nil {
+		panic(err)
+	}
+
+	type algo struct {
+		name string
+		run  func(*welfare.Problem, welfare.Options, *welfare.RNG) welfare.Result
+	}
+	for _, a := range []algo{
+		{"bundleGRD", welfare.BundleGRD},
+		{"bundle-disj", welfare.BundleDisjoint},
+		{"item-disj", welfare.ItemDisjoint},
+	} {
+		res := a.run(p, welfare.Options{}, rng)
+		est := welfare.EstimateWelfare(p, res.Alloc, welfare.NewRNG(99), 10000)
+		fmt.Printf("%-12s welfare %8.1f ± %6.1f   (IMM calls: %d)\n",
+			a.name, est.Mean, 1.96*est.StdErr, res.IMMInvocations)
+	}
+	fmt.Println("\nitem-disj earns nothing: every item alone has negative utility,")
+	fmt.Println("so separated seeds never adopt and the cascade never starts.")
+}

@@ -1,0 +1,64 @@
+package welfare
+
+import (
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/oracle"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// Extensions beyond the paper's core experiments, each called out in its
+// §5 discussion: triggering models other than IC, submodular bundle
+// prices, personalized noise, and an influence oracle.
+
+// Cascade selects the diffusion model: CascadeIC (default) or CascadeLT.
+type Cascade = graph.Cascade
+
+// The two built-in triggering models. All of the paper's results carry
+// over from IC to LT (§5); set Options.Cascade and Simulator.Cascade to
+// switch.
+const (
+	CascadeIC = graph.CascadeIC
+	CascadeLT = graph.CascadeLT
+)
+
+// PriceFunc is a set-valued bundle price (P(∅)=0, positive elsewhere).
+type PriceFunc = utility.PriceFunc
+
+// VolumeDiscount builds a submodular bundle price: additive base prices
+// minus d per item pair, floored at minFrac of the additive price.
+// Supermodular valuation minus submodular price stays supermodular, so
+// bundleGRD's guarantee is preserved (§5).
+func VolumeDiscount(base []float64, d, minFrac float64) PriceFunc {
+	return utility.VolumeDiscount(base, d, minFrac)
+}
+
+// NewModelWithPrice assembles a model with a custom (e.g. submodular)
+// bundle price. perItem must list the singleton prices P({i}).
+func NewModelWithPrice(val Valuation, price PriceFunc, perItem []float64, noise []NoiseDist) (*Model, error) {
+	return utility.NewModelWithPrice(val, price, perItem, noise)
+}
+
+// PersonalizedSimulator runs the §5 extension where every node draws its
+// own noise world. The approximation guarantee of bundleGRD does not
+// carry over (the tests demonstrate the reachability failure); the
+// simulator supports empirical study of the model.
+type PersonalizedSimulator = uic.PersonalizedSim
+
+// NewPersonalizedSimulator builds a personalized-noise simulator.
+func NewPersonalizedSimulator(g *Graph, m *Model) *PersonalizedSimulator {
+	return uic.NewPersonalizedSim(g, m)
+}
+
+// Oracle answers budget queries (seed sets, spreads, bundleGRD
+// allocations) from one prefix-preserving precomputation.
+type Oracle = oracle.Oracle
+
+// OracleOptions configures BuildOracle.
+type OracleOptions = oracle.Options
+
+// BuildOracle precomputes a prefix-preserving seed ordering up to
+// maxBudget; queries then cost O(answer size).
+func BuildOracle(g *Graph, maxBudget int, opts OracleOptions, rng *RNG) (*Oracle, error) {
+	return oracle.Build(g, maxBudget, opts, rng)
+}

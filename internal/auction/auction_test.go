@@ -1,0 +1,129 @@
+package auction
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"uicwelfare/internal/stats"
+)
+
+func TestSimulateStructure(t *testing.T) {
+	rng := stats.NewRNG(1)
+	a := Simulate(100, 5, 8, rng)
+	if a.Bidders != 8 {
+		t.Errorf("bidders %d", a.Bidders)
+	}
+	if len(a.Bids) == 0 {
+		t.Error("no observed bids")
+	}
+	if !sort.Float64sAreSorted(a.Bids) {
+		t.Error("bids not ascending")
+	}
+	// final price is the largest observed losing bid
+	if a.FinalPrice != a.Bids[len(a.Bids)-1] {
+		t.Errorf("final price %v, top losing bid %v", a.FinalPrice, a.Bids[len(a.Bids)-1])
+	}
+}
+
+func TestSimulateHidesLowBids(t *testing.T) {
+	// values mostly below 0 are hidden
+	rng := stats.NewRNG(2)
+	a := Simulate(-10, 1, 5, rng)
+	for _, b := range a.Bids {
+		if b <= 0 {
+			t.Errorf("observed non-positive bid %v", b)
+		}
+	}
+}
+
+func TestSimulateMinBidders(t *testing.T) {
+	rng := stats.NewRNG(3)
+	a := Simulate(10, 1, 0, rng)
+	if a.Bidders != 2 {
+		t.Errorf("bidder clamp failed: %d", a.Bidders)
+	}
+}
+
+func TestFinalPriceIsSecondOrderStatistic(t *testing.T) {
+	rng := stats.NewRNG(4)
+	const n, runs = 6, 50000
+	var sum stats.Summary
+	for i := 0; i < runs; i++ {
+		sum.Add(Simulate(0, 1, n, rng).FinalPrice)
+	}
+	e2, _ := orderStatMoments(n)
+	if math.Abs(sum.Mean()-e2) > 0.02 {
+		t.Errorf("mean final price %v, want E2(%d) = %v", sum.Mean(), n, e2)
+	}
+}
+
+func TestLearnRecoversGroundTruth(t *testing.T) {
+	rng := stats.NewRNG(5)
+	cases := []struct{ mu, sigma float64 }{
+		{213, 2},
+		{292.5, 2.2},
+		{50, 10},
+	}
+	for _, c := range cases {
+		learned, err := LearnFromGroundTruth(c.mu, c.sigma, 8, 3000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(learned.Value-c.mu) > 0.05*c.mu+3*c.sigma/math.Sqrt(3000)+0.5 {
+			t.Errorf("mu: learned %v, truth %v", learned.Value, c.mu)
+		}
+		if math.Abs(learned.NoiseStd-c.sigma) > 0.2*c.sigma+0.2 {
+			t.Errorf("sigma: learned %v, truth %v", learned.NoiseStd, c.sigma)
+		}
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	if _, err := Learn(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Learn([]Auction{{Bidders: 3}}); err == nil {
+		t.Error("single auction accepted")
+	}
+	mixed := []Auction{
+		{Bidders: 3, FinalPrice: 10},
+		{Bidders: 5, FinalPrice: 12},
+	}
+	if _, err := Learn(mixed); err == nil {
+		t.Error("mixed bidder counts accepted")
+	}
+}
+
+func TestOrderStatMomentsSanity(t *testing.T) {
+	// second-highest of 2 = min: negative expectation; of many: positive
+	e2small, sd2 := orderStatMoments(2)
+	if e2small >= 0 {
+		t.Errorf("E[min of 2 normals] = %v, want < 0", e2small)
+	}
+	e2big, _ := orderStatMoments(20)
+	if e2big <= 1 {
+		t.Errorf("E[2nd of 20 normals] = %v, want > 1", e2big)
+	}
+	if sd2 <= 0 {
+		t.Error("order statistic SD must be positive")
+	}
+	// cache must return identical values
+	a1, b1 := orderStatMoments(7)
+	a2, b2 := orderStatMoments(7)
+	if a1 != a2 || b1 != b2 {
+		t.Error("cache not deterministic")
+	}
+}
+
+func TestLearnBiasSmallSamples(t *testing.T) {
+	// even with few auctions the estimator should be in the ballpark
+	rng := stats.NewRNG(6)
+	learned, err := LearnFromGroundTruth(100, 4, 6, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(learned.Value-100) > 5 {
+		t.Errorf("small-sample mu %v too far from 100", learned.Value)
+	}
+}

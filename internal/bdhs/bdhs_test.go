@@ -1,0 +1,125 @@
+package bdhs
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/utility"
+)
+
+// posModel returns a one-item model with deterministic utility u > 0.
+func posModel(u float64) *utility.Model {
+	val, err := utility.NewTableValuation(1, []float64{0, u + 1})
+	if err != nil {
+		panic(err)
+	}
+	return utility.MustModel(val, []float64{1}, []stats.Dist{stats.PointMass{}})
+}
+
+func TestTwoHopSupport(t *testing.T) {
+	// 0 -> 1 -> 2, 3 -> 2
+	g := graph.FromEdges(4, [][3]float64{{0, 1, 1}, {1, 2, 1}, {3, 2, 1}})
+	if got := TwoHopSupport(g, 2); got != 3 { // 1, 3 at one hop; 0 at two
+		t.Errorf("support of 2 = %d, want 3", got)
+	}
+	if got := TwoHopSupport(g, 0); got != 0 {
+		t.Errorf("support of source = %d, want 0", got)
+	}
+	if got := TwoHopSupport(g, 1); got != 1 {
+		t.Errorf("support of 1 = %d, want 1", got)
+	}
+}
+
+func TestStepBenchmarkCompleteGraph(t *testing.T) {
+	// complete graph with p=1: every node always has a live supporting
+	// in-neighbor, so welfare = n·U(I*)
+	g := graph.Complete(6, 1)
+	m := posModel(2)
+	got := StepBenchmark(g, m, stats.NewRNG(1), 50)
+	if math.Abs(got-12) > 1e-9 {
+		t.Errorf("step benchmark %v, want 12", got)
+	}
+}
+
+func TestStepBenchmarkIsolatedNodes(t *testing.T) {
+	g := graph.NewBuilder(5).Build() // no edges
+	m := posModel(2)
+	if got := StepBenchmark(g, m, stats.NewRNG(2), 20); got != 0 {
+		t.Errorf("isolated nodes welfare %v, want 0", got)
+	}
+}
+
+func TestStepBenchmarkProbabilityScaling(t *testing.T) {
+	// star leaves have one in-edge with p=0.5: each leaf supported with
+	// probability 0.5; hub has no in-edges.
+	g := graph.Star(5, 0.5)
+	m := posModel(1)
+	got := StepBenchmark(g, m, stats.NewRNG(3), 200000)
+	want := 4 * 0.5 * 1.0
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("step benchmark %v, want %v", got, want)
+	}
+}
+
+func TestStepBenchmarkNonPositiveBest(t *testing.T) {
+	val, _ := utility.NewTableValuation(1, []float64{0, 0.5})
+	m := utility.MustModel(val, []float64{1}, []stats.Dist{stats.PointMass{}})
+	g := graph.Complete(4, 1)
+	if got := StepBenchmark(g, m, stats.NewRNG(4), 10); got != 0 {
+		t.Errorf("negative best-set welfare %v, want 0", got)
+	}
+}
+
+func TestConcaveBenchmark(t *testing.T) {
+	// line 0 -> 1 -> 2 with uniform p: supports are 0, 1, 2
+	g := graph.Line(3, 0.5)
+	m := posModel(1)
+	p := 0.5
+	want := 0 + (1 - math.Pow(0.5, 1)) + (1 - math.Pow(0.5, 2))
+	got := ConcaveBenchmark(g, m, p)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("concave benchmark %v, want %v", got, want)
+	}
+}
+
+func TestConcaveBenchmarkHigherPGivesMore(t *testing.T) {
+	rng := stats.NewRNG(5)
+	g := graph.ErdosRenyi(50, 200, rng)
+	m := posModel(1)
+	lo := ConcaveBenchmark(g, m, 0.01)
+	hi := ConcaveBenchmark(g, m, 0.5)
+	if hi <= lo {
+		t.Errorf("concave benchmark not increasing in p: %v vs %v", lo, hi)
+	}
+}
+
+func TestAssignmentWelfareStep(t *testing.T) {
+	// two nodes 0 <-> 1 with p=1; same assignment everywhere
+	g := graph.FromEdges(2, [][3]float64{{0, 1, 1}, {1, 0, 1}})
+	m := posModel(3)
+	assign := []itemset.Set{itemset.New(0), itemset.New(0)}
+	got := AssignmentWelfareStep(g, m, assign, stats.NewRNG(6), 10)
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("welfare %v, want 6", got)
+	}
+	// mismatched assignments get no support
+	val2, _ := utility.NewTableValuation(2, []float64{0, 4, 4, 8})
+	m2 := utility.MustModel(val2, []float64{1, 1},
+		[]stats.Dist{stats.PointMass{}, stats.PointMass{}})
+	assign2 := []itemset.Set{itemset.New(0), itemset.New(1)}
+	if got := AssignmentWelfareStep(g, m2, assign2, stats.NewRNG(7), 10); got != 0 {
+		t.Errorf("mismatched assignments welfare %v, want 0", got)
+	}
+}
+
+func TestAssignmentWelfareSkipsEmpty(t *testing.T) {
+	g := graph.FromEdges(2, [][3]float64{{0, 1, 1}, {1, 0, 1}})
+	m := posModel(3)
+	assign := []itemset.Set{itemset.Empty, itemset.New(0)}
+	if got := AssignmentWelfareStep(g, m, assign, stats.NewRNG(8), 10); got != 0 {
+		t.Errorf("welfare %v, want 0 (no supporting neighbor)", got)
+	}
+}

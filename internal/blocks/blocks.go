@@ -1,0 +1,223 @@
+// Package blocks implements the block accounting machinery of §4.2.2 —
+// the paper's main analytical device for proving bundleGRD's
+// (1-1/e-ε)-approximation despite the welfare function being neither
+// submodular nor supermodular. Given a noise world it computes I* (the
+// globally best itemset), partitions it into a sequence of atomic blocks
+// with non-negative marginal utility (Fig. 3), and derives each block's
+// anchor item and effective budget. The library uses it for validation
+// tests (Properties 1-3, Lemmas 4-7) and welfare decomposition
+// diagnostics; it is not needed by the bundleGRD algorithm itself, which
+// is parameter-free.
+package blocks
+
+import (
+	"fmt"
+	"sort"
+
+	"uicwelfare/internal/itemset"
+)
+
+// Instance describes one noise world's analysis inputs: the utility table
+// U_{W^N} and the per-item budgets.
+type Instance struct {
+	Util    []float64 // indexed by itemset mask over the full universe
+	Budgets []int     // per original item index
+}
+
+// Blocks is the result of the block generation process.
+type Blocks struct {
+	// Star is I*: the best itemset of the noise world (largest utility,
+	// ties toward larger cardinality).
+	Star itemset.Set
+	// Order lists the items of Star in non-increasing budget order; the
+	// paper's item index j (1-based) corresponds to Order[j-1].
+	Order []int
+	// Seq is the block partition B1..Bt of Star, as original-item sets.
+	Seq []itemset.Set
+	// Deltas[i] is Δ_{i+1} = U(B_{i+1} | B_1 ∪ ... ∪ B_i) (Eq. 4).
+	Deltas []float64
+	// AnchorBlock[i] is the index (into Seq) of block i's anchor block.
+	AnchorBlock []int
+	// AnchorItem[i] is the anchor item a_{i+1} (original item index).
+	AnchorItem []int
+	// EffBudget[i] is e_{i+1} = min budget over B_1 ∪ ... ∪ B_{i+1}.
+	EffBudget []int
+
+	inst Instance
+}
+
+// Generate runs the full §4.2.2 pipeline for one noise world.
+func Generate(inst Instance) (*Blocks, error) {
+	k := len(inst.Budgets)
+	if len(inst.Util) != 1<<uint(k) {
+		return nil, fmt.Errorf("blocks: utility table has %d entries for %d items", len(inst.Util), k)
+	}
+	b := &Blocks{inst: inst}
+	b.Star = bestSet(inst.Util)
+	b.Order = budgetOrder(b.Star, inst.Budgets)
+	b.generateSeq()
+	b.computeAnchors()
+	return b, nil
+}
+
+// bestSet mirrors utility.BestSet (duplicated to keep this package
+// dependent only on itemset).
+func bestSet(util []float64) itemset.Set {
+	best := itemset.Set(0)
+	for s := 1; s < len(util); s++ {
+		set := itemset.Set(s)
+		if util[s] > util[best] || (util[s] == util[best] && set.Size() > best.Size()) {
+			best = set
+		}
+	}
+	return best
+}
+
+// budgetOrder returns the items of star sorted by non-increasing budget;
+// ties break toward the smaller original index (any fixed rule works for
+// the analysis).
+func budgetOrder(star itemset.Set, budgets []int) []int {
+	items := star.Items()
+	sort.SliceStable(items, func(a, b int) bool {
+		return budgets[items[a]] > budgets[items[b]]
+	})
+	return items
+}
+
+// toLocal maps a set over original items into the local index space where
+// item Order[j] has index j; only items inside Star are representable.
+func (b *Blocks) toLocal(s itemset.Set) itemset.Set {
+	var out itemset.Set
+	for j, it := range b.Order {
+		if s.Has(it) {
+			out = out.Add(j)
+		}
+	}
+	return out
+}
+
+// fromLocal maps back to original item indices.
+func (b *Blocks) fromLocal(s itemset.Set) itemset.Set {
+	var out itemset.Set
+	for j, it := range b.Order {
+		if s.Has(j) {
+			out = out.Add(it)
+		}
+	}
+	return out
+}
+
+// utilLocal evaluates the utility of a local-index set.
+func (b *Blocks) utilLocal(s itemset.Set) float64 {
+	return b.inst.Util[b.fromLocal(s)]
+}
+
+// generateSeq runs the Fig. 3 process. With items indexed in
+// non-increasing budget order, the paper's precedence order ≺ over
+// subsets is exactly numeric order of the local bitmask (rules 1 and 2
+// both reduce to comparing the masks as integers), so the scan is a plain
+// ascending loop over masks, restarted after every selection.
+func (b *Blocks) generateSeq() {
+	kk := len(b.Order)
+	full := itemset.All(kk)
+	var chosen itemset.Set // union of selected blocks (local indices)
+	for chosen != full {
+		selected := false
+		for mask := itemset.Set(1); mask <= full; mask++ {
+			if !mask.SubsetOf(full) || mask.Overlaps(chosen) {
+				continue
+			}
+			marginal := b.utilLocal(chosen.Union(mask)) - b.utilLocal(chosen)
+			if marginal >= 0 {
+				b.Seq = append(b.Seq, b.fromLocal(mask))
+				b.Deltas = append(b.Deltas, marginal)
+				chosen = chosen.Union(mask)
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			// Cannot happen when Star is a local maximum (the remainder
+			// always has non-negative marginal as a whole); guard against
+			// malformed utility tables.
+			rest := full.Minus(chosen)
+			b.Seq = append(b.Seq, b.fromLocal(rest))
+			b.Deltas = append(b.Deltas, b.utilLocal(full)-b.utilLocal(chosen))
+			chosen = full
+		}
+	}
+}
+
+// blockBudget returns the minimum budget of any item in the block.
+func (b *Blocks) blockBudget(blk itemset.Set) int {
+	min := -1
+	for _, it := range blk.Items() {
+		if min < 0 || b.inst.Budgets[it] < min {
+			min = b.inst.Budgets[it]
+		}
+	}
+	return min
+}
+
+// computeAnchors derives anchor blocks, anchor items and effective
+// budgets per the definitions before Lemma 6: the anchor block of B_i is
+// the minimum-budget block among B_1..B_i (ties toward the highest
+// index), and the anchor item is its highest-indexed (minimum-budget)
+// item.
+func (b *Blocks) computeAnchors() {
+	t := len(b.Seq)
+	b.AnchorBlock = make([]int, t)
+	b.AnchorItem = make([]int, t)
+	b.EffBudget = make([]int, t)
+	bestIdx := -1
+	bestBudget := 0
+	for i := 0; i < t; i++ {
+		bb := b.blockBudget(b.Seq[i])
+		if bestIdx < 0 || bb <= bestBudget {
+			bestIdx, bestBudget = i, bb
+		}
+		b.AnchorBlock[i] = bestIdx
+		b.AnchorItem[i] = b.highestIndexedItem(b.Seq[bestIdx])
+		b.EffBudget[i] = bestBudget
+	}
+}
+
+// highestIndexedItem returns the item of blk with the highest local index
+// (= minimum budget under the ordering), as an original item index.
+func (b *Blocks) highestIndexedItem(blk itemset.Set) int {
+	local := b.toLocal(blk)
+	return b.Order[local.Max()]
+}
+
+// T returns the number of blocks.
+func (b *Blocks) T() int { return len(b.Seq) }
+
+// UnionPrefix returns B_1 ∪ ... ∪ B_i (1-based i; i=0 gives ∅).
+func (b *Blocks) UnionPrefix(i int) itemset.Set {
+	var u itemset.Set
+	for j := 0; j < i && j < len(b.Seq); j++ {
+		u = u.Union(b.Seq[j])
+	}
+	return u
+}
+
+// PartitionDeltas computes the Property-3 decomposition of an arbitrary
+// A ⊆ I*: Δ^A_i = U(A_i | A_1 ∪ ... ∪ A_{i-1}) with A_i = A ∩ B_i.
+// The returned slice sums to U(A).
+func (b *Blocks) PartitionDeltas(a itemset.Set) []float64 {
+	out := make([]float64, len(b.Seq))
+	var prefix itemset.Set
+	for i, blk := range b.Seq {
+		ai := a.Intersect(blk)
+		out[i] = b.inst.Util[prefix.Union(ai)] - b.inst.Util[prefix]
+		prefix = prefix.Union(ai)
+	}
+	return out
+}
+
+// Precedes reports whether S ≺ S' under the paper's precedence order,
+// exposed for tests. Both sets are over original item indices and must be
+// subsets of Star.
+func (b *Blocks) Precedes(s, sp itemset.Set) bool {
+	return b.toLocal(s) < b.toLocal(sp)
+}

@@ -1,0 +1,321 @@
+package blocks
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/utility"
+)
+
+// example2Instance builds the utility table of the paper's Example 2:
+// three items (0=i1, 1=i2, 2=i3) with budgets b1 >= b2 >= b3.
+func example2Instance() Instance {
+	util := make([]float64, 8)
+	util[itemset.New(0)] = -1
+	util[itemset.New(1)] = -1
+	util[itemset.New(2)] = -1
+	util[itemset.New(0, 1)] = -1
+	util[itemset.New(0, 2)] = 1
+	util[itemset.New(1, 2)] = 1
+	util[itemset.New(0, 1, 2)] = 4
+	return Instance{Util: util, Budgets: []int{30, 20, 10}}
+}
+
+func TestExample1PrecedenceOrder(t *testing.T) {
+	b, err := Generate(example2Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the paper's Example 1 order:
+	// {i1} ≺ {i2} ≺ {i1,i2} ≺ {i3} ≺ {i1,i3} ≺ {i2,i3} ≺ {i1,i2,i3}
+	seq := []itemset.Set{
+		itemset.New(0), itemset.New(1), itemset.New(0, 1), itemset.New(2),
+		itemset.New(0, 2), itemset.New(1, 2), itemset.New(0, 1, 2),
+	}
+	for i := 0; i < len(seq); i++ {
+		for j := i + 1; j < len(seq); j++ {
+			if !b.Precedes(seq[i], seq[j]) {
+				t.Errorf("%v should precede %v", seq[i], seq[j])
+			}
+			if b.Precedes(seq[j], seq[i]) {
+				t.Errorf("%v should not precede %v", seq[j], seq[i])
+			}
+		}
+	}
+}
+
+func TestProperty1SubsetPrecedes(t *testing.T) {
+	b, _ := Generate(example2Instance())
+	// (a) proper subsets precede
+	full := itemset.New(0, 1, 2)
+	for s := itemset.Set(1); s < 8; s++ {
+		for sub := itemset.Set(1); sub < 8; sub++ {
+			if sub.ProperSubsetOf(s) && !b.Precedes(sub, s) {
+				t.Errorf("subset %v does not precede %v", sub, s)
+			}
+			_ = full
+		}
+	}
+	// (b) lower highest-index precedes: {i1,i2} ≺ {i3}
+	if !b.Precedes(itemset.New(0, 1), itemset.New(2)) {
+		t.Error("rule (b) violated")
+	}
+}
+
+func TestExample2BlockGeneration(t *testing.T) {
+	b, err := Generate(example2Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Star != itemset.New(0, 1, 2) {
+		t.Fatalf("I* = %v", b.Star)
+	}
+	if b.T() != 2 {
+		t.Fatalf("t = %d, want 2 blocks", b.T())
+	}
+	if b.Seq[0] != itemset.New(0, 2) {
+		t.Errorf("B1 = %v, want {i1,i3}", b.Seq[0])
+	}
+	if b.Seq[1] != itemset.New(1) {
+		t.Errorf("B2 = %v, want {i2}", b.Seq[1])
+	}
+	if b.Deltas[0] != 1 || b.Deltas[1] != 3 {
+		t.Errorf("deltas = %v, want [1 3]", b.Deltas)
+	}
+}
+
+func TestExample3EffectiveBudgets(t *testing.T) {
+	b, _ := Generate(example2Instance())
+	// e1 = min(b1, b3) = 10; e2 = min over all three = 10
+	if b.EffBudget[0] != 10 || b.EffBudget[1] != 10 {
+		t.Errorf("effective budgets %v, want [10 10]", b.EffBudget)
+	}
+}
+
+func TestExample4Anchors(t *testing.T) {
+	b, _ := Generate(example2Instance())
+	// anchor block of both B1 and B2 is B1; anchor item is i3 (index 2)
+	if b.AnchorBlock[0] != 0 || b.AnchorBlock[1] != 0 {
+		t.Errorf("anchor blocks %v, want [0 0]", b.AnchorBlock)
+	}
+	if b.AnchorItem[0] != 2 || b.AnchorItem[1] != 2 {
+		t.Errorf("anchor items %v, want [2 2]", b.AnchorItem)
+	}
+}
+
+func TestBlocksPartitionStar(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 60; trial++ {
+		m := utility.Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		budgets := make([]int, 5)
+		for i := range budgets {
+			budgets[i] = 1 + rng.Intn(50)
+		}
+		b, err := Generate(Instance{Util: util, Budgets: budgets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// blocks are disjoint and union to Star
+		var union itemset.Set
+		for _, blk := range b.Seq {
+			if blk.Overlaps(union) {
+				t.Fatalf("trial %d: overlapping blocks %v", trial, b.Seq)
+			}
+			if blk.IsEmpty() {
+				t.Fatalf("trial %d: empty block", trial)
+			}
+			union = union.Union(blk)
+		}
+		if union != b.Star {
+			t.Fatalf("trial %d: blocks union %v != I* %v", trial, union, b.Star)
+		}
+	}
+}
+
+func TestProperty2DeltasNonNegativeAndSum(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 60; trial++ {
+		m := utility.Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		budgets := []int{40, 30, 20, 10}
+		b, _ := Generate(Instance{Util: util, Budgets: budgets})
+		sum := 0.0
+		for _, d := range b.Deltas {
+			if d < 0 {
+				t.Fatalf("trial %d: negative delta %v", trial, d)
+			}
+			sum += d
+		}
+		if math.Abs(sum-util[b.Star]) > 1e-9 {
+			t.Fatalf("trial %d: Σδ = %v, U(I*) = %v", trial, sum, util[b.Star])
+		}
+	}
+}
+
+func TestProperty3PartialBlockDeltas(t *testing.T) {
+	// ∀A ⊆ I*: Δ^A_i <= Δ_i and Σ Δ^A_i = U(A)
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 40; trial++ {
+		m := utility.Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		budgets := []int{40, 30, 20, 10}
+		b, _ := Generate(Instance{Util: util, Budgets: budgets})
+		b.Star.Subsets(func(a itemset.Set) bool {
+			deltas := b.PartitionDeltas(a)
+			sum := 0.0
+			for i, d := range deltas {
+				if d > b.Deltas[i]+1e-9 {
+					t.Fatalf("trial %d: Δ^A_%d = %v > Δ_%d = %v (A=%v)",
+						trial, i, d, i, b.Deltas[i], a)
+				}
+				sum += d
+			}
+			if math.Abs(sum-util[a]) > 1e-9 {
+				t.Fatalf("trial %d: ΣΔ^A = %v, U(A) = %v", trial, sum, util[a])
+			}
+			return true
+		})
+	}
+}
+
+func TestEffectiveBudgetsNonIncreasing(t *testing.T) {
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 40; trial++ {
+		m := utility.Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		budgets := make([]int, 5)
+		for i := range budgets {
+			budgets[i] = 1 + rng.Intn(100)
+		}
+		b, _ := Generate(Instance{Util: util, Budgets: budgets})
+		for i := 1; i < b.T(); i++ {
+			if b.EffBudget[i] > b.EffBudget[i-1] {
+				t.Fatalf("effective budgets increased: %v", b.EffBudget)
+			}
+		}
+		// e_i equals the anchor item's budget
+		for i := 0; i < b.T(); i++ {
+			if budgets[b.AnchorItem[i]] != b.EffBudget[i] {
+				t.Fatalf("e_%d = %d but anchor item %d has budget %d",
+					i, b.EffBudget[i], b.AnchorItem[i], budgets[b.AnchorItem[i]])
+			}
+		}
+	}
+}
+
+func TestAnchorBlockIsPrefixMinimum(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 40; trial++ {
+		m := utility.Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		budgets := make([]int, 5)
+		for i := range budgets {
+			budgets[i] = 1 + rng.Intn(100)
+		}
+		b, _ := Generate(Instance{Util: util, Budgets: budgets})
+		for i := 0; i < b.T(); i++ {
+			ab := b.AnchorBlock[i]
+			if ab > i {
+				t.Fatalf("anchor block %d after block %d", ab, i)
+			}
+			abBudget := b.blockBudget(b.Seq[ab])
+			for j := 0; j <= i; j++ {
+				if bj := b.blockBudget(b.Seq[j]); bj < abBudget {
+					t.Fatalf("block %d has budget %d < anchor's %d", j, bj, abBudget)
+				}
+			}
+		}
+	}
+}
+
+func TestUnionPrefix(t *testing.T) {
+	b, _ := Generate(example2Instance())
+	if b.UnionPrefix(0) != itemset.Empty {
+		t.Error("prefix 0 not empty")
+	}
+	if b.UnionPrefix(1) != itemset.New(0, 2) {
+		t.Errorf("prefix 1 = %v", b.UnionPrefix(1))
+	}
+	if b.UnionPrefix(2) != itemset.New(0, 1, 2) {
+		t.Errorf("prefix 2 = %v", b.UnionPrefix(2))
+	}
+	if b.UnionPrefix(99) != b.Star {
+		t.Errorf("oversized prefix != Star")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Instance{Util: []float64{0, 1}, Budgets: []int{1, 2}}); err == nil {
+		t.Error("mismatched table size accepted")
+	}
+}
+
+func TestSingleItemBlocks(t *testing.T) {
+	util := []float64{0, 2}
+	b, err := Generate(Instance{Util: util, Budgets: []int{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.T() != 1 || b.Seq[0] != itemset.New(0) || b.Deltas[0] != 2 {
+		t.Errorf("single item blocks wrong: %+v", b)
+	}
+	if b.EffBudget[0] != 5 || b.AnchorItem[0] != 0 {
+		t.Errorf("single item anchors wrong: %+v", b)
+	}
+}
+
+func TestAllNegativeUtilitiesEmptyStar(t *testing.T) {
+	util := []float64{0, -1, -1, -3}
+	b, err := Generate(Instance{Util: util, Budgets: []int{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Star != itemset.Empty || b.T() != 0 {
+		t.Errorf("Star = %v, blocks = %v; want empty", b.Star, b.Seq)
+	}
+}
+
+func TestBlockBudgetOrderIndependentOfItemIndices(t *testing.T) {
+	// permuting which original index has which budget must not change the
+	// delta multiset
+	utilA := example2Instance()
+	bA, _ := Generate(utilA)
+
+	// swap items 0 and 2 (and budgets accordingly)
+	swap := func(s itemset.Set) itemset.Set {
+		out := s
+		h0, h2 := s.Has(0), s.Has(2)
+		out = out.Remove(0).Remove(2)
+		if h0 {
+			out = out.Add(2)
+		}
+		if h2 {
+			out = out.Add(0)
+		}
+		return out
+	}
+	utilB := make([]float64, 8)
+	for s := itemset.Set(0); s < 8; s++ {
+		utilB[swap(s)] = utilA.Util[s]
+	}
+	bB, _ := Generate(Instance{Util: utilB, Budgets: []int{10, 20, 30}})
+	if bB.T() != bA.T() {
+		t.Fatalf("block counts differ: %d vs %d", bA.T(), bB.T())
+	}
+	for i := range bA.Deltas {
+		if math.Abs(bA.Deltas[i]-bB.Deltas[i]) > 1e-12 {
+			t.Errorf("delta %d differs: %v vs %v", i, bA.Deltas[i], bB.Deltas[i])
+		}
+		if bB.Seq[i] != swap(bA.Seq[i]) {
+			t.Errorf("block %d: %v vs swapped %v", i, bB.Seq[i], swap(bA.Seq[i]))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package comic
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+func perfectGAP() utility.GAP {
+	return utility.GAP{Q1GivenNone: 1, Q1Given2: 1, Q2GivenNone: 1, Q2Given1: 1}
+}
+
+func TestSimAllCertainAdoption(t *testing.T) {
+	g := graph.Line(4, 1)
+	sim := NewSim(g, perfectGAP())
+	rng := stats.NewRNG(1)
+	nA, nB := sim.RunOnce([]graph.NodeID{0}, nil, rng)
+	if nA != 4 || nB != 0 {
+		t.Errorf("adoptions %d/%d, want 4/0", nA, nB)
+	}
+}
+
+func TestSimZeroGAP(t *testing.T) {
+	g := graph.Line(4, 1)
+	sim := NewSim(g, utility.GAP{})
+	rng := stats.NewRNG(2)
+	nA, nB := sim.RunOnce([]graph.NodeID{0}, []graph.NodeID{1}, rng)
+	if nA != 0 || nB != 0 {
+		t.Errorf("adoptions %d/%d with zero GAP", nA, nB)
+	}
+}
+
+func TestSimAdoptionFrequencyMatchesGAP(t *testing.T) {
+	// a single isolated seed adopts A with probability exactly q_{A|∅}
+	g := graph.Line(1, 1)
+	gap := utility.GAP{Q1GivenNone: 0.3, Q1Given2: 0.9, Q2GivenNone: 0.2, Q2Given1: 0.8}
+	sim := NewSim(g, gap)
+	rng := stats.NewRNG(3)
+	const runs = 100000
+	count := 0
+	for i := 0; i < runs; i++ {
+		a, _ := sim.RunOnce([]graph.NodeID{0}, nil, rng)
+		count += a
+	}
+	got := float64(count) / runs
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("adoption frequency %v, want 0.3", got)
+	}
+}
+
+func TestSimComplementReconsideration(t *testing.T) {
+	// a node seeded with both items where q_{B|∅}=0 but q_{B|A}=1: B is
+	// adopted exactly when A is (threshold persistence reconsideration)
+	g := graph.Line(1, 1)
+	gap := utility.GAP{Q1GivenNone: 0.5, Q1Given2: 0.5, Q2GivenNone: 0, Q2Given1: 1}
+	sim := NewSim(g, gap)
+	rng := stats.NewRNG(4)
+	const runs = 100000
+	nA, nB := 0, 0
+	for i := 0; i < runs; i++ {
+		a, b := sim.RunOnce([]graph.NodeID{0}, []graph.NodeID{0}, rng)
+		nA += a
+		nB += b
+		if b > a {
+			t.Fatal("B adopted without A")
+		}
+	}
+	fa, fb := float64(nA)/runs, float64(nB)/runs
+	if math.Abs(fa-0.5) > 0.01 {
+		t.Errorf("A frequency %v, want 0.5", fa)
+	}
+	if math.Abs(fb-fa) > 0.005 {
+		t.Errorf("B should follow A exactly: %v vs %v", fb, fa)
+	}
+}
+
+func TestSimMatchesUICOnEquivalentInstance(t *testing.T) {
+	// Com-IC with GAP from Eq. 12 and UIC with the generating utilities
+	// must produce statistically similar adoption counts on a seed-only
+	// instance (single node, no propagation).
+	m := utility.Config3()
+	gap, err := utility.GAPFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Line(1, 1)
+	rng := stats.NewRNG(5)
+
+	comicSim := NewSim(g, gap)
+	a, _ := comicSim.ExpectedAdoptions([]graph.NodeID{0}, nil, rng, 100000)
+
+	uicSim := uic.NewSimulator(g, m)
+	alloc := uic.NewAllocation(2)
+	alloc.Assign(0, 0)
+	counts := uicSim.AdoptionCounts(alloc, rng, 100000)
+
+	if math.Abs(a-counts[0]) > 0.01 {
+		t.Errorf("Com-IC adoption %v vs UIC %v", a, counts[0])
+	}
+}
+
+func TestAdoptionProbabilities(t *testing.T) {
+	g := graph.Line(3, 1)
+	sim := NewSim(g, utility.GAP{Q1GivenNone: 1, Q1Given2: 1, Q2GivenNone: 1, Q2Given1: 1})
+	rng := stats.NewRNG(6)
+	beta := sim.AdoptionProbabilities(nil, []graph.NodeID{0}, rng, 200)
+	for v, b := range beta {
+		if math.Abs(b-1) > 1e-12 {
+			t.Errorf("node %d: beta %v, want 1", v, b)
+		}
+	}
+}
+
+func TestAllocateRRSIMPlusStructure(t *testing.T) {
+	rng := stats.NewRNG(7)
+	g := graph.ErdosRenyi(80, 400, rng).WeightedCascade()
+	m := utility.Config1()
+	res, err := AllocateRRSIMPlus(g, m, []int{5, 5}, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alloc.Seeds[ItemA]) != 5 || len(res.Alloc.Seeds[ItemB]) != 5 {
+		t.Fatalf("seed counts %d/%d", len(res.Alloc.Seeds[ItemA]), len(res.Alloc.Seeds[ItemB]))
+	}
+	if res.NumRRSets == 0 || res.ForwardRuns == 0 {
+		t.Error("effort statistics missing")
+	}
+}
+
+func TestAllocateRRCIMStructure(t *testing.T) {
+	rng := stats.NewRNG(8)
+	g := graph.ErdosRenyi(80, 400, rng).WeightedCascade()
+	m := utility.Config1()
+	res, err := AllocateRRCIM(g, m, []int{4, 6}, Options{ForwardRuns: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alloc.Seeds[ItemA]) != 4 || len(res.Alloc.Seeds[ItemB]) != 6 {
+		t.Fatalf("seed counts wrong")
+	}
+	if res.ExpectedA <= 0 {
+		t.Errorf("expected adoptions %v should be positive", res.ExpectedA)
+	}
+}
+
+func TestComICBaselinesRejectBadInput(t *testing.T) {
+	rng := stats.NewRNG(9)
+	g := graph.Line(5, 0.5)
+	if _, err := AllocateRRSIMPlus(g, utility.Config5(3), []int{1, 1, 1}, Options{}, rng); err == nil {
+		t.Error("3-item model accepted (Com-IC handles exactly 2 items)")
+	}
+	if _, err := AllocateRRSIMPlus(g, utility.Config1(), []int{1}, Options{}, rng); err == nil {
+		t.Error("single budget accepted")
+	}
+}
+
+func TestComICUsesMoreRRSetsThanBundleGRDWould(t *testing.T) {
+	// the Fig. 6 effect: TIM-based baselines sample far more RR sets
+	rng := stats.NewRNG(10)
+	g := graph.ErdosRenyi(150, 900, rng).WeightedCascade()
+	m := utility.Config1()
+	res, err := AllocateRRSIMPlus(g, m, []int{10, 10}, Options{ForwardRuns: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compare against a single-budget IMM run (bundleGRD's cost driver)
+	immOnly := 0
+	{
+		r2 := importIMMRun(g, 10, rng)
+		immOnly = r2
+	}
+	if res.NumRRSets <= immOnly {
+		t.Errorf("Com-IC RR sets %d should exceed IMM's %d", res.NumRRSets, immOnly)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+)
+
+// BruteForceOPT exhaustively searches all allocations that spend each
+// item's full budget and returns the best one with its estimated welfare.
+// The search space is Π_i C(n, b_i), so this is for tiny test instances
+// only (it panics beyond ~100k candidates). Welfare is estimated with
+// `runs` Monte-Carlo diffusions per candidate using a fixed RNG seed per
+// candidate so the comparison is fair.
+func BruteForceOPT(p *Problem, runs int, rng *stats.RNG) (*uic.Allocation, float64) {
+	n := p.G.N()
+	candidates := 1.0
+	for _, b := range p.Budgets {
+		candidates *= float64(binom(n, b))
+		if candidates > 1e5 {
+			panic("core: BruteForceOPT instance too large")
+		}
+	}
+	sim := uic.NewSimulator(p.G, p.Model)
+	var (
+		best        *uic.Allocation
+		bestWelfare = -1.0
+	)
+	seedBase := rng.Uint64()
+	var recurse func(item int, alloc *uic.Allocation)
+	recurse = func(item int, alloc *uic.Allocation) {
+		if item == p.K() {
+			w := sim.EstimateWelfare(alloc, stats.NewRNG(seedBase), runs).Mean
+			if w > bestWelfare {
+				bestWelfare = w
+				best = alloc.Clone()
+			}
+			return
+		}
+		b := p.Budgets[item]
+		if b > n {
+			b = n
+		}
+		choose(n, b, func(nodes []graph.NodeID) {
+			alloc.Seeds[item] = nodes
+			recurse(item+1, alloc)
+			alloc.Seeds[item] = nil
+		})
+	}
+	recurse(0, uic.NewAllocation(p.K()))
+	return best, bestWelfare
+}
+
+// binom returns C(n, k) with saturation to avoid overflow in the size
+// guard.
+func binom(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+		if r > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return r
+}
+
+// choose enumerates all k-subsets of [0, n).
+func choose(n, k int, fn func([]graph.NodeID)) {
+	idx := make([]graph.NodeID, k)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == k {
+			fn(idx)
+			return
+		}
+		for v := start; v <= n-(k-pos); v++ {
+			idx[pos] = graph.NodeID(v)
+			rec(v+1, pos+1)
+		}
+	}
+	rec(0, 0)
+}

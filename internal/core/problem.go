@@ -1,0 +1,111 @@
+// Package core implements the paper's allocation algorithms: bundleGRD
+// (Algorithm 1, the (1-1/e-ε)-approximate greedy allocator built on
+// PRIMA), the item-disjoint and bundle-disjoint baselines of §4.3.1.2,
+// and a brute-force optimal allocator for tiny instances used to verify
+// the approximation ratio empirically.
+package core
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// Problem is a WelMax instance: graph, utility model, and per-item seed
+// budgets (Problem 1 in the paper).
+type Problem struct {
+	G       *graph.Graph
+	Model   *utility.Model
+	Budgets []int
+}
+
+// NewProblem validates and assembles a WelMax instance.
+func NewProblem(g *graph.Graph, m *utility.Model, budgets []int) (*Problem, error) {
+	if g == nil || m == nil {
+		return nil, fmt.Errorf("core: nil graph or model")
+	}
+	if len(budgets) != m.K() {
+		return nil, fmt.Errorf("core: %d budgets for %d items", len(budgets), m.K())
+	}
+	for i, b := range budgets {
+		if b < 0 {
+			return nil, fmt.Errorf("core: negative budget %d for item %d", b, i)
+		}
+	}
+	return &Problem{G: g, Model: m, Budgets: budgets}, nil
+}
+
+// MustProblem is NewProblem that panics on error.
+func MustProblem(g *graph.Graph, m *utility.Model, budgets []int) *Problem {
+	p, err := NewProblem(g, m, budgets)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// K returns the number of items.
+func (p *Problem) K() int { return len(p.Budgets) }
+
+// MaxBudget returns b = max_i b_i.
+func (p *Problem) MaxBudget() int {
+	b := 0
+	for _, x := range p.Budgets {
+		if x > b {
+			b = x
+		}
+	}
+	return b
+}
+
+// TotalBudget returns Σ_i b_i.
+func (p *Problem) TotalBudget() int {
+	t := 0
+	for _, x := range p.Budgets {
+		t += x
+	}
+	return t
+}
+
+// CheckAllocation verifies the budget constraint |S_i| <= b_i and that
+// every seed is a valid node.
+func (p *Problem) CheckAllocation(a *uic.Allocation) error {
+	if a.K() != p.K() {
+		return fmt.Errorf("core: allocation has %d items, problem has %d", a.K(), p.K())
+	}
+	for i, seeds := range a.Seeds {
+		if len(seeds) > p.Budgets[i] {
+			return fmt.Errorf("core: item %d has %d seeds, budget %d", i, len(seeds), p.Budgets[i])
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, v := range seeds {
+			if v < 0 || int(v) >= p.G.N() {
+				return fmt.Errorf("core: item %d seeded at invalid node %d", i, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("core: item %d seeded twice at node %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// BudgetOrder returns item indices sorted by non-increasing budget (ties
+// toward the smaller index), the order in which the baselines visit
+// items.
+func (p *Problem) BudgetOrder() []int {
+	order := make([]int, p.K())
+	for i := range order {
+		order[i] = i
+	}
+	// insertion sort: k is tiny
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && p.Budgets[order[j]] > p.Budgets[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

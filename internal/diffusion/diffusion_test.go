@@ -1,0 +1,213 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+func TestRunOnceDeterministicEdges(t *testing.T) {
+	// all probabilities 1: cascade covers everything reachable
+	g := graph.Line(5, 1.0)
+	sim := NewSim(g)
+	rng := stats.NewRNG(1)
+	if got := sim.RunOnce([]graph.NodeID{0}, rng); got != 5 {
+		t.Errorf("spread from head of line = %d, want 5", got)
+	}
+	if got := sim.RunOnce([]graph.NodeID{3}, rng); got != 2 {
+		t.Errorf("spread from node 3 = %d, want 2", got)
+	}
+}
+
+func TestRunOnceZeroProb(t *testing.T) {
+	g := graph.Line(5, 0.0)
+	sim := NewSim(g)
+	rng := stats.NewRNG(1)
+	if got := sim.RunOnce([]graph.NodeID{0}, rng); got != 1 {
+		t.Errorf("spread = %d, want 1 (only seed)", got)
+	}
+}
+
+func TestRunOnceDuplicateSeeds(t *testing.T) {
+	g := graph.Line(3, 1.0)
+	sim := NewSim(g)
+	rng := stats.NewRNG(1)
+	if got := sim.RunOnce([]graph.NodeID{0, 0, 0}, rng); got != 3 {
+		t.Errorf("duplicate seeds counted twice: %d", got)
+	}
+}
+
+func TestSpreadMatchesExactOnLine(t *testing.T) {
+	// line 0 -> 1 -> 2 with p = 0.5: sigma({0}) = 1 + 0.5 + 0.25 = 1.75
+	g := graph.Line(3, 0.5)
+	exact := ExactSpread(g, []graph.NodeID{0})
+	if math.Abs(exact-1.75) > 1e-6 {
+		t.Fatalf("exact = %v, want 1.75", exact)
+	}
+	rng := stats.NewRNG(7)
+	mc := Spread(g, []graph.NodeID{0}, rng, 200000)
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("MC spread %v vs exact %v", mc, exact)
+	}
+}
+
+func TestSpreadMatchesExactOnStar(t *testing.T) {
+	// star hub -> 4 leaves with p = 0.3: sigma({hub}) = 1 + 4*0.3 = 2.2
+	g := graph.Star(5, 0.3)
+	exact := ExactSpread(g, []graph.NodeID{0})
+	if math.Abs(exact-2.2) > 1e-6 {
+		t.Fatalf("exact = %v, want 2.2", exact)
+	}
+	rng := stats.NewRNG(8)
+	mc := Spread(g, []graph.NodeID{0}, rng, 200000)
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("MC %v vs exact %v", mc, exact)
+	}
+}
+
+func TestSpreadMatchesExactOnDiamond(t *testing.T) {
+	// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, all p=0.5
+	g := graph.FromEdges(4, [][3]float64{
+		{0, 1, 0.5}, {0, 2, 0.5}, {1, 3, 0.5}, {2, 3, 0.5},
+	})
+	exact := ExactSpread(g, []graph.NodeID{0})
+	// E = 1 + 0.5 + 0.5 + P(3 active)
+	// P(3) = P(at least one live path) = by symmetry:
+	// P(1 active and 1->3 live) or (2 active and 2->3 live)
+	// = 1 - (1 - 0.25)^2 = 0.4375
+	want := 1 + 0.5 + 0.5 + 0.4375
+	if math.Abs(exact-want) > 1e-6 {
+		t.Fatalf("exact = %v, want %v", exact, want)
+	}
+	rng := stats.NewRNG(9)
+	mc := Spread(g, []graph.NodeID{0}, rng, 300000)
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("MC %v vs exact %v", mc, exact)
+	}
+}
+
+func TestSpreadMonotoneInSeeds(t *testing.T) {
+	rng := stats.NewRNG(10)
+	g := graph.ErdosRenyi(60, 240, rng).WeightedCascade()
+	sim := NewSim(g)
+	s1 := sim.Spread([]graph.NodeID{0}, rng, 20000)
+	s2 := sim.Spread([]graph.NodeID{0, 1, 2}, rng, 20000)
+	if s2+0.05 < s1 {
+		t.Errorf("spread not monotone: sigma({0})=%v sigma({0,1,2})=%v", s1, s2)
+	}
+}
+
+func TestSpreadSummary(t *testing.T) {
+	g := graph.Line(3, 0.5)
+	rng := stats.NewRNG(11)
+	sum := NewSim(g).SpreadSummary([]graph.NodeID{0}, rng, 50000)
+	if sum.N() != 50000 {
+		t.Fatalf("N=%d", sum.N())
+	}
+	if math.Abs(sum.Mean()-1.75) > 0.02 {
+		t.Errorf("mean %v", sum.Mean())
+	}
+	if sum.StdErr() <= 0 {
+		t.Errorf("stderr should be positive")
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	g := graph.Line(2, 1)
+	sim := NewSim(g)
+	sim.epoch = int32(math.MaxInt32) - 1
+	rng := stats.NewRNG(1)
+	for i := 0; i < 4; i++ {
+		if got := sim.RunOnce([]graph.NodeID{0}, rng); got != 2 {
+			t.Fatalf("run %d after wraparound: spread %d", i, got)
+		}
+	}
+}
+
+func TestLiveEdgeWorldReachability(t *testing.T) {
+	g := graph.FromEdges(4, [][3]float64{{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5}})
+	w := NewLiveEdgeWorld(g, func(u, v graph.NodeID) bool {
+		return !(u == 1 && v == 2) // cut the middle edge
+	})
+	r := w.Reachable([]graph.NodeID{0})
+	if !r[0] || !r[1] || r[2] || r[3] {
+		t.Errorf("reachable = %v", r)
+	}
+	if w.CountReachable([]graph.NodeID{0}) != 2 {
+		t.Errorf("count = %d", w.CountReachable([]graph.NodeID{0}))
+	}
+}
+
+func TestLiveEdgeWorldAllLive(t *testing.T) {
+	g := graph.Complete(5, 1)
+	rng := stats.NewRNG(12)
+	w := SampleLiveEdgeWorld(g, rng)
+	if w.CountReachable([]graph.NodeID{2}) != 5 {
+		t.Errorf("probability-1 world should reach all nodes")
+	}
+}
+
+func TestLiveEdgeWorldMatchesSpread(t *testing.T) {
+	// averaging reachability over sampled worlds approximates sigma
+	g := graph.Line(3, 0.5)
+	rng := stats.NewRNG(13)
+	total := 0
+	const worlds = 100000
+	for i := 0; i < worlds; i++ {
+		w := SampleLiveEdgeWorld(g, rng)
+		total += w.CountReachable([]graph.NodeID{0})
+	}
+	got := float64(total) / worlds
+	if math.Abs(got-1.75) > 0.02 {
+		t.Errorf("live-edge estimate %v, want 1.75", got)
+	}
+}
+
+func TestLiveInNeighbors(t *testing.T) {
+	g := graph.FromEdges(3, [][3]float64{{0, 2, 1}, {1, 2, 1}})
+	w := NewLiveEdgeWorld(g, func(u, v graph.NodeID) bool { return u == 0 })
+	ns := w.LiveInNeighbors(2)
+	if len(ns) != 1 || ns[0] != 0 {
+		t.Errorf("live in-neighbors = %v", ns)
+	}
+}
+
+func TestEnumerateWorldsProbabilitySumsToOne(t *testing.T) {
+	g := graph.FromEdges(3, [][3]float64{{0, 1, 0.3}, {1, 2, 0.6}})
+	total := 0.0
+	EnumerateWorlds(g, func(w *LiveEdgeWorld, p float64) { total += p })
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("world probabilities sum to %v", total)
+	}
+}
+
+func TestExactSpreadPanicsOnLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for large graph")
+		}
+	}()
+	rng := stats.NewRNG(1)
+	ExactSpread(graph.ErdosRenyi(30, 100, rng), []graph.NodeID{0})
+}
+
+func TestGreedySpreadMCPicksHub(t *testing.T) {
+	// star with strong edges: greedy must pick the hub first
+	g := graph.Star(8, 0.9)
+	rng := stats.NewRNG(14)
+	seeds := GreedySpreadMC(g, 1, 2000, rng)
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Errorf("greedy picked %v, want hub 0", seeds)
+	}
+}
+
+func TestGreedySpreadMCBudgetClamp(t *testing.T) {
+	g := graph.Line(3, 1)
+	rng := stats.NewRNG(15)
+	seeds := GreedySpreadMC(g, 10, 100, rng)
+	if len(seeds) != 3 {
+		t.Errorf("budget clamp: got %d seeds", len(seeds))
+	}
+}

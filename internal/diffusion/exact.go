@@ -1,0 +1,115 @@
+package diffusion
+
+import (
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+// ExactSpread computes sigma(seeds) exactly by enumerating all 2^m
+// live-edge worlds. It is exponential in the number of edges and intended
+// only for tests on tiny graphs (m <= ~20).
+func ExactSpread(g *graph.Graph, seeds []graph.NodeID) float64 {
+	m := g.M()
+	if m > 24 {
+		panic("diffusion: ExactSpread limited to graphs with at most 24 edges")
+	}
+	// collect per-edge probabilities in out-edge position order
+	probs := make([]float64, 0, m)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		_, ps := g.OutEdges(u)
+		for _, p := range ps {
+			probs = append(probs, float64(p))
+		}
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pw := 1.0
+		for e := 0; e < m; e++ {
+			if mask&(1<<uint(e)) != 0 {
+				pw *= probs[e]
+			} else {
+				pw *= 1 - probs[e]
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		w := worldFromMask(g, mask)
+		total += pw * float64(w.CountReachable(seeds))
+	}
+	return total
+}
+
+func worldFromMask(g *graph.Graph, mask int) *LiveEdgeWorld {
+	w := &LiveEdgeWorld{g: g, live: make([]bool, g.M())}
+	for e := 0; e < g.M(); e++ {
+		w.live[e] = mask&(1<<uint(e)) != 0
+	}
+	return w
+}
+
+// EnumerateWorlds calls fn with every live-edge world of g and its
+// probability. Exponential; tests only.
+func EnumerateWorlds(g *graph.Graph, fn func(w *LiveEdgeWorld, prob float64)) {
+	m := g.M()
+	if m > 24 {
+		panic("diffusion: EnumerateWorlds limited to graphs with at most 24 edges")
+	}
+	probs := make([]float64, 0, m)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		_, ps := g.OutEdges(u)
+		for _, p := range ps {
+			probs = append(probs, float64(p))
+		}
+	}
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pw := 1.0
+		for e := 0; e < m; e++ {
+			if mask&(1<<uint(e)) != 0 {
+				pw *= probs[e]
+			} else {
+				pw *= 1 - probs[e]
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		fn(worldFromMask(g, mask), pw)
+	}
+}
+
+// GreedySpreadMC is the classic greedy seed selection of Kempe et al.,
+// evaluating marginal gains with Monte-Carlo spread estimates over `runs`
+// cascades per candidate. It is O(n·k·runs·cascade) and serves as the slow
+// reference implementation that the IMM stack is validated against in
+// tests on small graphs.
+func GreedySpreadMC(g *graph.Graph, k, runs int, rng *stats.RNG) []graph.NodeID {
+	if k < 0 {
+		panic("diffusion: negative budget")
+	}
+	if k > g.N() {
+		k = g.N()
+	}
+	sim := NewSim(g)
+	seeds := make([]graph.NodeID, 0, k)
+	inSeeds := make([]bool, g.N())
+	for len(seeds) < k {
+		best, bestSpread := graph.NodeID(-1), -1.0
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if inSeeds[v] {
+				continue
+			}
+			cand := append(seeds, v)
+			s := sim.Spread(cand, rng, runs)
+			if s > bestSpread {
+				best, bestSpread = v, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		inSeeds[best] = true
+	}
+	return seeds
+}

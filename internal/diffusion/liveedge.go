@@ -1,0 +1,105 @@
+package diffusion
+
+import (
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+// LiveEdgeWorld is a deterministic possible world W^E of the IC model: a
+// subgraph where each edge of the base graph was kept independently with
+// its influence probability. Reachability in the world equals activation
+// in the corresponding cascade (the live-edge representation of Kempe et
+// al.).
+type LiveEdgeWorld struct {
+	g    *graph.Graph
+	live []bool // indexed by global out-edge position
+}
+
+// SampleLiveEdgeWorld flips every edge of g once and returns the world.
+func SampleLiveEdgeWorld(g *graph.Graph, rng *stats.RNG) *LiveEdgeWorld {
+	w := &LiveEdgeWorld{g: g, live: make([]bool, g.M())}
+	pos := 0
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		_, ps := g.OutEdges(u)
+		for i := range ps {
+			w.live[pos] = rng.Bool(float64(ps[i]))
+			pos++
+			_ = i
+		}
+	}
+	return w
+}
+
+// NewLiveEdgeWorld builds a world with an explicit predicate deciding
+// which edges are live; keep receives (u, v). Intended for tests.
+func NewLiveEdgeWorld(g *graph.Graph, keep func(u, v graph.NodeID) bool) *LiveEdgeWorld {
+	w := &LiveEdgeWorld{g: g, live: make([]bool, g.M())}
+	pos := 0
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		ts, _ := g.OutEdges(u)
+		for _, v := range ts {
+			w.live[pos] = keep(u, v)
+			pos++
+		}
+	}
+	return w
+}
+
+// Live reports whether the out-edge at global position pos is live.
+func (w *LiveEdgeWorld) Live(pos int64) bool { return w.live[pos] }
+
+// Graph returns the base graph.
+func (w *LiveEdgeWorld) Graph() *graph.Graph { return w.g }
+
+// Reachable marks every node reachable from the seeds through live edges.
+// The returned slice is freshly allocated.
+func (w *LiveEdgeWorld) Reachable(seeds []graph.NodeID) []bool {
+	out := make([]bool, w.g.N())
+	var q []graph.NodeID
+	for _, v := range seeds {
+		if !out[v] {
+			out[v] = true
+			q = append(q, v)
+		}
+	}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		base := w.g.OutEdgeBase(u)
+		ts, _ := w.g.OutEdges(u)
+		for i, v := range ts {
+			if out[v] || !w.live[base+int64(i)] {
+				continue
+			}
+			out[v] = true
+			q = append(q, v)
+		}
+	}
+	return out
+}
+
+// CountReachable returns |Γ(seeds, W)|, the number of nodes reachable from
+// the seeds in this world.
+func (w *LiveEdgeWorld) CountReachable(seeds []graph.NodeID) int {
+	r := w.Reachable(seeds)
+	c := 0
+	for _, b := range r {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// LiveInNeighbors returns the in-neighbors of v whose edge to v is live.
+func (w *LiveEdgeWorld) LiveInNeighbors(v graph.NodeID) []graph.NodeID {
+	srcs, _ := w.g.InEdges(v)
+	pos := w.g.InEdgePositions(v)
+	var out []graph.NodeID
+	for i, u := range srcs {
+		if w.live[pos[i]] {
+			out = append(out, u)
+		}
+	}
+	return out
+}

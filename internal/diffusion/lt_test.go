@@ -1,0 +1,140 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+func TestValidateLT(t *testing.T) {
+	ok := graph.FromEdges(3, [][3]float64{{0, 2, 0.5}, {1, 2, 0.5}})
+	if err := ok.ValidateLT(); err != nil {
+		t.Errorf("valid LT weights rejected: %v", err)
+	}
+	bad := graph.FromEdges(3, [][3]float64{{0, 2, 0.7}, {1, 2, 0.7}})
+	if err := bad.ValidateLT(); err == nil {
+		t.Error("in-weight sum 1.4 accepted")
+	}
+	// weighted cascade always satisfies LT (sums to exactly 1)
+	rng := stats.NewRNG(1)
+	wc := graph.ErdosRenyi(50, 200, rng).WeightedCascade()
+	if err := wc.ValidateLT(); err != nil {
+		t.Errorf("weighted cascade rejected: %v", err)
+	}
+}
+
+func TestLTExactSpreadLine(t *testing.T) {
+	// line 0 -> 1 -> 2 with p=0.5: same as IC for in-degree-1 nodes
+	g := graph.Line(3, 0.5)
+	got := ExactLTSpread(g, []graph.NodeID{0})
+	if math.Abs(got-1.75) > 1e-6 {
+		t.Errorf("exact LT spread %v, want 1.75", got)
+	}
+}
+
+func TestLTSimMatchesExact(t *testing.T) {
+	// diamond with in-degree-2 sink: LT differs from IC here
+	g := graph.FromEdges(4, [][3]float64{
+		{0, 1, 0.5}, {0, 2, 0.5}, {1, 3, 0.5}, {2, 3, 0.5},
+	})
+	exact := ExactLTSpread(g, []graph.NodeID{0})
+	rng := stats.NewRNG(2)
+	sim := NewLTSim(g)
+	mc := sim.Spread([]graph.NodeID{0}, rng, 300000)
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("LT MC %v vs exact %v", mc, exact)
+	}
+	// sanity: under LT node 3 activates iff its single trigger is an
+	// active parent, P = p(1,3)·P(1 active) + p(2,3)·P(2 active) = 0.5
+	want := 1 + 0.5 + 0.5 + 0.5
+	if math.Abs(exact-want) > 1e-6 {
+		t.Errorf("exact %v, want %v", exact, want)
+	}
+}
+
+func TestLTDiffersFromICOnDiamond(t *testing.T) {
+	// The two models genuinely differ at the in-degree-2 sink: under IC
+	// node 3 needs its own edge flips (P = 0.25·0.4375-ish ⇒ spread
+	// 2.4375), under LT it inherits exactly one trigger (P = 0.5 ⇒
+	// spread 2.5).
+	g := graph.FromEdges(4, [][3]float64{
+		{0, 1, 0.5}, {0, 2, 0.5}, {1, 3, 0.5}, {2, 3, 0.5},
+	})
+	ic := ExactSpread(g, []graph.NodeID{0})
+	lt := ExactLTSpread(g, []graph.NodeID{0})
+	if math.Abs(ic-2.4375) > 1e-6 {
+		t.Errorf("IC exact %v, want 2.4375", ic)
+	}
+	if math.Abs(lt-2.5) > 1e-6 {
+		t.Errorf("LT exact %v, want 2.5", lt)
+	}
+}
+
+func TestSampleLTWorldOneTriggerPerNode(t *testing.T) {
+	rng := stats.NewRNG(3)
+	g := graph.ErdosRenyi(40, 200, rng).WeightedCascade()
+	for trial := 0; trial < 20; trial++ {
+		w := SampleLTWorld(g, rng)
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			live := 0
+			for _, u := range w.LiveInNeighbors(v) {
+				_ = u
+				live++
+			}
+			if live > 1 {
+				t.Fatalf("node %d has %d live in-edges under LT", v, live)
+			}
+		}
+	}
+}
+
+func TestSampleLTWorldTriggerFrequency(t *testing.T) {
+	// node 2 has two in-edges with p 0.3 and 0.5: trigger frequencies
+	// must match
+	g := graph.FromEdges(3, [][3]float64{{0, 2, 0.3}, {1, 2, 0.5}})
+	rng := stats.NewRNG(4)
+	const trials = 100000
+	counts := map[graph.NodeID]int{}
+	none := 0
+	for i := 0; i < trials; i++ {
+		w := SampleLTWorld(g, rng)
+		ns := w.LiveInNeighbors(2)
+		if len(ns) == 0 {
+			none++
+		} else {
+			counts[ns[0]]++
+		}
+	}
+	if math.Abs(float64(counts[0])/trials-0.3) > 0.01 {
+		t.Errorf("trigger 0 frequency %v, want 0.3", float64(counts[0])/trials)
+	}
+	if math.Abs(float64(counts[1])/trials-0.5) > 0.01 {
+		t.Errorf("trigger 1 frequency %v, want 0.5", float64(counts[1])/trials)
+	}
+	if math.Abs(float64(none)/trials-0.2) > 0.01 {
+		t.Errorf("no-trigger frequency %v, want 0.2", float64(none)/trials)
+	}
+}
+
+func TestLTSimEpochReuse(t *testing.T) {
+	g := graph.Line(3, 1)
+	sim := NewLTSim(g)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if got := sim.RunOnce([]graph.NodeID{0}, rng); got != 3 {
+			t.Fatalf("run %d: spread %d, want 3 (p=1 line)", i, got)
+		}
+	}
+}
+
+func TestExactLTSpreadPanicsOnLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rng := stats.NewRNG(6)
+	ExactLTSpread(graph.ErdosRenyi(100, 800, rng).WeightedCascade(), []graph.NodeID{0})
+}

@@ -1,0 +1,172 @@
+package expr
+
+import (
+	"fmt"
+	"time"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// MultiItemAlgos lists the algorithms compared beyond two items (RR-SIM+
+// and RR-CIM cannot go there, as the paper stresses).
+var MultiItemAlgos = []string{"bundleGRD", "item-disj", "bundle-disj"}
+
+// MultiItemConfig builds the Table 4 model for configuration 5-8 with k
+// items, plus the budget vector for a given total budget. Configurations
+// 5 and 8 split the total uniformly; 6 and 7 give the max-budget item 20%
+// and the min-budget item 2% (core item = max for 6, min for 7), with the
+// rest split evenly.
+func MultiItemConfig(cfg, k, totalBudget int, seed uint64) (*utility.Model, []int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("expr: need at least 1 item")
+	}
+	uniform := func() []int {
+		per := totalBudget / k
+		if per < 1 {
+			per = 1
+		}
+		b := make([]int, k)
+		for i := range b {
+			b[i] = per
+		}
+		return b
+	}
+	skewed := func() []int {
+		b := make([]int, k)
+		if k == 1 {
+			b[0] = totalBudget
+			return b
+		}
+		b[0] = totalBudget * 20 / 100
+		b[k-1] = totalBudget * 2 / 100
+		if b[0] < 1 {
+			b[0] = 1
+		}
+		if b[k-1] < 1 {
+			b[k-1] = 1
+		}
+		rest := totalBudget - b[0] - b[k-1]
+		if k > 2 {
+			per := rest / (k - 2)
+			if per < 1 {
+				per = 1
+			}
+			for i := 1; i < k-1; i++ {
+				b[i] = per
+			}
+		}
+		return b
+	}
+	switch cfg {
+	case 5:
+		return utility.Config5(k), uniform(), nil
+	case 6:
+		// core item = maximum-budget item (index 0 after skew)
+		return utility.ConfigCone(k, 0), skewed(), nil
+	case 7:
+		// core item = minimum-budget item (index k-1)
+		return utility.ConfigCone(k, k-1), skewed(), nil
+	case 8:
+		return utility.Config8(k, stats.NewRNG(seed^0xc0f18)), uniform(), nil
+	}
+	return nil, nil, fmt.Errorf("expr: multi-item configuration %d out of range 5-8", cfg)
+}
+
+// MultiItemRow is one point of Fig. 7 or Fig. 8a.
+type MultiItemRow struct {
+	Config      int
+	TotalBudget int
+	Items       int
+	Algorithm   string
+	Welfare     float64
+	WelfareSE   float64
+	Millis      float64
+}
+
+// runMultiItemAlgo dispatches a named multi-item algorithm.
+func runMultiItemAlgo(name string, prob *core.Problem, p Params, rng *stats.RNG) core.Result {
+	opts := core.Options{Eps: p.Eps, Ell: p.Ell}
+	switch name {
+	case "bundleGRD":
+		return core.BundleGRD(prob, opts, rng)
+	case "item-disj":
+		return core.ItemDisjoint(prob, opts, rng)
+	case "bundle-disj":
+		return core.BundleDisjoint(prob, opts, rng)
+	}
+	panic("expr: unknown multi-item algorithm " + name)
+}
+
+// Fig7 reproduces the multi-item welfare comparison: configuration cfg
+// (5-8) with `items` items on the Twitter stand-in, sweeping the total
+// budget 100..500 in steps of 100 (scaled).
+func Fig7(cfg, items int, p Params) ([]MultiItemRow, error) {
+	p = p.withDefaults()
+	spec, _ := NetworkByName("twitter")
+	g := spec.Generate(p.Scale, p.Seed)
+	bscale := p.Scale
+	if bscale > 1 {
+		bscale = 1
+	}
+	var rows []MultiItemRow
+	for total := 100; total <= 500; total += 100 {
+		scaled := int(float64(total) * bscale)
+		if scaled < items {
+			scaled = items
+		}
+		m, budgets, err := MultiItemConfig(cfg, items, scaled, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		prob := core.MustProblem(g, m, budgets)
+		for _, algo := range MultiItemAlgos {
+			res := runMultiItemAlgo(algo, prob, p, stats.NewRNG(p.Seed+uint64(total)))
+			est := uic.NewSimulator(g, m).EstimateWelfare(res.Alloc, stats.NewRNG(p.Seed+7), p.Runs)
+			rows = append(rows, MultiItemRow{
+				Config: cfg, TotalBudget: scaled, Items: items, Algorithm: algo,
+				Welfare: est.Mean, WelfareSE: est.StdErr,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8a reproduces the items-vs-running-time study: configuration 5 with
+// per-item budget 50 (scaled), varying the number of items 1..maxItems.
+func Fig8a(maxItems int, p Params) ([]MultiItemRow, error) {
+	p = p.withDefaults()
+	if maxItems < 1 {
+		maxItems = 10
+	}
+	spec, _ := NetworkByName("twitter")
+	g := spec.Generate(p.Scale, p.Seed)
+	bscale := p.Scale
+	if bscale > 1 {
+		bscale = 1
+	}
+	per := int(50 * bscale)
+	if per < 1 {
+		per = 1
+	}
+	var rows []MultiItemRow
+	for items := 1; items <= maxItems; items++ {
+		m := utility.Config5(items)
+		budgets := make([]int, items)
+		for i := range budgets {
+			budgets[i] = per
+		}
+		prob := core.MustProblem(g, m, budgets)
+		for _, algo := range MultiItemAlgos {
+			start := time.Now()
+			runMultiItemAlgo(algo, prob, p, stats.NewRNG(p.Seed+uint64(items)))
+			rows = append(rows, MultiItemRow{
+				Config: 5, Items: items, TotalBudget: per * items, Algorithm: algo,
+				Millis: float64(time.Since(start).Microseconds()) / 1000.0,
+			})
+		}
+	}
+	return rows, nil
+}

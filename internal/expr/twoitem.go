@@ -1,0 +1,190 @@
+package expr
+
+import (
+	"fmt"
+	"time"
+
+	"uicwelfare/internal/comic"
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// Params controls experiment scale. Zero values take the defaults noted
+// per field.
+type Params struct {
+	Scale float64 // network scale factor (default 1.0 in CLI, small in benches)
+	Seed  uint64  // RNG seed (default 1)
+	Runs  int     // Monte-Carlo runs per welfare estimate (default 2000)
+	Eps   float64 // IMM/PRIMA epsilon (default 0.5, as in the paper)
+	Ell   float64 // confidence exponent (default 1)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Runs <= 0 {
+		p.Runs = 2000
+	}
+	if p.Eps <= 0 {
+		p.Eps = 0.5
+	}
+	if p.Ell <= 0 {
+		p.Ell = 1
+	}
+	return p
+}
+
+// TwoItemAlgos lists the five algorithms of the two-item comparison
+// (Figs. 4-6) in the paper's legend order.
+var TwoItemAlgos = []string{"bundleGRD", "RR-SIM+", "RR-CIM", "item-disj", "bundle-disj"}
+
+// TwoItemConfig returns the Table 3 model for configuration 1-4 and the
+// budget vectors swept on the x axis: uniform k in {10..50} for odd
+// configurations, b1=70 with b2 in {30..110} for even ones. Budgets are
+// scaled down alongside the networks.
+func TwoItemConfig(cfg int, scale float64) (*utility.Model, [][]int, []string, error) {
+	var m *utility.Model
+	switch cfg {
+	case 1, 2:
+		m = utility.Config1()
+	case 3, 4:
+		m = utility.Config3()
+	default:
+		return nil, nil, nil, fmt.Errorf("expr: two-item configuration %d out of range 1-4", cfg)
+	}
+	bscale := scale
+	if bscale > 1 {
+		bscale = 1
+	}
+	sc := func(b int) int {
+		s := int(float64(b) * bscale)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	var budgets [][]int
+	var labels []string
+	if cfg%2 == 1 { // uniform
+		for k := 10; k <= 50; k += 10 {
+			budgets = append(budgets, []int{sc(k), sc(k)})
+			labels = append(labels, fmt.Sprintf("k=%d", sc(k)))
+		}
+	} else { // non-uniform
+		for b2 := 30; b2 <= 110; b2 += 20 {
+			budgets = append(budgets, []int{sc(70), sc(b2)})
+			labels = append(labels, fmt.Sprintf("b2=%d", sc(b2)))
+		}
+	}
+	return m, budgets, labels, nil
+}
+
+// TwoItemRow is one point of Figs. 4, 5 or 6.
+type TwoItemRow struct {
+	Config    int
+	Network   string
+	Budget    string
+	Algorithm string
+	Welfare   float64
+	WelfareSE float64
+	Millis    float64
+	RRSets    int
+}
+
+// runTwoItemAlgo executes one named algorithm and returns its allocation
+// plus effort numbers.
+func runTwoItemAlgo(name string, g *graph.Graph, m *utility.Model, budgets []int, p Params, rng *stats.RNG) (*uic.Allocation, int, error) {
+	prob := core.MustProblem(g, m, budgets)
+	opts := core.Options{Eps: p.Eps, Ell: p.Ell}
+	switch name {
+	case "bundleGRD":
+		r := core.BundleGRD(prob, opts, rng)
+		return r.Alloc, r.NumRRSets, nil
+	case "item-disj":
+		r := core.ItemDisjoint(prob, opts, rng)
+		return r.Alloc, r.NumRRSets, nil
+	case "bundle-disj":
+		r := core.BundleDisjoint(prob, opts, rng)
+		return r.Alloc, r.NumRRSets, nil
+	case "RR-SIM+":
+		r, err := comic.AllocateRRSIMPlus(g, m, budgets, comic.Options{Eps: p.Eps, Ell: p.Ell}, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.Alloc, r.NumRRSets, nil
+	case "RR-CIM":
+		r, err := comic.AllocateRRCIM(g, m, budgets, comic.Options{Eps: p.Eps, Ell: p.Ell}, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.Alloc, r.NumRRSets, nil
+	}
+	return nil, 0, fmt.Errorf("expr: unknown algorithm %q", name)
+}
+
+// Fig4 reproduces the expected-social-welfare comparison of Fig. 4 for
+// one configuration (1-4) on the Douban-Movie stand-in.
+func Fig4(cfg int, p Params) ([]TwoItemRow, error) {
+	p = p.withDefaults()
+	m, budgetSweep, labels, err := TwoItemConfig(cfg, p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	spec, _ := NetworkByName("douban-movie")
+	g := spec.Generate(p.Scale, p.Seed)
+	var rows []TwoItemRow
+	for bi, budgets := range budgetSweep {
+		for _, algo := range TwoItemAlgos {
+			rng := stats.NewRNG(p.Seed + uint64(bi)*31)
+			alloc, rr, err := runTwoItemAlgo(algo, g, m, budgets, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			est := uic.NewSimulator(g, m).EstimateWelfare(alloc, stats.NewRNG(p.Seed+999), p.Runs)
+			rows = append(rows, TwoItemRow{
+				Config: cfg, Network: spec.Name, Budget: labels[bi], Algorithm: algo,
+				Welfare: est.Mean, WelfareSE: est.StdErr, RRSets: rr,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5And6 reproduces the running-time (Fig. 5) and RR-set-count (Fig. 6)
+// measurements: configuration 1, uniform budgets, on the given network.
+func Fig5And6(network string, p Params) ([]TwoItemRow, error) {
+	p = p.withDefaults()
+	m, budgetSweep, labels, err := TwoItemConfig(1, p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := NetworkByName(network)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Generate(p.Scale, p.Seed)
+	var rows []TwoItemRow
+	for bi, budgets := range budgetSweep {
+		for _, algo := range TwoItemAlgos {
+			rng := stats.NewRNG(p.Seed + uint64(bi)*31)
+			start := time.Now()
+			_, rr, err := runTwoItemAlgo(algo, g, m, budgets, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TwoItemRow{
+				Config: 1, Network: spec.Name, Budget: labels[bi], Algorithm: algo,
+				Millis: float64(time.Since(start).Microseconds()) / 1000.0,
+				RRSets: rr,
+			})
+		}
+	}
+	return rows, nil
+}

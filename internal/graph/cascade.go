@@ -1,0 +1,49 @@
+package graph
+
+import "fmt"
+
+// Cascade selects how edge probabilities are interpreted by the diffusion
+// and sampling layers. The paper's §5 notes that all results carry over
+// from IC to any triggering model; the library implements the two classic
+// members of that family.
+type Cascade uint8
+
+const (
+	// CascadeIC is the independent cascade model: each edge (u,v) fires
+	// independently with probability p(u,v).
+	CascadeIC Cascade = iota
+	// CascadeLT is the linear threshold model in its triggering-set
+	// (live-edge) form: each node v selects at most one in-neighbor u
+	// with probability p(u,v) (requiring Σ_u p(u,v) <= 1); only the
+	// selected edge is live.
+	CascadeLT
+)
+
+// String names the cascade model.
+func (c Cascade) String() string {
+	switch c {
+	case CascadeIC:
+		return "IC"
+	case CascadeLT:
+		return "LT"
+	}
+	return fmt.Sprintf("Cascade(%d)", uint8(c))
+}
+
+// ValidateLT checks the LT weight constraint Σ_u p(u,v) <= 1 for every
+// node v, returning a descriptive error on the first violation. A small
+// epsilon absorbs float32 accumulation error.
+func (g *Graph) ValidateLT() error {
+	const eps = 1e-4
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		_, ps := g.InEdges(v)
+		sum := 0.0
+		for _, p := range ps {
+			sum += float64(p)
+		}
+		if sum > 1+eps {
+			return fmt.Errorf("graph: node %d has in-weight sum %.4f > 1 (LT requires <= 1)", v, sum)
+		}
+	}
+	return nil
+}

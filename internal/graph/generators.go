@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"uicwelfare/internal/stats"
+)
+
+// ErdosRenyi generates a directed G(n, m) graph with m edges chosen
+// uniformly at random (without self-loops; parallel picks collapse, so the
+// final edge count can be slightly below m).
+func ErdosRenyi(n, m int, rng *stats.RNG) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0)
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates an undirected preferential-attachment graph:
+// each new node attaches to k existing nodes chosen proportionally to
+// degree. The result has heavy-tailed degrees like real social networks.
+// Edges are stored in both directions.
+func BarabasiAlbert(n, k int, rng *stats.RNG) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		n = k + 1
+	}
+	b := NewBuilder(n)
+	// repeated-nodes list for preferential attachment
+	targets := make([]NodeID, 0, 2*n*k)
+	// seed clique over the first k+1 nodes
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddUndirected(NodeID(i), NodeID(j), 0)
+			targets = append(targets, NodeID(i), NodeID(j))
+		}
+	}
+	chosen := make(map[NodeID]bool, k)
+	for v := k + 1; v < n; v++ {
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if t == NodeID(v) || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddUndirected(NodeID(v), t, 0)
+			targets = append(targets, NodeID(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialDirected generates a directed heavy-tailed graph: node v
+// (for v >= k+1) receives k out-edges whose targets are sampled
+// preferentially by in-degree, and additionally emits `extra` uniformly
+// random edges per node to mimic the reciprocity and density of follower
+// networks. It is the stand-in generator for directed datasets
+// (Douban-Book, Douban-Movie, Twitter).
+func PreferentialDirected(n, k int, rng *stats.RNG) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+2 {
+		n = k + 2
+	}
+	b := NewBuilder(n)
+	targets := make([]NodeID, 0, n*k)
+	for i := 0; i <= k; i++ {
+		j := (i + 1) % (k + 1)
+		b.AddEdge(NodeID(i), NodeID(j), 0)
+		targets = append(targets, NodeID(j))
+	}
+	for v := k + 1; v < n; v++ {
+		for e := 0; e < k; e++ {
+			var t NodeID
+			if rng.Float64() < 0.15 {
+				t = NodeID(rng.Intn(v)) // uniform exploration
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == NodeID(v) {
+				continue
+			}
+			b.AddEdge(NodeID(v), t, 0)
+			targets = append(targets, t)
+			// occasional reciprocal follow-back
+			if rng.Float64() < 0.3 {
+				b.AddEdge(t, NodeID(v), 0)
+				targets = append(targets, NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates an undirected small-world ring lattice with
+// rewiring probability beta. k must be even; each node starts connected
+// to its k nearest ring neighbors.
+func WattsStrogatz(n, k int, beta float64, rng *stats.RNG) *Graph {
+	if k%2 == 1 {
+		k++
+	}
+	if k >= n {
+		k = n - 1 - (n-1)%2
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			t := (v + d) % n
+			if rng.Float64() < beta {
+				for {
+					cand := rng.Intn(n)
+					if cand != v {
+						t = cand
+						break
+					}
+				}
+			}
+			b.AddUndirected(NodeID(v), NodeID(t), 0)
+		}
+	}
+	return b.Build()
+}
+
+// Line returns the directed path 0 -> 1 -> ... -> n-1 with probability p
+// on every edge, useful in tests.
+func Line(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1), p)
+	}
+	return b.Build()
+}
+
+// Star returns a directed star with edges hub -> leaf for leaves 1..n-1,
+// each with probability p.
+func Star(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, NodeID(i), p)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete directed graph on n nodes with uniform
+// probability p (no self loops), for tiny exact tests.
+func Complete(n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.AddEdge(NodeID(i), NodeID(j), p)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,64 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a network's structure; it backs Table 2 of the paper.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	AvgDegree float64
+	MaxOutDeg int
+	MaxInDeg  int
+	// Symmetric is true when every edge's reverse also exists, i.e. the
+	// graph encodes an undirected network.
+	Symmetric bool
+}
+
+// ComputeStats scans the graph once and returns its statistics.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.N(), Edges: g.M(), AvgDegree: g.AvgDegree(), Symmetric: true}
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if d := g.OutDegree(v); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+	}
+	s.Symmetric = isSymmetric(g)
+	return s
+}
+
+func isSymmetric(g *Graph) bool {
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		ts, _ := g.OutEdges(u)
+		for _, v := range ts {
+			if !hasEdge(g, v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasEdge(g *Graph, u, v NodeID) bool {
+	ts, _ := g.OutEdges(u)
+	// out-lists are sorted by target after Build
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= v })
+	return i < len(ts) && ts[i] == v
+}
+
+// DegreeHistogram returns counts of out-degrees, indexed by degree.
+func DegreeHistogram(g *Graph) []int {
+	maxd := 0
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if d := g.OutDegree(v); d > maxd {
+			maxd = d
+		}
+	}
+	h := make([]int, maxd+1)
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		h[g.OutDegree(v)]++
+	}
+	return h
+}

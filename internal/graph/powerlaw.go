@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"uicwelfare/internal/stats"
+)
+
+// PowerLawSequence draws n integer degrees from a discrete power law
+// P[d] ∝ d^(-alpha) on [minDeg, maxDeg], via inverse-CDF sampling of the
+// continuous Pareto and rounding. Real social networks have alpha in
+// roughly [2, 3]; Table 2's heavy-tailed stand-ins use it through
+// ConfigurationModel.
+func PowerLawSequence(n int, alpha float64, minDeg, maxDeg int, rng *stats.RNG) []int {
+	if minDeg < 1 {
+		minDeg = 1
+	}
+	if maxDeg < minDeg {
+		maxDeg = minDeg
+	}
+	if alpha <= 1 {
+		alpha = 2.1
+	}
+	out := make([]int, n)
+	lo := math.Pow(float64(minDeg), 1-alpha)
+	hi := math.Pow(float64(maxDeg)+1, 1-alpha)
+	for i := range out {
+		u := rng.Float64()
+		x := math.Pow(lo+(hi-lo)*u, 1/(1-alpha))
+		d := int(x)
+		if d < minDeg {
+			d = minDeg
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// ConfigurationModel builds an undirected graph realizing (approximately)
+// the given degree sequence by the stub-matching construction: each node
+// contributes degree-many stubs, stubs are shuffled and paired. Self
+// loops and parallel pairs are dropped (the standard simplification), so
+// realized degrees can fall slightly below the request for heavy-tailed
+// sequences. Edges are stored in both directions.
+func ConfigurationModel(degrees []int, rng *stats.RNG) *Graph {
+	n := len(degrees)
+	var stubs []NodeID
+	total := 0
+	for _, d := range degrees {
+		total += d
+	}
+	stubs = make([]NodeID, 0, total+1)
+	for v, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(v))
+		}
+	}
+	if len(stubs)%2 == 1 {
+		// odd stub count: drop one stub from a max-degree node
+		maxAt := 0
+		for v, d := range degrees {
+			if d > degrees[maxAt] {
+				maxAt = v
+			}
+		}
+		for i, s := range stubs {
+			if s == NodeID(maxAt) {
+				stubs = append(stubs[:i], stubs[i+1:]...)
+				break
+			}
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := NewBuilder(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			continue
+		}
+		b.AddUndirected(u, v, 0)
+	}
+	return b.Build()
+}
+
+// PowerLawGraph is the convenience composition: an undirected graph with
+// power-law degrees averaging close to target avg degree. It computes the
+// minimum degree achieving the requested average under the exponent.
+func PowerLawGraph(n int, alpha, avgDeg float64, rng *stats.RNG) *Graph {
+	maxDeg := int(math.Sqrt(float64(n))) * 2
+	// binary-search the minimum degree whose sequence mean ≈ avgDeg
+	lo, hi := 1, maxDeg
+	best := 1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		m := meanPowerLaw(alpha, mid, maxDeg)
+		if m < avgDeg {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	seq := PowerLawSequence(n, alpha, best, maxDeg, rng)
+	return ConfigurationModel(seq, rng)
+}
+
+// meanPowerLaw returns the mean of the discrete power law on
+// [minDeg, maxDeg] with exponent alpha.
+func meanPowerLaw(alpha float64, minDeg, maxDeg int) float64 {
+	num, den := 0.0, 0.0
+	for d := minDeg; d <= maxDeg; d++ {
+		w := math.Pow(float64(d), -alpha)
+		num += float64(d) * w
+		den += w
+	}
+	if den == 0 {
+		return float64(minDeg)
+	}
+	return num / den
+}
+
+// DegreeExponentEstimate fits the power-law exponent of a graph's degree
+// distribution by the discrete Hill/MLE estimator over degrees >= dmin,
+// useful for validating that generated stand-ins are heavy-tailed like
+// their targets.
+func DegreeExponentEstimate(g *Graph, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var degs []float64
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if d := g.OutDegree(v); d >= dmin {
+			degs = append(degs, float64(d))
+		}
+	}
+	if len(degs) < 2 {
+		return 0
+	}
+	sort.Float64s(degs)
+	sum := 0.0
+	for _, d := range degs {
+		sum += math.Log(d / (float64(dmin) - 0.5))
+	}
+	return 1 + float64(len(degs))/sum
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/stats"
+)
+
+func TestPowerLawSequenceBounds(t *testing.T) {
+	rng := stats.NewRNG(1)
+	seq := PowerLawSequence(5000, 2.5, 2, 100, rng)
+	if len(seq) != 5000 {
+		t.Fatalf("len %d", len(seq))
+	}
+	for _, d := range seq {
+		if d < 2 || d > 100 {
+			t.Fatalf("degree %d out of [2,100]", d)
+		}
+	}
+}
+
+func TestPowerLawSequenceIsHeavyTailed(t *testing.T) {
+	rng := stats.NewRNG(2)
+	seq := PowerLawSequence(20000, 2.2, 2, 500, rng)
+	small, large := 0, 0
+	for _, d := range seq {
+		if d <= 4 {
+			small++
+		}
+		if d >= 50 {
+			large++
+		}
+	}
+	if small < len(seq)/2 {
+		t.Errorf("only %d/%d small degrees; power law should be bottom-heavy", small, len(seq))
+	}
+	if large == 0 {
+		t.Error("no large degrees; tail missing")
+	}
+}
+
+func TestPowerLawSequenceDegenerateParams(t *testing.T) {
+	rng := stats.NewRNG(3)
+	seq := PowerLawSequence(100, 0.5, 0, -5, rng) // all invalid; clamped
+	for _, d := range seq {
+		if d != 1 {
+			t.Fatalf("clamped sequence should be all ones, got %d", d)
+		}
+	}
+}
+
+func TestConfigurationModelDegrees(t *testing.T) {
+	rng := stats.NewRNG(4)
+	degrees := []int{3, 3, 2, 2, 2}
+	g := ConfigurationModel(degrees, rng)
+	if g.N() != 5 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// realized degree can only fall below the request (drops), never above
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if g.OutDegree(v) > degrees[v] {
+			t.Errorf("node %d degree %d exceeds requested %d", v, g.OutDegree(v), degrees[v])
+		}
+	}
+	if !isSymmetric(g) {
+		t.Error("configuration model must be undirected")
+	}
+}
+
+func TestConfigurationModelOddStubs(t *testing.T) {
+	rng := stats.NewRNG(5)
+	g := ConfigurationModel([]int{3, 2, 2}, rng) // 7 stubs, odd
+	if g.N() != 3 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// must not panic and must keep degrees bounded
+	for v := NodeID(0); int(v) < 3; v++ {
+		if g.OutDegree(v) > 3 {
+			t.Errorf("degree overflow at %d", v)
+		}
+	}
+}
+
+func TestPowerLawGraphAverageDegree(t *testing.T) {
+	rng := stats.NewRNG(6)
+	g := PowerLawGraph(4000, 2.3, 12, rng)
+	if g.N() != 4000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// directed average degree counts both directions: target ~12
+	if g.AvgDegree() < 6 || g.AvgDegree() > 24 {
+		t.Errorf("avg degree %v, want ~12", g.AvgDegree())
+	}
+	st := ComputeStats(g)
+	if float64(st.MaxOutDeg) < 3*g.AvgDegree() {
+		t.Errorf("max degree %d not heavy-tailed for avg %v", st.MaxOutDeg, g.AvgDegree())
+	}
+}
+
+func TestDegreeExponentEstimate(t *testing.T) {
+	rng := stats.NewRNG(7)
+	seq := PowerLawSequence(30000, 2.5, 3, 300, rng)
+	g := ConfigurationModel(seq, rng)
+	alpha := DegreeExponentEstimate(g, 3)
+	if math.Abs(alpha-2.5) > 0.5 {
+		t.Errorf("estimated exponent %v, want ~2.5", alpha)
+	}
+}
+
+func TestDegreeExponentEstimateDegenerate(t *testing.T) {
+	if got := DegreeExponentEstimate(NewBuilder(3).Build(), 1); got != 0 {
+		t.Errorf("empty graph exponent %v, want 0", got)
+	}
+}

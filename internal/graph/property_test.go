@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uicwelfare/internal/stats"
+)
+
+// Property: in-degree and out-degree totals both equal M on any built
+// graph.
+func TestQuickDegreeSumsEqualM(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 2
+		m := int(mRaw % 1000)
+		g := ErdosRenyi(n, m, stats.NewRNG(seed))
+		outSum, inSum := 0, 0
+		for v := NodeID(0); int(v) < g.N(); v++ {
+			outSum += g.OutDegree(v)
+			inSum += g.InDegree(v)
+		}
+		return outSum == g.M() && inSum == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InEdgePositions always maps back to the same (source, target,
+// probability) triple in the out-edge arrays.
+func TestQuickInEdgePositionConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := ErdosRenyi(60, 300, rng).WeightedCascade()
+		for v := NodeID(0); int(v) < g.N(); v++ {
+			srcs, ps := g.InEdges(v)
+			pos := g.InEdgePositions(v)
+			for i := range srcs {
+				u := srcs[i]
+				off := pos[i] - g.OutEdgeBase(u)
+				ts, ops := g.OutEdges(u)
+				if off < 0 || int(off) >= len(ts) || ts[off] != v || ops[off] != ps[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted cascade in-probabilities sum to 1 for every node
+// with in-degree > 0, which is exactly the LT validity condition.
+func TestQuickWeightedCascadeIsValidLT(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := BarabasiAlbert(150, 3, rng).WeightedCascade()
+		return g.ValidateLT() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SCC components partition the nodes, and every cycle edge
+// stays within one component.
+func TestQuickSCCPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := ErdosRenyi(80, 240, rng)
+		comp, count := SCC(g)
+		for _, c := range comp {
+			if c < 0 || int(c) >= count {
+				return false
+			}
+		}
+		// mutual edges (u->v and v->u) imply same component
+		for u := NodeID(0); int(u) < g.N(); u++ {
+			ts, _ := g.OutEdges(u)
+			for _, v := range ts {
+				if hasEdge(g, v, u) && comp[u] != comp[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFSPrefix returns exactly min(want, n) nodes and its edges
+// are a subset of the original graph's.
+func TestQuickBFSPrefixSize(t *testing.T) {
+	f := func(seed uint64, wantRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		g := PreferentialDirected(100, 3, rng)
+		want := int(wantRaw%120) + 1
+		sub, mapping := BFSPrefix(g, want)
+		expect := want
+		if expect > g.N() {
+			expect = g.N()
+		}
+		if sub.N() != expect || len(mapping) != expect {
+			return false
+		}
+		// spot-check edge preservation through the mapping
+		for u := NodeID(0); int(u) < sub.N(); u++ {
+			ts, _ := sub.OutEdges(u)
+			for _, v := range ts {
+				if !hasEdge(g, mapping[u], mapping[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LargestSCC of any graph is strongly connected (every node
+// reaches every other).
+func TestQuickLargestSCCStronglyConnected(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		g := ErdosRenyi(50, 200, rng)
+		sub, _ := LargestSCC(g)
+		if sub.N() == 0 {
+			return true
+		}
+		comp, count := SCC(sub)
+		_ = comp
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. It returns a component id per node and the number of
+// components. Component ids are assigned in reverse topological order of
+// the condensation (Tarjan's natural order).
+func SCC(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID
+	var next int32
+
+	type frame struct {
+		v  NodeID
+		ei int // next out-edge offset to explore
+	}
+	var call []frame
+
+	for root := NodeID(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			ts, _ := g.OutEdges(f.v)
+			advanced := false
+			for f.ei < len(ts) {
+				w := ts[f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[f.v] > index[w] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// finished v
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[p.v] > low[v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(count)
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestSCC returns the subgraph induced by the largest strongly
+// connected component, with nodes renumbered. The second return value
+// maps new ids to original ids. The paper extracts the largest SCC of
+// Flixster the same way.
+func LargestSCC(g *Graph) (*Graph, []NodeID) {
+	comp, count := SCC(g)
+	if count == 0 {
+		return NewBuilder(0).Build(), nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	return InducedSubgraph(g, func(v NodeID) bool { return comp[v] == int32(best) })
+}
+
+// InducedSubgraph returns the subgraph induced by the nodes for which
+// keep returns true, with nodes renumbered densely, plus the new->old id
+// mapping.
+func InducedSubgraph(g *Graph, keep func(NodeID) bool) (*Graph, []NodeID) {
+	oldToNew := make([]NodeID, g.N())
+	var newToOld []NodeID
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if keep(v) {
+			oldToNew[v] = NodeID(len(newToOld))
+			newToOld = append(newToOld, v)
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	for _, old := range newToOld {
+		ts, ps := g.OutEdges(old)
+		for i, t := range ts {
+			if oldToNew[t] >= 0 {
+				b.AddEdge(oldToNew[old], oldToNew[t], float64(ps[i]))
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+// BFSPrefix returns the subgraph induced by the first `want` nodes
+// discovered by a breadth-first search from node 0 (falling back to
+// unvisited nodes to cover disconnected graphs). The scalability
+// experiment (Fig 9d) grows the network this way.
+func BFSPrefix(g *Graph, want int) (*Graph, []NodeID) {
+	if want >= g.N() {
+		keepAll := func(NodeID) bool { return true }
+		return InducedSubgraph(g, keepAll)
+	}
+	visited := make([]bool, g.N())
+	order := make([]NodeID, 0, want)
+	queue := make([]NodeID, 0, want)
+	for start := NodeID(0); int(start) < g.N() && len(order) < want; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		order = append(order, start)
+		for len(queue) > 0 && len(order) < want {
+			v := queue[0]
+			queue = queue[1:]
+			ts, _ := g.OutEdges(v)
+			for _, w := range ts {
+				if !visited[w] {
+					visited[w] = true
+					order = append(order, w)
+					if len(order) >= want {
+						break
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	inPrefix := make([]bool, g.N())
+	for _, v := range order {
+		inPrefix[v] = true
+	}
+	return InducedSubgraph(g, func(v NodeID) bool { return inPrefix[v] })
+}

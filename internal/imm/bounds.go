@@ -1,0 +1,48 @@
+// Package imm implements the IMM approximation algorithm of Tang et al.
+// (SIGMOD'15) with the sample-regeneration fix of Chen (2018), plus the
+// earlier TIM+ algorithm used by the Com-IC baselines. Both reduce
+// influence maximization to max-cover over reverse-reachable sets; they
+// differ only in how many RR sets they decide to draw.
+package imm
+
+import (
+	"math"
+
+	"uicwelfare/internal/stats"
+)
+
+// EpsPrime returns ε' = sqrt(2)·ε, the phase-1 accuracy parameter of IMM.
+func EpsPrime(eps float64) float64 { return math.Sqrt2 * eps }
+
+// LambdaPrime evaluates Eq. (7) of the paper: the phase-1 sampling bound
+//
+//	λ'_k = (2 + 2/3·ε')(log C(n,k) + ℓ'·log n + log log2 n)·n / ε'^2
+//
+// with natural logarithms. ellPrime is the effective confidence exponent
+// (for plain IMM, ℓ + log2/log n; PRIMA adds log|b|/log n on top).
+func LambdaPrime(n, k int, eps, ellPrime float64) float64 {
+	epsp := EpsPrime(eps)
+	logBinom := stats.LogNChooseK(n, k)
+	loglog := math.Log(math.Log2(float64(n)))
+	num := (2 + 2.0/3.0*epsp) * (logBinom + ellPrime*math.Log(float64(n)) + loglog) * float64(n)
+	return num / (epsp * epsp)
+}
+
+// LambdaStar evaluates Eq. (8) of the paper: the phase-2 sampling bound
+//
+//	λ*_k = 2n·((1-1/e)·α + β_k)^2 · ε^-2
+//	α    = sqrt(ℓ'·log n + log 2)
+//	β_k  = sqrt((1-1/e)·(log C(n,k) + ℓ'·log n + log 2))
+func LambdaStar(n, k int, eps, ellPrime float64) float64 {
+	oneMinusInvE := 1 - 1/math.E
+	alpha := math.Sqrt(ellPrime*math.Log(float64(n)) + math.Ln2)
+	beta := math.Sqrt(oneMinusInvE * (stats.LogNChooseK(n, k) + ellPrime*math.Log(float64(n)) + math.Ln2))
+	s := oneMinusInvE*alpha + beta
+	return 2 * float64(n) * s * s / (eps * eps)
+}
+
+// EllPlusLog2 returns ℓ + log2/log n, the standard IMM adjustment that
+// folds the union bound over its two phases into the failure probability.
+func EllPlusLog2(ell float64, n int) float64 {
+	return ell + math.Ln2/math.Log(float64(n))
+}

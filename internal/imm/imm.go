@@ -1,0 +1,106 @@
+package imm
+
+import (
+	"math"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/rrset"
+	"uicwelfare/internal/stats"
+)
+
+// Options configures IMM. The defaults (Eps 0.5, Ell 1) are the ones the
+// paper uses in all experiments.
+type Options struct {
+	Eps float64 // approximation slack ε > 0
+	Ell float64 // confidence exponent: success probability 1 - 1/n^ℓ
+	// Cascade selects the diffusion model (IC default, or LT).
+	Cascade graph.Cascade
+	// NodeCoin optionally injects a per-node pass probability into RR
+	// sampling (used by the Com-IC baselines).
+	NodeCoin func(graph.NodeID) float64
+}
+
+// withDefaults fills in unset fields.
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.5
+	}
+	if o.Ell <= 0 {
+		o.Ell = 1
+	}
+	return o
+}
+
+// Result reports the selected seeds and the sampling effort spent.
+type Result struct {
+	Seeds     []graph.NodeID
+	Coverage  float64 // F_R(Seeds) on the final collection
+	SpreadEst float64 // n · F_R(Seeds)
+	NumRRSets int     // RR sets in the final collection
+	// TotalRRSets counts every RR set generated, including the phase-1
+	// collection that the Chen'18 fix throws away before reselection.
+	TotalRRSets int
+	LB          float64 // lower bound on OPT_k used to size the collection
+}
+
+// Run executes IMM for a single budget k and returns the ordered seed set.
+// The returned seeds satisfy sigma(S) >= (1-1/e-ε)·OPT_k with probability
+// at least 1-1/n^ℓ.
+func Run(g *graph.Graph, k int, opts Options, rng *stats.RNG) Result {
+	opts = opts.withDefaults()
+	n := g.N()
+	if k <= 0 || n == 0 {
+		return Result{}
+	}
+	if k >= n {
+		// Every node is a seed; no sampling needed.
+		seeds := make([]graph.NodeID, n)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(i)
+		}
+		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(n), LB: float64(n)}
+	}
+	ellPrime := EllPlusLog2(opts.Ell, n)
+	epsp := EpsPrime(opts.Eps)
+
+	col := rrset.NewCollection(g)
+	col.Sampler().NodeCoin = opts.NodeCoin
+	col.Sampler().Cascade = opts.Cascade
+
+	lb := 1.0
+	lambdaStar := LambdaStar(n, k, opts.Eps, ellPrime)
+	theta := lambdaStar // resolved below; fallback uses LB = 1
+
+	maxI := int(math.Log2(float64(n))) - 1
+	for i := 1; i <= maxI; i++ {
+		x := float64(n) / math.Pow(2, float64(i))
+		thetaI := LambdaPrime(n, k, opts.Eps, ellPrime) / x
+		col.Grow(int64(math.Ceil(thetaI)), rng)
+		seeds, frac := col.NodeSelection(k)
+		_ = seeds
+		if float64(n)*frac >= (1+epsp)*x {
+			lb = float64(n) * frac / (1 + epsp)
+			theta = lambdaStar / lb
+			break
+		}
+	}
+	phase1 := col.Len()
+	col.Grow(int64(math.Ceil(theta)), rng)
+	grown := col.Len()
+
+	// Chen'18 fix: the final seed set must be selected on RR sets that are
+	// independent of the adaptive stopping rule, so regenerate from
+	// scratch.
+	col.Reset()
+	col.Grow(int64(math.Ceil(theta)), rng)
+	seeds, frac := col.NodeSelection(k)
+	_ = phase1
+	return Result{
+		Seeds:       seeds,
+		Coverage:    frac,
+		SpreadEst:   float64(n) * frac,
+		NumRRSets:   col.Len(),
+		TotalRRSets: grown + col.Len(),
+		LB:          lb,
+	}
+}

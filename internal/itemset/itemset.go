@@ -1,0 +1,157 @@
+// Package itemset provides compact bitmask representations of sets of items.
+//
+// The UIC model reasons about subsets of a small item universe I (the
+// paper's experiments use at most ten items), so a set is stored as the bits
+// of a uint32. All set algebra is O(1) and subset enumeration visits each
+// submask once using the standard (sub-1)&mask walk.
+package itemset
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MaxItems is the largest universe size a Set can represent.
+const MaxItems = 32
+
+// Set is a set of item indices in [0, MaxItems) stored as a bitmask.
+// The zero value is the empty set.
+type Set uint32
+
+// Empty is the empty itemset.
+const Empty Set = 0
+
+// New returns the set containing the given item indices.
+func New(items ...int) Set {
+	var s Set
+	for _, i := range items {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// All returns the full universe {0, 1, ..., k-1}.
+func All(k int) Set {
+	if k <= 0 {
+		return 0
+	}
+	if k >= MaxItems {
+		return Set(^uint32(0))
+	}
+	return Set(uint32(1)<<uint(k) - 1)
+}
+
+// Single returns the singleton set {i}.
+func Single(i int) Set { return Set(1) << uint(i) }
+
+// Has reports whether item i is in the set.
+func (s Set) Has(i int) bool { return s&Single(i) != 0 }
+
+// Add returns s ∪ {i}.
+func (s Set) Add(i int) Set { return s | Single(i) }
+
+// Remove returns s \ {i}.
+func (s Set) Remove(i int) Set { return s &^ Single(i) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Size returns |s|.
+func (s Set) Size() int { return bits.OnesCount32(uint32(s)) }
+
+// IsEmpty reports whether s is the empty set.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t.
+func (s Set) ProperSubsetOf(t Set) bool { return s != t && s.SubsetOf(t) }
+
+// Overlaps reports whether s ∩ t ≠ ∅.
+func (s Set) Overlaps(t Set) bool { return s&t != 0 }
+
+// Items returns the item indices in s in increasing order.
+func (s Set) Items() []int {
+	out := make([]int, 0, s.Size())
+	for m := uint32(s); m != 0; {
+		i := bits.TrailingZeros32(m)
+		out = append(out, i)
+		m &= m - 1
+	}
+	return out
+}
+
+// Min returns the smallest item index in s, or -1 if s is empty.
+func (s Set) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(s))
+}
+
+// Max returns the largest item index in s, or -1 if s is empty.
+func (s Set) Max() int {
+	if s == 0 {
+		return -1
+	}
+	return 31 - bits.LeadingZeros32(uint32(s))
+}
+
+// String renders the set like "{0,2,3}". The empty set renders as "{}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for n, i := range s.Items() {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(i))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets calls fn for every subset of s, including the empty set and s
+// itself. Enumeration order is the standard descending submask walk. If fn
+// returns false the enumeration stops early.
+func (s Set) Subsets(fn func(Set) bool) {
+	sub := s
+	for {
+		if !fn(sub) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & s
+	}
+}
+
+// SupersetsWithin calls fn for every set T with base ⊆ T ⊆ within. It
+// enumerates the submasks of within\base and unions each with base. If fn
+// returns false the enumeration stops early.
+func SupersetsWithin(base, within Set, fn func(Set) bool) {
+	free := within.Minus(base)
+	free.Subsets(func(sub Set) bool {
+		return fn(base | sub)
+	})
+}
+
+// Sorted returns the given sets ordered by the numeric value of their masks.
+// When items are indexed in non-increasing budget order this is exactly the
+// paper's precedence order ≺ (see blocks package).
+func Sorted(sets []Set) []Set {
+	out := make([]Set, len(sets))
+	copy(out, sets)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,237 @@
+package itemset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndHas(t *testing.T) {
+	s := New(0, 2, 3)
+	for i := 0; i < 8; i++ {
+		want := i == 0 || i == 2 || i == 3
+		if s.Has(i) != want {
+			t.Errorf("Has(%d) = %v, want %v", i, s.Has(i), want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	cases := []struct {
+		k    int
+		want Set
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {5, 31}, {32, Set(^uint32(0))},
+	}
+	for _, c := range cases {
+		if got := All(c.k); got != c.want {
+			t.Errorf("All(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestAllNegative(t *testing.T) {
+	if All(-1) != Empty {
+		t.Errorf("All(-1) should be empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := Empty.Add(3).Add(5)
+	if !s.Has(3) || !s.Has(5) || s.Size() != 2 {
+		t.Fatalf("add failed: %v", s)
+	}
+	s = s.Remove(3)
+	if s.Has(3) || !s.Has(5) {
+		t.Fatalf("remove failed: %v", s)
+	}
+	// Removing an absent element is a no-op.
+	if s.Remove(7) != s {
+		t.Errorf("removing absent element changed set")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(0, 1, 2)
+	b := New(2, 3)
+	if got := a.Union(b); got != New(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != New(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != New(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := New(1, 2)
+	b := New(0, 1, 2)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Errorf("SubsetOf wrong")
+	}
+	if !a.ProperSubsetOf(b) {
+		t.Errorf("ProperSubsetOf wrong")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Errorf("a is not a proper subset of itself")
+	}
+	if !a.SubsetOf(a) {
+		t.Errorf("a ⊆ a must hold")
+	}
+	if !Empty.SubsetOf(a) {
+		t.Errorf("∅ ⊆ a must hold")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	if !New(1, 2).Overlaps(New(2, 3)) {
+		t.Errorf("expected overlap")
+	}
+	if New(1).Overlaps(New(2)) {
+		t.Errorf("unexpected overlap")
+	}
+	if Empty.Overlaps(New(1)) {
+		t.Errorf("empty set overlaps nothing")
+	}
+}
+
+func TestItemsOrder(t *testing.T) {
+	s := New(7, 1, 4)
+	got := s.Items()
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Items() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(3, 9, 14)
+	if s.Min() != 3 || s.Max() != 14 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	if Empty.Min() != -1 || Empty.Max() != -1 {
+		t.Errorf("empty Min/Max should be -1")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(0, 2).String(); got != "{0,2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Empty.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestSubsetsEnumeratesAll(t *testing.T) {
+	s := New(0, 2, 5)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) bool {
+		if !sub.SubsetOf(s) {
+			t.Errorf("enumerated non-subset %v", sub)
+		}
+		if seen[sub] {
+			t.Errorf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Errorf("enumerated %d subsets, want 8", len(seen))
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	New(0, 1, 2).Subsets(func(Set) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestSupersetsWithin(t *testing.T) {
+	base := New(1)
+	within := New(0, 1, 2)
+	seen := map[Set]bool{}
+	SupersetsWithin(base, within, func(s Set) bool {
+		if !base.SubsetOf(s) || !s.SubsetOf(within) {
+			t.Errorf("bad superset %v", s)
+		}
+		seen[s] = true
+		return true
+	})
+	if len(seen) != 4 {
+		t.Errorf("got %d supersets, want 4", len(seen))
+	}
+}
+
+func TestSortedIsNumericOrder(t *testing.T) {
+	in := []Set{New(2), New(0), New(0, 1), New(1)}
+	out := Sorted(in)
+	want := []Set{New(0), New(1), New(0, 1), New(2)}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", out, want)
+		}
+	}
+	// Input must be left untouched.
+	if in[0] != New(2) {
+		t.Errorf("Sorted mutated its input")
+	}
+}
+
+// Property: size of union is |a|+|b|-|a∩b|.
+func TestQuickUnionSize(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := Set(a), Set(b)
+		return sa.Union(sb).Size() == sa.Size()+sb.Size()-sa.Intersect(sb).Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: minus then union with the removed part restores any superset
+// relation: (a\b) ∪ (a∩b) == a.
+func TestQuickMinusPartition(t *testing.T) {
+	f := func(a, b uint32) bool {
+		sa, sb := Set(a), Set(b)
+		return sa.Minus(sb).Union(sa.Intersect(sb)) == sa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Items round-trips through New.
+func TestQuickItemsRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		s := Set(a)
+		return New(s.Items()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: number of subsets is 2^|s| (restrict to small sets).
+func TestQuickSubsetCount(t *testing.T) {
+	f := func(a uint16) bool {
+		s := Set(a & 0x3ff) // at most 10 items
+		count := 0
+		s.Subsets(func(Set) bool { count++; return true })
+		return count == 1<<uint(s.Size())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

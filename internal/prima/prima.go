@@ -1,0 +1,184 @@
+// Package prima implements PRIMA (PRefix-preserving Influence
+// Maximization Algorithm), Algorithm 2 of the paper: a non-trivial
+// extension of IMM that, given a vector of item budgets b1 >= b2 >= ...,
+// returns a single ordered seed set S_b such that with probability at
+// least 1-1/n^ℓ, *every* prefix of size b_i is a (1-1/e-ε)-approximation
+// to the optimal spread with b_i seeds. bundleGRD assigns item i to the
+// top-b_i prefix of this ordering.
+package prima
+
+import (
+	"math"
+	"sort"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/imm"
+	"uicwelfare/internal/rrset"
+	"uicwelfare/internal/stats"
+)
+
+// Options configures PRIMA. Zero values default to the paper's settings
+// (Eps 0.5, Ell 1).
+type Options struct {
+	Eps float64
+	Ell float64
+	// Cascade selects the diffusion model (IC default, or LT).
+	Cascade graph.Cascade
+	// NodeCoin optionally injects a per-node pass probability into RR
+	// sampling.
+	NodeCoin func(graph.NodeID) float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.5
+	}
+	if o.Ell <= 0 {
+		o.Ell = 1
+	}
+	return o
+}
+
+// Result reports the prefix-preserving ordering and sampling effort.
+type Result struct {
+	// Seeds is the ordered seed set of size max(budgets); the top-b_i
+	// prefix serves item i.
+	Seeds []graph.NodeID
+	// Coverage is F_R(Seeds) on the final regenerated collection.
+	Coverage  float64
+	SpreadEst float64
+	// NumRRSets is the size of the final collection (the memory figure
+	// reported in Fig. 6 and Table 6).
+	NumRRSets int
+	// TotalRRSets additionally counts the phase-1 samples discarded by the
+	// from-scratch regeneration.
+	TotalRRSets int
+}
+
+// Select runs PRIMA for the given budget vector. Budgets need not be
+// sorted or distinct; they are sorted non-increasingly internally, and
+// only max(budgets) seeds are returned.
+func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result {
+	opts = opts.withDefaults()
+	n := g.N()
+	if n == 0 || len(budgets) == 0 {
+		return Result{}
+	}
+	// Sort budgets non-increasing, clamp into [1, n], drop duplicates
+	// (identical budgets share identical prefixes, so a single pass
+	// suffices and the union bound over |b| budgets stays valid).
+	bs := make([]int, 0, len(budgets))
+	for _, b := range budgets {
+		if b > n {
+			b = n
+		}
+		if b > 0 {
+			bs = append(bs, b)
+		}
+	}
+	if len(bs) == 0 {
+		return Result{}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(bs)))
+	uniq := bs[:1]
+	for _, b := range bs[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bs = uniq
+	maxBudget := bs[0]
+	if maxBudget >= n {
+		// Degenerate: the top budget seeds the whole graph; any ordering
+		// of all nodes is trivially prefix-preserving only for b_i = n,
+		// so fall back to a full greedy ordering over a fixed collection.
+		seeds := make([]graph.NodeID, n)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(i)
+		}
+		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(n)}
+	}
+
+	// Line 2: ℓ = ℓ + log2/log n, then ℓ' = log_n(n^ℓ · |b|).
+	logn := math.Log(float64(n))
+	ell := opts.Ell + math.Ln2/logn
+	ellPrime := ell + math.Log(float64(len(bs)))/logn
+
+	epsp := imm.EpsPrime(opts.Eps)
+
+	col := rrset.NewCollection(g)
+	col.Sampler().NodeCoin = opts.NodeCoin
+	col.Sampler().Cascade = opts.Cascade
+
+	// θ_final tracks the largest phase-2 requirement seen across budgets;
+	// the final from-scratch regeneration uses it.
+	thetaFinal := 0.0
+	var prevSelection []graph.NodeID
+
+	s := 0 // index into bs (paper's s-1)
+	i := 1
+	maxI := int(math.Log2(float64(n))) - 1
+	budgetSwitch := false
+	lbLast := 1.0
+	for i <= maxI && s < len(bs) {
+		k := bs[s]
+		x := float64(n) / math.Pow(2, float64(i))
+		thetaI := imm.LambdaPrime(n, k, opts.Eps, ellPrime) / x
+		col.Grow(int64(math.Ceil(thetaI)), rng)
+
+		var seeds []graph.NodeID
+		var frac float64
+		if budgetSwitch && len(prevSelection) >= k {
+			// Reuse the prefix of the previous NodeSelection: the greedy
+			// max-cover on the same collection with a smaller budget
+			// returns exactly this prefix.
+			seeds = prevSelection[:k]
+			frac = col.FractionCovered(seeds)
+		} else {
+			seeds, frac = col.NodeSelection(k)
+			prevSelection = seeds
+		}
+
+		if float64(n)*frac >= (1+epsp)*x {
+			lb := float64(n) * frac / (1 + epsp)
+			lbLast = lb
+			theta := imm.LambdaStar(n, k, opts.Eps, ellPrime) / lb
+			if theta > thetaFinal {
+				thetaFinal = theta
+			}
+			col.Grow(int64(math.Ceil(theta)), rng)
+			s++
+			budgetSwitch = true
+		} else {
+			i++
+			budgetSwitch = false
+		}
+	}
+	// Line 20-21: budgets that ran out of i-iterations fall back to LB=1.
+	if s < len(bs) {
+		theta := imm.LambdaStar(n, bs[s], opts.Eps, ellPrime) / 1.0
+		if theta > thetaFinal {
+			thetaFinal = theta
+		}
+	}
+	if thetaFinal == 0 {
+		// Degenerate tiny graph: no i-iterations ran. Use LB = 1.
+		thetaFinal = imm.LambdaStar(n, maxBudget, opts.Eps, ellPrime)
+	}
+	_ = lbLast
+
+	phase1 := col.Len()
+
+	// Lines 22-25: regenerate θ RR sets from scratch (Chen'18 fix) and
+	// run the final NodeSelection with the maximum budget.
+	col.Reset()
+	col.Grow(int64(math.Ceil(thetaFinal)), rng)
+	seeds, frac := col.NodeSelection(maxBudget)
+	return Result{
+		Seeds:       seeds,
+		Coverage:    frac,
+		SpreadEst:   float64(n) * frac,
+		NumRRSets:   col.Len(),
+		TotalRRSets: phase1 + col.Len(),
+	}
+}

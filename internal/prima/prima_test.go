@@ -1,0 +1,134 @@
+package prima
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/diffusion"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/imm"
+	"uicwelfare/internal/stats"
+)
+
+func TestSelectReturnsMaxBudgetSeeds(t *testing.T) {
+	rng := stats.NewRNG(1)
+	g := graph.ErdosRenyi(100, 500, rng).WeightedCascade()
+	res := Select(g, []int{5, 15, 10}, Options{}, rng)
+	if len(res.Seeds) != 15 {
+		t.Errorf("got %d seeds, want max budget 15", len(res.Seeds))
+	}
+}
+
+func TestSelectSeedsDistinct(t *testing.T) {
+	rng := stats.NewRNG(2)
+	g := graph.ErdosRenyi(100, 500, rng).WeightedCascade()
+	res := Select(g, []int{20}, Options{}, rng)
+	seen := map[graph.NodeID]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestPrefixPreservingProperty(t *testing.T) {
+	// For every budget in the vector, the top-b_i prefix must achieve
+	// spread within (1-1/e-eps) of a strong reference (greedy MC).
+	rng := stats.NewRNG(3)
+	g := graph.ErdosRenyi(80, 400, rng).WeightedCascade()
+	budgets := []int{8, 4, 2}
+	res := Select(g, budgets, Options{Eps: 0.3, Ell: 1}, rng)
+	if len(res.Seeds) != 8 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	for _, b := range budgets {
+		prefix := res.Seeds[:b]
+		got := diffusion.Spread(g, prefix, rng, 30000)
+		ref := diffusion.GreedySpreadMC(g, b, 600, rng)
+		refSpread := diffusion.Spread(g, ref, rng, 30000)
+		if got < (1-1/math.E-0.3)*refSpread {
+			t.Errorf("budget %d: prefix spread %v below floor of reference %v", b, got, refSpread)
+		}
+	}
+}
+
+func TestSelectSingleBudgetMatchesIMMQuality(t *testing.T) {
+	rng := stats.NewRNG(4)
+	g := graph.ErdosRenyi(100, 600, rng).WeightedCascade()
+	pres := Select(g, []int{6}, Options{}, stats.NewRNG(5))
+	ires := imm.Run(g, 6, imm.Options{}, stats.NewRNG(6))
+	ps := diffusion.Spread(g, pres.Seeds, rng, 30000)
+	is := diffusion.Spread(g, ires.Seeds, rng, 30000)
+	if math.Abs(ps-is) > 0.2*math.Max(ps, is) {
+		t.Errorf("PRIMA single-budget spread %v far from IMM %v", ps, is)
+	}
+}
+
+func TestSelectRRSetCountComparableToIMM(t *testing.T) {
+	// Table 6: PRIMA's final collection is the same order of magnitude as
+	// the largest per-budget IMM run (ell' differs by log|b|/log n).
+	rng := stats.NewRNG(7)
+	g := graph.ErdosRenyi(150, 900, rng).WeightedCascade()
+	budgets := []int{10, 5, 2}
+	pres := Select(g, budgets, Options{}, stats.NewRNG(8))
+	maxIMM := 0
+	for _, b := range budgets {
+		r := imm.Run(g, b, imm.Options{}, stats.NewRNG(9))
+		if r.NumRRSets > maxIMM {
+			maxIMM = r.NumRRSets
+		}
+	}
+	if pres.NumRRSets < maxIMM/3 || pres.NumRRSets > maxIMM*3 {
+		t.Errorf("PRIMA RR sets %d not comparable to max IMM %d", pres.NumRRSets, maxIMM)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	g := graph.Star(60, 0.5)
+	a := Select(g, []int{3, 1}, Options{}, stats.NewRNG(42))
+	b := Select(g, []int{3, 1}, Options{}, stats.NewRNG(42))
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("nondeterministic: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+}
+
+func TestSelectUniformBudgets(t *testing.T) {
+	rng := stats.NewRNG(10)
+	g := graph.ErdosRenyi(80, 400, rng).WeightedCascade()
+	res := Select(g, []int{5, 5, 5}, Options{}, rng)
+	if len(res.Seeds) != 5 {
+		t.Errorf("uniform budgets: got %d seeds", len(res.Seeds))
+	}
+}
+
+func TestSelectBudgetLargerThanGraph(t *testing.T) {
+	g := graph.Line(4, 0.5)
+	rng := stats.NewRNG(11)
+	res := Select(g, []int{100}, Options{}, rng)
+	if len(res.Seeds) != 4 {
+		t.Errorf("clamped budget: %d seeds", len(res.Seeds))
+	}
+}
+
+func TestSelectEmptyAndZeroBudgets(t *testing.T) {
+	g := graph.Line(4, 0.5)
+	rng := stats.NewRNG(12)
+	if res := Select(g, nil, Options{}, rng); len(res.Seeds) != 0 {
+		t.Errorf("nil budgets returned seeds")
+	}
+	if res := Select(g, []int{0, 0}, Options{}, rng); len(res.Seeds) != 0 {
+		t.Errorf("zero budgets returned seeds")
+	}
+}
+
+func TestSelectHubFirstOnStar(t *testing.T) {
+	g := graph.Star(50, 0.9)
+	rng := stats.NewRNG(13)
+	res := Select(g, []int{3, 1}, Options{}, rng)
+	if res.Seeds[0] != 0 {
+		t.Errorf("hub not first in ordering: %v", res.Seeds)
+	}
+}

@@ -1,0 +1,241 @@
+package rrset
+
+import (
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+// Collection stores a growing multiset of RR sets together with the
+// inverted node -> set index needed by NodeSelection. Sets are stored in a
+// single backing slice to keep allocation rates low.
+type Collection struct {
+	g *graph.Graph
+
+	// flattened set storage
+	members []graph.NodeID
+	offsets []int64 // set i occupies members[offsets[i]:offsets[i+1]]
+
+	// inverted index: for each node, the ids of sets containing it
+	coverOf [][]int32
+
+	sampler *Sampler
+}
+
+// NewCollection returns an empty collection for g.
+func NewCollection(g *graph.Graph) *Collection {
+	return &Collection{
+		g:       g,
+		offsets: []int64{0},
+		coverOf: make([][]int32, g.N()),
+		sampler: NewSampler(g),
+	}
+}
+
+// Sampler exposes the underlying sampler so callers can set a node coin.
+func (c *Collection) Sampler() *Sampler { return c.sampler }
+
+// Len returns the number of RR sets stored.
+func (c *Collection) Len() int { return len(c.offsets) - 1 }
+
+// TotalSize returns the total number of node memberships across all sets.
+func (c *Collection) TotalSize() int64 { return int64(len(c.members)) }
+
+// EdgesVisited returns the cumulative width statistic of all samples.
+func (c *Collection) EdgesVisited() int64 { return c.sampler.EdgesVisited }
+
+// Add samples one more RR set.
+func (c *Collection) Add(rng *stats.RNG) {
+	start := len(c.members)
+	c.members = c.sampler.Sample(rng, c.members)
+	id := int32(c.Len())
+	for _, v := range c.members[start:] {
+		c.coverOf[v] = append(c.coverOf[v], id)
+	}
+	c.offsets = append(c.offsets, int64(len(c.members)))
+}
+
+// Grow samples RR sets until the collection holds at least target sets.
+func (c *Collection) Grow(target int64, rng *stats.RNG) {
+	for int64(c.Len()) < target {
+		c.Add(rng)
+	}
+}
+
+// Set returns the members of set i.
+func (c *Collection) Set(i int) []graph.NodeID {
+	return c.members[c.offsets[i]:c.offsets[i+1]]
+}
+
+// Covering returns the ids of the stored sets containing v. The slice
+// aliases internal storage and must not be modified.
+func (c *Collection) Covering(v graph.NodeID) []int32 { return c.coverOf[v] }
+
+// Reset drops all stored sets, keeping allocated capacity. PRIMA uses this
+// for its final from-scratch regeneration phase.
+func (c *Collection) Reset() {
+	c.members = c.members[:0]
+	c.offsets = c.offsets[:1]
+	for i := range c.coverOf {
+		c.coverOf[i] = c.coverOf[i][:0]
+	}
+}
+
+// CoverageOf returns the number of sets hit by the given seed set,
+// computed from scratch (used by tests; NodeSelection tracks coverage
+// incrementally).
+func (c *Collection) CoverageOf(seeds []graph.NodeID) int {
+	covered := make([]bool, c.Len())
+	for _, s := range seeds {
+		for _, id := range c.coverOf[s] {
+			covered[id] = true
+		}
+	}
+	n := 0
+	for _, b := range covered {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FractionCovered returns F_R(seeds), the fraction of stored sets hit by
+// the seed set; n * F_R(S) is the spread estimator.
+func (c *Collection) FractionCovered(seeds []graph.NodeID) float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	return float64(c.CoverageOf(seeds)) / float64(c.Len())
+}
+
+// NodeSelection greedily picks k nodes maximizing RR-set coverage (the
+// standard max-cover procedure of TIM/IMM). It returns the ordered seed
+// set and the fraction of sets covered by the full selection. The
+// procedure is deterministic given the collection and selects one node at
+// a time, so for any k' < k the budget-k' selection is exactly the first
+// k' nodes of the budget-k selection — the property PRIMA's budget-switch
+// seed reuse relies on.
+func (c *Collection) NodeSelection(k int) (seeds []graph.NodeID, covered float64) {
+	n := c.g.N()
+	if k > n {
+		k = n
+	}
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(len(c.coverOf[v]))
+	}
+	setCovered := make([]bool, c.Len())
+	seeds = make([]graph.NodeID, 0, k)
+	totalCovered := 0
+
+	// Lazy-greedy with a simple binary heap keyed by stale degree.
+	h := newMaxHeap(deg)
+	for len(seeds) < k && h.len() > 0 {
+		v := h.popStale(deg)
+		if v < 0 {
+			break
+		}
+		if deg[v] == 0 {
+			// All remaining nodes cover nothing new; still emit nodes to
+			// honor the budget (arbitrary but deterministic order).
+			seeds = append(seeds, graph.NodeID(v))
+			continue
+		}
+		seeds = append(seeds, graph.NodeID(v))
+		for _, id := range c.coverOf[v] {
+			if setCovered[id] {
+				continue
+			}
+			setCovered[id] = true
+			totalCovered++
+			for _, w := range c.Set(int(id)) {
+				deg[w]--
+			}
+		}
+	}
+	if c.Len() == 0 {
+		return seeds, 0
+	}
+	return seeds, float64(totalCovered) / float64(c.Len())
+}
+
+// maxHeap is a binary heap over node ids keyed by (possibly stale)
+// coverage degrees, implementing the CELF-style lazy greedy: a popped
+// node whose key is stale is re-pushed with its fresh degree.
+type maxHeap struct {
+	ids  []int32
+	keys []int32
+}
+
+func newMaxHeap(deg []int32) *maxHeap {
+	h := &maxHeap{
+		ids:  make([]int32, len(deg)),
+		keys: make([]int32, len(deg)),
+	}
+	for i := range deg {
+		h.ids[i] = int32(i)
+		h.keys[i] = deg[i]
+	}
+	// heapify
+	for i := len(h.ids)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+func (h *maxHeap) len() int { return len(h.ids) }
+
+func (h *maxHeap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] > h.keys[j]
+	}
+	return h.ids[i] < h.ids[j] // deterministic tie-break
+}
+
+func (h *maxHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+}
+
+func (h *maxHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.ids) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.ids) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *maxHeap) pop() int32 {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	h.down(0)
+	return top
+}
+
+// popStale pops the node with the maximum fresh degree, lazily re-keying
+// stale entries. Returns -1 when empty.
+func (h *maxHeap) popStale(deg []int32) int32 {
+	for h.len() > 0 {
+		topID := h.ids[0]
+		if h.keys[0] == deg[topID] {
+			return h.pop()
+		}
+		// stale: refresh key and sift down
+		h.keys[0] = deg[topID]
+		h.down(0)
+	}
+	return -1
+}

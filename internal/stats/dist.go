@@ -1,0 +1,130 @@
+package stats
+
+import "math"
+
+// Dist is a real-valued probability distribution. The UIC model attaches
+// one zero-mean Dist to every item as its noise term.
+type Dist interface {
+	// Sample draws one variate using the given generator.
+	Sample(r *RNG) float64
+	// Mean returns the expectation of the distribution.
+	Mean() float64
+	// Variance returns the variance of the distribution.
+	Variance() float64
+}
+
+// Gaussian is the normal distribution N(Mu, Sigma^2).
+type Gaussian struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws from the Gaussian.
+func (g Gaussian) Sample(r *RNG) float64 { return g.Mu + g.Sigma*r.NormFloat64() }
+
+// Mean returns Mu.
+func (g Gaussian) Mean() float64 { return g.Mu }
+
+// Variance returns Sigma^2.
+func (g Gaussian) Variance() float64 { return g.Sigma * g.Sigma }
+
+// CDF returns P[X <= x] for the Gaussian.
+func (g Gaussian) CDF(x float64) float64 {
+	if g.Sigma == 0 {
+		if x < g.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Noise returns the zero-mean Gaussian N(0, sigma^2) used as the paper's
+// default noise distribution.
+func Noise(sigma float64) Gaussian { return Gaussian{Mu: 0, Sigma: sigma} }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws from the uniform distribution.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Variance returns (Hi-Lo)^2/12.
+func (u Uniform) Variance() float64 { d := u.Hi - u.Lo; return d * d / 12 }
+
+// PointMass is the degenerate distribution concentrated at V. A PointMass
+// at zero models items with no valuation uncertainty.
+type PointMass struct {
+	V float64
+}
+
+// Sample returns V.
+func (p PointMass) Sample(*RNG) float64 { return p.V }
+
+// Mean returns V.
+func (p PointMass) Mean() float64 { return p.V }
+
+// Variance returns 0.
+func (p PointMass) Variance() float64 { return 0 }
+
+// TruncatedGaussian is N(Mu, Sigma^2) conditioned on [Lo, Hi], sampled by
+// rejection. It is used by tests that need bounded noise (the
+// counterexamples in Theorem 1 assume |N(i)| <= |V(i)-P(i)|).
+type TruncatedGaussian struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+}
+
+// Sample draws by rejection; the truncation interval must have positive
+// probability under the base Gaussian.
+func (t TruncatedGaussian) Sample(r *RNG) float64 {
+	for i := 0; ; i++ {
+		x := t.Mu + t.Sigma*r.NormFloat64()
+		if x >= t.Lo && x <= t.Hi {
+			return x
+		}
+		if i > 10000 {
+			// Pathological truncation; clamp rather than loop forever.
+			return math.Max(t.Lo, math.Min(t.Hi, x))
+		}
+	}
+}
+
+// Mean returns the mean of the truncated normal.
+func (t TruncatedGaussian) Mean() float64 {
+	if t.Sigma == 0 {
+		return t.Mu
+	}
+	a := (t.Lo - t.Mu) / t.Sigma
+	b := (t.Hi - t.Mu) / t.Sigma
+	z := stdNormCDF(b) - stdNormCDF(a)
+	if z <= 0 {
+		return t.Mu
+	}
+	return t.Mu + t.Sigma*(stdNormPDF(a)-stdNormPDF(b))/z
+}
+
+// Variance returns the variance of the truncated normal.
+func (t TruncatedGaussian) Variance() float64 {
+	if t.Sigma == 0 {
+		return 0
+	}
+	a := (t.Lo - t.Mu) / t.Sigma
+	b := (t.Hi - t.Mu) / t.Sigma
+	z := stdNormCDF(b) - stdNormCDF(a)
+	if z <= 0 {
+		return 0
+	}
+	pa, pb := stdNormPDF(a), stdNormPDF(b)
+	m := (pa - pb) / z
+	v := 1 + (a*pa-b*pb)/z - m*m
+	return t.Sigma * t.Sigma * v
+}
+
+func stdNormPDF(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }
+func stdNormCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }

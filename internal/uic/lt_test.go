@@ -1,0 +1,109 @@
+package uic
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/diffusion"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/utility"
+)
+
+// TestLTWelfareMatchesLTSpread checks Proposition 1's reduction under the
+// LT cascade: one free item with unit value makes UIC-LT welfare equal
+// the LT spread.
+func TestLTWelfareMatchesLTSpread(t *testing.T) {
+	val, _ := utility.NewTableValuation(1, []float64{0, 1})
+	m := utility.MustModel(val, []float64{1e-9}, []stats.Dist{stats.PointMass{}})
+	rng := stats.NewRNG(1)
+	g := graph.ErdosRenyi(40, 160, rng).WeightedCascade()
+
+	sim := NewSimulator(g, m)
+	sim.Cascade = graph.CascadeLT
+	alloc := NewAllocation(1)
+	alloc.Assign(2, 0)
+	alloc.Assign(9, 0)
+	welfare := sim.EstimateWelfare(alloc, rng, 60000).Mean
+
+	lt := diffusion.NewLTSim(g)
+	spread := lt.Spread([]graph.NodeID{2, 9}, rng, 60000)
+	if math.Abs(welfare-spread) > 0.05*spread+0.05 {
+		t.Errorf("UIC-LT welfare %v vs LT spread %v", welfare, spread)
+	}
+}
+
+func TestLTWelfareDiffersFromIC(t *testing.T) {
+	// on a dense graph the LT welfare (one trigger per node) is lower
+	// than IC welfare for the same weights
+	val, _ := utility.NewTableValuation(1, []float64{0, 1})
+	m := utility.MustModel(val, []float64{1e-9}, []stats.Dist{stats.PointMass{}})
+	rng := stats.NewRNG(2)
+	g := graph.ErdosRenyi(60, 600, rng).UniformProb(0.2)
+
+	alloc := NewAllocation(1)
+	alloc.Assign(0, 0)
+
+	icSim := NewSimulator(g, m)
+	icW := icSim.EstimateWelfare(alloc, stats.NewRNG(3), 20000).Mean
+
+	ltSim := NewSimulator(g, m)
+	ltSim.Cascade = graph.CascadeLT
+	ltW := ltSim.EstimateWelfare(alloc, stats.NewRNG(3), 20000).Mean
+	if icW <= ltW {
+		t.Errorf("IC welfare %v should exceed LT %v at p=0.2 dense", icW, ltW)
+	}
+}
+
+func TestLTReachabilityLemma(t *testing.T) {
+	// Lemma 3 holds for any triggering model: run UIC in fixed LT worlds
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ErdosRenyi(25, 100, rng).WeightedCascade()
+		m := utility.Config8(3, rng)
+		sim := NewSimulator(g, m)
+		world := diffusion.SampleLTWorld(g, rng)
+		noise := m.SampleNoise(rng)
+		alloc := NewAllocation(3)
+		for i := 0; i < 3; i++ {
+			alloc.Assign(graph.NodeID(rng.Intn(25)), i)
+		}
+		sim.RunInWorld(alloc, world, noise)
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			av := sim.Adopted(v)
+			if av.IsEmpty() {
+				continue
+			}
+			reach := world.Reachable([]graph.NodeID{v})
+			for w := graph.NodeID(0); int(w) < g.N(); w++ {
+				if reach[w] && !av.SubsetOf(sim.Adopted(w)) {
+					t.Fatalf("trial %d: LT reachability broken at %d -> %d", trial, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestLTComplementBundlingStillWins(t *testing.T) {
+	// the qualitative bundleGRD result survives the cascade swap:
+	// co-located seeds beat separated seeds under config3 on LT
+	m := utility.Config3()
+	rng := stats.NewRNG(5)
+	g := graph.ErdosRenyi(100, 500, rng).WeightedCascade()
+
+	co := NewAllocation(2)
+	sep := NewAllocation(2)
+	for s := 0; s < 8; s++ {
+		co.Assign(graph.NodeID(s), 0)
+		co.Assign(graph.NodeID(s), 1)
+		sep.Assign(graph.NodeID(s), 0)
+		sep.Assign(graph.NodeID(20+s), 1)
+	}
+	sim := NewSimulator(g, m)
+	sim.Cascade = graph.CascadeLT
+	wCo := sim.EstimateWelfare(co, stats.NewRNG(6), 20000).Mean
+	wSep := sim.EstimateWelfare(sep, stats.NewRNG(6), 20000).Mean
+	if wCo <= wSep {
+		t.Errorf("bundled seeds %v should beat separated %v under LT", wCo, wSep)
+	}
+}

@@ -1,0 +1,175 @@
+package uic
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/diffusion"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/utility"
+)
+
+func TestPersonalizedZeroVarianceMatchesShared(t *testing.T) {
+	// with zero-variance noise, personalized and population noise agree
+	val, _ := utility.NewTableValuation(2, []float64{0, 3, 1, 6})
+	m := utility.MustModel(val, []float64{1, 2},
+		[]stats.Dist{stats.PointMass{}, stats.PointMass{}})
+	rng := stats.NewRNG(1)
+	g := graph.ErdosRenyi(50, 200, rng).WeightedCascade()
+	alloc := NewAllocation(2)
+	for s := 0; s < 5; s++ {
+		alloc.Assign(graph.NodeID(s), 0)
+		alloc.Assign(graph.NodeID(s), 1)
+	}
+	shared := NewSimulator(g, m).EstimateWelfare(alloc, stats.NewRNG(2), 20000)
+	personal := NewPersonalizedSim(g, m).EstimateWelfare(alloc, stats.NewRNG(3), 20000)
+	if math.Abs(shared.Mean-personal.Mean) > 3*(shared.StdErr+personal.StdErr)+1e-9 {
+		t.Errorf("zero-variance personalized %v != shared %v", personal.Mean, shared.Mean)
+	}
+}
+
+func TestPersonalizedNoiseChangesOutcomes(t *testing.T) {
+	// population noise makes all-or-nothing worlds; personal noise blends
+	// them. For a borderline item (det utility 0) seeded at one isolated
+	// node, both give 50% adoption, but on a p=1 line the *joint*
+	// adoption pattern differs: shared noise adopts everywhere or
+	// nowhere, personal noise half the nodes.
+	val, _ := utility.NewTableValuation(1, []float64{0, 1})
+	m := utility.MustModel(val, []float64{1}, []stats.Dist{stats.Noise(1)})
+	g := graph.Line(12, 1)
+	alloc := NewAllocation(1)
+	alloc.Assign(0, 0)
+
+	// shared: welfare per run is either 0 or the full-line sum
+	shared := NewSimulator(g, m)
+	rng := stats.NewRNG(4)
+	sawIntermediate := false
+	for i := 0; i < 300; i++ {
+		shared.RunOnce(alloc, rng)
+		adopters := 0
+		for v := graph.NodeID(0); v < 12; v++ {
+			if !shared.Adopted(v).IsEmpty() {
+				adopters++
+			}
+		}
+		if adopters != 0 && adopters != 12 {
+			sawIntermediate = true
+		}
+	}
+	if sawIntermediate {
+		t.Error("shared noise must adopt all-or-nothing on a p=1 line")
+	}
+
+	// personalized: intermediate adoption counts must appear
+	personal := NewPersonalizedSim(g, m)
+	sawIntermediate = false
+	for i := 0; i < 300; i++ {
+		personal.RunOnce(alloc, rng)
+		adopters := 0
+		for v := graph.NodeID(0); v < 12; v++ {
+			if !personal.Adopted(v).IsEmpty() {
+				adopters++
+			}
+		}
+		if adopters > 0 && adopters < 12 {
+			sawIntermediate = true
+		}
+	}
+	if !sawIntermediate {
+		t.Error("personalized noise never produced partial adoption")
+	}
+}
+
+func TestPersonalizedBreaksReachabilityLemma(t *testing.T) {
+	// the paper's §5 caveat: with personalized noise Lemma 3 fails — a
+	// node reachable from an adopter can refuse the item.
+	val, _ := utility.NewTableValuation(1, []float64{0, 1})
+	m := utility.MustModel(val, []float64{1}, []stats.Dist{stats.Noise(1)})
+	g := graph.Line(6, 1)
+	alloc := NewAllocation(1)
+	alloc.Assign(0, 0)
+	personal := NewPersonalizedSim(g, m)
+	rng := stats.NewRNG(5)
+	violated := false
+	for i := 0; i < 500 && !violated; i++ {
+		personal.RunOnce(alloc, rng)
+		// all edges are live (p=1): if node 0 adopted but some later node
+		// did not, reachability is violated
+		if !personal.Adopted(0).IsEmpty() {
+			for v := graph.NodeID(1); v < 6; v++ {
+				if personal.Adopted(v).IsEmpty() {
+					violated = true
+					break
+				}
+			}
+		}
+	}
+	if !violated {
+		t.Error("personalized noise never violated reachability; Lemma 3 should fail here")
+	}
+}
+
+func TestPersonalizedLTMode(t *testing.T) {
+	val, _ := utility.NewTableValuation(1, []float64{0, 1})
+	m := utility.MustModel(val, []float64{1e-9}, []stats.Dist{stats.PointMass{}})
+	g := graph.Line(5, 1)
+	sim := NewPersonalizedSim(g, m)
+	sim.Cascade = graph.CascadeLT
+	alloc := NewAllocation(1)
+	alloc.Assign(0, 0)
+	w := sim.EstimateWelfare(alloc, stats.NewRNG(6), 50).Mean
+	if math.Abs(w-5) > 1e-6 {
+		t.Errorf("personalized LT welfare %v, want 5 on p=1 line", w)
+	}
+}
+
+func TestPersonalizedStateIsolationAcrossRuns(t *testing.T) {
+	m := utility.Config3()
+	g := graph.Line(3, 1)
+	sim := NewPersonalizedSim(g, m)
+	rng := stats.NewRNG(7)
+	alloc := NewAllocation(2)
+	alloc.Assign(0, 0)
+	sim.EstimateWelfare(alloc, rng, 200)
+	if w := sim.EstimateWelfare(NewAllocation(2), rng, 200).Mean; w != 0 {
+		t.Errorf("state leaked across runs: %v", w)
+	}
+}
+
+func TestOnAdoptTraceFigure2(t *testing.T) {
+	g := figure2Graph()
+	m := figure2Model()
+	sim := NewSimulator(g, m)
+	type event struct {
+		round int
+		v     graph.NodeID
+		set   itemset.Set
+	}
+	var events []event
+	sim.OnAdopt = func(round int, v graph.NodeID, set itemset.Set) {
+		events = append(events, event{round, v, set})
+	}
+	world := diffusion.NewLiveEdgeWorld(g, func(u, v graph.NodeID) bool {
+		return !(u == 0 && v == 2) // the figure's world: (v1,v3) blocked
+	})
+	alloc := NewAllocation(2)
+	alloc.Assign(0, 0)
+	alloc.Assign(2, 1)
+	sim.RunInWorld(alloc, world, []float64{0, 0})
+
+	want := []event{
+		{1, 0, itemset.New(0)},    // v1 adopts i1 at seeding
+		{2, 1, itemset.New(0)},    // v2 adopts i1 at t=2
+		{3, 2, itemset.New(0, 1)}, // v3 adopts the bundle at t=3
+	}
+	if len(events) != len(want) {
+		t.Fatalf("trace %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("trace[%d] = %v, want %v", i, events[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package uic
+
+import (
+	"sync"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/utility"
+)
+
+// WelfareEstimate is a Monte-Carlo estimate of the expected social
+// welfare ρ(𝒮).
+type WelfareEstimate struct {
+	Mean   float64
+	StdErr float64
+	Runs   int
+}
+
+// EstimateWelfare averages `runs` independent diffusions. Each run
+// samples a fresh noise world and edge world, per the definition
+// ρ(𝒮) = E_{W^E}[E_{W^N}[ρ_W(𝒮)]].
+func (s *Simulator) EstimateWelfare(alloc *Allocation, rng *stats.RNG, runs int) WelfareEstimate {
+	if runs <= 0 {
+		runs = 1
+	}
+	var sum stats.Summary
+	for i := 0; i < runs; i++ {
+		sum.Add(s.RunOnce(alloc, rng))
+	}
+	return WelfareEstimate{Mean: sum.Mean(), StdErr: sum.StdErr(), Runs: sum.N()}
+}
+
+// WelfareGivenNoise estimates ρ_{W^N}(𝒮): the expected welfare under a
+// fixed noise world, averaging over random edge worlds. The block
+// accounting analysis (§4.2.2) reasons per noise world; the tests for
+// Lemma 5 use this.
+func (s *Simulator) WelfareGivenNoise(alloc *Allocation, noise []float64, rng *stats.RNG, runs int) float64 {
+	if runs <= 0 {
+		runs = 1
+	}
+	total := 0.0
+	for i := 0; i < runs; i++ {
+		total += s.RunOnceWithNoise(alloc, noise, rng)
+	}
+	return total / float64(runs)
+}
+
+// AdoptionCounts estimates, per item, the expected number of adopters —
+// the multi-item analogue of influence spread, useful for diagnostics and
+// for the Com-IC baselines whose objective is adoption count.
+func (s *Simulator) AdoptionCounts(alloc *Allocation, rng *stats.RNG, runs int) []float64 {
+	counts := make([]float64, s.M.K())
+	if runs <= 0 {
+		runs = 1
+	}
+	for r := 0; r < runs; r++ {
+		s.RunOnce(alloc, rng)
+		for _, v := range s.touched {
+			for _, i := range s.adopted[v].Items() {
+				counts[i]++
+			}
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(runs)
+	}
+	return counts
+}
+
+// EstimateWelfareParallel shards the Monte-Carlo estimate across workers
+// goroutines, each with its own Simulator and a Split RNG. With
+// workers <= 1 it falls back to the sequential estimator.
+func EstimateWelfareParallel(g *graph.Graph, m *utility.Model, alloc *Allocation, rng *stats.RNG, runs, workers int) WelfareEstimate {
+	if workers <= 1 {
+		return NewSimulator(g, m).EstimateWelfare(alloc, rng, runs)
+	}
+	if runs < workers {
+		workers = runs
+	}
+	per := runs / workers
+	extra := runs % workers
+	summaries := make([]stats.Summary, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		shardRNG := rng.Split()
+		wg.Add(1)
+		go func(w, n int, r *stats.RNG) {
+			defer wg.Done()
+			sim := NewSimulator(g, m)
+			var sum stats.Summary
+			for i := 0; i < n; i++ {
+				sum.Add(sim.RunOnce(alloc, r))
+			}
+			summaries[w] = sum
+		}(w, n, shardRNG)
+	}
+	wg.Wait()
+	var total stats.Summary
+	for _, s := range summaries {
+		total.Merge(s)
+	}
+	return WelfareEstimate{Mean: total.Mean(), StdErr: total.StdErr(), Runs: total.N()}
+}

@@ -1,0 +1,70 @@
+package utility
+
+import "uicwelfare/internal/itemset"
+
+// Adopt implements the node-adoption rule of the UIC model (Fig. 1, step
+// 3): given the utility table of the current noise world, a desire set R,
+// and the currently adopted set A ⊆ R, it returns
+//
+//	T* = argmax { U(T) | A ⊆ T ⊆ R, U(T) >= 0 }
+//
+// breaking ties in favor of larger cardinality. A itself is always a
+// candidate (inductively U(A) >= 0, and U(∅) = 0 covers the base case),
+// so the result is well-defined and satisfies U(T*) >= U(A) >= 0.
+//
+// By Lemma 1 (unions of local maxima are local maxima), under a
+// supermodular utility the largest-cardinality maximizer is unique, so
+// this enumeration implements exactly the paper's tie-break.
+func Adopt(util []float64, desire, current itemset.Set) itemset.Set {
+	best := current
+	bestU := util[current]
+	free := desire.Minus(current)
+	if free == 0 {
+		return best
+	}
+	// Enumerate all T = current ∪ sub for sub ⊆ desire\current.
+	sub := free
+	for {
+		cand := current | sub
+		u := util[cand]
+		if u > bestU || (u == bestU && cand.Size() > best.Size()) {
+			best, bestU = cand, u
+		}
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+	return best
+}
+
+// BestSet returns I*: the itemset with the largest utility in the table,
+// ties broken toward larger cardinality. Under a supermodular utility the
+// result is the unique maximal maximizer (Lemma 1).
+func BestSet(util []float64) itemset.Set {
+	best := itemset.Set(0)
+	bestU := util[0]
+	for s := 1; s < len(util); s++ {
+		set := itemset.Set(s)
+		if util[s] > bestU || (util[s] == bestU && set.Size() > best.Size()) {
+			best, bestU = set, util[s]
+		}
+	}
+	return best
+}
+
+// IsLocalMaximum reports whether A is a local maximum of the utility
+// table: U(A) = max_{A' ⊆ A} U(A') (the paper's definition before
+// Lemma 1).
+func IsLocalMaximum(util []float64, a itemset.Set) bool {
+	ua := util[a]
+	ok := true
+	a.Subsets(func(sub itemset.Set) bool {
+		if util[sub] > ua {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

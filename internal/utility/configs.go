@@ -1,0 +1,235 @@
+package utility
+
+import (
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+// TwoItem builds a two-item model with explicit prices, singleton values,
+// bundle value and Gaussian noise sigmas — the shape of Table 3.
+func TwoItem(p1, p2, v1, v2, v12, sigma1, sigma2 float64) *Model {
+	val, err := NewTableValuation(2, []float64{0, v1, v2, v12})
+	if err != nil {
+		panic(err)
+	}
+	return MustModel(val,
+		[]float64{p1, p2},
+		[]stats.Dist{stats.Noise(sigma1), stats.Noise(sigma2)})
+}
+
+// Config1 is Table 3's configuration 1 (and 2, which differs only in
+// budgets): prices 3 and 4, values 3, 4 and 8, unit Gaussian noise.
+// Both items have non-negative deterministic utility.
+func Config1() *Model { return TwoItem(3, 4, 3, 4, 8, 1, 1) }
+
+// Config3 is Table 3's configuration 3 (and 4): values 3, 3 and 8 with
+// the same prices, so item i2 has negative deterministic utility (-1)
+// while i1 is neutral (0) and the bundle is worth +1.
+func Config3() *Model { return TwoItem(3, 4, 3, 3, 8, 1, 1) }
+
+// Config5 is Table 4's additive configuration: k items, each with price 1,
+// value 2 (utility exactly 1), additive across items, unit noise. By
+// design it gives minimal advantage to bundling.
+func Config5(k int) *Model {
+	per := make([]float64, k)
+	prices := make([]float64, k)
+	noise := make([]stats.Dist, k)
+	for i := range per {
+		per[i] = 2
+		prices[i] = 1
+		noise[i] = stats.Noise(1)
+	}
+	return MustModel(AdditiveValuation{PerItem: per}, prices, noise)
+}
+
+// ConfigCone builds Table 4's cone configurations 6-7: a single core item
+// is necessary for positive utility. The core's deterministic utility is
+// 5 and every further item adds 2; itemsets without the core have
+// negative utility (they still pay their price). Configuration 6 uses
+// the maximum-budget item as the core, configuration 7 the minimum-budget
+// item; callers pick the core index accordingly.
+func ConfigCone(k, core int) *Model {
+	prices := make([]float64, k)
+	noise := make([]stats.Dist, k)
+	for i := range prices {
+		prices[i] = 1
+		noise[i] = stats.Noise(1)
+	}
+	val := ConeValuation{K: k, Core: core, CoreValue: 1 + 5, AddOnValue: 1 + 2}
+	// CoreValue = P(core) + 5 makes U({core}) = 5; AddOnValue = P(i) + 2
+	// makes each addition worth +2 in utility.
+	return MustModel(val, prices, noise)
+}
+
+// Config8 builds Table 4's level-wise random supermodular configuration
+// following Eq. (13): level-1 values are random around price (so a random
+// subset of single items has non-negative utility); for t >= 2 the
+// marginal of item i w.r.t. A_t\{i} is the maximum realized marginal of i
+// over the (t-2)-subsets plus a fresh boost ε ~ U[1,5], and
+// V(A_t) = max_i { V(A_t\{i}) + V(i | A_t\{i}) }. The construction is
+// supermodular by induction (Lemma 10) and well-defined (Lemma 11).
+func Config8(k int, rng *stats.RNG) *Model {
+	size := 1 << uint(k)
+	vals := make([]float64, size)
+	prices := make([]float64, k)
+	noise := make([]stats.Dist, k)
+	for i := 0; i < k; i++ {
+		prices[i] = 1 + 4*rng.Float64() // U[1,5]
+		noise[i] = stats.Noise(1)
+		if rng.Bool(0.5) {
+			vals[itemset.Single(i)] = prices[i] + 2*rng.Float64() // non-negative utility
+		} else {
+			vals[itemset.Single(i)] = prices[i] - 2*rng.Float64()
+		}
+		if vals[itemset.Single(i)] < 0 {
+			vals[itemset.Single(i)] = 0
+		}
+	}
+	// enumerate sets level by level
+	for t := 2; t <= k; t++ {
+		for s := itemset.Set(1); int(s) < size; s++ {
+			if s.Size() != t {
+				continue
+			}
+			best := 0.0
+			for _, i := range s.Items() {
+				rest := s.Remove(i) // |rest| = t-1
+				// max realized marginal of i over (t-2)-subsets of rest
+				maxMarg := 0.0
+				first := true
+				for _, j := range rest.Items() {
+					b := rest.Remove(j) // |b| = t-2
+					marg := vals[b.Add(i)] - vals[b]
+					if first || marg > maxMarg {
+						maxMarg = marg
+						first = false
+					}
+				}
+				eps := 1 + 4*rng.Float64() // U[1,5]
+				cand := vals[rest] + maxMarg + eps
+				if cand > best {
+					best = cand
+				}
+			}
+			vals[s] = best
+		}
+	}
+	val, err := NewTableValuation(k, vals)
+	if err != nil {
+		panic(err)
+	}
+	return MustModel(val, prices, noise)
+}
+
+// RealItems names the five items of the real-parameter experiment
+// (§4.3.4): a PlayStation 4 console, its controller, and three games.
+var RealItems = []string{"ps", "controller", "game1", "game2", "game3"}
+
+// RealParams returns the Table 5 model learned from eBay bidding data:
+// prices from Craigslist/Facebook (C$260 console, C$20 controller, C$5
+// per game), values from the learned bid distributions, per-item noise
+// variances chosen so the additive noise matches the learned per-itemset
+// variances as closely as possible.
+//
+// Note (documented in DESIGN.md): the published values are NOT exactly
+// completable to a supermodular table — the marginal chain for adding
+// games to {ps, controller} (220 -> 292.5 -> 302) decreases, as real
+// data does. The UIC simulator and bundleGRD run fine regardless; use
+// RealParamsSmoothed where the supermodularity theory is exercised.
+func RealParams() *Model {
+	const (
+		ps = 0
+		c  = 1
+		g1 = 2
+		g2 = 3
+		g3 = 4
+	)
+	prices := []float64{260, 20, 5, 5, 5}
+	games := itemset.New(g1, g2, g3)
+	value := func(s itemset.Set) float64 {
+		if !s.Has(ps) {
+			return 0 // accessories are useless without the console
+		}
+		ng := s.Intersect(games).Size()
+		if s.Has(c) {
+			switch ng {
+			case 0:
+				return 220 // Table 5 row {ps, c}
+			case 1:
+				return 270 // unobserved; negative utility per the paper
+			case 2:
+				return 292.5 // Table 5 row {ps, g1, g2, c}
+			default:
+				return 302 // Table 5 row {ps, g1, g2, g3, c}
+			}
+		}
+		switch ng {
+		case 0:
+			return 213 // Table 5 row {ps}
+		case 1:
+			return 226 // unobserved completion
+		case 2:
+			return 245 // unobserved completion
+		default:
+			return 258 // Table 5 row {ps, g1, g2, g3}
+		}
+	}
+	val, err := TableFromFunc(5, value)
+	if err != nil {
+		panic(err)
+	}
+	// Per-item noise variances fitted to the learned per-itemset
+	// variances (4, 6, 4, 5, 7) under additivity: var(ps)=4, var(c)=2,
+	// var(game)=1/3.
+	noise := []stats.Dist{
+		stats.Noise(2),               // sqrt(4)
+		stats.Noise(1.4142135623731), // sqrt(2)
+		stats.Noise(0.5773502691896), // sqrt(1/3)
+		stats.Noise(0.5773502691896),
+		stats.Noise(0.5773502691896),
+	}
+	return MustModel(val, prices, noise)
+}
+
+// RealParamsSmoothed is the nearest supermodular, monotone variant of
+// RealParams: it keeps the paper's qualitative utility shape (only
+// {ps, controller, >= 2 games} has positive deterministic utility, at a
+// similar scale) while satisfying exact supermodularity so the
+// approximation-theory tests can exercise a realistic 5-item instance.
+func RealParamsSmoothed() *Model {
+	const (
+		ps = 0
+		c  = 1
+		g1 = 2
+		g2 = 3
+		g3 = 4
+	)
+	prices := []float64{260, 20, 5, 5, 5}
+	games := itemset.New(g1, g2, g3)
+	// Increasing game marginals without the controller: 5, 10, 15.
+	noC := []float64{213, 218, 228, 243}
+	// Increasing game marginals with the controller: 25, 35, 40.
+	withC := []float64{232, 257, 292, 332}
+	value := func(s itemset.Set) float64 {
+		if !s.Has(ps) {
+			return 0
+		}
+		ng := s.Intersect(games).Size()
+		if s.Has(c) {
+			return withC[ng]
+		}
+		return noC[ng]
+	}
+	val, err := TableFromFunc(5, value)
+	if err != nil {
+		panic(err)
+	}
+	noise := []stats.Dist{
+		stats.Noise(2),
+		stats.Noise(1.4142135623731),
+		stats.Noise(0.5773502691896),
+		stats.Noise(0.5773502691896),
+		stats.Noise(0.5773502691896),
+	}
+	return MustModel(val, prices, noise)
+}

@@ -1,0 +1,59 @@
+package utility
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+// GAP holds the Com-IC adoption probabilities for a two-item model,
+// derived from UIC utilities via Eq. (12) of the paper. QiGivenJ is the
+// probability that a user adopts item i given it has already adopted j;
+// QiGivenNone the probability of adopting i from an empty adoption set.
+type GAP struct {
+	Q1GivenNone float64 // q_{i1|∅}
+	Q1Given2    float64 // q_{i1|i2}
+	Q2GivenNone float64 // q_{i2|∅}
+	Q2Given1    float64 // q_{i2|i1}
+}
+
+// GAPFromModel computes Eq. (12) for a two-item model with Gaussian
+// noise:
+//
+//	q_{i1|∅}  = Pr[N(i1) >= P(i1) - V(i1)]
+//	q_{i1|i2} = Pr[N(i1) >= P(i1) - (V({i1,i2}) - V(i2))]
+//
+// and symmetrically for i2.
+func GAPFromModel(m *Model) (GAP, error) {
+	if m.K() != 2 {
+		return GAP{}, fmt.Errorf("utility: GAP conversion needs exactly 2 items, have %d", m.K())
+	}
+	g1, ok1 := m.Noise[0].(stats.Gaussian)
+	g2, ok2 := m.Noise[1].(stats.Gaussian)
+	if !ok1 || !ok2 {
+		return GAP{}, fmt.Errorf("utility: GAP conversion implemented for Gaussian noise")
+	}
+	i1 := itemset.New(0)
+	i2 := itemset.New(1)
+	both := itemset.New(0, 1)
+	v := m.Val
+	tail := func(g stats.Gaussian, threshold float64) float64 {
+		return 1 - g.CDF(threshold)
+	}
+	return GAP{
+		Q1GivenNone: tail(g1, m.Prices[0]-v.Value(i1)),
+		Q1Given2:    tail(g1, m.Prices[0]-(v.Value(both)-v.Value(i2))),
+		Q2GivenNone: tail(g2, m.Prices[1]-v.Value(i2)),
+		Q2Given1:    tail(g2, m.Prices[1]-(v.Value(both)-v.Value(i1))),
+	}, nil
+}
+
+// MutuallyComplementary reports whether the GAP parameters satisfy the
+// complementary-items sanity conditions q_{i|j} >= q_{i|∅}, which is
+// implied by a supermodular valuation. A tiny tolerance absorbs float
+// rounding at exactly-modular boundaries.
+func (g GAP) MutuallyComplementary() bool {
+	const eps = 1e-12
+	return g.Q1Given2 >= g.Q1GivenNone-eps && g.Q2Given1 >= g.Q2GivenNone-eps
+}

@@ -1,0 +1,141 @@
+package utility
+
+import (
+	"fmt"
+	"math/bits"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+// Model bundles the three components of utility in the UIC model:
+// U(S) = V(S) - P(S) + N(S), with V a (typically supermodular) valuation,
+// P additive item prices, and N additive zero-mean per-item noise.
+type Model struct {
+	Val    Valuation
+	Prices []float64
+	Noise  []stats.Dist
+
+	// priceFn, when non-nil, overrides additive pricing (§5's submodular
+	// bundle-discount extension; see NewModelWithPrice).
+	priceFn PriceFunc
+
+	// detTable caches V(S) - P(S) for all S.
+	detTable []float64
+}
+
+// NewModel validates and assembles a model. Prices must be positive and
+// noise distributions zero-mean (both model assumptions from §3.1).
+func NewModel(val Valuation, prices []float64, noise []stats.Dist) (*Model, error) {
+	k := val.NumItems()
+	if len(prices) != k {
+		return nil, fmt.Errorf("utility: %d prices for %d items", len(prices), k)
+	}
+	if len(noise) != k {
+		return nil, fmt.Errorf("utility: %d noise terms for %d items", len(noise), k)
+	}
+	for i, p := range prices {
+		if p <= 0 {
+			return nil, fmt.Errorf("utility: price of item %d is %v, want > 0", i, p)
+		}
+	}
+	for i, d := range noise {
+		if d == nil {
+			return nil, fmt.Errorf("utility: nil noise for item %d", i)
+		}
+		if m := d.Mean(); m != 0 {
+			return nil, fmt.Errorf("utility: noise of item %d has mean %v, want 0", i, m)
+		}
+	}
+	m := &Model{Val: val, Prices: prices, Noise: noise}
+	m.detTable = make([]float64, 1<<uint(k))
+	priceSum := make([]float64, 1<<uint(k))
+	for s := itemset.Set(1); s < 1<<uint(k); s++ {
+		low := s.Min()
+		priceSum[s] = priceSum[s.Remove(low)] + prices[low]
+		m.detTable[s] = val.Value(s) - priceSum[s]
+	}
+	return m, nil
+}
+
+// MustModel is NewModel that panics on error, for fixed configurations.
+func MustModel(val Valuation, prices []float64, noise []stats.Dist) *Model {
+	m, err := NewModel(val, prices, noise)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// K returns the number of items.
+func (m *Model) K() int { return m.Val.NumItems() }
+
+// Price returns P(s): additive over Prices by default, or the custom
+// bundle price when the model was built with NewModelWithPrice.
+func (m *Model) Price(s itemset.Set) float64 {
+	if m.priceFn != nil {
+		return m.priceFn(s)
+	}
+	total := 0.0
+	for _, i := range s.Items() {
+		total += m.Prices[i]
+	}
+	return total
+}
+
+// DetUtility returns the deterministic utility V(s) - P(s), which equals
+// E[U(s)] because the noise is zero-mean.
+func (m *Model) DetUtility(s itemset.Set) float64 { return m.detTable[s] }
+
+// ExpectedUtility is an alias for DetUtility, matching the paper's
+// E[U(I)] = V(I) - P(I).
+func (m *Model) ExpectedUtility(s itemset.Set) float64 { return m.detTable[s] }
+
+// SampleNoise draws one noise world: a realization of every item's noise
+// term (done once per diffusion in the UIC model, §3.2.3).
+func (m *Model) SampleNoise(rng *stats.RNG) []float64 {
+	w := make([]float64, m.K())
+	for i, d := range m.Noise {
+		w[i] = d.Sample(rng)
+	}
+	return w
+}
+
+// UtilityTable materializes U_W(S) = V(S) - P(S) + Σ_{i∈S} noise[i] for
+// every S under the given noise world, in O(2^k) by dynamic programming
+// on the lowest set bit. The optional dst is reused when large enough.
+func (m *Model) UtilityTable(noise []float64, dst []float64) []float64 {
+	size := 1 << uint(m.K())
+	if cap(dst) < size {
+		dst = make([]float64, size)
+	}
+	dst = dst[:size]
+	dst[0] = 0
+	// Fold the noise into the cached deterministic table incrementally:
+	// noise(S) = noise(S minus lowest bit) + noise[lowest].
+	// We compute the noise sum in-place in dst to avoid a second table.
+	for s := 1; s < size; s++ {
+		low := bits.TrailingZeros32(uint32(s))
+		rest := s &^ (1 << uint(low))
+		// dst[rest] currently holds U(rest) = det(rest) + noise(rest)
+		noiseRest := dst[rest] - m.detTable[rest]
+		dst[s] = m.detTable[s] + noiseRest + noise[low]
+	}
+	return dst
+}
+
+// UtilityIn evaluates U_W(s) for a single set under a noise world.
+func (m *Model) UtilityIn(noise []float64, s itemset.Set) float64 {
+	u := m.detTable[s]
+	for _, i := range s.Items() {
+		u += noise[i]
+	}
+	return u
+}
+
+// BestDetSet returns the itemset maximizing deterministic utility, with
+// ties broken toward larger cardinality; this is I* of the zero-noise
+// world.
+func (m *Model) BestDetSet() itemset.Set {
+	return BestSet(m.detTable)
+}

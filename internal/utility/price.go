@@ -1,0 +1,99 @@
+package utility
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+// PriceFunc is a set-valued price. The base model uses additive prices
+// (§3.1); §5 of the paper observes that submodular prices (bundle
+// discounts) keep the utility supermodular, so all results carry over.
+type PriceFunc func(itemset.Set) float64
+
+// NewModelWithPrice assembles a model whose price is an arbitrary set
+// function with P(∅) = 0 and P(S) > 0 for non-empty S. The perItem slice
+// still records the singleton prices P({i}) for components that need them
+// (e.g. the GAP conversion); it must agree with the function.
+func NewModelWithPrice(val Valuation, price PriceFunc, perItem []float64, noise []stats.Dist) (*Model, error) {
+	k := val.NumItems()
+	if len(perItem) != k || len(noise) != k {
+		return nil, fmt.Errorf("utility: %d singleton prices / %d noise terms for %d items", len(perItem), len(noise), k)
+	}
+	if p := price(itemset.Empty); p != 0 {
+		return nil, fmt.Errorf("utility: P(∅) = %v, want 0", p)
+	}
+	for i := 0; i < k; i++ {
+		p := price(itemset.Single(i))
+		if p <= 0 {
+			return nil, fmt.Errorf("utility: P({%d}) = %v, want > 0", i, p)
+		}
+		if p != perItem[i] {
+			return nil, fmt.Errorf("utility: singleton price mismatch for item %d: func %v vs slice %v", i, p, perItem[i])
+		}
+		if noise[i] == nil || noise[i].Mean() != 0 {
+			return nil, fmt.Errorf("utility: noise of item %d must be zero-mean", i)
+		}
+	}
+	m := &Model{Val: val, Prices: perItem, Noise: noise, priceFn: price}
+	size := 1 << uint(k)
+	m.detTable = make([]float64, size)
+	for s := itemset.Set(1); int(s) < size; s++ {
+		p := price(s)
+		if p <= 0 {
+			return nil, fmt.Errorf("utility: P(%v) = %v, want > 0", s, p)
+		}
+		m.detTable[s] = val.Value(s) - p
+	}
+	return m, nil
+}
+
+// VolumeDiscount builds a submodular bundle price: the additive price
+// minus discount per unordered item pair in the bundle,
+//
+//	P(S) = Σ_{i∈S} base_i − d·C(|S|, 2),
+//
+// floored at minFrac times the additive price so bundles never become
+// free. The pairwise rebate makes the marginal price of an item
+// non-increasing in the bundle (submodular), and the floor preserves both
+// positivity and (weak) submodularity for the discounts used in practice.
+func VolumeDiscount(base []float64, d, minFrac float64) PriceFunc {
+	return func(s itemset.Set) float64 {
+		if s.IsEmpty() {
+			return 0
+		}
+		sum := 0.0
+		for _, i := range s.Items() {
+			sum += base[i]
+		}
+		n := float64(s.Size())
+		p := sum - d*n*(n-1)/2
+		if floor := sum * minFrac; p < floor {
+			p = floor
+		}
+		return p
+	}
+}
+
+// IsSubmodularPrice exhaustively verifies submodularity of a price
+// function over k items (tests/diagnostics; k small).
+func IsSubmodularPrice(price PriceFunc, k int) bool {
+	for a := itemset.Set(0); a < 1<<uint(k); a++ {
+		for x := 0; x < k; x++ {
+			if a.Has(x) {
+				continue
+			}
+			for y := x + 1; y < k; y++ {
+				if a.Has(y) {
+					continue
+				}
+				ax, ay := a.Add(x), a.Add(y)
+				if price(ax.Add(y))-price(ay) > price(ax)-price(a)+1e-9 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

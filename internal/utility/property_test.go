@@ -1,0 +1,131 @@
+package utility
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+// Property: for supermodular utilities, Adopt is monotone in the desire
+// set — more exposure never yields a smaller adoption (the engine behind
+// Theorem 1's monotonicity).
+func TestQuickAdoptMonotoneInDesire(t *testing.T) {
+	f := func(seed uint64, dRaw, eRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		m := Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		d := itemset.Set(dRaw % 16)
+		e := d.Union(itemset.Set(eRaw % 16))
+		a1 := Adopt(util, d, itemset.Empty)
+		a2 := Adopt(util, e, itemset.Empty)
+		return a1.SubsetOf(a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under supermodular utility, Adopt's result never depends on
+// the adoption history — Adopt(R, A) equals Adopt(R, ∅) whenever A is a
+// previously adopted (local-maximum) set inside R. This is the argument
+// that makes the diffusion's fixed point schedule-independent.
+func TestQuickAdoptHistoryFreeSupermodular(t *testing.T) {
+	f := func(seed uint64, dRaw, sRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		m := Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		desire := itemset.Set(dRaw % 16)
+		sub := desire.Intersect(itemset.Set(sRaw % 16))
+		prior := Adopt(util, sub, itemset.Empty)
+		return Adopt(util, desire, prior) == Adopt(util, desire, itemset.Empty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BestSet is a local maximum and dominates every other set.
+func TestQuickBestSetDominates(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		best := BestSet(util)
+		if !IsLocalMaximum(util, best) {
+			return false
+		}
+		for s := range util {
+			if util[s] > util[best] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the utility table DP agrees with direct evaluation for every
+// set under random noise worlds.
+func TestQuickUtilityTableDP(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		for s := itemset.Set(0); int(s) < len(util); s++ {
+			want := m.UtilityIn(noise, s)
+			diff := util[s] - want
+			if diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: supermodularity survives adding modular terms (additive price
+// and noise), the fact §4.1.1 uses to conclude U_W is supermodular.
+func TestQuickSupermodularPlusModular(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		// wrap the utility table as a valuation shifted to U(∅)=0 (it is)
+		tv := &TableValuation{k: 4, vals: util}
+		return IsSupermodular(tv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the GAP parameters of any two-item supermodular model are
+// mutually complementary (q_{i|j} >= q_{i|∅}).
+func TestQuickGAPComplementary(t *testing.T) {
+	f := func(p1Raw, p2Raw, boostRaw uint8) bool {
+		p1 := 1 + float64(p1Raw%50)/10
+		p2 := 1 + float64(p2Raw%50)/10
+		v1, v2 := p1, p2 // neutral singletons
+		v12 := v1 + v2 + 0.1 + float64(boostRaw%40)/10
+		m := TwoItem(p1, p2, v1, v2, v12, 1, 1)
+		gap, err := GAPFromModel(m)
+		if err != nil {
+			return false
+		}
+		return gap.MutuallyComplementary()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,595 @@
+package utility
+
+import (
+	"math"
+	"testing"
+
+	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/stats"
+)
+
+func TestTableValuationValidation(t *testing.T) {
+	if _, err := NewTableValuation(2, []float64{0, 1, 2}); err == nil {
+		t.Error("wrong table size accepted")
+	}
+	if _, err := NewTableValuation(2, []float64{1, 1, 2, 3}); err == nil {
+		t.Error("V(∅) != 0 accepted")
+	}
+	v, err := NewTableValuation(2, []float64{0, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumItems() != 2 || v.Value(itemset.New(0, 1)) != 5 {
+		t.Error("table valuation misreads")
+	}
+}
+
+func TestTableValuationCopiesInput(t *testing.T) {
+	vals := []float64{0, 1, 2, 5}
+	v, _ := NewTableValuation(2, vals)
+	vals[3] = 99
+	if v.Value(itemset.New(0, 1)) != 5 {
+		t.Error("valuation aliases caller slice")
+	}
+}
+
+func TestTableFromFunc(t *testing.T) {
+	v, err := TableFromFunc(3, func(s itemset.Set) float64 { return float64(s.Size() * s.Size()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value(itemset.New(0, 2)) != 4 {
+		t.Error("TableFromFunc wrong")
+	}
+	// |S|^2 is supermodular
+	if !IsSupermodular(v) {
+		t.Error("|S|^2 must be supermodular")
+	}
+}
+
+func TestAdditiveValuationIsModular(t *testing.T) {
+	v := AdditiveValuation{PerItem: []float64{1, 2, 3}}
+	if v.Value(itemset.New(0, 2)) != 4 {
+		t.Errorf("additive value wrong")
+	}
+	if !IsSupermodular(v) || !IsSubmodular(v) {
+		t.Error("additive valuation must be modular")
+	}
+	if !IsMonotone(v) {
+		t.Error("non-negative additive valuation must be monotone")
+	}
+}
+
+func TestConeValuationProperties(t *testing.T) {
+	v := ConeValuation{K: 4, Core: 1, CoreValue: 6, AddOnValue: 3}
+	if v.Value(itemset.New(0, 2)) != 0 {
+		t.Error("no-core sets must be worthless")
+	}
+	if v.Value(itemset.New(1)) != 6 {
+		t.Error("core value wrong")
+	}
+	if v.Value(itemset.New(0, 1, 2)) != 12 {
+		t.Error("add-on accumulation wrong")
+	}
+	if !IsSupermodular(v) {
+		t.Error("cone valuation must be supermodular")
+	}
+	if !IsMonotone(v) {
+		t.Error("cone valuation must be monotone")
+	}
+}
+
+func TestIsSupermodularDetectsViolation(t *testing.T) {
+	// strictly concave in size => submodular, not supermodular
+	v, _ := TableFromFunc(3, func(s itemset.Set) float64 { return math.Sqrt(float64(s.Size())) })
+	if IsSupermodular(v) {
+		t.Error("sqrt(|S|) wrongly classified supermodular")
+	}
+	w := FindSupermodularityViolation(v)
+	if w == nil {
+		t.Fatal("no witness returned")
+	}
+	// verify the witness
+	ax, ay := w.A.Add(w.X), w.A.Add(w.Y)
+	if v.Value(ax.Add(w.Y))-v.Value(ay) >= v.Value(ax)-v.Value(w.A) {
+		t.Error("witness does not violate supermodularity")
+	}
+}
+
+func TestIsMonotoneDetectsViolation(t *testing.T) {
+	v, _ := TableFromFunc(2, func(s itemset.Set) float64 {
+		if s == itemset.New(0, 1) {
+			return -1
+		}
+		return float64(s.Size())
+	})
+	if IsMonotone(v) {
+		t.Error("non-monotone table accepted")
+	}
+}
+
+func TestConfig1MatchesTable3(t *testing.T) {
+	m := Config1()
+	i1, i2, both := itemset.New(0), itemset.New(1), itemset.New(0, 1)
+	if m.DetUtility(i1) != 0 || m.DetUtility(i2) != 0 {
+		t.Errorf("config1 singleton utilities: %v %v", m.DetUtility(i1), m.DetUtility(i2))
+	}
+	if m.DetUtility(both) != 1 {
+		t.Errorf("config1 bundle utility %v, want 1", m.DetUtility(both))
+	}
+	if !IsSupermodular(m.Val) || !IsMonotone(m.Val) {
+		t.Error("config1 valuation must be supermodular and monotone")
+	}
+}
+
+func TestConfig3MatchesTable3(t *testing.T) {
+	m := Config3()
+	i1, i2, both := itemset.New(0), itemset.New(1), itemset.New(0, 1)
+	if m.DetUtility(i1) != 0 {
+		t.Errorf("i1 utility %v", m.DetUtility(i1))
+	}
+	if m.DetUtility(i2) != -1 {
+		t.Errorf("i2 utility %v, want -1", m.DetUtility(i2))
+	}
+	if m.DetUtility(both) != 1 {
+		t.Errorf("bundle utility %v", m.DetUtility(both))
+	}
+	if !IsSupermodular(m.Val) {
+		t.Error("config3 valuation must be supermodular")
+	}
+}
+
+func TestConfig1GAPMatchesTable3(t *testing.T) {
+	gap, err := GAPFromModel(Config1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"q1|∅", gap.Q1GivenNone, 0.5},
+		{"q2|∅", gap.Q2GivenNone, 0.5},
+		{"q1|2", gap.Q1Given2, 0.84},
+		{"q2|1", gap.Q2Given1, 0.84},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.01 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if !gap.MutuallyComplementary() {
+		t.Error("config1 must be mutually complementary")
+	}
+}
+
+func TestConfig3GAPMatchesTable3(t *testing.T) {
+	gap, err := GAPFromModel(Config3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"q1|∅", gap.Q1GivenNone, 0.5},
+		{"q2|∅", gap.Q2GivenNone, 0.16},
+		{"q1|2", gap.Q1Given2, 0.98},
+		{"q2|1", gap.Q2Given1, 0.84},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.01 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestGAPRequiresTwoItems(t *testing.T) {
+	if _, err := GAPFromModel(Config5(3)); err == nil {
+		t.Error("GAP conversion must reject k != 2")
+	}
+}
+
+func TestGAPMatchesMonteCarloAdoption(t *testing.T) {
+	// empirical check of Eq. 12: simulate the adoption coin directly
+	m := Config3()
+	gap, _ := GAPFromModel(m)
+	rng := stats.NewRNG(1)
+	const runs = 200000
+	adopt1, adopt2given1 := 0, 0
+	i1 := itemset.New(0)
+	both := itemset.New(0, 1)
+	var util []float64
+	for r := 0; r < runs; r++ {
+		noise := m.SampleNoise(rng)
+		util = m.UtilityTable(noise, util)
+		// q_{i1|∅}: does a node desiring only i1 adopt it?
+		if util[i1] >= 0 {
+			adopt1++
+		}
+		// q_{i2|i1}: given i1 adopted, does i2 join? i.e. U({i1,i2}) >= U({i1})
+		if util[both] >= util[i1] {
+			adopt2given1++
+		}
+	}
+	if got := float64(adopt1) / runs; math.Abs(got-gap.Q1GivenNone) > 0.01 {
+		t.Errorf("MC q1|∅ = %v vs analytic %v", got, gap.Q1GivenNone)
+	}
+	if got := float64(adopt2given1) / runs; math.Abs(got-gap.Q2Given1) > 0.01 {
+		t.Errorf("MC q2|1 = %v vs analytic %v", got, gap.Q2Given1)
+	}
+}
+
+func TestConfig5Utilities(t *testing.T) {
+	m := Config5(4)
+	for i := 0; i < 4; i++ {
+		if m.DetUtility(itemset.Single(i)) != 1 {
+			t.Errorf("item %d utility %v, want 1", i, m.DetUtility(itemset.Single(i)))
+		}
+	}
+	if m.DetUtility(itemset.All(4)) != 4 {
+		t.Errorf("additive utility of all = %v, want 4", m.DetUtility(itemset.All(4)))
+	}
+}
+
+func TestConfigConeUtilities(t *testing.T) {
+	m := ConfigCone(5, 0)
+	if m.DetUtility(itemset.New(0)) != 5 {
+		t.Errorf("core utility %v, want 5", m.DetUtility(itemset.New(0)))
+	}
+	if m.DetUtility(itemset.New(0, 1)) != 7 {
+		t.Errorf("core+1 utility %v, want 7", m.DetUtility(itemset.New(0, 1)))
+	}
+	if m.DetUtility(itemset.New(1, 2)) >= 0 {
+		t.Errorf("non-core set should have negative utility: %v", m.DetUtility(itemset.New(1, 2)))
+	}
+	if !IsSupermodular(m.Val) || !IsMonotone(m.Val) {
+		t.Error("cone config must be supermodular and monotone")
+	}
+}
+
+func TestConfig8SupermodularAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		m := Config8(5, stats.NewRNG(seed))
+		if !IsSupermodular(m.Val) {
+			t.Errorf("seed %d: config8 not supermodular (Lemma 10 violated)", seed)
+		}
+		if !IsMonotone(m.Val) {
+			t.Errorf("seed %d: config8 not monotone", seed)
+		}
+	}
+}
+
+func TestConfig8HasRandomSingletonUtilities(t *testing.T) {
+	// across seeds, both signs of singleton utility should occur
+	pos, neg := false, false
+	for seed := uint64(0); seed < 20; seed++ {
+		m := Config8(4, stats.NewRNG(seed))
+		for i := 0; i < 4; i++ {
+			u := m.DetUtility(itemset.Single(i))
+			if u > 0 {
+				pos = true
+			}
+			if u < 0 {
+				neg = true
+			}
+		}
+	}
+	if !pos || !neg {
+		t.Errorf("config8 singleton utilities not diverse: pos=%v neg=%v", pos, neg)
+	}
+}
+
+func TestRealParamsMatchesTable5(t *testing.T) {
+	m := RealParams()
+	ps := itemset.New(0)
+	psc := itemset.New(0, 1)
+	ps3g := itemset.New(0, 2, 3, 4)
+	psc2g := itemset.New(0, 1, 2, 3)
+	all := itemset.All(5)
+
+	cases := []struct {
+		name  string
+		set   itemset.Set
+		value float64
+		price float64
+	}{
+		{"{ps}", ps, 213, 260},
+		{"{ps,c}", psc, 220, 280},
+		{"{ps,3g}", ps3g, 258, 275},
+		{"{ps,c,2g}", psc2g, 292.5, 290},
+		{"{ps,c,3g}", all, 302, 295},
+	}
+	for _, c := range cases {
+		if got := m.Val.Value(c.set); got != c.value {
+			t.Errorf("%s value %v, want %v", c.name, got, c.value)
+		}
+		if got := m.Price(c.set); got != c.price {
+			t.Errorf("%s price %v, want %v", c.name, got, c.price)
+		}
+	}
+	// only ps+c+>=2 games has positive deterministic utility
+	for s := itemset.Set(1); s < 1<<5; s++ {
+		positive := s.Has(0) && s.Has(1) && s.Intersect(itemset.New(2, 3, 4)).Size() >= 2
+		if positive != (m.DetUtility(s) > 0) {
+			t.Errorf("set %v det utility %v: positivity should be %v", s, m.DetUtility(s), positive)
+		}
+	}
+}
+
+func TestRealParamsIsNotSupermodular(t *testing.T) {
+	// Documented fidelity point: the published Table 5 rows cannot form a
+	// supermodular valuation (decreasing game marginals at {ps,c}).
+	if IsSupermodular(RealParams().Val) {
+		t.Error("RealParams unexpectedly supermodular; Table 5 data is not")
+	}
+	if !IsMonotone(RealParams().Val) {
+		t.Error("RealParams must still be monotone")
+	}
+}
+
+func TestRealParamsSmoothedProperties(t *testing.T) {
+	m := RealParamsSmoothed()
+	if !IsSupermodular(m.Val) {
+		t.Error("smoothed real params must be supermodular")
+	}
+	if !IsMonotone(m.Val) {
+		t.Error("smoothed real params must be monotone")
+	}
+	// same qualitative utility shape as the real table
+	for s := itemset.Set(1); s < 1<<5; s++ {
+		positive := s.Has(0) && s.Has(1) && s.Intersect(itemset.New(2, 3, 4)).Size() >= 2
+		if positive != (m.DetUtility(s) > 0) {
+			t.Errorf("set %v: positivity %v does not match real shape", s, m.DetUtility(s))
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	val, _ := NewTableValuation(2, []float64{0, 1, 1, 3})
+	if _, err := NewModel(val, []float64{1}, []stats.Dist{stats.Noise(1), stats.Noise(1)}); err == nil {
+		t.Error("price length mismatch accepted")
+	}
+	if _, err := NewModel(val, []float64{1, 1}, []stats.Dist{stats.Noise(1)}); err == nil {
+		t.Error("noise length mismatch accepted")
+	}
+	if _, err := NewModel(val, []float64{0, 1}, []stats.Dist{stats.Noise(1), stats.Noise(1)}); err == nil {
+		t.Error("zero price accepted (paper requires P(i) > 0)")
+	}
+	if _, err := NewModel(val, []float64{1, 1}, []stats.Dist{stats.Gaussian{Mu: 1, Sigma: 1}, stats.Noise(1)}); err == nil {
+		t.Error("biased noise accepted")
+	}
+	if _, err := NewModel(val, []float64{1, 1}, []stats.Dist{nil, stats.Noise(1)}); err == nil {
+		t.Error("nil noise accepted")
+	}
+}
+
+func TestModelPriceAdditivity(t *testing.T) {
+	m := Config1()
+	if m.Price(itemset.New(0, 1)) != 7 {
+		t.Errorf("P({i1,i2}) = %v, want 7", m.Price(itemset.New(0, 1)))
+	}
+	if m.Price(itemset.Empty) != 0 {
+		t.Errorf("P(∅) != 0")
+	}
+}
+
+func TestUtilityTableMatchesPointEvaluation(t *testing.T) {
+	m := RealParams()
+	rng := stats.NewRNG(2)
+	var table []float64
+	for trial := 0; trial < 20; trial++ {
+		noise := m.SampleNoise(rng)
+		table = m.UtilityTable(noise, table)
+		for s := itemset.Set(0); s < 1<<5; s++ {
+			want := m.UtilityIn(noise, s)
+			if math.Abs(table[s]-want) > 1e-9 {
+				t.Fatalf("trial %d set %v: table %v vs direct %v", trial, s, table[s], want)
+			}
+		}
+	}
+}
+
+func TestUtilityTableZeroNoiseEqualsDet(t *testing.T) {
+	m := Config1()
+	table := m.UtilityTable([]float64{0, 0}, nil)
+	for s := itemset.Set(0); s < 4; s++ {
+		if table[s] != m.DetUtility(s) {
+			t.Errorf("zero-noise utility %v != det %v", table[s], m.DetUtility(s))
+		}
+	}
+}
+
+func TestSampleNoiseZeroMean(t *testing.T) {
+	m := Config1()
+	rng := stats.NewRNG(3)
+	var s0, s1 stats.Summary
+	for i := 0; i < 100000; i++ {
+		w := m.SampleNoise(rng)
+		s0.Add(w[0])
+		s1.Add(w[1])
+	}
+	if math.Abs(s0.Mean()) > 0.02 || math.Abs(s1.Mean()) > 0.02 {
+		t.Errorf("noise means %v %v", s0.Mean(), s1.Mean())
+	}
+}
+
+func TestAdoptEmptyDesire(t *testing.T) {
+	m := Config1()
+	util := m.UtilityTable([]float64{0, 0}, nil)
+	if got := Adopt(util, itemset.Empty, itemset.Empty); got != itemset.Empty {
+		t.Errorf("Adopt on empty desire = %v", got)
+	}
+}
+
+func TestAdoptPositiveSingleton(t *testing.T) {
+	// config1 zero noise: U(i1) = 0, adopting or not tie at 0 -> larger set
+	m := Config1()
+	util := m.UtilityTable([]float64{0, 0}, nil)
+	if got := Adopt(util, itemset.New(0), itemset.Empty); got != itemset.New(0) {
+		t.Errorf("tie at zero should prefer larger set, got %v", got)
+	}
+}
+
+func TestAdoptRejectsNegative(t *testing.T) {
+	m := Config3()
+	util := m.UtilityTable([]float64{0, 0}, nil)
+	// i2 alone has U = -1: a node desiring only i2 adopts nothing
+	if got := Adopt(util, itemset.New(1), itemset.Empty); got != itemset.Empty {
+		t.Errorf("negative-utility item adopted: %v", got)
+	}
+}
+
+func TestAdoptBundleRescue(t *testing.T) {
+	// config3: desiring both items, the bundle (U=1) beats i1 alone (U=0)
+	m := Config3()
+	util := m.UtilityTable([]float64{0, 0}, nil)
+	if got := Adopt(util, itemset.New(0, 1), itemset.Empty); got != itemset.New(0, 1) {
+		t.Errorf("bundle not adopted: %v", got)
+	}
+}
+
+func TestAdoptRespectsCurrentConstraint(t *testing.T) {
+	// even if dropping the current adoption would give higher utility, the
+	// progressive model forbids it
+	util := []float64{0, 5, -2, 1} // items {0}, {1}, {0,1}
+	got := Adopt(util, itemset.New(0, 1), itemset.New(1))
+	if !itemset.New(1).SubsetOf(got) {
+		t.Errorf("adoption dropped current set: %v", got)
+	}
+	// among supersets of {1}: U({1}) = -2, U({0,1}) = 1 -> {0,1}
+	if got != itemset.New(0, 1) {
+		t.Errorf("got %v, want {0,1}", got)
+	}
+}
+
+func TestAdoptUtilityNeverDecreasesFromCurrent(t *testing.T) {
+	rng := stats.NewRNG(4)
+	m := Config8(5, rng)
+	var util []float64
+	for trial := 0; trial < 200; trial++ {
+		noise := m.SampleNoise(rng)
+		util = m.UtilityTable(noise, util)
+		desire := itemset.Set(rng.Intn(32))
+		// current: random local-max-ish start from a sub-desire adoption
+		current := Adopt(util, itemset.Set(rng.Intn(32)).Intersect(desire), itemset.Empty)
+		got := Adopt(util, desire, current)
+		if !current.SubsetOf(got) {
+			t.Fatalf("constraint violated: %v not superset of %v", got, current)
+		}
+		if util[got] < util[current] {
+			t.Fatalf("utility decreased: %v -> %v", util[current], util[got])
+		}
+	}
+}
+
+func TestLemma1UnionOfLocalMaxima(t *testing.T) {
+	// Lemma 1: under supermodular utility, the union of two local maxima
+	// is a local maximum.
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		m := Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		// collect all local maxima
+		var maxima []itemset.Set
+		for s := itemset.Set(0); s < 1<<5; s++ {
+			if IsLocalMaximum(util, s) {
+				maxima = append(maxima, s)
+			}
+		}
+		for _, a := range maxima {
+			for _, b := range maxima {
+				u := a.Union(b)
+				if !IsLocalMaximum(util, u) {
+					t.Fatalf("trial %d: union %v of local maxima %v, %v is not a local maximum",
+						trial, u, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma2AdoptedSetsAreLocalMaxima(t *testing.T) {
+	rng := stats.NewRNG(6)
+	for trial := 0; trial < 100; trial++ {
+		m := Config8(4, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		desire := itemset.Set(rng.Intn(16))
+		a1 := Adopt(util, desire, itemset.Empty)
+		if !IsLocalMaximum(util, a1) {
+			t.Fatalf("adopted set %v is not a local maximum", a1)
+		}
+		// grow desire and re-adopt: still a local maximum
+		desire2 := desire.Union(itemset.Set(rng.Intn(16)))
+		a2 := Adopt(util, desire2, a1)
+		if !IsLocalMaximum(util, a2) {
+			t.Fatalf("second-round adopted set %v is not a local maximum", a2)
+		}
+	}
+}
+
+func TestBestSetMarginalsNegativeOutside(t *testing.T) {
+	// after fixing W^N, items outside I* can never be adopted: the
+	// marginal utility of any subset of I \ I* given any subset of I* is
+	// negative (§4.2.2 argument).
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		m := Config8(5, rng)
+		noise := m.SampleNoise(rng)
+		util := m.UtilityTable(noise, nil)
+		best := BestSet(util)
+		outside := itemset.All(5).Minus(best)
+		outside.Subsets(func(d itemset.Set) bool {
+			if d.IsEmpty() {
+				return true
+			}
+			best.Subsets(func(b itemset.Set) bool {
+				if util[b.Union(d)]-util[b] >= 0 {
+					t.Fatalf("marginal of %v given %v is non-negative (I*=%v)", d, b, best)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func TestBestSetTieBreaksLarger(t *testing.T) {
+	util := []float64{0, 1, 1, 1} // {0}, {1}, {0,1} all tie at 1
+	if got := BestSet(util); got != itemset.New(0, 1) {
+		t.Errorf("BestSet = %v, want the largest tied set", got)
+	}
+}
+
+func TestIsLocalMaximum(t *testing.T) {
+	util := []float64{0, 2, -1, 3}
+	if !IsLocalMaximum(util, itemset.New(0)) {
+		t.Error("{0} is a local max")
+	}
+	if IsLocalMaximum(util, itemset.New(1)) {
+		t.Error("{1} has U=-1 < U(∅)")
+	}
+	if !IsLocalMaximum(util, itemset.New(0, 1)) {
+		t.Error("{0,1} with U=3 dominates all subsets")
+	}
+}
+
+func TestBestDetSet(t *testing.T) {
+	m := Config3()
+	if got := m.BestDetSet(); got != itemset.New(0, 1) {
+		t.Errorf("best det set %v, want bundle", got)
+	}
+}
+
+func TestExpectedUtilityEqualsDet(t *testing.T) {
+	m := Config1()
+	for s := itemset.Set(0); s < 4; s++ {
+		if m.ExpectedUtility(s) != m.DetUtility(s) {
+			t.Error("expected utility must equal deterministic utility (zero-mean noise)")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package utility implements the economic side of the UIC model: item
+// valuations V (supermodular for complementary products), additive prices
+// P, additive zero-mean noise N, the utility U = V - P + N, and the
+// utility-maximizing adoption rule with the paper's largest-cardinality
+// tie-break (Fig. 1 / Lemma 1). It also ships the paper's experimental
+// configurations (Tables 3-5) and the GAP-parameter conversion (Eq. 12).
+package utility
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/itemset"
+)
+
+// Valuation is a set function V: 2^I -> R with V(∅) = 0. The UIC model
+// requires V to be monotone; the complementary-products setting of §4
+// additionally requires supermodularity, which IsSupermodular verifies.
+type Valuation interface {
+	// NumItems returns |I|, the size of the item universe.
+	NumItems() int
+	// Value returns V(s).
+	Value(s itemset.Set) float64
+}
+
+// TableValuation stores V explicitly for all 2^k itemsets. It is the
+// workhorse implementation: the paper's experiments use at most ten items.
+type TableValuation struct {
+	k    int
+	vals []float64
+}
+
+// NewTableValuation wraps an explicit table indexed by itemset mask.
+// It validates len(vals) == 2^k and V(∅) == 0.
+func NewTableValuation(k int, vals []float64) (*TableValuation, error) {
+	if k < 0 || k > itemset.MaxItems {
+		return nil, fmt.Errorf("utility: bad universe size %d", k)
+	}
+	if len(vals) != 1<<uint(k) {
+		return nil, fmt.Errorf("utility: table has %d entries, want %d", len(vals), 1<<uint(k))
+	}
+	if vals[0] != 0 {
+		return nil, fmt.Errorf("utility: V(∅) = %v, want 0", vals[0])
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	return &TableValuation{k: k, vals: cp}, nil
+}
+
+// TableFromFunc materializes a valuation function into a table.
+func TableFromFunc(k int, f func(itemset.Set) float64) (*TableValuation, error) {
+	vals := make([]float64, 1<<uint(k))
+	for s := range vals {
+		vals[s] = f(itemset.Set(s))
+	}
+	return NewTableValuation(k, vals)
+}
+
+// NumItems returns the universe size.
+func (t *TableValuation) NumItems() int { return t.k }
+
+// Value returns V(s).
+func (t *TableValuation) Value(s itemset.Set) float64 { return t.vals[s] }
+
+// AdditiveValuation is the modular valuation V(S) = Σ_{i∈S} PerItem[i],
+// modeling fully independent items (Configuration 5).
+type AdditiveValuation struct {
+	PerItem []float64
+}
+
+// NumItems returns the universe size.
+func (a AdditiveValuation) NumItems() int { return len(a.PerItem) }
+
+// Value returns the sum of member values.
+func (a AdditiveValuation) Value(s itemset.Set) float64 {
+	total := 0.0
+	for _, i := range s.Items() {
+		total += a.PerItem[i]
+	}
+	return total
+}
+
+// ConeValuation models a "core item" configuration (Configurations 6-7):
+// itemsets containing the core item have value CoreValue plus AddOnValue
+// for every further item; itemsets without the core are worthless.
+type ConeValuation struct {
+	K          int
+	Core       int
+	CoreValue  float64
+	AddOnValue float64
+}
+
+// NumItems returns the universe size.
+func (c ConeValuation) NumItems() int { return c.K }
+
+// Value implements the cone shape.
+func (c ConeValuation) Value(s itemset.Set) float64 {
+	if !s.Has(c.Core) {
+		return 0
+	}
+	return c.CoreValue + c.AddOnValue*float64(s.Size()-1)
+}
+
+// IsSupermodular verifies supermodularity of v exhaustively using the
+// local pairwise characterization: for every set A and distinct items
+// x, y ∉ A,
+//
+//	V(A ∪ {x,y}) - V(A ∪ {y}) >= V(A ∪ {x}) - V(A).
+//
+// O(2^k · k^2); intended for k <= ~15.
+func IsSupermodular(v Valuation) bool {
+	return violatesSupermodularity(v) == nil
+}
+
+// SupermodularityViolation describes a witness against supermodularity.
+type SupermodularityViolation struct {
+	A    itemset.Set
+	X, Y int
+}
+
+// violatesSupermodularity returns a witness, or nil if none exists.
+func violatesSupermodularity(v Valuation) *SupermodularityViolation {
+	k := v.NumItems()
+	for a := itemset.Set(0); a < 1<<uint(k); a++ {
+		for x := 0; x < k; x++ {
+			if a.Has(x) {
+				continue
+			}
+			for y := x + 1; y < k; y++ {
+				if a.Has(y) {
+					continue
+				}
+				ax := a.Add(x)
+				ay := a.Add(y)
+				axy := ax.Add(y)
+				if v.Value(axy)-v.Value(ay) < v.Value(ax)-v.Value(a)-1e-9 {
+					return &SupermodularityViolation{A: a, X: x, Y: y}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FindSupermodularityViolation is the exported witness search, useful in
+// tests and diagnostics.
+func FindSupermodularityViolation(v Valuation) *SupermodularityViolation {
+	return violatesSupermodularity(v)
+}
+
+// IsMonotone verifies V(S) <= V(S ∪ {x}) for all S, x exhaustively.
+func IsMonotone(v Valuation) bool {
+	k := v.NumItems()
+	for s := itemset.Set(0); s < 1<<uint(k); s++ {
+		for x := 0; x < k; x++ {
+			if s.Has(x) {
+				continue
+			}
+			if v.Value(s.Add(x)) < v.Value(s)-1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSubmodular verifies submodularity (the reversed inequality), used by
+// tests that exercise the competing-items discussion of §5.
+func IsSubmodular(v Valuation) bool {
+	k := v.NumItems()
+	for a := itemset.Set(0); a < 1<<uint(k); a++ {
+		for x := 0; x < k; x++ {
+			if a.Has(x) {
+				continue
+			}
+			for y := x + 1; y < k; y++ {
+				if a.Has(y) {
+					continue
+				}
+				ax, ay := a.Add(x), a.Add(y)
+				if v.Value(ax.Add(y))-v.Value(ay) > v.Value(ax)-v.Value(a)+1e-9 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

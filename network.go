@@ -1,0 +1,44 @@
+package welfare
+
+import (
+	"uicwelfare/internal/expr"
+	"uicwelfare/internal/graph"
+)
+
+// NetworkNames lists the built-in synthetic stand-ins for the paper's
+// datasets (Table 2): flixster, douban-book, douban-movie, twitter,
+// orkut.
+func NetworkNames() []string {
+	names := make([]string, len(expr.Networks))
+	for i, ns := range expr.Networks {
+		names[i] = ns.Name
+	}
+	return names
+}
+
+// GenerateNetwork synthesizes one of the built-in stand-in networks at
+// the given scale (1.0 = default size) with weighted-cascade edge
+// probabilities. It panics on an unknown name; see NetworkNames.
+func GenerateNetwork(name string, scale float64, seed uint64) *Graph {
+	spec, err := expr.NetworkByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec.Generate(scale, seed)
+}
+
+// BuildGraph assembles a directed graph from explicit (u, v, p) triples.
+func BuildGraph(n int, edges [][3]float64) *Graph { return graph.FromEdges(n, edges) }
+
+// ErdosRenyi generates a directed G(n, m) random graph (probabilities
+// unset; call WeightedCascade or UniformProb on the result).
+func ErdosRenyi(n, m int, rng *RNG) *Graph { return graph.ErdosRenyi(n, m, rng) }
+
+// BarabasiAlbert generates an undirected preferential-attachment graph.
+func BarabasiAlbert(n, k int, rng *RNG) *Graph { return graph.BarabasiAlbert(n, k, rng) }
+
+// PreferentialDirected generates a directed heavy-tailed graph with
+// partial reciprocity, the stand-in shape for follower networks.
+func PreferentialDirected(n, k int, rng *RNG) *Graph {
+	return graph.PreferentialDirected(n, k, rng)
+}

@@ -21,6 +21,7 @@ import (
 	"uicwelfare/internal/oracle"
 	"uicwelfare/internal/prima"
 	"uicwelfare/internal/rrset"
+	"uicwelfare/internal/service"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
@@ -422,4 +423,68 @@ func BenchmarkUtilityTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dst = m.UtilityTable(noise, dst)
 	}
+}
+
+// --- welmaxd service: sketch cache cold vs. warm ---
+
+// BenchmarkServiceAllocate measures one allocation request through the
+// welmaxd service layer with a cold sketch cache (every iteration
+// regenerates RR sketches) versus a warm one (every iteration reuses the
+// cached sketch), quantifying the daemon's amortization of sketch
+// generation. Runs is 0 so the measurement isolates the allocation path.
+func BenchmarkServiceAllocate(b *testing.B) {
+	req := func(id string) *service.AllocateRequest {
+		return &service.AllocateRequest{GraphID: id, Budgets: []int{20, 20}, Seed: 1}
+	}
+	// load takes the sub-benchmark's b so failures are attributed (and
+	// FailNow'd) on the right goroutine.
+	load := func(b *testing.B, svc *service.Service) string {
+		_, g, err := service.LoadGraph(&service.GraphRequest{Network: "flixster", Scale: 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry, err := svc.Registry().Add("flixster", g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return entry.ID
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		svc := service.New(service.Options{Workers: 1})
+		defer svc.Close()
+		id := load(b, svc)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			svc.ResetSketchCache()
+			b.StartTimer()
+			res, err := svc.Allocate(req(id))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.SketchCached {
+				b.Fatal("cold iteration hit the cache")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		svc := service.New(service.Options{Workers: 1})
+		defer svc.Close()
+		id := load(b, svc)
+		if _, err := svc.Allocate(req(id)); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := svc.Allocate(req(id))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.SketchCached {
+				b.Fatal("warm iteration missed the cache")
+			}
+		}
+	})
 }

@@ -10,15 +10,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"uicwelfare/internal/core"
 	"uicwelfare/internal/expr"
 	"uicwelfare/internal/graph"
+	"uicwelfare/internal/service"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
@@ -39,6 +42,7 @@ func main() {
 		runs       = flag.Int("runs", 10000, "Monte-Carlo runs for the welfare estimate")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		verbose    = flag.Bool("v", false, "print the full allocation")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the welmaxd AllocateResult payload)")
 	)
 	flag.Parse()
 
@@ -51,7 +55,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("network: %v\n", g)
+	if !*jsonOut {
+		fmt.Printf("network: %v\n", g)
+	}
 
 	m, err := buildModel(*configName, *items, len(budgets), *seed)
 	if err != nil {
@@ -68,6 +74,7 @@ func main() {
 	rng := stats.NewRNG(*seed)
 	opts := core.Options{Eps: *eps, Ell: *ell}
 
+	started := time.Now()
 	var res core.Result
 	switch *algo {
 	case "bundleGRD":
@@ -79,16 +86,35 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
-	fmt.Printf("algorithm: %s (RR sets: %d, IMM invocations: %d)\n",
-		*algo, res.NumRRSets, res.IMMInvocations)
 
-	if *verbose {
-		for i, seeds := range res.Alloc.Seeds {
-			fmt.Printf("  item %d (budget %d): %v\n", i, budgets[i], seeds)
+	// Text mode reports the allocation as soon as it exists; the
+	// Monte-Carlo estimate below can take a while on large graphs.
+	if !*jsonOut {
+		fmt.Printf("algorithm: %s (RR sets: %d, IMM invocations: %d)\n",
+			*algo, res.NumRRSets, res.IMMInvocations)
+		if *verbose {
+			for i, seeds := range res.Alloc.Seeds {
+				fmt.Printf("  item %d (budget %d): %v\n", i, budgets[i], seeds)
+			}
 		}
 	}
 
 	est := uic.NewSimulator(g, m).EstimateWelfare(res.Alloc, stats.NewRNG(*seed+1), *runs)
+
+	if *jsonOut {
+		// The same DTO welmaxd returns from an allocation job, so CLI and
+		// daemon outputs are interchangeable.
+		out := service.NewAllocateResult(*algo, res)
+		out.Welfare = &service.WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
+		out.ElapsedMS = time.Since(started).Milliseconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("expected social welfare: %.2f ± %.2f (%d runs)\n", est.Mean, 1.96*est.StdErr, est.Runs)
 }
 
@@ -121,26 +147,7 @@ func loadOrGenerate(path string, directed bool, network string, scale float64, s
 }
 
 func buildModel(name string, items, budgetCount int, seed uint64) (*utility.Model, error) {
-	if items <= 0 {
-		items = budgetCount
-	}
-	switch name {
-	case "config1":
-		return utility.Config1(), nil
-	case "config3":
-		return utility.Config3(), nil
-	case "additive":
-		return utility.Config5(items), nil
-	case "cone":
-		return utility.ConfigCone(items, 0), nil
-	case "levelwise":
-		return utility.Config8(items, stats.NewRNG(seed^0xbeef)), nil
-	case "real":
-		return utility.RealParams(), nil
-	case "real-smoothed":
-		return utility.RealParamsSmoothed(), nil
-	}
-	return nil, fmt.Errorf("unknown configuration %q", name)
+	return service.BuildModel(name, items, budgetCount, seed)
 }
 
 func fatal(err error) {

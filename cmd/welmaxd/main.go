@@ -1,0 +1,88 @@
+// Command welmaxd serves welfare-maximization queries over HTTP. It
+// keeps social networks resident in memory, runs allocation and welfare
+// estimation as asynchronous jobs on a bounded worker pool, and caches
+// RR sketches so repeated and concurrent queries against the same
+// network skip regeneration — the serving counterpart of the one-shot
+// welmax CLI.
+//
+// Quick start:
+//
+//	welmaxd -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/graphs -d '{"network":"flixster"}'
+//	curl -s -X POST localhost:8080/v1/allocate \
+//	    -d '{"graph_id":"g1","budgets":[50,50],"runs":10000}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uicwelfare/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "allocation/estimation worker count")
+		queueCap   = flag.Int("queue", 64, "job queue capacity")
+		cacheCap   = flag.Int("cache", 64, "sketch cache capacity (entries)")
+		retention  = flag.Int("retain", 1024, "finished jobs kept queryable")
+		allowPaths = flag.Bool("allow-paths", false, "let POST /v1/graphs load server-side edge-list files")
+		preload    = flag.String("preload", "", "built-in network to load at startup (optional)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheEntries:   *cacheCap,
+		JobRetention:   *retention,
+		AllowPathLoads: *allowPaths,
+	})
+	defer svc.Close()
+
+	if *preload != "" {
+		name, g, err := service.LoadGraph(&service.GraphRequest{Network: *preload})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "welmaxd:", err)
+			os.Exit(1)
+		}
+		entry, err := svc.Registry().Add(name, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "welmaxd:", err)
+			os.Exit(1)
+		}
+		log.Printf("preloaded %s as %s (%d nodes, %d edges)",
+			name, entry.ID, g.N(), g.M())
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	log.Printf("welmaxd listening on %s (%d workers)", *addr, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "welmaxd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

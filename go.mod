@@ -1,0 +1,3 @@
+module uicwelfare
+
+go 1.22

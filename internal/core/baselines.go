@@ -15,11 +15,23 @@ import (
 // supermodularity at the seeds — it relies purely on propagation.
 func ItemDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 	total := p.TotalBudget()
-	alloc := uic.NewAllocation(p.K())
 	if total == 0 {
+		return Result{Alloc: uic.NewAllocation(p.K())}
+	}
+	sk := imm.BuildSketch(p.G, total, imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
+	return ItemDisjointFromSketch(p, sk)
+}
+
+// ItemDisjointFromSketch runs the item-disj assignment on a prebuilt IMM
+// sketch (built for this problem's graph with k = Σ_i b_i). The sketch
+// is only read, so one cached sketch can serve many concurrent
+// allocations.
+func ItemDisjointFromSketch(p *Problem, sk *imm.Sketch) Result {
+	alloc := uic.NewAllocation(p.K())
+	if p.TotalBudget() == 0 {
 		return Result{Alloc: alloc}
 	}
-	res := imm.Run(p.G, total, imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
+	res := sk.Select()
 	pool := res.Seeds
 	pos := 0
 	for _, i := range p.BudgetOrder() {

@@ -43,7 +43,16 @@ type Result struct {
 // valuation, prices, or noise (the algorithm is parameter-free given
 // mutual complementarity).
 func BundleGRD(p *Problem, opts Options, rng *stats.RNG) Result {
-	pres := prima.Select(p.G, p.Budgets, prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
+	sk := prima.BuildSketch(p.G, p.Budgets, prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
+	return BundleGRDFromSketch(p, sk)
+}
+
+// BundleGRDFromSketch runs bundleGRD's selection and assignment on a
+// prebuilt PRIMA sketch (built for this problem's graph and budgets).
+// The sketch is only read, so one cached sketch can serve many
+// concurrent allocations — the fast path of the welmaxd sketch cache.
+func BundleGRDFromSketch(p *Problem, sk *prima.Sketch) Result {
+	pres := sk.Select()
 	alloc := uic.NewAllocation(p.K())
 	for i, b := range p.Budgets {
 		if b > len(pres.Seeds) {

@@ -43,22 +43,48 @@ type Result struct {
 	LB          float64 // lower bound on OPT_k used to size the collection
 }
 
+// Sketch is the reusable product of IMM's sampling phases: the final
+// from-scratch RR-set collection for a specific (graph, k, ε, ℓ,
+// cascade) tuple. A built Sketch is immutable — Select only reads the
+// collection — so one Sketch may serve many goroutines concurrently (the
+// seam the welmaxd sketch cache relies on).
+type Sketch struct {
+	// Col is the regenerated collection; nil in the degenerate cases
+	// (empty instance, or k covering the whole graph).
+	Col *rrset.Collection
+	// K is the budget the sketch was sized for.
+	K int
+	// Phase1 counts the adaptive-phase samples discarded before the
+	// final regeneration.
+	Phase1 int
+	// LB is the lower bound on OPT_k the adaptive phase established.
+	LB float64
+	// allNodesN, when positive, marks the degenerate instance whose
+	// selection is every one of the n nodes in id order.
+	allNodesN int
+}
+
 // Run executes IMM for a single budget k and returns the ordered seed set.
 // The returned seeds satisfy sigma(S) >= (1-1/e-ε)·OPT_k with probability
 // at least 1-1/n^ℓ.
 func Run(g *graph.Graph, k int, opts Options, rng *stats.RNG) Result {
+	return BuildSketch(g, k, opts, rng).Select()
+}
+
+// BuildSketch runs IMM's adaptive sampling and the final from-scratch
+// regeneration, returning the collection without performing the final
+// NodeSelection. The result is read-only and safe to share across
+// goroutines; call Select (repeatedly, even concurrently) to obtain seed
+// sets from it.
+func BuildSketch(g *graph.Graph, k int, opts Options, rng *stats.RNG) *Sketch {
 	opts = opts.withDefaults()
 	n := g.N()
 	if k <= 0 || n == 0 {
-		return Result{}
+		return &Sketch{}
 	}
 	if k >= n {
 		// Every node is a seed; no sampling needed.
-		seeds := make([]graph.NodeID, n)
-		for i := range seeds {
-			seeds[i] = graph.NodeID(i)
-		}
-		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(n), LB: float64(n)}
+		return &Sketch{K: k, LB: float64(n), allNodesN: n}
 	}
 	ellPrime := EllPlusLog2(opts.Ell, n)
 	epsp := EpsPrime(opts.Eps)
@@ -84,23 +110,49 @@ func Run(g *graph.Graph, k int, opts Options, rng *stats.RNG) Result {
 			break
 		}
 	}
-	phase1 := col.Len()
 	col.Grow(int64(math.Ceil(theta)), rng)
 	grown := col.Len()
 
 	// Chen'18 fix: the final seed set must be selected on RR sets that are
 	// independent of the adaptive stopping rule, so regenerate from
-	// scratch.
+	// scratch. The final NodeSelection is left to Select so the
+	// regenerated collection can be cached and shared.
 	col.Reset()
 	col.Grow(int64(math.Ceil(theta)), rng)
-	seeds, frac := col.NodeSelection(k)
-	_ = phase1
+	return &Sketch{Col: col, K: k, Phase1: grown, LB: lb}
+}
+
+// NumRRSets returns the size of the final collection (0 for degenerate
+// sketches).
+func (s *Sketch) NumRRSets() int {
+	if s.Col == nil {
+		return 0
+	}
+	return s.Col.Len()
+}
+
+// Select runs the final greedy NodeSelection on the sketch and assembles
+// the IMM result. It only reads the collection and is safe to call
+// concurrently from multiple goroutines on one shared Sketch.
+func (s *Sketch) Select() Result {
+	if s.allNodesN > 0 {
+		seeds := make([]graph.NodeID, s.allNodesN)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(i)
+		}
+		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(s.allNodesN), LB: s.LB}
+	}
+	if s.Col == nil {
+		return Result{}
+	}
+	n := s.Col.N()
+	seeds, frac := s.Col.NodeSelection(s.K)
 	return Result{
 		Seeds:       seeds,
 		Coverage:    frac,
 		SpreadEst:   float64(n) * frac,
-		NumRRSets:   col.Len(),
-		TotalRRSets: grown + col.Len(),
-		LB:          lb,
+		NumRRSets:   s.Col.Len(),
+		TotalRRSets: s.Phase1 + s.Col.Len(),
+		LB:          s.LB,
 	}
 }

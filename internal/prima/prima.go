@@ -55,18 +55,32 @@ type Result struct {
 	TotalRRSets int
 }
 
-// Select runs PRIMA for the given budget vector. Budgets need not be
-// sorted or distinct; they are sorted non-increasingly internally, and
-// only max(budgets) seeds are returned.
-func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result {
-	opts = opts.withDefaults()
-	n := g.N()
-	if n == 0 || len(budgets) == 0 {
-		return Result{}
-	}
-	// Sort budgets non-increasing, clamp into [1, n], drop duplicates
-	// (identical budgets share identical prefixes, so a single pass
-	// suffices and the union bound over |b| budgets stays valid).
+// Sketch is the reusable product of PRIMA's sampling phases: the final
+// from-scratch RR-set collection, sized by the adaptive lower-bound
+// search for a specific (graph, budgets, ε, ℓ, cascade) tuple. Once
+// BuildSketch returns, the sketch is immutable: Select only reads the
+// collection, so a single Sketch may serve many goroutines concurrently
+// (the seam the welmaxd sketch cache relies on).
+type Sketch struct {
+	// Col is the regenerated collection; nil in the degenerate cases
+	// (empty instance, or max budget covering the whole graph).
+	Col *rrset.Collection
+	// MaxBudget is the clamped maximum budget the sketch was sized for.
+	MaxBudget int
+	// Phase1 counts the adaptive-phase samples discarded before the
+	// final regeneration (for TotalRRSets accounting).
+	Phase1 int
+	// allNodesN, when positive, marks the degenerate instance whose
+	// selection is every one of the n nodes in id order.
+	allNodesN int
+}
+
+// CanonicalBudgets clamps budgets into [1, n], sorts them
+// non-increasingly and drops duplicates — the normal form PRIMA sizes a
+// sketch for. Two budget vectors with equal canonical forms produce
+// statistically identical sketches, so cache keys should be derived from
+// this form.
+func CanonicalBudgets(budgets []int, n int) []int {
 	bs := make([]int, 0, len(budgets))
 	for _, b := range budgets {
 		if b > n {
@@ -77,7 +91,7 @@ func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result 
 		}
 	}
 	if len(bs) == 0 {
-		return Result{}
+		return bs
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(bs)))
 	uniq := bs[:1]
@@ -86,17 +100,40 @@ func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result 
 			uniq = append(uniq, b)
 		}
 	}
-	bs = uniq
+	return uniq
+}
+
+// Select runs PRIMA for the given budget vector. Budgets need not be
+// sorted or distinct; they are sorted non-increasingly internally, and
+// only max(budgets) seeds are returned.
+func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result {
+	return BuildSketch(g, budgets, opts, rng).Select()
+}
+
+// BuildSketch runs PRIMA's adaptive sampling (lines 1-21 of Algorithm 2)
+// and the final from-scratch regeneration, returning the collection
+// without performing the final NodeSelection. The result is read-only
+// and safe to share across goroutines; call Select (repeatedly, even
+// concurrently) to obtain orderings from it.
+func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *Sketch {
+	opts = opts.withDefaults()
+	n := g.N()
+	if n == 0 || len(budgets) == 0 {
+		return &Sketch{}
+	}
+	// Sort budgets non-increasing, clamp into [1, n], drop duplicates
+	// (identical budgets share identical prefixes, so a single pass
+	// suffices and the union bound over |b| budgets stays valid).
+	bs := CanonicalBudgets(budgets, n)
+	if len(bs) == 0 {
+		return &Sketch{}
+	}
 	maxBudget := bs[0]
 	if maxBudget >= n {
 		// Degenerate: the top budget seeds the whole graph; any ordering
 		// of all nodes is trivially prefix-preserving only for b_i = n,
 		// so fall back to a full greedy ordering over a fixed collection.
-		seeds := make([]graph.NodeID, n)
-		for i := range seeds {
-			seeds[i] = graph.NodeID(i)
-		}
-		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(n)}
+		return &Sketch{MaxBudget: maxBudget, allNodesN: n}
 	}
 
 	// Line 2: ℓ = ℓ + log2/log n, then ℓ' = log_n(n^ℓ · |b|).
@@ -169,16 +206,44 @@ func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result 
 
 	phase1 := col.Len()
 
-	// Lines 22-25: regenerate θ RR sets from scratch (Chen'18 fix) and
-	// run the final NodeSelection with the maximum budget.
+	// Lines 22-24: regenerate θ RR sets from scratch (Chen'18 fix). The
+	// final NodeSelection (line 25) is left to Select so the regenerated
+	// collection can be cached and shared.
 	col.Reset()
 	col.Grow(int64(math.Ceil(thetaFinal)), rng)
-	seeds, frac := col.NodeSelection(maxBudget)
+	return &Sketch{Col: col, MaxBudget: maxBudget, Phase1: phase1}
+}
+
+// NumRRSets returns the size of the final collection (0 for degenerate
+// sketches).
+func (s *Sketch) NumRRSets() int {
+	if s.Col == nil {
+		return 0
+	}
+	return s.Col.Len()
+}
+
+// Select runs the final greedy NodeSelection on the sketch and assembles
+// the PRIMA result. It only reads the collection and is safe to call
+// concurrently from multiple goroutines on one shared Sketch.
+func (s *Sketch) Select() Result {
+	if s.allNodesN > 0 {
+		seeds := make([]graph.NodeID, s.allNodesN)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(i)
+		}
+		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(s.allNodesN)}
+	}
+	if s.Col == nil {
+		return Result{}
+	}
+	n := s.Col.N()
+	seeds, frac := s.Col.NodeSelection(s.MaxBudget)
 	return Result{
 		Seeds:       seeds,
 		Coverage:    frac,
 		SpreadEst:   float64(n) * frac,
-		NumRRSets:   col.Len(),
-		TotalRRSets: phase1 + col.Len(),
+		NumRRSets:   s.Col.Len(),
+		TotalRRSets: s.Phase1 + s.Col.Len(),
 	}
 }

@@ -8,6 +8,14 @@ import (
 // Collection stores a growing multiset of RR sets together with the
 // inverted node -> set index needed by NodeSelection. Sets are stored in a
 // single backing slice to keep allocation rates low.
+//
+// Concurrency: Add, Grow and Reset mutate the collection and must be
+// serialized by the caller. Once growing stops, the read-only surface
+// (Len, TotalSize, Set, Covering, CoverageOf, FractionCovered,
+// NodeSelection — which allocates all of its scratch state locally) is
+// safe for any number of concurrent readers. The IMM/PRIMA sketch caches
+// build a collection once and then share it read-only across request
+// goroutines.
 type Collection struct {
 	g *graph.Graph
 
@@ -33,6 +41,9 @@ func NewCollection(g *graph.Graph) *Collection {
 
 // Sampler exposes the underlying sampler so callers can set a node coin.
 func (c *Collection) Sampler() *Sampler { return c.sampler }
+
+// N returns the node count of the underlying graph.
+func (c *Collection) N() int { return c.g.N() }
 
 // Len returns the number of RR sets stored.
 func (c *Collection) Len() int { return len(c.offsets) - 1 }

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SketchCache is a concurrency-safe, LRU-bounded cache of RR sketches
+// (prima.Sketch / imm.Sketch values) keyed by the tuple that determines
+// their distribution: (graph, sketch family, cascade model, ε, ℓ,
+// canonical budgets). Sketch generation is the dominant cost of every
+// allocation, and a built sketch is immutable and safe for concurrent
+// readers, so the cache lets repeated and concurrent queries against the
+// same resident network reuse one sketch instead of regenerating it.
+//
+// Lookups have singleflight semantics: the first goroutine to request a
+// key builds the sketch while later requesters for the same key wait on
+// it and then share the result — concurrent identical queries trigger
+// exactly one generation, and every waiter counts as a hit.
+type SketchCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	entries    map[string]*cacheEntry
+	tick       uint64 // logical clock for LRU ordering
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	ready    chan struct{} // closed when sketch/err are set
+	sketch   any
+	err      error
+	lastUsed uint64
+	// evictOnReady marks an in-flight entry whose key was invalidated
+	// mid-build (graph deleted); the builder removes it on completion.
+	evictOnReady bool
+}
+
+// NewSketchCache returns a cache bounded to maxEntries sketches
+// (default 64 if maxEntries <= 0).
+func NewSketchCache(maxEntries int) *SketchCache {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &SketchCache{maxEntries: maxEntries, entries: map[string]*cacheEntry{}}
+}
+
+// GetOrBuild returns the sketch cached under key, building it with build
+// on a miss. hit reports whether an existing (possibly still in-flight)
+// sketch was reused. On build error nothing is cached; waiters receive
+// the error and the next request rebuilds.
+func (c *SketchCache) GetOrBuild(key string, build func() (any, error)) (sketch any, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.lastUsed = c.tick
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.sketch, true, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.tick++
+	e.lastUsed = c.tick
+	c.entries[key] = e
+	c.misses++
+	c.evictLocked(key)
+	c.mu.Unlock()
+
+	e.sketch, e.err = build()
+	c.mu.Lock()
+	if (e.err != nil || e.evictOnReady) && c.entries[key] == e {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.sketch, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits maxEntries. The entry under keep and entries still building
+// are never evicted. Caller holds c.mu.
+func (c *SketchCache) evictLocked(keep string) {
+	for len(c.entries) > c.maxEntries {
+		victim := ""
+		var oldest uint64
+		for k, e := range c.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim, oldest = k, e.lastUsed
+			}
+		}
+		if victim == "" {
+			return // everything else is in flight
+		}
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+// InvalidateGraph drops every entry whose key belongs to the given
+// graph (keys start with "<graphID>|" — see SketchKey). Called when a
+// graph is deleted so its sketches don't outlive it. Entries still
+// building are marked and removed by their builder on completion (graph
+// ids are never reused, so such a sketch could otherwise leak forever).
+func (c *SketchCache) InvalidateGraph(graphID string) {
+	prefix := graphID + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+		default:
+			e.evictOnReady = true
+		}
+	}
+}
+
+// Reset drops every completed entry, keeping counters. In-flight builds
+// are untouched: their waiters hold the entry directly, and the
+// builder's delete-on-error guard compares pointers, so a build racing
+// a Reset completes harmlessly.
+func (c *SketchCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+		default:
+		}
+	}
+}
+
+// CacheStats is the /v1/stats view of the sketch cache.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the counters.
+func (c *SketchCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// SketchKey derives the cache key for a sketch request. family is the
+// sketch kind ("prima" or "imm"), budgets must already be in canonical
+// form (prima.CanonicalBudgets, or [k] for IMM).
+func SketchKey(graphID, family string, cascade int, eps, ell float64, budgets []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|c%d|e%g|l%g|", graphID, family, cascade, eps, ell)
+	for i, x := range budgets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}

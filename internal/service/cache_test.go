@@ -1,0 +1,206 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSketchCacheSingleflight(t *testing.T) {
+	c := NewSketchCache(8)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.GetOrBuild("k", func() (any, error) {
+				builds.Add(1)
+				<-gate // hold every concurrent requester on one build
+				return "sketch", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the requesters pile up
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("built %d times, want 1", n)
+	}
+	misses := 0
+	for i := range results {
+		if results[i] != "sketch" {
+			t.Fatalf("result %d = %v", i, results[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d misses, want exactly 1", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSketchCacheEviction(t *testing.T) {
+	c := NewSketchCache(2)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, hit, _ := c.GetOrBuild(key, func() (any, error) { return i, nil }); hit {
+			t.Errorf("key %s: unexpected hit", key)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+	// The most recent keys survive.
+	if _, hit, _ := c.GetOrBuild("k4", func() (any, error) { return nil, nil }); !hit {
+		t.Error("k4 was evicted")
+	}
+	if _, hit, _ := c.GetOrBuild("k0", func() (any, error) { return 0, nil }); hit {
+		t.Error("k0 survived eviction")
+	}
+}
+
+func TestSketchCacheErrorNotCached(t *testing.T) {
+	c := NewSketchCache(8)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := c.GetOrBuild("k", func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Errorf("retry after error: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestSketchKeyCanonicalization(t *testing.T) {
+	a := SketchKey("g1", "prima", 0, 0.5, 1, []int{50, 30})
+	b := SketchKey("g1", "prima", 0, 0.5, 1, []int{50, 30})
+	if a != b {
+		t.Errorf("identical inputs differ: %q vs %q", a, b)
+	}
+	for _, other := range []string{
+		SketchKey("g2", "prima", 0, 0.5, 1, []int{50, 30}),
+		SketchKey("g1", "imm", 0, 0.5, 1, []int{50, 30}),
+		SketchKey("g1", "prima", 1, 0.5, 1, []int{50, 30}),
+		SketchKey("g1", "prima", 0, 0.1, 1, []int{50, 30}),
+		SketchKey("g1", "prima", 0, 0.5, 2, []int{50, 30}),
+		SketchKey("g1", "prima", 0, 0.5, 1, []int{50}),
+	} {
+		if other == a {
+			t.Errorf("distinct tuple collides: %q", other)
+		}
+	}
+}
+
+func TestPoolBoundedQueue(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.Submit(func() { close(started); <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started // worker busy; queue empty
+	if !p.Submit(func() {}) {
+		t.Fatal("second submit rejected with empty queue")
+	}
+	// Worker occupied and queue full: reject instead of blocking.
+	if p.Submit(func() {}) {
+		t.Error("third submit accepted beyond capacity")
+	}
+	if p.Busy() != 1 || p.QueueDepth() != 1 || p.QueueCap() != 1 || p.Workers() != 1 {
+		t.Errorf("pool state: busy=%d depth=%d cap=%d workers=%d",
+			p.Busy(), p.QueueDepth(), p.QueueCap(), p.Workers())
+	}
+	close(block)
+	p.Close()
+	if p.Submit(func() {}) {
+		t.Error("submit accepted after Close")
+	}
+}
+
+func TestJobStoreLifecycle(t *testing.T) {
+	s := NewJobStore(0)
+	j := s.Create("allocate", "req")
+	if view, ok := s.Snapshot(j.ID); !ok || view.State != JobQueued {
+		t.Fatalf("snapshot = %+v, %v", view, ok)
+	}
+	s.Start(j.ID)
+	s.Finish(j.ID, "result", nil)
+	view, _ := s.Snapshot(j.ID)
+	if view.State != JobDone || view.Result != "result" {
+		t.Errorf("done view = %+v", view)
+	}
+
+	f := s.Create("estimate", nil)
+	s.Start(f.ID)
+	s.Finish(f.ID, nil, errors.New("nope"))
+	if view, _ := s.Snapshot(f.ID); view.State != JobFailed || view.Error != "nope" {
+		t.Errorf("failed view = %+v", view)
+	}
+
+	counts := s.CountByState()
+	if counts[JobDone] != 1 || counts[JobFailed] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+
+	r := s.Create("allocate", nil)
+	s.Remove(r.ID)
+	if _, ok := s.Snapshot(r.ID); ok {
+		t.Error("removed job still present")
+	}
+	if len(s.List()) != 2 {
+		t.Errorf("list = %+v", s.List())
+	}
+}
+
+func TestJobStoreRetention(t *testing.T) {
+	s := NewJobStore(2)
+	running := s.Create("allocate", nil)
+	s.Start(running.ID)
+	var finished []string
+	for i := 0; i < 5; i++ {
+		j := s.Create("allocate", nil)
+		s.Start(j.ID)
+		s.Finish(j.ID, i, nil)
+		finished = append(finished, j.ID)
+	}
+	counts := s.CountByState()
+	if counts[JobDone] != 2 {
+		t.Errorf("retained %d finished jobs, want 2", counts[JobDone])
+	}
+	// Oldest finished jobs are gone; the newest two and the running job
+	// survive.
+	if _, ok := s.Snapshot(finished[0]); ok {
+		t.Error("oldest finished job survived retention")
+	}
+	for _, id := range finished[3:] {
+		if _, ok := s.Snapshot(id); !ok {
+			t.Errorf("recent job %s was dropped", id)
+		}
+	}
+	if view, ok := s.Snapshot(running.ID); !ok || view.State != JobRunning {
+		t.Error("running job was dropped by retention")
+	}
+}

@@ -1,0 +1,246 @@
+// Package service implements welmaxd, the welfare-allocation daemon: an
+// HTTP/JSON API over the library that keeps graphs resident in an
+// in-memory registry, runs allocation and welfare estimation as
+// asynchronous jobs on a bounded worker pool, and amortizes RR-sketch
+// generation — the dominant cost of every allocation — through a
+// concurrency-safe sketch cache, so repeated and concurrent queries
+// against the same network reuse sketches instead of regenerating them.
+//
+// Endpoints:
+//
+//	POST /v1/graphs    load an edge list or generate a built-in network
+//	GET  /v1/graphs    list resident graphs
+//	POST /v1/allocate  enqueue an allocation job; returns a job id
+//	POST /v1/estimate  enqueue a welfare-estimation job; returns a job id
+//	GET  /v1/jobs/{id} poll a job (queued → running → done | failed)
+//	GET  /v1/jobs      list jobs
+//	GET  /v1/stats     cache hits/misses, jobs by state, worker utilization
+//	GET  /healthz      liveness
+package service
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// GraphRequest is the body of POST /v1/graphs. Exactly one source must
+// be given: Network (a built-in synthetic stand-in), Edges (an inline
+// "u v [p]" edge list), or Path (a server-side edge-list file).
+type GraphRequest struct {
+	// Name is the caller's label for the graph; defaults to the network
+	// name or the path.
+	Name string `json:"name,omitempty"`
+
+	// Network selects a built-in generator
+	// (flixster|douban-book|douban-movie|twitter|orkut).
+	Network string  `json:"network,omitempty"`
+	Scale   float64 `json:"scale,omitempty"` // default 1.0
+	Seed    uint64  `json:"seed,omitempty"`  // default 1
+
+	// Edges is inline edge-list content; Path is a server-side file.
+	Edges    string `json:"edges,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Directed *bool  `json:"directed,omitempty"` // default true
+
+	// KeepProbs keeps the probabilities of the edge list instead of
+	// resetting them to the weighted-cascade 1/indeg(v) default.
+	KeepProbs bool `json:"keep_probs,omitempty"`
+}
+
+// GraphInfo describes one resident graph.
+type GraphInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// AllocateRequest is the body of POST /v1/allocate: solve a WelMax
+// instance on a resident graph.
+type AllocateRequest struct {
+	GraphID string `json:"graph_id"`
+	// Algo is bundleGRD (default), item-disj, or bundle-disj.
+	Algo string `json:"algo,omitempty"`
+	// Config names the utility configuration
+	// (config1|config3|additive|cone|levelwise|real|real-smoothed).
+	Config string `json:"config,omitempty"`
+	// Items is the item count for the additive/cone/levelwise
+	// configurations; defaults to len(Budgets).
+	Items   int   `json:"items,omitempty"`
+	Budgets []int `json:"budgets"`
+	// Eps and Ell are the approximation parameters (defaults 0.5, 1).
+	Eps float64 `json:"eps,omitempty"`
+	Ell float64 `json:"ell,omitempty"`
+	// Cascade is ic (default) or lt.
+	Cascade string `json:"cascade,omitempty"`
+	// Seed seeds the RNGs for sketch generation and welfare estimation.
+	// Note the sketch cache is deliberately keyed without the seed —
+	// any sketch of the right size is statistically valid, so a request
+	// may reuse a sketch built under an earlier request's seed. Results
+	// are deterministic per daemon cache state, not per seed; for
+	// strict seed reproducibility use `welmax -json`.
+	Seed uint64 `json:"seed,omitempty"`
+	// Runs is the Monte-Carlo run count for the welfare estimate
+	// appended to the result; 0 skips the estimate.
+	Runs int `json:"runs,omitempty"`
+	// Workers parallelizes the welfare estimate (default 1).
+	Workers int `json:"workers,omitempty"`
+}
+
+// AllocationDTO is a seed allocation in wire form: Seeds[i] lists the
+// seed nodes of item i.
+type AllocationDTO struct {
+	Seeds [][]int64 `json:"seeds"`
+}
+
+// Request caps: allocation/estimation work is CPU- and memory-bound, so
+// an unauthenticated daemon rejects parameters that could exhaust the
+// host (the utility table alone is 2^k entries).
+const (
+	// MaxItems bounds the item count k (utility tables are 2^k floats).
+	MaxItems = 16
+	// MaxRuns bounds Monte-Carlo welfare runs per request.
+	MaxRuns = 10_000_000
+	// MaxEstimateWorkers bounds per-request estimator goroutines.
+	MaxEstimateWorkers = 64
+	// MaxGraphNodes bounds generated stand-in networks (scale × default
+	// size); loaded edge lists are already bounded by the body cap.
+	MaxGraphNodes = 2_000_000
+	// MaxSeedPairs bounds the total (node, item) pairs of an estimate
+	// request's allocation — each Monte-Carlo run walks every pair.
+	MaxSeedPairs = 100_000
+	// MinEps / MaxEll bound the approximation parameters: RR-sketch
+	// size grows as ~ℓ/ε², so a tiny ε or huge ℓ is a memory bomb.
+	// (ε or ℓ left unset fall back to the paper's 0.5 and 1.)
+	MinEps = 0.05
+	MaxEll = 10.0
+)
+
+// NewAllocationDTO converts a uic.Allocation to wire form.
+func NewAllocationDTO(a *uic.Allocation) AllocationDTO {
+	out := AllocationDTO{Seeds: make([][]int64, a.K())}
+	for i, seeds := range a.Seeds {
+		out.Seeds[i] = make([]int64, len(seeds))
+		for j, v := range seeds {
+			out.Seeds[i][j] = int64(v)
+		}
+	}
+	return out
+}
+
+// Allocation converts the wire form back to a uic.Allocation.
+func (d AllocationDTO) Allocation() *uic.Allocation {
+	a := uic.NewAllocation(len(d.Seeds))
+	for i, seeds := range d.Seeds {
+		for _, v := range seeds {
+			a.Assign(graph.NodeID(v), i)
+		}
+	}
+	return a
+}
+
+// WelfareDTO is a Monte-Carlo welfare estimate in wire form.
+type WelfareDTO struct {
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	Runs   int     `json:"runs"`
+}
+
+// AllocateResult is the result payload of an allocation job. The welmax
+// CLI's -json mode emits the same struct (via NewAllocateResult), so
+// CLI and daemon outputs are interchangeable.
+type AllocateResult struct {
+	Algorithm  string        `json:"algorithm"`
+	Allocation AllocationDTO `json:"allocation"`
+	// SeedOrder is bundleGRD's prefix-preserving ordering (empty for
+	// the baselines).
+	SeedOrder      []int64 `json:"seed_order,omitempty"`
+	NumRRSets      int     `json:"num_rr_sets"`
+	TotalRRSets    int     `json:"total_rr_sets"`
+	IMMInvocations int     `json:"imm_invocations"`
+	// SketchCached reports whether the allocation reused a cached RR
+	// sketch instead of generating one (always false in the CLI).
+	SketchCached bool        `json:"sketch_cached"`
+	Welfare      *WelfareDTO `json:"welfare,omitempty"`
+	ElapsedMS    int64       `json:"elapsed_ms"`
+}
+
+// NewAllocateResult assembles the shared wire payload from an algorithm
+// run; both service.Allocate and `welmax -json` go through it so the two
+// outputs cannot drift.
+func NewAllocateResult(algo string, res core.Result) *AllocateResult {
+	out := &AllocateResult{
+		Algorithm:      algo,
+		Allocation:     NewAllocationDTO(res.Alloc),
+		NumRRSets:      res.NumRRSets,
+		TotalRRSets:    res.TotalRRSets,
+		IMMInvocations: res.IMMInvocations,
+	}
+	for _, v := range res.SeedOrder {
+		out.SeedOrder = append(out.SeedOrder, int64(v))
+	}
+	return out
+}
+
+// EstimateRequest is the body of POST /v1/estimate: Monte-Carlo estimate
+// the expected social welfare of an explicit allocation.
+type EstimateRequest struct {
+	GraphID    string        `json:"graph_id"`
+	Config     string        `json:"config,omitempty"`
+	Items      int           `json:"items,omitempty"`
+	Allocation AllocationDTO `json:"allocation"`
+	Cascade    string        `json:"cascade,omitempty"`
+	Seed       uint64        `json:"seed,omitempty"`
+	Runs       int           `json:"runs,omitempty"`    // default 10000
+	Workers    int           `json:"workers,omitempty"` // default 1
+}
+
+// EstimateResult is the result payload of an estimation job.
+type EstimateResult struct {
+	Welfare   WelfareDTO `json:"welfare"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
+// BuildModel constructs a utility configuration by name, matching the
+// welmax CLI's -config flag. items <= 0 defaults to budgetCount.
+func BuildModel(name string, items, budgetCount int, seed uint64) (*utility.Model, error) {
+	if name == "" {
+		name = "config1"
+	}
+	if items <= 0 {
+		items = budgetCount
+	}
+	switch name {
+	case "config1":
+		return utility.Config1(), nil
+	case "config3":
+		return utility.Config3(), nil
+	case "additive":
+		return utility.Config5(items), nil
+	case "cone":
+		return utility.ConfigCone(items, 0), nil
+	case "levelwise":
+		return utility.Config8(items, stats.NewRNG(seed^0xbeef)), nil
+	case "real":
+		return utility.RealParams(), nil
+	case "real-smoothed":
+		return utility.RealParamsSmoothed(), nil
+	}
+	return nil, fmt.Errorf("unknown configuration %q", name)
+}
+
+// ParseCascade maps the wire name to a graph.Cascade.
+func ParseCascade(name string) (graph.Cascade, error) {
+	switch name {
+	case "", "ic":
+		return graph.CascadeIC, nil
+	case "lt":
+		return graph.CascadeLT, nil
+	}
+	return graph.CascadeIC, fmt.Errorf("unknown cascade %q", name)
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API as an http.Handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds request bodies (inline edge lists are the largest
+// legitimate payload); anything bigger is rejected instead of buffered.
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	var req GraphRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path != "" && !s.allowPaths {
+		writeError(w, http.StatusForbidden,
+			fmt.Errorf("server-side path loading is disabled (start welmaxd with -allow-paths)"))
+		return
+	}
+	name, g, err := LoadGraph(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := s.registry.Add(name, g)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, entry.Info())
+}
+
+func (s *Service) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Delete(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	s.cache.InvalidateGraph(id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.registry.List()
+	out := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.Info())
+}
+
+// enqueue creates a job and submits run to the pool; run must return the
+// job's result. It answers 202 with the job id, or 503 when the queue is
+// full.
+func (s *Service) enqueue(w http.ResponseWriter, kind string, req any, run func() (any, error)) {
+	job := s.jobs.Create(kind, req)
+	ok := s.pool.Submit(func() {
+		s.jobs.Start(job.ID)
+		result, err := run()
+		s.jobs.Finish(job.ID, result, err)
+	})
+	if !ok {
+		s.jobs.Remove(job.ID)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue full"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": job.ID, "state": string(JobQueued)})
+}
+
+func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req AllocateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Fail malformed requests synchronously with 400; the job itself
+	// revalidates when it runs.
+	if _, _, err := s.validateAllocate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.enqueue(w, "allocate", &req, func() (any, error) { return s.Allocate(&req) })
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if _, _, _, err := s.validateEstimate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.enqueue(w, "estimate", &req, func() (any, error) { return s.Estimate(&req) })
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,282 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is the lifecycle of an asynchronous job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous unit of work. Fields are guarded by the
+// store's mutex; handlers read them through Snapshot.
+type Job struct {
+	ID       string
+	Kind     string // "allocate" | "estimate"
+	State    JobState
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Request  any
+	Result   any
+	Err      string
+}
+
+// JobView is the wire form of a job returned by GET /v1/jobs/{id}.
+type JobView struct {
+	ID      string   `json:"id"`
+	Kind    string   `json:"kind"`
+	State   JobState `json:"state"`
+	Created string   `json:"created"`
+	// ElapsedMS is running time so far (running) or total (done/failed).
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Request   any    `json:"request,omitempty"`
+	Result    any    `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:      j.ID,
+		Kind:    j.Kind,
+		State:   j.State,
+		Created: j.Created.UTC().Format(time.RFC3339Nano),
+		Request: j.Request,
+		Result:  j.Result,
+		Error:   j.Err,
+	}
+	switch j.State {
+	case JobRunning:
+		v.ElapsedMS = time.Since(j.Started).Milliseconds()
+	case JobDone, JobFailed:
+		v.ElapsedMS = j.Finished.Sub(j.Started).Milliseconds()
+	}
+	return v
+}
+
+// JobStore tracks jobs by id and counts them by state. Finished jobs
+// are retained up to a bound; beyond it the oldest done/failed jobs are
+// dropped so a long-running daemon's memory stays flat. Queued and
+// running jobs are never dropped.
+type JobStore struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	ids    []string // insertion order, for listing
+	seq    int
+	retain int
+}
+
+// NewJobStore returns an empty store keeping at most retain finished
+// jobs (default 1024 if retain <= 0).
+func NewJobStore(retain int) *JobStore {
+	if retain <= 0 {
+		retain = 1024
+	}
+	return &JobStore{jobs: map[string]*Job{}, retain: retain}
+}
+
+// Create registers a queued job and returns it.
+func (s *JobStore) Create(kind string, req any) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%d", s.seq),
+		Kind:    kind,
+		State:   JobQueued,
+		Created: time.Now(),
+		Request: req,
+	}
+	s.jobs[j.ID] = j
+	s.ids = append(s.ids, j.ID)
+	return j
+}
+
+// Remove drops a job that never ran (e.g. the queue was full).
+func (s *JobStore) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return
+	}
+	delete(s.jobs, id)
+	for i, x := range s.ids {
+		if x == id {
+			s.ids = append(s.ids[:i], s.ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// Start marks the job running.
+func (s *JobStore) Start(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		j.State = JobRunning
+		j.Started = time.Now()
+	}
+}
+
+// Finish marks the job done (err == nil) or failed.
+func (s *JobStore) Finish(id string, result any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	j.Finished = time.Now()
+	if err != nil {
+		j.State = JobFailed
+		j.Err = err.Error()
+	} else {
+		j.State = JobDone
+		j.Result = result
+	}
+	s.trimLocked()
+}
+
+// trimLocked drops the oldest finished jobs beyond the retention bound.
+// Caller holds s.mu.
+func (s *JobStore) trimLocked() {
+	finished := 0
+	for _, j := range s.jobs {
+		if j.State == JobDone || j.State == JobFailed {
+			finished++
+		}
+	}
+	drop := finished - s.retain
+	if drop <= 0 {
+		return
+	}
+	keep := s.ids[:0]
+	for _, id := range s.ids {
+		j := s.jobs[id]
+		if drop > 0 && (j.State == JobDone || j.State == JobFailed) {
+			delete(s.jobs, id)
+			drop--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.ids = keep
+}
+
+// Snapshot returns the wire view of a job.
+func (s *JobStore) Snapshot(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List returns the wire view of every job in insertion order.
+func (s *JobStore) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// CountByState tallies jobs per lifecycle state.
+func (s *JobStore) CountByState() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[JobState]int{}
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// Pool is a bounded worker pool: a fixed number of goroutines draining a
+// bounded queue. Submission never blocks — a full queue is reported to
+// the caller (the HTTP layer answers 503) instead of stalling the
+// accept loop.
+type Pool struct {
+	mu     sync.Mutex
+	queue  chan func()
+	wg     sync.WaitGroup
+	busy   atomic.Int32
+	closed bool
+	size   int
+}
+
+// NewPool starts `workers` goroutines with a queue of capacity queueCap.
+func NewPool(workers, queueCap int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	p := &Pool{queue: make(chan func(), queueCap), size: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.busy.Add(1)
+				fn()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues fn; it reports false when the queue is full or the
+// pool is closed.
+func (p *Pool) Submit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting work, drains the queue, and waits for the
+// workers to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.size }
+
+// Busy returns how many workers are executing a job right now.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// QueueDepth returns the number of queued-but-unstarted submissions.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// QueueCap returns the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.queue) }

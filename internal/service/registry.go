@@ -1,0 +1,162 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"uicwelfare/internal/expr"
+	"uicwelfare/internal/graph"
+)
+
+// Registry keeps graphs resident in memory so queries skip the
+// load-and-parse cost of the one-shot CLIs. Graphs are immutable once
+// registered and are shared read-only by all jobs. Residency is
+// bounded: past the limit, registration fails until a graph is deleted
+// (graphs are whole working sets, so silent LRU eviction under a
+// client's feet would be worse than an explicit error).
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*GraphEntry
+	seq    int
+	limit  int
+}
+
+// GraphEntry is one resident graph.
+type GraphEntry struct {
+	ID    string
+	Name  string
+	Graph *graph.Graph
+}
+
+// Info returns the wire description of the entry.
+func (e *GraphEntry) Info() GraphInfo {
+	return GraphInfo{ID: e.ID, Name: e.Name, Nodes: e.Graph.N(), Edges: e.Graph.M()}
+}
+
+// NewRegistry returns an empty registry holding at most limit graphs
+// (default 64 if limit <= 0).
+func NewRegistry(limit int) *Registry {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &Registry{graphs: map[string]*GraphEntry{}, limit: limit}
+}
+
+// Add registers a graph and assigns it an id. It fails when the
+// registry is full.
+func (r *Registry) Add(name string, g *graph.Graph) (*GraphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.graphs) >= r.limit {
+		return nil, fmt.Errorf("graph registry full (%d graphs); DELETE /v1/graphs/{id} to free one", r.limit)
+	}
+	r.seq++
+	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.seq), Name: name, Graph: g}
+	r.graphs[e.ID] = e
+	return e, nil
+}
+
+// Delete removes the entry with the given id, reporting whether it
+// existed. Jobs already running against the graph keep their reference;
+// the memory is reclaimed when they finish.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[id]; !ok {
+		return false
+	}
+	delete(r.graphs, id)
+	return true
+}
+
+// Get returns the entry with the given id.
+func (r *Registry) Get(id string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[id]
+	return e, ok
+}
+
+// List returns all entries ordered by id.
+func (r *Registry) List() []*GraphEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*GraphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of resident graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+// LoadGraph materializes the graph described by a GraphRequest.
+func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
+	sources := 0
+	for _, set := range []bool{req.Network != "", req.Edges != "", req.Path != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return "", nil, fmt.Errorf("exactly one of network, edges, path required")
+	}
+	directed := true
+	if req.Directed != nil {
+		directed = *req.Directed
+	}
+	switch {
+	case req.Network != "":
+		spec, err := expr.NetworkByName(req.Network)
+		if err != nil {
+			return "", nil, err
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = 1.0
+		}
+		if n := float64(spec.DefaultNodes) * scale; n > MaxGraphNodes {
+			return "", nil, fmt.Errorf("scale %g yields %.0f nodes, over the limit of %d", scale, n, MaxGraphNodes)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		name, g = req.Network, spec.Generate(scale, seed)
+	case req.Edges != "":
+		name = "inline"
+		g, err = graph.ReadEdgeList(strings.NewReader(req.Edges), !directed)
+		if err != nil {
+			return "", nil, err
+		}
+		if !req.KeepProbs {
+			g = g.WeightedCascade()
+		}
+	default:
+		name = req.Path
+		g, err = graph.LoadEdgeList(req.Path, !directed)
+		if err != nil {
+			return "", nil, err
+		}
+		if !req.KeepProbs {
+			g = g.WeightedCascade()
+		}
+	}
+	if req.Name != "" {
+		name = req.Name
+	}
+	return name, g, nil
+}

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/imm"
+	"uicwelfare/internal/prima"
+	"uicwelfare/internal/stats"
+	"uicwelfare/internal/uic"
+	"uicwelfare/internal/utility"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the allocation/estimation worker-pool size (default 2).
+	Workers int
+	// QueueCap bounds the job queue (default 64).
+	QueueCap int
+	// CacheEntries bounds the sketch cache (default 64).
+	CacheEntries int
+	// JobRetention bounds how many finished jobs stay queryable
+	// (default 1024).
+	JobRetention int
+	// MaxGraphs bounds the graph registry (default 64).
+	MaxGraphs int
+	// AllowPathLoads permits POST /v1/graphs requests naming
+	// server-side files. Off by default: an unauthenticated daemon
+	// must not let remote callers open arbitrary local paths.
+	AllowPathLoads bool
+}
+
+// Service owns the daemon's state: the graph registry, the RR-sketch
+// cache, the job store, and the worker pool. Handler exposes it over
+// HTTP.
+type Service struct {
+	registry   *Registry
+	cache      *SketchCache
+	jobs       *JobStore
+	pool       *Pool
+	start      time.Time
+	allowPaths bool
+}
+
+// New assembles a Service and starts its worker pool.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	return &Service{
+		registry:   NewRegistry(opts.MaxGraphs),
+		cache:      NewSketchCache(opts.CacheEntries),
+		jobs:       NewJobStore(opts.JobRetention),
+		pool:       NewPool(opts.Workers, opts.QueueCap),
+		start:      time.Now(),
+		allowPaths: opts.AllowPathLoads,
+	}
+}
+
+// Close drains the worker pool.
+func (s *Service) Close() { s.pool.Close() }
+
+// ResetSketchCache drops all cached sketches (used by the cold-path
+// benchmark). Safe to call while requests are in flight.
+func (s *Service) ResetSketchCache() { s.cache.Reset() }
+
+// Registry exposes the graph registry (used by tests and the daemon to
+// preload graphs).
+func (s *Service) Registry() *Registry { return s.registry }
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Graphs      int              `json:"graphs"`
+	SketchCache CacheStats       `json:"sketch_cache"`
+	Jobs        map[JobState]int `json:"jobs"`
+	Workers     int              `json:"workers"`
+	BusyWorkers int              `json:"busy_workers"`
+	QueueDepth  int              `json:"queue_depth"`
+	QueueCap    int              `json:"queue_cap"`
+	UptimeMS    int64            `json:"uptime_ms"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() StatsResponse {
+	return StatsResponse{
+		Graphs:      s.registry.Len(),
+		SketchCache: s.cache.Stats(),
+		Jobs:        s.jobs.CountByState(),
+		Workers:     s.pool.Workers(),
+		BusyWorkers: s.pool.Busy(),
+		QueueDepth:  s.pool.QueueDepth(),
+		QueueCap:    s.pool.QueueCap(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+	}
+}
+
+// validateAllocate resolves the parts of an AllocateRequest that can be
+// rejected synchronously (unknown graph/algo/config/cascade, budget
+// mismatch), so bad requests fail with 400 instead of a failed job.
+func (s *Service) validateAllocate(req *AllocateRequest) (*core.Problem, core.Options, error) {
+	entry, ok := s.registry.Get(req.GraphID)
+	if !ok {
+		return nil, core.Options{}, fmt.Errorf("unknown graph %q", req.GraphID)
+	}
+	if len(req.Budgets) == 0 {
+		return nil, core.Options{}, fmt.Errorf("budgets required")
+	}
+	switch req.Algo {
+	case "", "bundleGRD", "item-disj", "bundle-disj":
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown algorithm %q", req.Algo)
+	}
+	cascade, err := ParseCascade(req.Cascade)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	if err := checkWorkload(len(req.Budgets), req.Items, req.Runs, req.Workers); err != nil {
+		return nil, core.Options{}, err
+	}
+	if req.Eps != 0 && req.Eps < MinEps {
+		return nil, core.Options{}, fmt.Errorf("eps %g below the minimum of %g (omit or 0 for the default)", req.Eps, MinEps)
+	}
+	if req.Ell < 0 || req.Ell > MaxEll {
+		return nil, core.Options{}, fmt.Errorf("ell %g outside (0, %g] (omit or 0 for the default)", req.Ell, MaxEll)
+	}
+	model, err := BuildModel(req.Config, req.Items, len(req.Budgets), seedOf(req.Seed))
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	prob, err := core.NewProblem(entry.Graph, model, req.Budgets)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	if req.Runs > 0 {
+		// The inline welfare estimate walks every (seed, item) pair per
+		// run; cap the pair count like the estimate endpoint does.
+		pairs := 0
+		for _, b := range req.Budgets {
+			pairs += min(b, entry.Graph.N())
+			if pairs > MaxSeedPairs {
+				return nil, core.Options{}, fmt.Errorf("budgets yield over %d seed pairs; set runs=0 or shrink budgets", MaxSeedPairs)
+			}
+		}
+	}
+	return prob, core.Options{Eps: req.Eps, Ell: req.Ell, Cascade: cascade}, nil
+}
+
+// checkWorkload rejects parameters that could exhaust the host: item
+// counts blow up the 2^k utility table, and runs/workers directly size
+// the Monte-Carlo estimator's work and goroutine count.
+func checkWorkload(items, explicitItems, runs, workers int) error {
+	if explicitItems > items {
+		items = explicitItems
+	}
+	if items > MaxItems {
+		return fmt.Errorf("%d items exceeds the limit of %d", items, MaxItems)
+	}
+	if runs > MaxRuns {
+		return fmt.Errorf("%d runs exceeds the limit of %d", runs, MaxRuns)
+	}
+	if workers > MaxEstimateWorkers {
+		return fmt.Errorf("%d estimate workers exceeds the limit of %d", workers, MaxEstimateWorkers)
+	}
+	return nil
+}
+
+func seedOf(s uint64) uint64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// Allocate synchronously solves one allocation request. Sketch generation goes
+// through the cache for the sketch-reusing algorithms (bundleGRD,
+// item-disj); bundle-disj's adaptive sequence of IMM calls is run
+// directly.
+func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
+	startT := time.Now()
+	prob, opts, err := s.validateAllocate(req)
+	if err != nil {
+		return nil, err
+	}
+	seed := seedOf(req.Seed)
+	eps, ell := opts.Eps, opts.Ell
+	if eps <= 0 {
+		eps = 0.5
+	}
+	if ell <= 0 {
+		ell = 1
+	}
+
+	algo := req.Algo
+	if algo == "" {
+		algo = "bundleGRD"
+	}
+	var (
+		res core.Result
+		hit bool
+	)
+	switch algo {
+	case "bundleGRD":
+		canon := prima.CanonicalBudgets(req.Budgets, prob.G.N())
+		key := SketchKey(req.GraphID, "prima", int(opts.Cascade), eps, ell, canon)
+		v, h, err := s.cache.GetOrBuild(key, func() (any, error) {
+			po := prima.Options{Eps: eps, Ell: ell, Cascade: opts.Cascade}
+			return prima.BuildSketch(prob.G, req.Budgets, po, stats.NewRNG(seed)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hit = h
+		res = core.BundleGRDFromSketch(prob, v.(*prima.Sketch))
+	case "item-disj":
+		total := prob.TotalBudget()
+		key := SketchKey(req.GraphID, "imm", int(opts.Cascade), eps, ell, []int{total})
+		v, h, err := s.cache.GetOrBuild(key, func() (any, error) {
+			io := imm.Options{Eps: eps, Ell: ell, Cascade: opts.Cascade}
+			return imm.BuildSketch(prob.G, total, io, stats.NewRNG(seed)), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hit = h
+		res = core.ItemDisjointFromSketch(prob, v.(*imm.Sketch))
+	case "bundle-disj":
+		res = core.BundleDisjoint(prob, opts, stats.NewRNG(seed))
+	}
+
+	// The graph may have been deleted while the sketch was building —
+	// after InvalidateGraph already ran, so the entry would otherwise
+	// outlive its never-reused graph id. Re-check and sweep.
+	if _, ok := s.registry.Get(req.GraphID); !ok {
+		s.cache.InvalidateGraph(req.GraphID)
+	}
+
+	out := NewAllocateResult(algo, res)
+	out.SketchCached = hit
+	if req.Runs > 0 {
+		est := uic.EstimateWelfareParallelCascade(prob.G, prob.Model, opts.Cascade, res.Alloc,
+			stats.NewRNG(seed+1), req.Runs, req.Workers)
+		out.Welfare = &WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
+	}
+	out.ElapsedMS = time.Since(startT).Milliseconds()
+	return out, nil
+}
+
+// validateEstimate resolves the parts of an EstimateRequest that can be
+// rejected synchronously.
+func (s *Service) validateEstimate(req *EstimateRequest) (*GraphEntry, *uic.Allocation, *utility.Model, error) {
+	entry, ok := s.registry.Get(req.GraphID)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown graph %q", req.GraphID)
+	}
+	if len(req.Allocation.Seeds) == 0 {
+		return nil, nil, nil, fmt.Errorf("allocation required")
+	}
+	if _, err := ParseCascade(req.Cascade); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := checkWorkload(len(req.Allocation.Seeds), req.Items, req.Runs, req.Workers); err != nil {
+		return nil, nil, nil, err
+	}
+	// Range-check the raw wire values: converting first would let ids
+	// beyond int32 silently truncate into valid node ids. Also bound the
+	// total pair count — every Monte-Carlo run walks every pair.
+	pairs := 0
+	for _, seeds := range req.Allocation.Seeds {
+		pairs += len(seeds)
+		if pairs > MaxSeedPairs {
+			return nil, nil, nil, fmt.Errorf("allocation exceeds %d seed pairs", MaxSeedPairs)
+		}
+		for _, v := range seeds {
+			if v < 0 || v >= int64(entry.Graph.N()) {
+				return nil, nil, nil, fmt.Errorf("seed node %d out of range [0, %d)", v, entry.Graph.N())
+			}
+		}
+	}
+	alloc := req.Allocation.Allocation()
+	model, err := BuildModel(req.Config, req.Items, alloc.K(), seedOf(req.Seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if model.K() != alloc.K() {
+		return nil, nil, nil, fmt.Errorf("allocation has %d items, configuration %q has %d",
+			alloc.K(), req.Config, model.K())
+	}
+	return entry, alloc, model, nil
+}
+
+// Estimate synchronously runs one estimation request.
+func (s *Service) Estimate(req *EstimateRequest) (*EstimateResult, error) {
+	startT := time.Now()
+	entry, alloc, model, err := s.validateEstimate(req)
+	if err != nil {
+		return nil, err
+	}
+	cascade, _ := ParseCascade(req.Cascade)
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 10000
+	}
+	est := uic.EstimateWelfareParallelCascade(entry.Graph, model, cascade, alloc,
+		stats.NewRNG(seedOf(req.Seed)), runs, req.Workers)
+	return &EstimateResult{
+		Welfare:   WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs},
+		ElapsedMS: time.Since(startT).Milliseconds(),
+	}, nil
+}

@@ -71,8 +71,16 @@ func (s *Simulator) AdoptionCounts(alloc *Allocation, rng *stats.RNG, runs int) 
 // goroutines, each with its own Simulator and a Split RNG. With
 // workers <= 1 it falls back to the sequential estimator.
 func EstimateWelfareParallel(g *graph.Graph, m *utility.Model, alloc *Allocation, rng *stats.RNG, runs, workers int) WelfareEstimate {
+	return EstimateWelfareParallelCascade(g, m, graph.CascadeIC, alloc, rng, runs, workers)
+}
+
+// EstimateWelfareParallelCascade is EstimateWelfareParallel under an
+// explicit cascade model (welmaxd estimates LT instances through this).
+func EstimateWelfareParallelCascade(g *graph.Graph, m *utility.Model, cascade graph.Cascade, alloc *Allocation, rng *stats.RNG, runs, workers int) WelfareEstimate {
 	if workers <= 1 {
-		return NewSimulator(g, m).EstimateWelfare(alloc, rng, runs)
+		sim := NewSimulator(g, m)
+		sim.Cascade = cascade
+		return sim.EstimateWelfare(alloc, rng, runs)
 	}
 	if runs < workers {
 		workers = runs
@@ -91,6 +99,7 @@ func EstimateWelfareParallel(g *graph.Graph, m *utility.Model, alloc *Allocation
 		go func(w, n int, r *stats.RNG) {
 			defer wg.Done()
 			sim := NewSimulator(g, m)
+			sim.Cascade = cascade
 			var sum stats.Summary
 			for i := 0; i < n; i++ {
 				sum.Add(sim.RunOnce(alloc, r))

@@ -1,30 +1,30 @@
 // Command welmax solves a WelMax instance: it loads or generates a social
-// network, picks a utility configuration, runs one of the allocation
-// algorithms, and reports the allocation and its estimated expected
-// social welfare.
+// network, picks a utility configuration, runs one of the registered
+// allocation algorithms, and reports the allocation and its estimated
+// expected social welfare. Ctrl-C cancels a run cleanly mid-sketch.
 //
 // Examples:
 //
 //	welmax -network flixster -config config1 -budgets 50,50
 //	welmax -graph edges.txt -directed -config real -budgets 30,30,20,10,10 -algo bundle-disj
+//	welmax -network twitter -budgets 50,50 -eps 0.1 -progress
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"uicwelfare/internal/core"
-	"uicwelfare/internal/expr"
+	welfare "uicwelfare"
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/service"
-	"uicwelfare/internal/stats"
-	"uicwelfare/internal/uic"
-	"uicwelfare/internal/utility"
 )
 
 func main() {
@@ -36,15 +36,22 @@ func main() {
 		configName = flag.String("config", "config1", "utility configuration (config1|config3|additive|cone|levelwise|real|real-smoothed)")
 		items      = flag.Int("items", 5, "item count for additive/cone/levelwise configurations")
 		budgetsStr = flag.String("budgets", "50,50", "comma-separated per-item seed budgets")
-		algo       = flag.String("algo", "bundleGRD", "allocation algorithm (bundleGRD|item-disj|bundle-disj)")
-		eps        = flag.Float64("eps", 0.5, "approximation parameter ε")
-		ell        = flag.Float64("ell", 1.0, "confidence exponent ℓ")
-		runs       = flag.Int("runs", 10000, "Monte-Carlo runs for the welfare estimate")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		verbose    = flag.Bool("v", false, "print the full allocation")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the welmaxd AllocateResult payload)")
+		algo       = flag.String("algo", welfare.DefaultAlgorithm,
+			fmt.Sprintf("allocation algorithm (%s)", strings.Join(welfare.AlgorithmNames(), "|")))
+		eps      = flag.Float64("eps", 0.5, "approximation parameter ε")
+		ell      = flag.Float64("ell", 1.0, "confidence exponent ℓ")
+		runs     = flag.Int("runs", 10000, "Monte-Carlo runs for the welfare estimate")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print the full allocation")
+		progress = flag.Bool("progress", false, "report sketch/estimation progress on stderr")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON (the welmaxd AllocateResult payload)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the context threaded through sketch
+	// construction and estimation, so long runs stop promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	budgets, err := parseBudgets(*budgetsStr)
 	if err != nil {
@@ -59,7 +66,7 @@ func main() {
 		fmt.Printf("network: %v\n", g)
 	}
 
-	m, err := buildModel(*configName, *items, len(budgets), *seed)
+	m, err := service.BuildModel(*configName, *items, len(budgets), *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,31 +74,51 @@ func main() {
 		fatal(fmt.Errorf("%d budgets for %d items", len(budgets), m.K()))
 	}
 
-	prob, err := core.NewProblem(g, m, budgets)
+	prob, err := welfare.NewProblem(g, m, budgets)
 	if err != nil {
 		fatal(err)
 	}
-	rng := stats.NewRNG(*seed)
-	opts := core.Options{Eps: *eps, Ell: *ell}
+
+	// Progress can fire every few hundred RR sets / Monte-Carlo runs;
+	// throttle to phase completions plus a heartbeat so -progress stays
+	// readable on large graphs.
+	var progressFn func(welfare.Progress)
+	if *progress {
+		var last time.Time
+		progressFn = func(p welfare.Progress) {
+			if p.Done != p.Total && time.Since(last) < 500*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			if p.Round > 0 {
+				fmt.Fprintf(os.Stderr, "welmax: %s round %d: %d/%d\n", p.Stage, p.Round, p.Done, p.Total)
+			} else {
+				fmt.Fprintf(os.Stderr, "welmax: %s: %d/%d\n", p.Stage, p.Done, p.Total)
+			}
+		}
+	}
+
+	runOpts := []welfare.RunOption{
+		welfare.WithAlgorithm(*algo),
+		welfare.WithEps(*eps),
+		welfare.WithEll(*ell),
+		welfare.WithSeed(*seed),
+	}
+	if progressFn != nil {
+		runOpts = append(runOpts, welfare.WithProgress(progressFn))
+	}
 
 	started := time.Now()
-	var res core.Result
-	switch *algo {
-	case "bundleGRD":
-		res = core.BundleGRD(prob, opts, rng)
-	case "item-disj":
-		res = core.ItemDisjoint(prob, opts, rng)
-	case "bundle-disj":
-		res = core.BundleDisjoint(prob, opts, rng)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	res, err := welfare.Run(ctx, prob, runOpts...)
+	if err != nil {
+		fatal(err)
 	}
 
 	// Text mode reports the allocation as soon as it exists; the
 	// Monte-Carlo estimate below can take a while on large graphs.
 	if !*jsonOut {
 		fmt.Printf("algorithm: %s (RR sets: %d, IMM invocations: %d)\n",
-			*algo, res.NumRRSets, res.IMMInvocations)
+			res.Algorithm, res.NumRRSets, res.IMMInvocations)
 		if *verbose {
 			for i, seeds := range res.Alloc.Seeds {
 				fmt.Printf("  item %d (budget %d): %v\n", i, budgets[i], seeds)
@@ -99,12 +126,15 @@ func main() {
 		}
 	}
 
-	est := uic.NewSimulator(g, m).EstimateWelfare(res.Alloc, stats.NewRNG(*seed+1), *runs)
+	est, err := welfare.EstimateWelfareCtx(ctx, prob, res.Alloc, welfare.CascadeIC, welfare.NewRNG(*seed+1), *runs, 1, progressFn)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *jsonOut {
 		// The same DTO welmaxd returns from an allocation job, so CLI and
 		// daemon outputs are interchangeable.
-		out := service.NewAllocateResult(*algo, res)
+		out := service.NewAllocateResult(res.Algorithm, res.Result)
 		out.Welfare = &service.WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
 		out.ElapsedMS = time.Since(started).Milliseconds()
 		enc := json.NewEncoder(os.Stdout)
@@ -131,7 +161,7 @@ func parseBudgets(s string) ([]int, error) {
 	return out, nil
 }
 
-func loadOrGenerate(path string, directed bool, network string, scale float64, seed uint64) (*graph.Graph, error) {
+func loadOrGenerate(path string, directed bool, network string, scale float64, seed uint64) (*welfare.Graph, error) {
 	if path != "" {
 		g, err := graph.LoadEdgeList(path, !directed)
 		if err != nil {
@@ -139,15 +169,7 @@ func loadOrGenerate(path string, directed bool, network string, scale float64, s
 		}
 		return g.WeightedCascade(), nil
 	}
-	spec, err := expr.NetworkByName(network)
-	if err != nil {
-		return nil, err
-	}
-	return spec.Generate(scale, seed), nil
-}
-
-func buildModel(name string, items, budgetCount int, seed uint64) (*utility.Model, error) {
-	return service.BuildModel(name, items, budgetCount, seed)
+	return welfare.GenerateNetworkE(network, scale, seed)
 }
 
 func fatal(err error) {

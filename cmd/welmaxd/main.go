@@ -8,10 +8,13 @@
 // Quick start:
 //
 //	welmaxd -addr :8080 &
+//	curl -s localhost:8080/v1/algorithms
 //	curl -s -X POST localhost:8080/v1/graphs -d '{"network":"flixster"}'
 //	curl -s -X POST localhost:8080/v1/allocate \
 //	    -d '{"graph_id":"g1","budgets":[50,50],"runs":10000}'
 //	curl -s localhost:8080/v1/jobs/j1
+//	curl -sN localhost:8080/v1/jobs/j1/events   # SSE progress stream
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1 # cancel a running job
 //	curl -s localhost:8080/v1/stats
 package main
 

@@ -55,9 +55,9 @@ func main() {
 		run  func(*welfare.Problem, welfare.Options, *welfare.RNG) welfare.Result
 	}
 	for _, a := range []algo{
-		{"bundleGRD", welfare.BundleGRD},
-		{"bundle-disj", welfare.BundleDisjoint},
-		{"item-disj", welfare.ItemDisjoint},
+		{welfare.AlgoBundleGRD, welfare.BundleGRD},
+		{welfare.AlgoBundleDisjoint, welfare.BundleDisjoint},
+		{welfare.AlgoItemDisjoint, welfare.ItemDisjoint},
 	} {
 		res := a.run(p, welfare.Options{}, rng)
 		est := welfare.EstimateWelfare(p, res.Alloc, welfare.NewRNG(99), 10000)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/imm"
 	"uicwelfare/internal/itemset"
@@ -13,13 +15,13 @@ import (
 // order, assigning each item the next b_i unused nodes. Every seed node
 // carries exactly one item, so the baseline cannot exploit
 // supermodularity at the seeds — it relies purely on propagation.
+//
+// Deprecated: use Plan(ctx, AlgoItemDisjoint, ...) or the registered
+// planner, which add cancellation and progress reporting. This wrapper
+// delegates with a background context.
 func ItemDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
-	total := p.TotalBudget()
-	if total == 0 {
-		return Result{Alloc: uic.NewAllocation(p.K())}
-	}
-	sk := imm.BuildSketch(p.G, total, imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
-	return ItemDisjointFromSketch(p, sk)
+	res, _ := itemDisjointPlanner{}.Plan(context.Background(), p, opts, rng) // background ctx: never canceled
+	return res
 }
 
 // ItemDisjointFromSketch runs the item-disj assignment on a prebuilt IMM
@@ -64,13 +66,26 @@ type bundleDisjBundle struct {
 // It exploits supermodularity through bundling but pays for repeated IMM
 // invocations and cannot interleave budgets the way the prefix ordering
 // does.
+//
+// Deprecated: use Plan(ctx, AlgoBundleDisjoint, ...) or
+// BundleDisjointCtx, which add cancellation and progress reporting.
+// This wrapper delegates with a background context.
 func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
+	res, _ := BundleDisjointCtx(context.Background(), p, opts, rng) // background ctx: never canceled
+	return res
+}
+
+// BundleDisjointCtx is BundleDisjoint with cooperative cancellation and
+// progress reporting: each of the adaptive sequence of IMM selections
+// checks ctx while sampling, so a canceled context stops the run
+// promptly with ctx.Err().
+func BundleDisjointCtx(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (Result, error) {
 	k := p.K()
 	alloc := uic.NewAllocation(k)
 	remaining := make([]int, k)
 	copy(remaining, p.Budgets)
 
-	immOpts := imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}
+	immOpts := immOptions(opts)
 	var (
 		bundles  []bundleDisjBundle
 		used     = map[graph.NodeID]bool{}
@@ -82,15 +97,18 @@ func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 
 	// freshSeeds returns `want` highest-ranked nodes not used by earlier
 	// bundles, running IMM with an enlarged budget to skip used ones.
-	freshSeeds := func(want int) []graph.NodeID {
+	freshSeeds := func(want int) ([]graph.NodeID, error) {
 		if want <= 0 {
-			return nil
+			return nil, nil
 		}
 		need := want + len(usedList)
 		if need > p.G.N() {
 			need = p.G.N()
 		}
-		res := imm.Run(p.G, need, immOpts, rng)
+		res, err := imm.RunCtx(ctx, p.G, need, immOpts, rng)
+		if err != nil {
+			return nil, err
+		}
 		immCalls++
 		rrSets += res.NumRRSets
 		rrTotal += res.TotalRRSets
@@ -108,7 +126,7 @@ func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 			used[v] = true
 			usedList = append(usedList, v)
 		}
-		return out
+		return out, nil
 	}
 
 	// Phase 1: carve out bundles while a non-negative-utility itemset
@@ -124,7 +142,10 @@ func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 				bb = remaining[i]
 			}
 		}
-		seeds := freshSeeds(bb)
+		seeds, err := freshSeeds(bb)
+		if err != nil {
+			return Result{}, err
+		}
 		for _, i := range b.Items() {
 			for _, v := range seeds {
 				alloc.Assign(v, i)
@@ -157,7 +178,10 @@ func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 			remaining[i] -= take
 		}
 		if remaining[i] > 0 {
-			seeds := freshSeeds(remaining[i])
+			seeds, err := freshSeeds(remaining[i])
+			if err != nil {
+				return Result{}, err
+			}
 			for _, v := range seeds {
 				alloc.Assign(v, i)
 			}
@@ -170,7 +194,7 @@ func BundleDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 		NumRRSets:      rrSets,
 		TotalRRSets:    rrTotal,
 		IMMInvocations: immCalls,
-	}
+	}, nil
 }
 
 // minimalNonNegativeBundle returns the smallest itemset (ties broken by

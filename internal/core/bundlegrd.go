@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/prima"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/uic"
 )
@@ -16,6 +19,9 @@ type Options struct {
 	// against (IC default, or LT). The paper's results carry over to any
 	// triggering model (§5).
 	Cascade graph.Cascade
+	// Progress, when non-nil, receives sketch-construction events from
+	// the planner as RR sampling proceeds.
+	Progress progress.Func
 }
 
 // Result is an allocation plus the effort statistics the experiments
@@ -42,9 +48,13 @@ type Result struct {
 // probability at least 1-1/n^ℓ — crucially, without ever reading the
 // valuation, prices, or noise (the algorithm is parameter-free given
 // mutual complementarity).
+//
+// Deprecated: use Plan(ctx, AlgoBundleGRD, ...) or the registered
+// planner, which add cancellation and progress reporting. This wrapper
+// delegates with a background context.
 func BundleGRD(p *Problem, opts Options, rng *stats.RNG) Result {
-	sk := prima.BuildSketch(p.G, p.Budgets, prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade}, rng)
-	return BundleGRDFromSketch(p, sk)
+	res, _ := bundleGRDPlanner{}.Plan(context.Background(), p, opts, rng) // background ctx: never canceled
+	return res
 }
 
 // BundleGRDFromSketch runs bundleGRD's selection and assignment on a

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"uicwelfare/internal/imm"
+	"uicwelfare/internal/prima"
+	"uicwelfare/internal/stats"
+)
+
+// The built-in planners self-register so every dispatcher (service,
+// CLIs, experiment drivers) sees one consistent algorithm list.
+func init() {
+	bothCascades := []string{CascadeNameIC, CascadeNameLT}
+	Register(AlgoBundleGRD, Meta{
+		Description:  "Algorithm 1: (1-1/e-ε)-approximate greedy allocation on the prefix-preserving PRIMA ordering",
+		SketchFamily: "prima",
+		Cascades:     bothCascades,
+	}, func() Planner { return bundleGRDPlanner{} })
+	Register(AlgoItemDisjoint, Meta{
+		Description:  "item-disj baseline (§4.3.1.2): one IMM call, disjoint seeds, one item per seed node",
+		SketchFamily: "imm",
+		Cascades:     bothCascades,
+	}, func() Planner { return itemDisjointPlanner{} })
+	Register(AlgoBundleDisjoint, Meta{
+		Description: "bundle-disj baseline (§4.3.1.2): greedy bundling with fresh IMM seeds per bundle",
+		Cascades:    bothCascades,
+	}, func() Planner { return bundleDisjointPlanner{} })
+}
+
+// primaOptions translates allocator options for the PRIMA sketch builder.
+func primaOptions(opts Options) prima.Options {
+	return prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress}
+}
+
+// immOptions translates allocator options for the IMM sketch builder.
+func immOptions(opts Options) imm.Options {
+	return imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress}
+}
+
+// bundleGRDPlanner adapts BundleGRD to the registry. The sketch seam is
+// PRIMA: one prefix-preserving sketch serves every budget prefix.
+type bundleGRDPlanner struct{}
+
+func (bundleGRDPlanner) Plan(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (Result, error) {
+	sk, err := prima.BuildSketchCtx(ctx, p.G, p.Budgets, primaOptions(opts), rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return BundleGRDFromSketch(p, sk), nil
+}
+
+func (bundleGRDPlanner) SketchBudgets(p *Problem) []int {
+	return prima.CanonicalBudgets(p.Budgets, p.G.N())
+}
+
+func (bundleGRDPlanner) BuildSketch(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (any, error) {
+	return prima.BuildSketchCtx(ctx, p.G, p.Budgets, primaOptions(opts), rng)
+}
+
+func (bundleGRDPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error) {
+	sk, ok := sketch.(*prima.Sketch)
+	if !ok {
+		return Result{}, fmt.Errorf("core: %s expects a *prima.Sketch, got %T", AlgoBundleGRD, sketch)
+	}
+	return BundleGRDFromSketch(p, sk), nil
+}
+
+// itemDisjointPlanner adapts ItemDisjoint to the registry. The sketch
+// seam is IMM sized for the total budget.
+type itemDisjointPlanner struct{}
+
+func (itemDisjointPlanner) Plan(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (Result, error) {
+	sk, err := imm.BuildSketchCtx(ctx, p.G, p.TotalBudget(), immOptions(opts), rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return ItemDisjointFromSketch(p, sk), nil
+}
+
+func (itemDisjointPlanner) SketchBudgets(p *Problem) []int {
+	return []int{p.TotalBudget()}
+}
+
+func (itemDisjointPlanner) BuildSketch(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (any, error) {
+	return imm.BuildSketchCtx(ctx, p.G, p.TotalBudget(), immOptions(opts), rng)
+}
+
+func (itemDisjointPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error) {
+	sk, ok := sketch.(*imm.Sketch)
+	if !ok {
+		return Result{}, fmt.Errorf("core: %s expects an *imm.Sketch, got %T", AlgoItemDisjoint, sketch)
+	}
+	return ItemDisjointFromSketch(p, sk), nil
+}
+
+// bundleDisjointPlanner adapts BundleDisjoint. Its adaptive sequence of
+// IMM calls depends on intermediate results, so there is no reusable
+// sketch — it is a plain Planner.
+type bundleDisjointPlanner struct{}
+
+func (bundleDisjointPlanner) Plan(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (Result, error) {
+	return BundleDisjointCtx(ctx, p, opts, rng)
+}

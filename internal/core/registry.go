@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"uicwelfare/internal/stats"
+)
+
+// Canonical algorithm names — the registry keys. The service DTOs, the
+// CLI flags, and the experiment drivers all spell algorithm names
+// through these constants so they cannot drift.
+const (
+	AlgoBundleGRD      = "bundleGRD"
+	AlgoItemDisjoint   = "item-disj"
+	AlgoBundleDisjoint = "bundle-disj"
+
+	// DefaultAlgorithm is what an empty algorithm name resolves to.
+	DefaultAlgorithm = AlgoBundleGRD
+)
+
+// Cascade support labels used in Meta.Cascades.
+const (
+	CascadeNameIC = "ic"
+	CascadeNameLT = "lt"
+)
+
+// Meta describes a registered planner: its registry name and the
+// capability flags GET /v1/algorithms reports.
+type Meta struct {
+	// Name is the registry key (set by Register).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// SketchFamily names the reusable RR-sketch kind the planner
+	// consumes ("prima", "imm"); empty when the planner cannot separate
+	// sketch construction from selection (and so cannot use a sketch
+	// cache).
+	SketchFamily string
+	// Cascades lists the diffusion models the planner supports.
+	Cascades []string
+}
+
+// SketchCacheable reports whether the planner's dominant cost is a
+// reusable sketch a cache can amortize.
+func (m Meta) SketchCacheable() bool { return m.SketchFamily != "" }
+
+// Planner is one allocation algorithm behind the uniform context-aware
+// call convention. Plan must honor ctx cancellation (returning ctx.Err()
+// promptly) and report through opts.Progress when set.
+type Planner interface {
+	Plan(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (Result, error)
+}
+
+// SketchPlanner is the optional capability of planners whose dominant
+// cost is building one immutable RR sketch: the service's sketch cache
+// splits Plan into BuildSketch (cached, shared read-only across
+// goroutines) and PlanFromSketch (cheap, per request).
+type SketchPlanner interface {
+	Planner
+	// SketchBudgets returns the canonical budget vector identifying the
+	// sketch Plan would build for p — cache-key material alongside
+	// Meta.SketchFamily.
+	SketchBudgets(p *Problem) []int
+	// BuildSketch builds the reusable sketch (a *prima.Sketch or
+	// *imm.Sketch, typed as any to keep the registry family-agnostic).
+	BuildSketch(ctx context.Context, p *Problem, opts Options, rng *stats.RNG) (any, error)
+	// PlanFromSketch runs selection and assignment on a prebuilt sketch.
+	// It only reads the sketch, so one cached sketch can serve many
+	// concurrent calls.
+	PlanFromSketch(p *Problem, sketch any) (Result, error)
+}
+
+// Factory builds a fresh planner instance. Lookup invokes it per
+// resolution, so stateful planners get one instance per run; Register
+// additionally probes it once at registration time to validate the
+// SketchPlanner capability against the declared meta.
+type Factory func() Planner
+
+type registration struct {
+	meta    Meta
+	factory Factory
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]registration{}
+	regOrder []string
+)
+
+// Register adds a planner under name. The built-in algorithms
+// self-register at package init; extensions (alternative objectives,
+// fairness variants, test doubles) register the same way. It panics on
+// an empty name, a duplicate, a nil factory, or a sketch-capable planner
+// whose meta does not name its sketch family — registration bugs, not
+// runtime conditions.
+func Register(name string, meta Meta, factory Factory) {
+	if name == "" {
+		panic("core: Register with empty algorithm name")
+	}
+	if factory == nil {
+		panic("core: Register " + name + " with nil factory")
+	}
+	if _, ok := factory().(SketchPlanner); ok && meta.SketchFamily == "" {
+		panic("core: Register " + name + ": SketchPlanner without a SketchFamily")
+	}
+	meta.Name = name
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("core: duplicate algorithm registration " + name)
+	}
+	registry[name] = registration{meta: meta, factory: factory}
+	regOrder = append(regOrder, name)
+}
+
+// Lookup resolves an algorithm name (empty resolves to
+// DefaultAlgorithm) to a fresh planner instance and its metadata.
+func Lookup(name string) (Planner, Meta, error) {
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	regMu.RLock()
+	reg, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("core: unknown algorithm %q (have %v)", name, Names())
+	}
+	return reg.factory(), reg.meta, nil
+}
+
+// Plan runs the named algorithm through the registry — the one dispatch
+// seam shared by the service, the CLIs, and the experiment drivers.
+func Plan(ctx context.Context, name string, p *Problem, opts Options, rng *stats.RNG) (Result, error) {
+	planner, _, err := Lookup(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return planner.Plan(ctx, p, opts, rng)
+}
+
+// Algorithms lists the registered planners' metadata in registration
+// order (built-ins first, in the paper's order).
+func Algorithms() []Meta {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Meta, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name].meta)
+	}
+	return out
+}
+
+// Names lists the registered algorithm names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,8 +12,9 @@ import (
 )
 
 // MultiItemAlgos lists the algorithms compared beyond two items (RR-SIM+
-// and RR-CIM cannot go there, as the paper stresses).
-var MultiItemAlgos = []string{"bundleGRD", "item-disj", "bundle-disj"}
+// and RR-CIM cannot go there, as the paper stresses), by their registry
+// names.
+var MultiItemAlgos = []string{core.AlgoBundleGRD, core.AlgoItemDisjoint, core.AlgoBundleDisjoint}
 
 // MultiItemConfig builds the Table 4 model for configuration 5-8 with k
 // items, plus the budget vector for a given total budget. Configurations
@@ -86,18 +88,14 @@ type MultiItemRow struct {
 	Millis      float64
 }
 
-// runMultiItemAlgo dispatches a named multi-item algorithm.
+// runMultiItemAlgo dispatches a named multi-item algorithm through the
+// core planner registry.
 func runMultiItemAlgo(name string, prob *core.Problem, p Params, rng *stats.RNG) core.Result {
-	opts := core.Options{Eps: p.Eps, Ell: p.Ell}
-	switch name {
-	case "bundleGRD":
-		return core.BundleGRD(prob, opts, rng)
-	case "item-disj":
-		return core.ItemDisjoint(prob, opts, rng)
-	case "bundle-disj":
-		return core.BundleDisjoint(prob, opts, rng)
+	res, err := core.Plan(context.Background(), name, prob, core.Options{Eps: p.Eps, Ell: p.Ell}, rng)
+	if err != nil {
+		panic("expr: " + err.Error()) // unknown name or registry misuse; ctx never cancels
 	}
-	panic("expr: unknown multi-item algorithm " + name)
+	return res
 }
 
 // Fig7 reproduces the multi-item welfare comparison: configuration cfg

@@ -48,6 +48,25 @@ func NetworkByName(name string) (NetworkSpec, error) {
 	return NetworkSpec{}, fmt.Errorf("expr: unknown network %q", name)
 }
 
+// GenerateByName synthesizes the named stand-in network (non-positive
+// scale defaults to 1.0, seed 0 defaults to 1), returning an error for
+// an unknown name — the single generation path behind
+// welfare.GenerateNetworkE, the service, and the CLI, so bad input is a
+// 400/usage error everywhere instead of a panic.
+func GenerateByName(name string, scale float64, seed uint64) (*graph.Graph, error) {
+	spec, err := NetworkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1.0
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return spec.Generate(scale, seed), nil
+}
+
 // Generate synthesizes the stand-in network at the given scale (1.0 =
 // DefaultNodes) with weighted-cascade probabilities. The same (spec,
 // scale, seed) always yields the same graph.

@@ -85,7 +85,7 @@ func Fig8bc(p Params) ([]RealRow, error) {
 		}
 		budgets := RealSplit(scaled)
 		prob := core.MustProblem(g, m, budgets)
-		for _, algo := range []string{"bundleGRD", "bundle-disj"} {
+		for _, algo := range []string{core.AlgoBundleGRD, core.AlgoBundleDisjoint} {
 			start := time.Now()
 			res := runMultiItemAlgo(algo, prob, p, stats.NewRNG(p.Seed+uint64(total)))
 			ms := float64(time.Since(start).Microseconds()) / 1000.0
@@ -124,7 +124,7 @@ func Fig8d(p Params) ([]RealRow, error) {
 		ms := float64(time.Since(start).Microseconds()) / 1000.0
 		est := uic.NewSimulator(g, m).EstimateWelfare(res.Alloc, stats.NewRNG(p.Seed+17), p.Runs)
 		rows = append(rows, RealRow{
-			Split: name, Total: total, Algorithm: "bundleGRD",
+			Split: name, Total: total, Algorithm: core.AlgoBundleGRD,
 			Welfare: est.Mean, WelfareSE: est.StdErr, Millis: ms,
 		})
 	}

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,8 +43,10 @@ func (p Params) withDefaults() Params {
 }
 
 // TwoItemAlgos lists the five algorithms of the two-item comparison
-// (Figs. 4-6) in the paper's legend order.
-var TwoItemAlgos = []string{"bundleGRD", "RR-SIM+", "RR-CIM", "item-disj", "bundle-disj"}
+// (Figs. 4-6) in the paper's legend order: the registered core planners
+// by their registry names, plus the Com-IC baselines (which live outside
+// the registry — they require a two-item GAP model).
+var TwoItemAlgos = []string{core.AlgoBundleGRD, "RR-SIM+", "RR-CIM", core.AlgoItemDisjoint, core.AlgoBundleDisjoint}
 
 // TwoItemConfig returns the Table 3 model for configuration 1-4 and the
 // budget vectors swept on the x axis: uniform k in {10..50} for odd
@@ -99,20 +102,10 @@ type TwoItemRow struct {
 }
 
 // runTwoItemAlgo executes one named algorithm and returns its allocation
-// plus effort numbers.
+// plus effort numbers. Core planners dispatch by name through the
+// registry; the Com-IC baselines are handled here directly.
 func runTwoItemAlgo(name string, g *graph.Graph, m *utility.Model, budgets []int, p Params, rng *stats.RNG) (*uic.Allocation, int, error) {
-	prob := core.MustProblem(g, m, budgets)
-	opts := core.Options{Eps: p.Eps, Ell: p.Ell}
 	switch name {
-	case "bundleGRD":
-		r := core.BundleGRD(prob, opts, rng)
-		return r.Alloc, r.NumRRSets, nil
-	case "item-disj":
-		r := core.ItemDisjoint(prob, opts, rng)
-		return r.Alloc, r.NumRRSets, nil
-	case "bundle-disj":
-		r := core.BundleDisjoint(prob, opts, rng)
-		return r.Alloc, r.NumRRSets, nil
 	case "RR-SIM+":
 		r, err := comic.AllocateRRSIMPlus(g, m, budgets, comic.Options{Eps: p.Eps, Ell: p.Ell}, rng)
 		if err != nil {
@@ -126,7 +119,12 @@ func runTwoItemAlgo(name string, g *graph.Graph, m *utility.Model, budgets []int
 		}
 		return r.Alloc, r.NumRRSets, nil
 	}
-	return nil, 0, fmt.Errorf("expr: unknown algorithm %q", name)
+	prob := core.MustProblem(g, m, budgets)
+	r, err := core.Plan(context.Background(), name, prob, core.Options{Eps: p.Eps, Ell: p.Ell}, rng)
+	if err != nil {
+		return nil, 0, fmt.Errorf("expr: %w", err)
+	}
+	return r.Alloc, r.NumRRSets, nil
 }
 
 // Fig4 reproduces the expected-social-welfare comparison of Fig. 4 for

@@ -1,9 +1,11 @@
 package imm
 
 import (
+	"context"
 	"math"
 
 	"uicwelfare/internal/graph"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/rrset"
 	"uicwelfare/internal/stats"
 )
@@ -18,6 +20,9 @@ type Options struct {
 	// NodeCoin optionally injects a per-node pass probability into RR
 	// sampling (used by the Com-IC baselines).
 	NodeCoin func(graph.NodeID) float64
+	// Progress, when non-nil, receives StageSketch events as the RR-set
+	// collection grows (each adaptive round and the final regeneration).
+	Progress progress.Func
 }
 
 // withDefaults fills in unset fields.
@@ -71,20 +76,40 @@ func Run(g *graph.Graph, k int, opts Options, rng *stats.RNG) Result {
 	return BuildSketch(g, k, opts, rng).Select()
 }
 
+// RunCtx is Run with cooperative cancellation: it returns ctx.Err() as
+// soon as the sketch build observes the canceled context.
+func RunCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rng *stats.RNG) (Result, error) {
+	sk, err := BuildSketchCtx(ctx, g, k, opts, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return sk.Select(), nil
+}
+
 // BuildSketch runs IMM's adaptive sampling and the final from-scratch
 // regeneration, returning the collection without performing the final
 // NodeSelection. The result is read-only and safe to share across
 // goroutines; call Select (repeatedly, even concurrently) to obtain seed
 // sets from it.
 func BuildSketch(g *graph.Graph, k int, opts Options, rng *stats.RNG) *Sketch {
+	sk, _ := BuildSketchCtx(context.Background(), g, k, opts, rng) // background ctx: never canceled
+	return sk
+}
+
+// BuildSketchCtx is BuildSketch with cooperative cancellation and
+// progress reporting: RR-set growth checks ctx every few hundred samples
+// and reports through opts.Progress, so a canceled context stops sketch
+// construction promptly with ctx.Err() instead of running the sampling
+// phases to completion.
+func BuildSketchCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rng *stats.RNG) (*Sketch, error) {
 	opts = opts.withDefaults()
 	n := g.N()
 	if k <= 0 || n == 0 {
-		return &Sketch{}
+		return &Sketch{}, nil
 	}
 	if k >= n {
 		// Every node is a seed; no sampling needed.
-		return &Sketch{K: k, LB: float64(n), allNodesN: n}
+		return &Sketch{K: k, LB: float64(n), allNodesN: n}, nil
 	}
 	ellPrime := EllPlusLog2(opts.Ell, n)
 	epsp := EpsPrime(opts.Eps)
@@ -92,6 +117,16 @@ func BuildSketch(g *graph.Graph, k int, opts Options, rng *stats.RNG) *Sketch {
 	col := rrset.NewCollection(g)
 	col.Sampler().NodeCoin = opts.NodeCoin
 	col.Sampler().Cascade = opts.Cascade
+
+	round := 0
+	grow := func(target int64) error {
+		round++
+		return col.GrowCtx(ctx, target, rng, func(done, total int64) {
+			if opts.Progress != nil {
+				opts.Progress(progress.Event{Stage: progress.StageSketch, Round: round, Done: int(done), Total: int(total)})
+			}
+		})
+	}
 
 	lb := 1.0
 	lambdaStar := LambdaStar(n, k, opts.Eps, ellPrime)
@@ -101,16 +136,19 @@ func BuildSketch(g *graph.Graph, k int, opts Options, rng *stats.RNG) *Sketch {
 	for i := 1; i <= maxI; i++ {
 		x := float64(n) / math.Pow(2, float64(i))
 		thetaI := LambdaPrime(n, k, opts.Eps, ellPrime) / x
-		col.Grow(int64(math.Ceil(thetaI)), rng)
-		seeds, frac := col.NodeSelection(k)
-		_ = seeds
+		if err := grow(int64(math.Ceil(thetaI))); err != nil {
+			return nil, err
+		}
+		_, frac := col.NodeSelection(k)
 		if float64(n)*frac >= (1+epsp)*x {
 			lb = float64(n) * frac / (1 + epsp)
 			theta = lambdaStar / lb
 			break
 		}
 	}
-	col.Grow(int64(math.Ceil(theta)), rng)
+	if err := grow(int64(math.Ceil(theta))); err != nil {
+		return nil, err
+	}
 	grown := col.Len()
 
 	// Chen'18 fix: the final seed set must be selected on RR sets that are
@@ -118,8 +156,10 @@ func BuildSketch(g *graph.Graph, k int, opts Options, rng *stats.RNG) *Sketch {
 	// scratch. The final NodeSelection is left to Select so the
 	// regenerated collection can be cached and shared.
 	col.Reset()
-	col.Grow(int64(math.Ceil(theta)), rng)
-	return &Sketch{Col: col, K: k, Phase1: grown, LB: lb}
+	if err := grow(int64(math.Ceil(theta))); err != nil {
+		return nil, err
+	}
+	return &Sketch{Col: col, K: k, Phase1: grown, LB: lb}, nil
 }
 
 // NumRRSets returns the size of the final collection (0 for degenerate

@@ -1,0 +1,63 @@
+package prima
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/progress"
+	"uicwelfare/internal/stats"
+)
+
+func TestBuildSketchCtxPreCanceled(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, stats.NewRNG(1)).WeightedCascade()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sk, err := BuildSketchCtx(ctx, g, []int{10, 5}, Options{}, stats.NewRNG(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sk != nil {
+		t.Fatalf("canceled build returned a sketch: %+v", sk)
+	}
+}
+
+// TestBuildSketchCtxCancelMidBuild cancels a deliberately expensive
+// build (tiny ε inflates θ by ~1/ε²) shortly after it starts and checks
+// the builder returns promptly instead of sampling to completion.
+func TestBuildSketchCtxCancelMidBuild(t *testing.T) {
+	g := graph.BarabasiAlbert(2000, 6, stats.NewRNG(1)).WeightedCascade()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	started := make(chan struct{})
+	opts := Options{Eps: 0.05, Progress: func(progress.Event) {
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+	}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := BuildSketchCtx(ctx, g, []int{20, 10}, opts, stats.NewRNG(2))
+		done <- err
+	}()
+
+	select {
+	case <-started: // at least one sampling chunk completed
+	case <-time.After(30 * time.Second):
+		t.Fatal("build never reported progress")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled build did not return promptly")
+	}
+}

@@ -8,11 +8,13 @@
 package prima
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/imm"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/rrset"
 	"uicwelfare/internal/stats"
 )
@@ -27,6 +29,9 @@ type Options struct {
 	// NodeCoin optionally injects a per-node pass probability into RR
 	// sampling.
 	NodeCoin func(graph.NodeID) float64
+	// Progress, when non-nil, receives StageSketch events as the RR-set
+	// collection grows (each adaptive round and the final regeneration).
+	Progress progress.Func
 }
 
 func (o Options) withDefaults() Options {
@@ -116,24 +121,34 @@ func Select(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) Result 
 // and safe to share across goroutines; call Select (repeatedly, even
 // concurrently) to obtain orderings from it.
 func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *Sketch {
+	sk, _ := BuildSketchCtx(context.Background(), g, budgets, opts, rng) // background ctx: never canceled
+	return sk
+}
+
+// BuildSketchCtx is BuildSketch with cooperative cancellation and
+// progress reporting: RR-set growth checks ctx every few hundred samples
+// and reports through opts.Progress, so a canceled context stops sketch
+// construction promptly with ctx.Err() instead of running the sampling
+// phases to completion.
+func BuildSketchCtx(ctx context.Context, g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) (*Sketch, error) {
 	opts = opts.withDefaults()
 	n := g.N()
 	if n == 0 || len(budgets) == 0 {
-		return &Sketch{}
+		return &Sketch{}, nil
 	}
 	// Sort budgets non-increasing, clamp into [1, n], drop duplicates
 	// (identical budgets share identical prefixes, so a single pass
 	// suffices and the union bound over |b| budgets stays valid).
 	bs := CanonicalBudgets(budgets, n)
 	if len(bs) == 0 {
-		return &Sketch{}
+		return &Sketch{}, nil
 	}
 	maxBudget := bs[0]
 	if maxBudget >= n {
 		// Degenerate: the top budget seeds the whole graph; any ordering
 		// of all nodes is trivially prefix-preserving only for b_i = n,
 		// so fall back to a full greedy ordering over a fixed collection.
-		return &Sketch{MaxBudget: maxBudget, allNodesN: n}
+		return &Sketch{MaxBudget: maxBudget, allNodesN: n}, nil
 	}
 
 	// Line 2: ℓ = ℓ + log2/log n, then ℓ' = log_n(n^ℓ · |b|).
@@ -146,6 +161,16 @@ func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *S
 	col := rrset.NewCollection(g)
 	col.Sampler().NodeCoin = opts.NodeCoin
 	col.Sampler().Cascade = opts.Cascade
+
+	round := 0
+	grow := func(target int64) error {
+		round++
+		return col.GrowCtx(ctx, target, rng, func(done, total int64) {
+			if opts.Progress != nil {
+				opts.Progress(progress.Event{Stage: progress.StageSketch, Round: round, Done: int(done), Total: int(total)})
+			}
+		})
+	}
 
 	// θ_final tracks the largest phase-2 requirement seen across budgets;
 	// the final from-scratch regeneration uses it.
@@ -161,7 +186,9 @@ func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *S
 		k := bs[s]
 		x := float64(n) / math.Pow(2, float64(i))
 		thetaI := imm.LambdaPrime(n, k, opts.Eps, ellPrime) / x
-		col.Grow(int64(math.Ceil(thetaI)), rng)
+		if err := grow(int64(math.Ceil(thetaI))); err != nil {
+			return nil, err
+		}
 
 		var seeds []graph.NodeID
 		var frac float64
@@ -183,7 +210,9 @@ func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *S
 			if theta > thetaFinal {
 				thetaFinal = theta
 			}
-			col.Grow(int64(math.Ceil(theta)), rng)
+			if err := grow(int64(math.Ceil(theta))); err != nil {
+				return nil, err
+			}
 			s++
 			budgetSwitch = true
 		} else {
@@ -210,8 +239,10 @@ func BuildSketch(g *graph.Graph, budgets []int, opts Options, rng *stats.RNG) *S
 	// final NodeSelection (line 25) is left to Select so the regenerated
 	// collection can be cached and shared.
 	col.Reset()
-	col.Grow(int64(math.Ceil(thetaFinal)), rng)
-	return &Sketch{Col: col, MaxBudget: maxBudget, Phase1: phase1}
+	if err := grow(int64(math.Ceil(thetaFinal))); err != nil {
+		return nil, err
+	}
+	return &Sketch{Col: col, MaxBudget: maxBudget, Phase1: phase1}, nil
 }
 
 // NumRRSets returns the size of the final collection (0 for degenerate

@@ -1,6 +1,8 @@
 package rrset
 
 import (
+	"context"
+
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/stats"
 )
@@ -67,9 +69,37 @@ func (c *Collection) Add(rng *stats.RNG) {
 
 // Grow samples RR sets until the collection holds at least target sets.
 func (c *Collection) Grow(target int64, rng *stats.RNG) {
+	_ = c.GrowCtx(context.Background(), target, rng, nil) // background ctx: never canceled
+}
+
+// growChunk is how many RR sets GrowCtx samples between cancellation
+// checks and progress reports. Small enough that cancellation lands
+// promptly even on graphs where a single set is expensive, large enough
+// that the per-chunk overhead is invisible next to the sampling itself.
+const growChunk = 256
+
+// GrowCtx is Grow with cooperative cancellation and progress reporting:
+// every growChunk samples it checks ctx and, when report is non-nil,
+// reports the sets sampled so far against target. It returns ctx.Err()
+// when canceled, leaving the collection with whatever it had sampled;
+// callers abandoning the build should discard the collection.
+func (c *Collection) GrowCtx(ctx context.Context, target int64, rng *stats.RNG, report func(done, target int64)) error {
 	for int64(c.Len()) < target {
-		c.Add(rng)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stop := int64(c.Len()) + growChunk
+		if stop > target {
+			stop = target
+		}
+		for int64(c.Len()) < stop {
+			c.Add(rng)
+		}
+		if report != nil {
+			report(int64(c.Len()), target)
+		}
 	}
+	return nil
 }
 
 // Set returns the members of set i.

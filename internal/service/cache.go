@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -54,13 +55,27 @@ func NewSketchCache(maxEntries int) *SketchCache {
 // sketch was reused. On build error nothing is cached; waiters receive
 // the error and the next request rebuilds.
 func (c *SketchCache) GetOrBuild(key string, build func() (any, error)) (sketch any, hit bool, err error) {
+	return c.GetOrBuildCtx(context.Background(), key, build)
+}
+
+// GetOrBuildCtx is GetOrBuild with a cancelable wait: a caller blocked
+// on another request's in-flight build returns ctx.Err() as soon as its
+// own context is canceled, without disturbing the build (remaining
+// waiters still get the sketch). The build callback itself is expected
+// to watch the builder's context — a canceled build reports its error to
+// every waiter and caches nothing, so the next request rebuilds.
+func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func() (any, error)) (sketch any, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.tick++
 		e.lastUsed = c.tick
 		c.hits++
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 		return e.sketch, true, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}

@@ -8,14 +8,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/graphs    load an edge list or generate a built-in network
-//	GET  /v1/graphs    list resident graphs
-//	POST /v1/allocate  enqueue an allocation job; returns a job id
-//	POST /v1/estimate  enqueue a welfare-estimation job; returns a job id
-//	GET  /v1/jobs/{id} poll a job (queued → running → done | failed)
-//	GET  /v1/jobs      list jobs
-//	GET  /v1/stats     cache hits/misses, jobs by state, worker utilization
-//	GET  /healthz      liveness
+//	POST   /v1/graphs            load an edge list or generate a built-in network
+//	GET    /v1/graphs            list resident graphs
+//	GET    /v1/algorithms        list registered planners with capability flags
+//	POST   /v1/allocate          enqueue an allocation job; returns a job id
+//	POST   /v1/estimate          enqueue a welfare-estimation job; returns a job id
+//	GET    /v1/jobs/{id}         poll a job (queued → running → done | failed | canceled)
+//	GET    /v1/jobs/{id}/events  stream job progress as server-sent events
+//	DELETE /v1/jobs/{id}         cancel an active job / delete a finished one
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/stats             cache hits/misses, jobs by state, worker utilization
+//	GET    /healthz              liveness
 package service
 
 import (
@@ -64,7 +67,9 @@ type GraphInfo struct {
 // instance on a resident graph.
 type AllocateRequest struct {
 	GraphID string `json:"graph_id"`
-	// Algo is bundleGRD (default), item-disj, or bundle-disj.
+	// Algo names a planner registered in the core algorithm registry
+	// (GET /v1/algorithms lists them); empty selects
+	// core.DefaultAlgorithm (bundleGRD).
 	Algo string `json:"algo,omitempty"`
 	// Config names the utility configuration
 	// (config1|config3|additive|cone|levelwise|real|real-smoothed).
@@ -183,6 +188,41 @@ func NewAllocateResult(algo string, res core.Result) *AllocateResult {
 	}
 	for _, v := range res.SeedOrder {
 		out.SeedOrder = append(out.SeedOrder, int64(v))
+	}
+	return out
+}
+
+// AlgorithmInfo is one entry of GET /v1/algorithms: a registered
+// planner's name and capability flags.
+type AlgorithmInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Default marks the planner an empty "algo" field resolves to.
+	Default bool `json:"default"`
+	// SketchCacheable reports whether the daemon's sketch cache can
+	// amortize the planner's dominant cost across requests.
+	SketchCacheable bool `json:"sketch_cacheable"`
+	// SketchFamily is the cached sketch kind ("prima", "imm"); empty
+	// when not sketch-cacheable.
+	SketchFamily string `json:"sketch_family,omitempty"`
+	// Cascades lists the supported diffusion models.
+	Cascades []string `json:"cascades"`
+}
+
+// Algorithms lists every planner registered in the core registry in
+// wire form.
+func Algorithms() []AlgorithmInfo {
+	metas := core.Algorithms()
+	out := make([]AlgorithmInfo, len(metas))
+	for i, m := range metas {
+		out[i] = AlgorithmInfo{
+			Name:            m.Name,
+			Description:     m.Description,
+			Default:         m.Name == core.DefaultAlgorithm,
+			SketchCacheable: m.SketchCacheable(),
+			SketchFamily:    m.SketchFamily,
+			Cascades:        m.Cascades,
+		}
 	}
 	return out
 }

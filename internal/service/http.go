@@ -1,9 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/progress"
 )
 
 // Handler returns the daemon's HTTP API as an http.Handler.
@@ -13,10 +17,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	mux.HandleFunc("GET /v1/algorithms", s.handleListAlgorithms)
 	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -100,13 +107,25 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // enqueue creates a job and submits run to the pool; run must return the
-// job's result. It answers 202 with the job id, or 503 when the queue is
-// full.
-func (s *Service) enqueue(w http.ResponseWriter, kind string, req any, run func() (any, error)) {
+// job's result and honor its context (DELETE /v1/jobs/{id} cancels it)
+// while reporting progress through report. It answers 202 with the job
+// id, or 503 when the queue is full.
+func (s *Service) enqueue(w http.ResponseWriter, kind string, req any, run func(ctx context.Context, report progress.Func) (any, error)) {
 	job := s.jobs.Create(kind, req)
 	ok := s.pool.Submit(func() {
-		s.jobs.Start(job.ID)
-		result, err := run()
+		ctx, ok := s.jobs.Start(job.ID)
+		if !ok {
+			return // canceled while queued; Start finalized the job
+		}
+		result, err := run(ctx, func(ev progress.Event) {
+			s.jobs.Publish(job.ID, JobEvent{
+				Type:  EventProgress,
+				Stage: string(ev.Stage),
+				Round: ev.Round,
+				Done:  ev.Done,
+				Total: ev.Total,
+			})
+		})
 		s.jobs.Finish(job.ID, result, err)
 	})
 	if !ok {
@@ -124,11 +143,13 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Fail malformed requests synchronously with 400; the job itself
 	// revalidates when it runs.
-	if _, _, err := s.validateAllocate(&req); err != nil {
+	if _, err := s.validateAllocate(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.enqueue(w, "allocate", &req, func() (any, error) { return s.Allocate(&req) })
+	s.enqueue(w, "allocate", &req, func(ctx context.Context, report progress.Func) (any, error) {
+		return s.AllocateCtx(ctx, &req, report)
+	})
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +161,105 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.enqueue(w, "estimate", &req, func() (any, error) { return s.Estimate(&req) })
+	s.enqueue(w, "estimate", &req, func(ctx context.Context, report progress.Func) (any, error) {
+		return s.EstimateCtx(ctx, &req, report)
+	})
+}
+
+func (s *Service) handleListAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithms": Algorithms(),
+		"default":    core.DefaultAlgorithm,
+	})
+}
+
+// handleCancelJob implements DELETE /v1/jobs/{id}: an active
+// (queued/running) job gets a cancellation request — the worker stops
+// at its next cancellation check and the job lands in the "canceled"
+// state, still queryable — while an already-terminal job is removed
+// from the store.
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, requested, ok := s.jobs.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if requested {
+		writeJSON(w, http.StatusAccepted, view)
+		return
+	}
+	s.jobs.Remove(id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleJobEvents implements GET /v1/jobs/{id}/events: a server-sent
+// event stream of the job's progress ("progress" events carrying sketch
+// and estimation counters) ending with a terminal event named after the
+// final state ("done", "failed" or "canceled"). Replays the retained
+// history first, so subscribing to a finished job yields its events and
+// closes.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	past, ch, unsub, ok := s.jobs.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	defer unsub()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// write emits one SSE frame; it reports whether the stream continues.
+	// lastSeq tracks the highest sequence written so a synthesized resync
+	// event keeps the strictly-increasing seq contract.
+	lastSeq := 0
+	write := func(ev JobEvent) bool {
+		if ev.Seq == 0 {
+			ev.Seq = lastSeq + 1
+		}
+		lastSeq = ev.Seq
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return !ev.Terminal()
+	}
+	for _, ev := range past {
+		if !write(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				// Closed without a terminal event reaching this
+				// subscriber (slow consumer or job removal): resync from
+				// the job snapshot so the client still sees the outcome.
+				if view, ok := s.jobs.Snapshot(id); ok && view.State.Terminal() {
+					write(JobEvent{Type: string(view.State), Error: view.Error})
+				}
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		}
+	}
 }
 
 func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,10 +13,49 @@ import (
 type JobState string
 
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// EventProgress is the JobEvent type of non-terminal progress reports;
+// terminal events use the finished job's state ("done", "failed",
+// "canceled") as their type.
+const EventProgress = "progress"
+
+// JobEvent is one entry of a job's event stream, served over SSE by
+// GET /v1/jobs/{id}/events (the event's Type is the SSE event name).
+type JobEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// Stage/Round/Done/Total mirror progress.Event for Type "progress".
+	Stage string `json:"stage,omitempty"`
+	Round int    `json:"round,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	// Error carries the failure message on a "failed"/"canceled" event.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event closes the stream.
+func (e JobEvent) Terminal() bool { return e.Type != EventProgress }
+
+const (
+	// maxJobEvents bounds the per-job event history kept for late
+	// subscribers; older progress events are dropped, the terminal event
+	// is always the last one retained.
+	maxJobEvents = 256
+	// subscriberBuffer is each SSE subscriber's channel capacity. A
+	// subscriber that falls this far behind loses progress events (the
+	// handler resynchronizes from the job snapshot on close).
+	subscriberBuffer = 64
 )
 
 // Job is one asynchronous unit of work. Fields are guarded by the
@@ -29,6 +70,16 @@ type Job struct {
 	Request  any
 	Result   any
 	Err      string
+
+	// ctx is canceled by Cancel; the worker threads it through sketch
+	// construction and estimation.
+	ctx             context.Context
+	cancel          context.CancelFunc
+	cancelRequested bool
+
+	events   []JobEvent
+	eventSeq int
+	subs     map[chan JobEvent]struct{}
 }
 
 // JobView is the wire form of a job returned by GET /v1/jobs/{id}.
@@ -37,27 +88,32 @@ type JobView struct {
 	Kind    string   `json:"kind"`
 	State   JobState `json:"state"`
 	Created string   `json:"created"`
-	// ElapsedMS is running time so far (running) or total (done/failed).
-	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
-	Request   any    `json:"request,omitempty"`
-	Result    any    `json:"result,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// ElapsedMS is running time so far (running) or total (terminal).
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// CancelRequested is set once DELETE /v1/jobs/{id} has asked a
+	// queued/running job to stop; the state flips to "canceled" when the
+	// worker observes the cancellation.
+	CancelRequested bool   `json:"cancel_requested,omitempty"`
+	Request         any    `json:"request,omitempty"`
+	Result          any    `json:"result,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 func (j *Job) view() JobView {
 	v := JobView{
-		ID:      j.ID,
-		Kind:    j.Kind,
-		State:   j.State,
-		Created: j.Created.UTC().Format(time.RFC3339Nano),
-		Request: j.Request,
-		Result:  j.Result,
-		Error:   j.Err,
+		ID:              j.ID,
+		Kind:            j.Kind,
+		State:           j.State,
+		Created:         j.Created.UTC().Format(time.RFC3339Nano),
+		CancelRequested: j.cancelRequested && !j.State.Terminal(),
+		Request:         j.Request,
+		Result:          j.Result,
+		Error:           j.Err,
 	}
-	switch j.State {
-	case JobRunning:
+	switch {
+	case j.State == JobRunning:
 		v.ElapsedMS = time.Since(j.Started).Milliseconds()
-	case JobDone, JobFailed:
+	case j.State.Terminal() && !j.Started.IsZero():
 		v.ElapsedMS = j.Finished.Sub(j.Started).Milliseconds()
 	}
 	return v
@@ -89,25 +145,33 @@ func (s *JobStore) Create(kind string, req any) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:      fmt.Sprintf("j%d", s.seq),
 		Kind:    kind,
 		State:   JobQueued,
 		Created: time.Now(),
 		Request: req,
+		ctx:     ctx,
+		cancel:  cancel,
+		subs:    map[chan JobEvent]struct{}{},
 	}
 	s.jobs[j.ID] = j
 	s.ids = append(s.ids, j.ID)
 	return j
 }
 
-// Remove drops a job that never ran (e.g. the queue was full).
+// Remove drops a job that never ran (e.g. the queue was full) or a
+// finished one the client deleted.
 func (s *JobStore) Remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.jobs[id]; !ok {
+	j, ok := s.jobs[id]
+	if !ok {
 		return
 	}
+	j.cancel()
+	s.closeSubsLocked(j)
 	delete(s.jobs, id)
 	for i, x := range s.ids {
 		if x == id {
@@ -117,17 +181,29 @@ func (s *JobStore) Remove(id string) {
 	}
 }
 
-// Start marks the job running.
-func (s *JobStore) Start(id string) {
+// Start marks the job running and returns its cancellation context. A
+// job canceled while still queued is finalized as canceled here and
+// reports ok = false: the worker must skip it.
+func (s *JobStore) Start(id string) (ctx context.Context, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j := s.jobs[id]; j != nil {
-		j.State = JobRunning
-		j.Started = time.Now()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, false
 	}
+	now := time.Now()
+	if j.cancelRequested {
+		j.Started, j.Finished = now, now
+		s.finalizeLocked(j, JobCanceled, "canceled before start")
+		return nil, false
+	}
+	j.State = JobRunning
+	j.Started = now
+	return j.ctx, true
 }
 
-// Finish marks the job done (err == nil) or failed.
+// Finish marks the job done (err == nil), canceled (the job's context
+// was canceled), or failed.
 func (s *JobStore) Finish(id string, result any, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -136,14 +212,45 @@ func (s *JobStore) Finish(id string, result any, err error) {
 		return
 	}
 	j.Finished = time.Now()
-	if err != nil {
-		j.State = JobFailed
-		j.Err = err.Error()
-	} else {
-		j.State = JobDone
+	switch {
+	case err == nil:
 		j.Result = result
+		s.finalizeLocked(j, JobDone, "")
+	case errors.Is(err, context.Canceled) && j.cancelRequested:
+		s.finalizeLocked(j, JobCanceled, err.Error())
+	default:
+		s.finalizeLocked(j, JobFailed, err.Error())
 	}
+}
+
+// finalizeLocked moves a job to a terminal state, publishes the terminal
+// event, closes subscribers, and releases the job's context. Caller
+// holds s.mu and has set Finished (and Started where applicable).
+func (s *JobStore) finalizeLocked(j *Job, state JobState, errMsg string) {
+	j.State = state
+	j.Err = errMsg
+	s.publishLocked(j, JobEvent{Type: string(state), Error: errMsg})
+	s.closeSubsLocked(j)
+	j.cancel()
 	s.trimLocked()
+}
+
+// Cancel requests cancellation of a queued or running job, reporting
+// requested = false when the job is already terminal. The worker
+// observes the canceled context and finalizes the job as canceled.
+func (s *JobStore) Cancel(id string) (view JobView, requested, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobView{}, false, false
+	}
+	if j.State.Terminal() {
+		return j.view(), false, true
+	}
+	j.cancelRequested = true
+	j.cancel()
+	return j.view(), true, true
 }
 
 // trimLocked drops the oldest finished jobs beyond the retention bound.
@@ -151,7 +258,7 @@ func (s *JobStore) Finish(id string, result any, err error) {
 func (s *JobStore) trimLocked() {
 	finished := 0
 	for _, j := range s.jobs {
-		if j.State == JobDone || j.State == JobFailed {
+		if j.State.Terminal() {
 			finished++
 		}
 	}
@@ -162,7 +269,7 @@ func (s *JobStore) trimLocked() {
 	keep := s.ids[:0]
 	for _, id := range s.ids {
 		j := s.jobs[id]
-		if drop > 0 && (j.State == JobDone || j.State == JobFailed) {
+		if drop > 0 && j.State.Terminal() {
 			delete(s.jobs, id)
 			drop--
 			continue
@@ -170,6 +277,77 @@ func (s *JobStore) trimLocked() {
 		keep = append(keep, id)
 	}
 	s.ids = keep
+}
+
+// Publish appends a progress event to the job's stream and broadcasts
+// it to subscribers. Events for unknown or already-terminal jobs are
+// dropped.
+func (s *JobStore) Publish(id string, ev JobEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.State.Terminal() {
+		return
+	}
+	s.publishLocked(j, ev)
+}
+
+// publishLocked assigns the event's sequence number, appends it to the
+// bounded history, and offers it to every subscriber without blocking
+// (a full subscriber just misses the event). Caller holds s.mu.
+func (s *JobStore) publishLocked(j *Job, ev JobEvent) {
+	j.eventSeq++
+	ev.Seq = j.eventSeq
+	if len(j.events) >= maxJobEvents {
+		copy(j.events, j.events[1:])
+		j.events = j.events[:len(j.events)-1]
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked closes and forgets every subscriber channel. Caller
+// holds s.mu.
+func (s *JobStore) closeSubsLocked(j *Job) {
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = map[chan JobEvent]struct{}{}
+}
+
+// Subscribe returns the job's event history so far plus a channel
+// delivering subsequent events. The channel is closed after the
+// terminal event (or on job removal); call unsub to detach early.
+// For an already-terminal job the history ends with the terminal event
+// and the channel is returned closed.
+func (s *JobStore) Subscribe(id string) (past []JobEvent, ch <-chan JobEvent, unsub func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, nil, nil, false
+	}
+	past = append([]JobEvent(nil), j.events...)
+	c := make(chan JobEvent, subscriberBuffer)
+	if j.State.Terminal() {
+		close(c)
+		return past, c, func() {}, true
+	}
+	j.subs[c] = struct{}{}
+	unsub = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := j.subs[c]; live {
+			delete(j.subs, c)
+			close(c)
+		}
+	}
+	return past, c, unsub, true
 }
 
 // Snapshot returns the wire view of a job.

@@ -120,6 +120,10 @@ func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
 	}
 	switch {
 	case req.Network != "":
+		// The spec lookup is only for the size precheck; generation goes
+		// through the shared error-returning path (the one
+		// welfare.GenerateNetworkE wraps) so an unknown name stays a
+		// 400, never a panic.
 		spec, err := expr.NetworkByName(req.Network)
 		if err != nil {
 			return "", nil, err
@@ -131,11 +135,11 @@ func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
 		if n := float64(spec.DefaultNodes) * scale; n > MaxGraphNodes {
 			return "", nil, fmt.Errorf("scale %g yields %.0f nodes, over the limit of %d", scale, n, MaxGraphNodes)
 		}
-		seed := req.Seed
-		if seed == 0 {
-			seed = 1
+		name = req.Network
+		g, err = expr.GenerateByName(req.Network, scale, req.Seed)
+		if err != nil {
+			return "", nil, err
 		}
-		name, g = req.Network, spec.Generate(scale, seed)
 	case req.Edges != "":
 		name = "inline"
 		g, err = graph.ReadEdgeList(strings.NewReader(req.Edges), !directed)

@@ -1,12 +1,13 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"uicwelfare/internal/core"
-	"uicwelfare/internal/imm"
-	"uicwelfare/internal/prima"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
@@ -95,42 +96,52 @@ func (s *Service) Stats() StatsResponse {
 	}
 }
 
+// allocatePlan is a validated AllocateRequest resolved to its problem
+// instance, registry planner, and options.
+type allocatePlan struct {
+	prob    *core.Problem
+	planner core.Planner
+	meta    core.Meta
+	opts    core.Options
+}
+
 // validateAllocate resolves the parts of an AllocateRequest that can be
 // rejected synchronously (unknown graph/algo/config/cascade, budget
-// mismatch), so bad requests fail with 400 instead of a failed job.
-func (s *Service) validateAllocate(req *AllocateRequest) (*core.Problem, core.Options, error) {
+// mismatch), so bad requests fail with 400 instead of a failed job. The
+// algorithm name resolves through the core planner registry — the same
+// dispatch the job itself uses, so the two cannot disagree.
+func (s *Service) validateAllocate(req *AllocateRequest) (*allocatePlan, error) {
 	entry, ok := s.registry.Get(req.GraphID)
 	if !ok {
-		return nil, core.Options{}, fmt.Errorf("unknown graph %q", req.GraphID)
+		return nil, fmt.Errorf("unknown graph %q", req.GraphID)
 	}
 	if len(req.Budgets) == 0 {
-		return nil, core.Options{}, fmt.Errorf("budgets required")
+		return nil, fmt.Errorf("budgets required")
 	}
-	switch req.Algo {
-	case "", "bundleGRD", "item-disj", "bundle-disj":
-	default:
-		return nil, core.Options{}, fmt.Errorf("unknown algorithm %q", req.Algo)
+	planner, meta, err := core.Lookup(req.Algo)
+	if err != nil {
+		return nil, err
 	}
 	cascade, err := ParseCascade(req.Cascade)
 	if err != nil {
-		return nil, core.Options{}, err
+		return nil, err
 	}
 	if err := checkWorkload(len(req.Budgets), req.Items, req.Runs, req.Workers); err != nil {
-		return nil, core.Options{}, err
+		return nil, err
 	}
 	if req.Eps != 0 && req.Eps < MinEps {
-		return nil, core.Options{}, fmt.Errorf("eps %g below the minimum of %g (omit or 0 for the default)", req.Eps, MinEps)
+		return nil, fmt.Errorf("eps %g below the minimum of %g (omit or 0 for the default)", req.Eps, MinEps)
 	}
 	if req.Ell < 0 || req.Ell > MaxEll {
-		return nil, core.Options{}, fmt.Errorf("ell %g outside (0, %g] (omit or 0 for the default)", req.Ell, MaxEll)
+		return nil, fmt.Errorf("ell %g outside (0, %g] (omit or 0 for the default)", req.Ell, MaxEll)
 	}
 	model, err := BuildModel(req.Config, req.Items, len(req.Budgets), seedOf(req.Seed))
 	if err != nil {
-		return nil, core.Options{}, err
+		return nil, err
 	}
 	prob, err := core.NewProblem(entry.Graph, model, req.Budgets)
 	if err != nil {
-		return nil, core.Options{}, err
+		return nil, err
 	}
 	if req.Runs > 0 {
 		// The inline welfare estimate walks every (seed, item) pair per
@@ -139,11 +150,16 @@ func (s *Service) validateAllocate(req *AllocateRequest) (*core.Problem, core.Op
 		for _, b := range req.Budgets {
 			pairs += min(b, entry.Graph.N())
 			if pairs > MaxSeedPairs {
-				return nil, core.Options{}, fmt.Errorf("budgets yield over %d seed pairs; set runs=0 or shrink budgets", MaxSeedPairs)
+				return nil, fmt.Errorf("budgets yield over %d seed pairs; set runs=0 or shrink budgets", MaxSeedPairs)
 			}
 		}
 	}
-	return prob, core.Options{Eps: req.Eps, Ell: req.Ell, Cascade: cascade}, nil
+	return &allocatePlan{
+		prob:    prob,
+		planner: planner,
+		meta:    meta,
+		opts:    core.Options{Eps: req.Eps, Ell: req.Ell, Cascade: cascade},
+	}, nil
 }
 
 // checkWorkload rejects parameters that could exhaust the host: item
@@ -172,16 +188,31 @@ func seedOf(s uint64) uint64 {
 	return s
 }
 
-// Allocate synchronously solves one allocation request. Sketch generation goes
-// through the cache for the sketch-reusing algorithms (bundleGRD,
-// item-disj); bundle-disj's adaptive sequence of IMM calls is run
-// directly.
+// Allocate synchronously solves one allocation request with no
+// cancellation or progress reporting (the warm-path benchmarks and the
+// tests use this).
 func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
+	return s.AllocateCtx(context.Background(), req, nil)
+}
+
+// AllocateCtx solves one allocation request under ctx, reporting
+// progress through report (which may be nil). Dispatch goes through the
+// core planner registry; for planners with the SketchPlanner capability
+// sketch generation goes through the cache (with singleflight
+// semantics), the rest run their Plan directly. Cancellation: ctx is
+// threaded through sketch construction, cache waits, and the inline
+// welfare estimate, so a canceled context aborts the request promptly
+// with ctx.Err(). A canceled cache build caches nothing — concurrent
+// waiters for the same sketch receive the error and the next request
+// rebuilds.
+func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report progress.Func) (*AllocateResult, error) {
 	startT := time.Now()
-	prob, opts, err := s.validateAllocate(req)
+	plan, err := s.validateAllocate(req)
 	if err != nil {
 		return nil, err
 	}
+	prob, opts := plan.prob, plan.opts
+	opts.Progress = report
 	seed := seedOf(req.Seed)
 	eps, ell := opts.Eps, opts.Ell
 	if eps <= 0 {
@@ -191,41 +222,43 @@ func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
 		ell = 1
 	}
 
-	algo := req.Algo
-	if algo == "" {
-		algo = "bundleGRD"
-	}
 	var (
 		res core.Result
 		hit bool
 	)
-	switch algo {
-	case "bundleGRD":
-		canon := prima.CanonicalBudgets(req.Budgets, prob.G.N())
-		key := SketchKey(req.GraphID, "prima", int(opts.Cascade), eps, ell, canon)
-		v, h, err := s.cache.GetOrBuild(key, func() (any, error) {
-			po := prima.Options{Eps: eps, Ell: ell, Cascade: opts.Cascade}
-			return prima.BuildSketch(prob.G, req.Budgets, po, stats.NewRNG(seed)), nil
-		})
+	if sp, ok := plan.planner.(core.SketchPlanner); ok {
+		key := SketchKey(req.GraphID, plan.meta.SketchFamily, int(opts.Cascade), eps, ell, sp.SketchBudgets(prob))
+		var v any
+		for {
+			var h bool
+			v, h, err = s.cache.GetOrBuildCtx(ctx, key, func() (any, error) {
+				buildOpts := opts
+				buildOpts.Eps, buildOpts.Ell = eps, ell
+				return sp.BuildSketch(ctx, prob, buildOpts, stats.NewRNG(seed))
+			})
+			if err == nil {
+				hit = h
+				break
+			}
+			// A waiter inherits the *builder's* cancellation (or deadline
+			// expiry) through the shared singleflight entry. If this
+			// request's own context is still live, the dead entry has
+			// already been evicted — retry, becoming the new builder,
+			// instead of failing a job nobody canceled.
+			if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, err
+		}
+		res, err = sp.PlanFromSketch(prob, v)
 		if err != nil {
 			return nil, err
 		}
-		hit = h
-		res = core.BundleGRDFromSketch(prob, v.(*prima.Sketch))
-	case "item-disj":
-		total := prob.TotalBudget()
-		key := SketchKey(req.GraphID, "imm", int(opts.Cascade), eps, ell, []int{total})
-		v, h, err := s.cache.GetOrBuild(key, func() (any, error) {
-			io := imm.Options{Eps: eps, Ell: ell, Cascade: opts.Cascade}
-			return imm.BuildSketch(prob.G, total, io, stats.NewRNG(seed)), nil
-		})
+	} else {
+		res, err = plan.planner.Plan(ctx, prob, opts, stats.NewRNG(seed))
 		if err != nil {
 			return nil, err
 		}
-		hit = h
-		res = core.ItemDisjointFromSketch(prob, v.(*imm.Sketch))
-	case "bundle-disj":
-		res = core.BundleDisjoint(prob, opts, stats.NewRNG(seed))
 	}
 
 	// The graph may have been deleted while the sketch was building —
@@ -235,11 +268,14 @@ func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
 		s.cache.InvalidateGraph(req.GraphID)
 	}
 
-	out := NewAllocateResult(algo, res)
+	out := NewAllocateResult(plan.meta.Name, res)
 	out.SketchCached = hit
 	if req.Runs > 0 {
-		est := uic.EstimateWelfareParallelCascade(prob.G, prob.Model, opts.Cascade, res.Alloc,
-			stats.NewRNG(seed+1), req.Runs, req.Workers)
+		est, err := uic.EstimateWelfareParallelCascadeCtx(ctx, prob.G, prob.Model, opts.Cascade, res.Alloc,
+			stats.NewRNG(seed+1), req.Runs, req.Workers, report)
+		if err != nil {
+			return nil, err
+		}
 		out.Welfare = &WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
 	}
 	out.ElapsedMS = time.Since(startT).Milliseconds()
@@ -289,8 +325,16 @@ func (s *Service) validateEstimate(req *EstimateRequest) (*GraphEntry, *uic.Allo
 	return entry, alloc, model, nil
 }
 
-// Estimate synchronously runs one estimation request.
+// Estimate synchronously runs one estimation request with no
+// cancellation or progress reporting.
 func (s *Service) Estimate(req *EstimateRequest) (*EstimateResult, error) {
+	return s.EstimateCtx(context.Background(), req, nil)
+}
+
+// EstimateCtx runs one estimation request under ctx, reporting progress
+// through report (which may be nil); a canceled context aborts the
+// Monte-Carlo loop promptly with ctx.Err().
+func (s *Service) EstimateCtx(ctx context.Context, req *EstimateRequest, report progress.Func) (*EstimateResult, error) {
 	startT := time.Now()
 	entry, alloc, model, err := s.validateEstimate(req)
 	if err != nil {
@@ -301,8 +345,11 @@ func (s *Service) Estimate(req *EstimateRequest) (*EstimateResult, error) {
 	if runs <= 0 {
 		runs = 10000
 	}
-	est := uic.EstimateWelfareParallelCascade(entry.Graph, model, cascade, alloc,
-		stats.NewRNG(seedOf(req.Seed)), runs, req.Workers)
+	est, err := uic.EstimateWelfareParallelCascadeCtx(ctx, entry.Graph, model, cascade, alloc,
+		stats.NewRNG(seedOf(req.Seed)), runs, req.Workers, report)
+	if err != nil {
+		return nil, err
+	}
 	return &EstimateResult{
 		Welfare:   WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs},
 		ElapsedMS: time.Since(startT).Milliseconds(),

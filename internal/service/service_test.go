@@ -134,8 +134,7 @@ func (e *env) waitJob(t *testing.T, id string, out any) {
 		if err := json.Unmarshal(raw, &probe); err != nil {
 			t.Fatal(err)
 		}
-		switch probe.State {
-		case service.JobDone, service.JobFailed:
+		if probe.State.Terminal() {
 			if err := json.Unmarshal(raw, out); err != nil {
 				t.Fatal(err)
 			}

@@ -24,11 +24,11 @@ func TestAllocateInlineEstimatePairCap(t *testing.T) {
 		req.Budgets[i] = 7000 // 16 × 7000 = 112k pairs, over MaxSeedPairs
 	}
 	// Without an inline estimate the allocation itself is fine.
-	if _, _, err := svc.validateAllocate(req); err != nil {
+	if _, err := svc.validateAllocate(req); err != nil {
 		t.Fatalf("runs=0: %v", err)
 	}
 	req.Runs = 1
-	if _, _, err := svc.validateAllocate(req); err == nil || !strings.Contains(err.Error(), "seed pairs") {
+	if _, err := svc.validateAllocate(req); err == nil || !strings.Contains(err.Error(), "seed pairs") {
 		t.Fatalf("runs=1 over pair cap: err = %v", err)
 	}
 }

@@ -1,9 +1,12 @@
 package uic
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"uicwelfare/internal/graph"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/utility"
 )
@@ -20,14 +23,39 @@ type WelfareEstimate struct {
 // samples a fresh noise world and edge world, per the definition
 // ρ(𝒮) = E_{W^E}[E_{W^N}[ρ_W(𝒮)]].
 func (s *Simulator) EstimateWelfare(alloc *Allocation, rng *stats.RNG, runs int) WelfareEstimate {
+	est, _ := s.EstimateWelfareCtx(context.Background(), alloc, rng, runs, nil) // background ctx: never canceled
+	return est
+}
+
+// estimateChunk is how many Monte-Carlo runs an estimator performs
+// between cancellation checks and progress reports.
+const estimateChunk = 512
+
+// EstimateWelfareCtx is EstimateWelfare with cooperative cancellation
+// and progress reporting: every estimateChunk runs it checks ctx
+// (returning ctx.Err() promptly when canceled) and, when report is
+// non-nil, reports StageEstimate progress.
+func (s *Simulator) EstimateWelfareCtx(ctx context.Context, alloc *Allocation, rng *stats.RNG, runs int, report progress.Func) (WelfareEstimate, error) {
 	if runs <= 0 {
 		runs = 1
 	}
 	var sum stats.Summary
-	for i := 0; i < runs; i++ {
-		sum.Add(s.RunOnce(alloc, rng))
+	for done := 0; done < runs; {
+		if err := ctx.Err(); err != nil {
+			return WelfareEstimate{}, err
+		}
+		stop := done + estimateChunk
+		if stop > runs {
+			stop = runs
+		}
+		for ; done < stop; done++ {
+			sum.Add(s.RunOnce(alloc, rng))
+		}
+		if report != nil {
+			report(progress.Event{Stage: progress.StageEstimate, Done: done, Total: runs})
+		}
 	}
-	return WelfareEstimate{Mean: sum.Mean(), StdErr: sum.StdErr(), Runs: sum.N()}
+	return WelfareEstimate{Mean: sum.Mean(), StdErr: sum.StdErr(), Runs: sum.N()}, nil
 }
 
 // WelfareGivenNoise estimates ρ_{W^N}(𝒮): the expected welfare under a
@@ -77,10 +105,25 @@ func EstimateWelfareParallel(g *graph.Graph, m *utility.Model, alloc *Allocation
 // EstimateWelfareParallelCascade is EstimateWelfareParallel under an
 // explicit cascade model (welmaxd estimates LT instances through this).
 func EstimateWelfareParallelCascade(g *graph.Graph, m *utility.Model, cascade graph.Cascade, alloc *Allocation, rng *stats.RNG, runs, workers int) WelfareEstimate {
+	est, _ := EstimateWelfareParallelCascadeCtx(context.Background(), g, m, cascade, alloc, rng, runs, workers, nil)
+	return est
+}
+
+// EstimateWelfareParallelCascadeCtx is EstimateWelfareParallelCascade
+// with cooperative cancellation and progress reporting. Workers check
+// ctx between chunks of runs and bail out promptly once it is canceled,
+// in which case the estimate is discarded and ctx.Err() returned. The
+// report callback, when non-nil, receives StageEstimate events with the
+// cross-worker run count and MUST be safe for concurrent calls (each
+// worker reports its own chunks).
+func EstimateWelfareParallelCascadeCtx(ctx context.Context, g *graph.Graph, m *utility.Model, cascade graph.Cascade, alloc *Allocation, rng *stats.RNG, runs, workers int, report progress.Func) (WelfareEstimate, error) {
+	if runs <= 0 {
+		runs = 1
+	}
 	if workers <= 1 {
 		sim := NewSimulator(g, m)
 		sim.Cascade = cascade
-		return sim.EstimateWelfare(alloc, rng, runs)
+		return sim.EstimateWelfareCtx(ctx, alloc, rng, runs, report)
 	}
 	if runs < workers {
 		workers = runs
@@ -88,6 +131,7 @@ func EstimateWelfareParallelCascade(g *graph.Graph, m *utility.Model, cascade gr
 	per := runs / workers
 	extra := runs % workers
 	summaries := make([]stats.Summary, workers)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		n := per
@@ -101,16 +145,32 @@ func EstimateWelfareParallelCascade(g *graph.Graph, m *utility.Model, cascade gr
 			sim := NewSimulator(g, m)
 			sim.Cascade = cascade
 			var sum stats.Summary
-			for i := 0; i < n; i++ {
-				sum.Add(sim.RunOnce(alloc, r))
+			for i := 0; i < n; {
+				if ctx.Err() != nil {
+					return
+				}
+				stop := i + estimateChunk
+				if stop > n {
+					stop = n
+				}
+				chunk := stop - i
+				for ; i < stop; i++ {
+					sum.Add(sim.RunOnce(alloc, r))
+				}
+				if report != nil {
+					report(progress.Event{Stage: progress.StageEstimate, Done: int(done.Add(int64(chunk))), Total: runs})
+				}
 			}
 			summaries[w] = sum
 		}(w, n, shardRNG)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return WelfareEstimate{}, err
+	}
 	var total stats.Summary
 	for _, s := range summaries {
 		total.Merge(s)
 	}
-	return WelfareEstimate{Mean: total.Mean(), StdErr: total.StdErr(), Runs: total.N()}
+	return WelfareEstimate{Mean: total.Mean(), StdErr: total.StdErr(), Runs: total.N()}, nil
 }

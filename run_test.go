@@ -1,0 +1,155 @@
+package welfare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func runTestProblem(t *testing.T) *Problem {
+	t.Helper()
+	g, err := GenerateNetworkE("flixster", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(g, Config1(), []int{5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunDefaultsAndOptions(t *testing.T) {
+	p := runTestProblem(t)
+	res, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != DefaultAlgorithm {
+		t.Errorf("default algorithm = %q, want %q", res.Algorithm, DefaultAlgorithm)
+	}
+	if res.Welfare != nil {
+		t.Error("welfare estimated without WithRuns")
+	}
+	if res.Alloc == nil || len(res.Alloc.Seeds[0]) != 5 || len(res.Alloc.Seeds[1]) != 3 {
+		t.Fatalf("allocation = %+v", res.Alloc)
+	}
+
+	// The deprecated free function and Run agree for the same seed.
+	legacy := BundleGRD(p, Options{}, NewRNG(1))
+	if fmt.Sprint(legacy.Alloc.Seeds) != fmt.Sprint(res.Alloc.Seeds) {
+		t.Error("Run and deprecated BundleGRD disagree for the same seed")
+	}
+
+	full, err := Run(context.Background(), p,
+		WithAlgorithm(AlgoItemDisjoint),
+		WithEps(0.4),
+		WithEll(1),
+		WithSeed(9),
+		WithRuns(500),
+		WithEstimateWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Algorithm != AlgoItemDisjoint {
+		t.Errorf("algorithm = %q", full.Algorithm)
+	}
+	if full.Welfare == nil || full.Welfare.Runs != 500 || full.Welfare.Mean <= 0 {
+		t.Errorf("welfare = %+v", full.Welfare)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	p := runTestProblem(t)
+	_, err := Run(context.Background(), p, WithAlgorithm("gradient-descent"))
+	if err == nil || !strings.Contains(err.Error(), "gradient-descent") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunProgressAndCancellation(t *testing.T) {
+	p := runTestProblem(t)
+
+	var mu sync.Mutex
+	stages := map[string]int{}
+	res, err := Run(context.Background(), p,
+		WithRuns(2000),
+		WithProgress(func(ev Progress) {
+			mu.Lock()
+			stages[string(ev.Stage)]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare == nil {
+		t.Fatal("no welfare estimate")
+	}
+	if stages["sketch"] == 0 || stages["estimate"] == 0 {
+		t.Errorf("progress stages seen: %v, want both sketch and estimate", stages)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Run: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEstimateWelfareCtx(t *testing.T) {
+	p := runTestProblem(t)
+	res, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateWelfareCtx(context.Background(), p, res.Alloc, CascadeLT, NewRNG(2), 300, 2, nil)
+	if err != nil || est.Runs != 300 || est.Mean <= 0 {
+		t.Fatalf("LT estimate = %+v, err = %v", est, err)
+	}
+	// runs <= 0 with multiple workers must clamp to one run, not panic.
+	est, err = EstimateWelfareCtx(context.Background(), p, res.Alloc, CascadeIC, NewRNG(2), 0, 4, nil)
+	if err != nil || est.Runs != 1 {
+		t.Fatalf("clamped estimate = %+v, err = %v", est, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateWelfareCtx(ctx, p, res.Alloc, CascadeIC, NewRNG(2), 10000, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled estimate: err = %v", err)
+	}
+}
+
+func TestAlgorithmListing(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) < 3 {
+		t.Fatalf("registry lists %v", names)
+	}
+	metas := Algorithms()
+	if len(metas) != len(names) {
+		t.Fatalf("%d metas for %d names", len(metas), len(names))
+	}
+	for _, m := range metas {
+		if m.Name == AlgoBundleGRD && !m.SketchCacheable() {
+			t.Error("bundleGRD not sketch-cacheable")
+		}
+	}
+}
+
+func TestGenerateNetworkE(t *testing.T) {
+	g, err := GenerateNetworkE("flixster", 0.02, 1)
+	if err != nil || g.N() == 0 {
+		t.Fatalf("g = %v, err = %v", g, err)
+	}
+	if _, err := GenerateNetworkE("myspace", 1, 1); err == nil || !strings.Contains(err.Error(), "myspace") {
+		t.Fatalf("unknown network: err = %v", err)
+	}
+	// The deprecated panicking wrapper still panics on bad input.
+	defer func() {
+		if recover() == nil {
+			t.Error("GenerateNetwork did not panic on unknown name")
+		}
+	}()
+	GenerateNetwork("myspace", 1, 1)
+}

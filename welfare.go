@@ -14,13 +14,18 @@
 //
 // Quick start:
 //
-//	rng := welfare.NewRNG(1)
-//	g := welfare.GenerateNetwork("flixster", 1.0, 1)
+//	g, _ := welfare.GenerateNetworkE("flixster", 1.0, 1)
 //	m := welfare.Config1() // two complementary items (Table 3)
 //	p, _ := welfare.NewProblem(g, m, []int{50, 50})
-//	res := welfare.BundleGRD(p, welfare.Options{}, rng)
-//	est := welfare.EstimateWelfare(p, res.Alloc, rng, 10000)
-//	fmt.Printf("expected social welfare: %.1f ± %.1f\n", est.Mean, est.StdErr)
+//	res, _ := welfare.Run(context.Background(), p,
+//	    welfare.WithAlgorithm(welfare.AlgoBundleGRD),
+//	    welfare.WithRuns(10000))
+//	fmt.Printf("expected social welfare: %.1f ± %.1f\n",
+//	    res.Welfare.Mean, res.Welfare.StdErr)
+//
+// Run dispatches through a pluggable planner registry (see Algorithms,
+// core.Register) and accepts a context for cancellation plus a progress
+// callback (WithProgress) for long sketch builds and estimates.
 //
 // Subpackages under internal/ hold the substrates (graph, IC diffusion,
 // RR sets, IMM/TIM, PRIMA, Com-IC, BDHS, auctions); this package
@@ -106,17 +111,24 @@ func TableValuation(k int, vals []float64) (Valuation, error) {
 
 // BundleGRD runs Algorithm 1: the (1-1/e-ε)-approximate greedy
 // allocation built on the prefix-preserving PRIMA seed selection.
+//
+// Deprecated: use Run with WithAlgorithm(AlgoBundleGRD), which adds
+// context cancellation and progress reporting.
 func BundleGRD(p *Problem, opts Options, rng *RNG) Result {
 	return core.BundleGRD(p, opts, rng)
 }
 
 // ItemDisjoint runs the item-disj baseline (one item per seed node).
+//
+// Deprecated: use Run with WithAlgorithm(AlgoItemDisjoint).
 func ItemDisjoint(p *Problem, opts Options, rng *RNG) Result {
 	return core.ItemDisjoint(p, opts, rng)
 }
 
 // BundleDisjoint runs the bundle-disj baseline (greedy bundling with
 // fresh seeds per bundle).
+//
+// Deprecated: use Run with WithAlgorithm(AlgoBundleDisjoint).
 func BundleDisjoint(p *Problem, opts Options, rng *RNG) Result {
 	return core.BundleDisjoint(p, opts, rng)
 }

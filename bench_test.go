@@ -443,15 +443,22 @@ func BenchmarkServiceAllocate(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		entry, err := svc.Registry().Add("flixster", g)
+		entry, _, err := svc.Registry().Add("flixster", g)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return entry.ID
 	}
+	newService := func(b *testing.B) *service.Service {
+		svc, err := service.New(service.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
 
 	b.Run("cold", func(b *testing.B) {
-		svc := service.New(service.Options{Workers: 1})
+		svc := newService(b)
 		defer svc.Close()
 		id := load(b, svc)
 		b.ResetTimer()
@@ -470,7 +477,7 @@ func BenchmarkServiceAllocate(b *testing.B) {
 	})
 
 	b.Run("warm", func(b *testing.B) {
-		svc := service.New(service.Options{Workers: 1})
+		svc := newService(b)
 		defer svc.Close()
 		id := load(b, svc)
 		if _, err := svc.Allocate(req(id)); err != nil {

@@ -1,11 +1,14 @@
 // Command gengraph synthesizes social networks — either the built-in
 // stand-ins for the paper's datasets or parametric random graphs — and
-// writes them as edge-list files usable by welmax -graph.
+// writes them as edge-list files usable by welmax -graph, or, with
+// -format binary, as checksummed .wmg files that load without the text
+// round-trip (the format welmaxd persists graphs in).
 //
 // Examples:
 //
 //	gengraph -network douban-movie -o douban-movie.txt
 //	gengraph -model ba -n 10000 -k 5 -o ba.txt
+//	gengraph -network orkut -format binary -o orkut.wmg
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"uicwelfare/internal/expr"
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/stats"
+	"uicwelfare/internal/store"
 )
 
 func main() {
@@ -29,31 +33,51 @@ func main() {
 		beta    = flag.Float64("beta", 0.1, "rewiring probability (ws)")
 		wc      = flag.Bool("wc", true, "assign weighted-cascade probabilities 1/indeg(v)")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "text", "output format: text edge list, or binary .wmg (needs -o)")
+		out     = flag.String("o", "", "output file (default stdout; required for -format binary)")
 	)
 	flag.Parse()
 
 	g, err := generate(*network, *scale, *model, *n, *m, *k, *beta, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gengraph:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *wc {
 		g = g.WeightedCascade()
 	}
 	fmt.Fprintf(os.Stderr, "generated %v\n", g)
 
-	if *out == "" {
-		if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
-			fmt.Fprintln(os.Stderr, "gengraph:", err)
-			os.Exit(1)
+	label := *network
+	if label == "" {
+		label = *model
+	}
+	switch *format {
+	case "text":
+		if *out == "" {
+			if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+				fatal(err)
+			}
+			return
 		}
-		return
+		if err := graph.SaveEdgeList(*out, g); err != nil {
+			fatal(err)
+		}
+	case "binary":
+		if *out == "" {
+			fatal(fmt.Errorf("-format binary needs -o (the frame is not terminal-safe)"))
+		}
+		if err := store.SaveGraphFile(*out, label, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *out, store.GraphID(g))
+	default:
+		fatal(fmt.Errorf("unknown format %q (text|binary)", *format))
 	}
-	if err := graph.SaveEdgeList(*out, g); err != nil {
-		fmt.Fprintln(os.Stderr, "gengraph:", err)
-		os.Exit(1)
-	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
 }
 
 func generate(network string, scale float64, model string, n, m, k int, beta float64, seed uint64) (*graph.Graph, error) {

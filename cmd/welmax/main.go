@@ -23,8 +23,8 @@ import (
 	"time"
 
 	welfare "uicwelfare"
-	"uicwelfare/internal/graph"
 	"uicwelfare/internal/service"
+	"uicwelfare/internal/store"
 )
 
 func main() {
@@ -163,9 +163,15 @@ func parseBudgets(s string) ([]int, error) {
 
 func loadOrGenerate(path string, directed bool, network string, scale float64, seed uint64) (*welfare.Graph, error) {
 	if path != "" {
-		g, err := graph.LoadEdgeList(path, !directed)
+		// Both formats load here: binary .wmg files (gengraph -format
+		// binary, or a welmaxd data dir) keep their stored probabilities,
+		// text edge lists get the weighted-cascade reset.
+		g, binary, err := store.LoadGraphFile(path, !directed)
 		if err != nil {
 			return nil, err
+		}
+		if binary {
+			return g, nil
 		}
 		return g.WeightedCascade(), nil
 	}

@@ -3,18 +3,22 @@
 // estimation as asynchronous jobs on a bounded worker pool, and caches
 // RR sketches so repeated and concurrent queries against the same
 // network skip regeneration — the serving counterpart of the one-shot
-// welmax CLI.
+// welmax CLI. With -data-dir it also persists graphs (content-addressed,
+// so ids are stable) and spills built sketches to disk, so a restarted
+// daemon keeps its graph ids and answers its first repeated allocate
+// from a warm path.
 //
 // Quick start:
 //
-//	welmaxd -addr :8080 &
+//	welmaxd -addr :8080 -data-dir /var/lib/welmaxd &
 //	curl -s localhost:8080/v1/algorithms
 //	curl -s -X POST localhost:8080/v1/graphs -d '{"network":"flixster"}'
 //	curl -s -X POST localhost:8080/v1/allocate \
-//	    -d '{"graph_id":"g1","budgets":[50,50],"runs":10000}'
+//	    -d '{"graph_id":"<id from the previous call>","budgets":[50,50],"runs":10000}'
 //	curl -s localhost:8080/v1/jobs/j1
 //	curl -sN localhost:8080/v1/jobs/j1/events   # SSE progress stream
 //	curl -s -X DELETE localhost:8080/v1/jobs/j1 # cancel a running job
+//	curl -s -X POST localhost:8080/v1/graphs/<id>/warm -d '{"budgets":[50,50]}'
 //	curl -s localhost:8080/v1/stats
 package main
 
@@ -39,20 +43,34 @@ func main() {
 		workers    = flag.Int("workers", 2, "allocation/estimation worker count")
 		queueCap   = flag.Int("queue", 64, "job queue capacity")
 		cacheCap   = flag.Int("cache", 64, "sketch cache capacity (entries)")
+		cacheMB    = flag.Int("cache-mb", 0, "sketch cache budget in MB of approximate resident cost (0 = entry bound only)")
 		retention  = flag.Int("retain", 1024, "finished jobs kept queryable")
-		allowPaths = flag.Bool("allow-paths", false, "let POST /v1/graphs load server-side edge-list files")
+		allowPaths = flag.Bool("allow-paths", false, "let POST /v1/graphs load server-side edge-list or .wmg files")
 		preload    = flag.String("preload", "", "built-in network to load at startup (optional)")
+		dataDir    = flag.String("data-dir", "", "persistence directory: graphs and spilled sketches survive restarts (optional)")
+		diskMB     = flag.Int("disk-mb", 0, "spilled-sketch disk budget in MB (0 = unbounded; needs -data-dir)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Options{
+	svc, err := service.New(service.Options{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheEntries:   *cacheCap,
+		CacheMB:        *cacheMB,
 		JobRetention:   *retention,
 		AllowPathLoads: *allowPaths,
+		DataDir:        *dataDir,
+		DiskMB:         *diskMB,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "welmaxd:", err)
+		os.Exit(1)
+	}
 	defer svc.Close()
+
+	if *dataDir != "" {
+		log.Printf("data dir %s: %d graphs re-indexed", *dataDir, svc.Registry().Len())
+	}
 
 	if *preload != "" {
 		name, g, err := service.LoadGraph(&service.GraphRequest{Network: *preload})
@@ -60,13 +78,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "welmaxd:", err)
 			os.Exit(1)
 		}
-		entry, err := svc.Registry().Add(name, g)
+		entry, existed, err := svc.RegisterGraph(name, g)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "welmaxd:", err)
 			os.Exit(1)
 		}
-		log.Printf("preloaded %s as %s (%d nodes, %d edges)",
-			name, entry.ID, g.N(), g.M())
+		verb := "preloaded"
+		if existed {
+			verb = "already resident:"
+		}
+		log.Printf("%s %s as %s (%d nodes, %d edges)",
+			verb, name, entry.ID, g.N(), g.M())
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

@@ -41,19 +41,26 @@ func BarabasiAlbert(n, k int, rng *stats.RNG) *Graph {
 			targets = append(targets, NodeID(i), NodeID(j))
 		}
 	}
+	// picked keeps the draw order: appending to targets in map-iteration
+	// order would feed nondeterminism back into the preferential
+	// sampling, making two runs with the same seed produce different
+	// graphs — which content-addressed graph ids would then expose.
 	chosen := make(map[NodeID]bool, k)
+	picked := make([]NodeID, 0, k)
 	for v := k + 1; v < n; v++ {
-		for id := range chosen {
+		for _, id := range picked {
 			delete(chosen, id)
 		}
-		for len(chosen) < k {
+		picked = picked[:0]
+		for len(picked) < k {
 			t := targets[rng.Intn(len(targets))]
 			if t == NodeID(v) || chosen[t] {
 				continue
 			}
 			chosen[t] = true
+			picked = append(picked, t)
 		}
-		for t := range chosen {
+		for _, t := range picked {
 			b.AddUndirected(NodeID(v), t, 0)
 			targets = append(targets, NodeID(v), t)
 		}

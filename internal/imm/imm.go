@@ -171,6 +171,21 @@ func (s *Sketch) NumRRSets() int {
 	return s.Col.Len()
 }
 
+// State exposes the sketch's serializable fields, including the
+// unexported degenerate-instance marker; together with RestoreSketch it
+// is the persistence seam the internal/store codec uses.
+func (s *Sketch) State() (col *rrset.Collection, k, phase1 int, lb float64, allNodesN int) {
+	return s.Col, s.K, s.Phase1, s.LB, s.allNodesN
+}
+
+// RestoreSketch reassembles a sketch from the fields State returned. A
+// restored sketch is indistinguishable from the freshly built one: Select
+// on it yields the identical seed set (NodeSelection is deterministic
+// given the collection).
+func RestoreSketch(col *rrset.Collection, k, phase1 int, lb float64, allNodesN int) *Sketch {
+	return &Sketch{Col: col, K: k, Phase1: phase1, LB: lb, allNodesN: allNodesN}
+}
+
 // Select runs the final greedy NodeSelection on the sketch and assembles
 // the IMM result. It only reads the collection and is safe to call
 // concurrently from multiple goroutines on one shared Sketch.

@@ -254,6 +254,21 @@ func (s *Sketch) NumRRSets() int {
 	return s.Col.Len()
 }
 
+// State exposes the sketch's serializable fields, including the
+// unexported degenerate-instance marker; together with RestoreSketch it
+// is the persistence seam the internal/store codec uses.
+func (s *Sketch) State() (col *rrset.Collection, maxBudget, phase1, allNodesN int) {
+	return s.Col, s.MaxBudget, s.Phase1, s.allNodesN
+}
+
+// RestoreSketch reassembles a sketch from the fields State returned. A
+// restored sketch is indistinguishable from the freshly built one: Select
+// on it yields the identical ordering (NodeSelection is deterministic
+// given the collection).
+func RestoreSketch(col *rrset.Collection, maxBudget, phase1, allNodesN int) *Sketch {
+	return &Sketch{Col: col, MaxBudget: maxBudget, Phase1: phase1, allNodesN: allNodesN}
+}
+
 // Select runs the final greedy NodeSelection on the sketch and assembles
 // the PRIMA result. It only reads the collection and is safe to call
 // concurrently from multiple goroutines on one shared Sketch.

@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"context"
+	"fmt"
 
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/stats"
@@ -43,6 +44,59 @@ func NewCollection(g *graph.Graph) *Collection {
 
 // Sampler exposes the underlying sampler so callers can set a node coin.
 func (c *Collection) Sampler() *Sampler { return c.sampler }
+
+// Members returns the flattened member storage of every stored set (set i
+// occupies Members()[Offsets()[i]:Offsets()[i+1]]). The slice aliases
+// internal storage and must not be modified. Together with Offsets and
+// Restore this is the collection's serialization seam.
+func (c *Collection) Members() []graph.NodeID { return c.members }
+
+// Offsets returns the set-boundary offsets into Members; it has Len()+1
+// entries starting at 0. The slice aliases internal storage and must not
+// be modified.
+func (c *Collection) Offsets() []int64 { return c.offsets }
+
+// Restore reassembles a collection for g from flattened member storage
+// as returned by Members and Offsets, rebuilding the inverted
+// node -> set index. The inputs are validated — a malformed pair (e.g.
+// from a corrupt sketch file) returns an error rather than a collection
+// that would misbehave under NodeSelection. The slices are retained;
+// callers must not modify them afterwards. The restored collection is
+// immediately usable read-only (the sketch-cache contract); growing it
+// further is also legal.
+func Restore(g *graph.Graph, members []graph.NodeID, offsets []int64) (*Collection, error) {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		return nil, fmt.Errorf("rrset: offsets must start at 0")
+	}
+	if offsets[len(offsets)-1] != int64(len(members)) {
+		return nil, fmt.Errorf("rrset: offsets end at %d, want member count %d",
+			offsets[len(offsets)-1], len(members))
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("rrset: offsets not monotone at set %d", i-1)
+		}
+	}
+	n := g.N()
+	for _, v := range members {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("rrset: member node %d out of range [0, %d)", v, n)
+		}
+	}
+	c := &Collection{
+		g:       g,
+		members: members,
+		offsets: offsets,
+		coverOf: make([][]int32, n),
+		sampler: NewSampler(g),
+	}
+	for i := 0; i < c.Len(); i++ {
+		for _, v := range c.Set(i) {
+			c.coverOf[v] = append(c.coverOf[v], int32(i))
+		}
+	}
+	return c, nil
+}
 
 // N returns the node count of the underlying graph.
 func (c *Collection) N() int { return c.g.N() }

@@ -8,13 +8,25 @@ import (
 	"sync"
 )
 
-// SketchCache is a concurrency-safe, LRU-bounded cache of RR sketches
-// (prima.Sketch / imm.Sketch values) keyed by the tuple that determines
-// their distribution: (graph, sketch family, cascade model, ε, ℓ,
-// canonical budgets). Sketch generation is the dominant cost of every
-// allocation, and a built sketch is immutable and safe for concurrent
-// readers, so the cache lets repeated and concurrent queries against the
-// same resident network reuse one sketch instead of regenerating it.
+// SketchCache is the in-memory tier of the sketch cache: a
+// concurrency-safe, cost-bounded LRU of RR sketches (prima.Sketch /
+// imm.Sketch values) keyed by the tuple that determines their
+// distribution: (graph, sketch family, cascade model, ε, ℓ, canonical
+// budgets). Sketch generation is the dominant cost of every allocation,
+// and a built sketch is immutable and safe for concurrent readers, so
+// the cache lets repeated and concurrent queries against the same
+// resident network reuse one sketch instead of regenerating it. (The
+// optional disk tier below it lives in internal/store; the service
+// consults it inside the build callback, so this type stays purely
+// in-memory.)
+//
+// Eviction is cost-aware: each completed entry is priced by the
+// configured cost function (approximate resident bytes — RR memberships,
+// not entry count), and the cache evicts least-recently-used completed
+// entries while it exceeds either the entry bound or the byte budget. A
+// 64-entry bound means very different things for 1k-node and 1M-node
+// graphs; the byte budget (welmaxd -cache-mb) is what actually protects
+// the heap.
 //
 // Lookups have singleflight semantics: the first goroutine to request a
 // key builds the sketch while later requesters for the same key wait on
@@ -23,8 +35,11 @@ import (
 type SketchCache struct {
 	mu         sync.Mutex
 	maxEntries int
+	maxCost    int64           // byte budget; 0 = unbounded
+	costOf     func(any) int64 // prices a completed sketch; nil = cost 0
 	entries    map[string]*cacheEntry
 	tick       uint64 // logical clock for LRU ordering
+	totalCost  int64  // sum of completed entries' costs
 
 	hits      int64
 	misses    int64
@@ -35,19 +50,27 @@ type cacheEntry struct {
 	ready    chan struct{} // closed when sketch/err are set
 	sketch   any
 	err      error
+	cost     int64 // set when the build completes; in-flight entries cost 0
 	lastUsed uint64
 	// evictOnReady marks an in-flight entry whose key was invalidated
 	// mid-build (graph deleted); the builder removes it on completion.
 	evictOnReady bool
 }
 
-// NewSketchCache returns a cache bounded to maxEntries sketches
-// (default 64 if maxEntries <= 0).
-func NewSketchCache(maxEntries int) *SketchCache {
+// NewSketchCache returns a cache bounded to maxEntries sketches (default
+// 64 if maxEntries <= 0) and, when maxCostBytes > 0, to a total
+// completed-entry cost of maxCostBytes as priced by cost (which may be
+// nil when no byte budget is set).
+func NewSketchCache(maxEntries int, maxCostBytes int64, cost func(any) int64) *SketchCache {
 	if maxEntries <= 0 {
 		maxEntries = 64
 	}
-	return &SketchCache{maxEntries: maxEntries, entries: map[string]*cacheEntry{}}
+	return &SketchCache{
+		maxEntries: maxEntries,
+		maxCost:    maxCostBytes,
+		costOf:     cost,
+		entries:    map[string]*cacheEntry{},
+	}
 }
 
 // GetOrBuild returns the sketch cached under key, building it with build
@@ -88,8 +111,17 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 
 	e.sketch, e.err = build()
 	c.mu.Lock()
-	if (e.err != nil || e.evictOnReady) && c.entries[key] == e {
+	switch {
+	case (e.err != nil || e.evictOnReady) && c.entries[key] == e:
 		delete(c.entries, key)
+	case e.err == nil && c.entries[key] == e:
+		// The entry graduates from in-flight to completed: price it and
+		// re-run eviction, since the cache may now exceed its byte budget.
+		if c.costOf != nil {
+			e.cost = c.costOf(e.sketch)
+		}
+		c.totalCost += e.cost
+		c.evictLocked(key)
 	}
 	c.mu.Unlock()
 	close(e.ready)
@@ -97,10 +129,13 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 }
 
 // evictLocked drops least-recently-used completed entries until the
-// cache fits maxEntries. The entry under keep and entries still building
-// are never evicted. Caller holds c.mu.
+// cache fits both the entry bound and the byte budget. The entry under
+// keep and entries still building are never evicted — a single sketch
+// over the budget is kept until something else displaces it (evicting
+// the only copy would just force an immediate rebuild). Caller holds
+// c.mu.
 func (c *SketchCache) evictLocked(keep string) {
-	for len(c.entries) > c.maxEntries {
+	for len(c.entries) > c.maxEntries || (c.maxCost > 0 && c.totalCost > c.maxCost) {
 		victim := ""
 		var oldest uint64
 		for k, e := range c.entries {
@@ -119,6 +154,7 @@ func (c *SketchCache) evictLocked(keep string) {
 		if victim == "" {
 			return // everything else is in flight
 		}
+		c.totalCost -= c.entries[victim].cost
 		delete(c.entries, victim)
 		c.evictions++
 	}
@@ -127,8 +163,9 @@ func (c *SketchCache) evictLocked(keep string) {
 // InvalidateGraph drops every entry whose key belongs to the given
 // graph (keys start with "<graphID>|" — see SketchKey). Called when a
 // graph is deleted so its sketches don't outlive it. Entries still
-// building are marked and removed by their builder on completion (graph
-// ids are never reused, so such a sketch could otherwise leak forever).
+// building are marked and removed by their builder on completion (the
+// graph id may be re-registered later, but its sketches are rebuilt
+// fresh).
 func (c *SketchCache) InvalidateGraph(graphID string) {
 	prefix := graphID + "|"
 	c.mu.Lock()
@@ -139,6 +176,7 @@ func (c *SketchCache) InvalidateGraph(graphID string) {
 		}
 		select {
 		case <-e.ready:
+			c.totalCost -= e.cost
 			delete(c.entries, k)
 		default:
 			e.evictOnReady = true
@@ -156,18 +194,23 @@ func (c *SketchCache) Reset() {
 	for k, e := range c.entries {
 		select {
 		case <-e.ready:
+			c.totalCost -= e.cost
 			delete(c.entries, k)
 		default:
 		}
 	}
 }
 
-// CacheStats is the /v1/stats view of the sketch cache.
+// CacheStats is the /v1/stats view of the in-memory sketch tier.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// CostBytes is the approximate resident cost of the completed
+	// entries; MaxCostBytes is the configured budget (0 = unbounded).
+	CostBytes    int64 `json:"cost_bytes"`
+	MaxCostBytes int64 `json:"max_cost_bytes,omitempty"`
 }
 
 // Stats snapshots the counters.
@@ -175,16 +218,20 @@ func (c *SketchCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   len(c.entries),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:      len(c.entries),
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		CostBytes:    c.totalCost,
+		MaxCostBytes: c.maxCost,
 	}
 }
 
 // SketchKey derives the cache key for a sketch request. family is the
 // sketch kind ("prima" or "imm"), budgets must already be in canonical
-// form (prima.CanonicalBudgets, or [k] for IMM).
+// form (prima.CanonicalBudgets, or [k] for IMM). With content-addressed
+// graph ids the whole key is stable across daemon restarts, which is
+// what lets the disk tier index spilled sketches by a hash of it.
 func SketchKey(graphID, family string, cascade int, eps, ell float64, budgets []int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|c%d|e%g|l%g|", graphID, family, cascade, eps, ell)

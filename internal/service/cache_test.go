@@ -10,7 +10,7 @@ import (
 )
 
 func TestSketchCacheSingleflight(t *testing.T) {
-	c := NewSketchCache(8)
+	c := NewSketchCache(8, 0, nil)
 	var builds atomic.Int32
 	gate := make(chan struct{})
 
@@ -59,7 +59,7 @@ func TestSketchCacheSingleflight(t *testing.T) {
 }
 
 func TestSketchCacheEviction(t *testing.T) {
-	c := NewSketchCache(2)
+	c := NewSketchCache(2, 0, nil)
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("k%d", i)
 		if _, hit, _ := c.GetOrBuild(key, func() (any, error) { return i, nil }); hit {
@@ -82,8 +82,44 @@ func TestSketchCacheEviction(t *testing.T) {
 	}
 }
 
+func TestSketchCacheCostEviction(t *testing.T) {
+	// Entry bound is generous; the byte budget is the binding constraint:
+	// each entry costs 60, the budget is 100, so at most one completed
+	// entry fits at a time.
+	c := NewSketchCache(10, 100, func(any) int64 { return 60 })
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrBuild(key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.CostBytes != 60 {
+		t.Errorf("entries=%d cost=%d, want 1 entry at cost 60", st.Entries, st.CostBytes)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.MaxCostBytes != 100 {
+		t.Errorf("max cost = %d", st.MaxCostBytes)
+	}
+	// The newest entry is the survivor.
+	if _, hit, _ := c.GetOrBuild("k2", func() (any, error) { return nil, nil }); !hit {
+		t.Error("most recent entry was evicted")
+	}
+	// Eviction on graph invalidation returns its cost to the pool.
+	c.InvalidateGraph("k2") // no "|" prefix match: nothing happens
+	if c.Stats().Entries != 1 {
+		t.Error("prefix-less invalidation dropped an entry")
+	}
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.CostBytes != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
 func TestSketchCacheErrorNotCached(t *testing.T) {
-	c := NewSketchCache(8)
+	c := NewSketchCache(8, 0, nil)
 	boom := errors.New("boom")
 	if _, _, err := c.GetOrBuild("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)

@@ -9,7 +9,9 @@
 // Endpoints:
 //
 //	POST   /v1/graphs            load an edge list or generate a built-in network
+//	                             (content-addressed: duplicates dedupe to the resident entry)
 //	GET    /v1/graphs            list resident graphs
+//	POST   /v1/graphs/{id}/warm  prebuild a sketch as a cancelable job
 //	GET    /v1/algorithms        list registered planners with capability flags
 //	POST   /v1/allocate          enqueue an allocation job; returns a job id
 //	POST   /v1/estimate          enqueue a welfare-estimation job; returns a job id
@@ -225,6 +227,33 @@ func Algorithms() []AlgorithmInfo {
 		}
 	}
 	return out
+}
+
+// WarmRequest is the body of POST /v1/graphs/{id}/warm: prebuild the
+// sketch an equivalent allocate request (same algo, budgets, ε, ℓ,
+// cascade) would need, as an ordinary cancelable job. With a data
+// directory configured the built sketch also spills to disk, so warming
+// survives restarts.
+type WarmRequest struct {
+	Algo    string  `json:"algo,omitempty"`
+	Config  string  `json:"config,omitempty"`
+	Items   int     `json:"items,omitempty"`
+	Budgets []int   `json:"budgets"`
+	Eps     float64 `json:"eps,omitempty"`
+	Ell     float64 `json:"ell,omitempty"`
+	Cascade string  `json:"cascade,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// WarmResult is the result payload of a warm job.
+type WarmResult struct {
+	Algorithm    string `json:"algorithm"`
+	SketchFamily string `json:"sketch_family"`
+	// AlreadyWarm reports that some cache tier already had the sketch
+	// and nothing was built.
+	AlreadyWarm bool  `json:"already_warm"`
+	NumRRSets   int   `json:"num_rr_sets"`
+	ElapsedMS   int64 `json:"elapsed_ms"`
 }
 
 // EstimateRequest is the body of POST /v1/estimate: Monte-Carlo estimate

@@ -17,6 +17,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{id}/warm", s.handleWarmGraph)
 	mux.HandleFunc("GET /v1/algorithms", s.handleListAlgorithms)
 	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -70,22 +71,46 @@ func (s *Service) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	entry, err := s.registry.Add(name, g)
+	entry, existed, err := s.RegisterGraph(name, g)
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, entry.Info())
+	// Content addressing dedupes re-registrations of the same graph to
+	// the existing entry: 200 with the resident info, not a second copy.
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, entry.Info())
 }
 
 func (s *Service) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.registry.Delete(id) {
+	if !s.DeleteGraph(id) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
 		return
 	}
-	s.cache.InvalidateGraph(id)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleWarmGraph implements POST /v1/graphs/{id}/warm: prebuild a
+// sketch through the tiered cache as an ordinary cancelable job, so
+// operators can pay the dominant sketch cost ahead of user traffic (and,
+// with a data dir, ahead of the next restart).
+func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req WarmRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if _, _, err := s.validateWarm(id, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.enqueue(w, "warm", &req, func(ctx context.Context, report progress.Func) (any, error) {
+		return s.WarmCtx(ctx, id, &req, report)
+	})
 }
 
 func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {

@@ -8,18 +8,26 @@ import (
 
 	"uicwelfare/internal/expr"
 	"uicwelfare/internal/graph"
+	"uicwelfare/internal/store"
 )
 
 // Registry keeps graphs resident in memory so queries skip the
 // load-and-parse cost of the one-shot CLIs. Graphs are immutable once
-// registered and are shared read-only by all jobs. Residency is
-// bounded: past the limit, registration fails until a graph is deleted
-// (graphs are whole working sets, so silent LRU eviction under a
-// client's feet would be worse than an explicit error).
+// registered and are shared read-only by all jobs.
+//
+// Ids are content addresses: store.GraphID hashes the canonical edge
+// list, so registering the same graph twice — in one process or across
+// daemon restarts — resolves to the same id. Duplicate registrations
+// dedupe to the existing entry instead of consuming a second residency
+// slot, and clients can cache graph ids across restarts.
+//
+// Residency is bounded: past the limit, registration of a *new* graph
+// fails until one is deleted (graphs are whole working sets, so silent
+// LRU eviction under a client's feet would be worse than an explicit
+// error). Deduped registrations always succeed.
 type Registry struct {
 	mu     sync.RWMutex
 	graphs map[string]*GraphEntry
-	seq    int
 	limit  int
 }
 
@@ -44,18 +52,30 @@ func NewRegistry(limit int) *Registry {
 	return &Registry{graphs: map[string]*GraphEntry{}, limit: limit}
 }
 
-// Add registers a graph and assigns it an id. It fails when the
-// registry is full.
-func (r *Registry) Add(name string, g *graph.Graph) (*GraphEntry, error) {
+// Add registers a graph under its content-addressed id. Registering a
+// graph whose content is already resident returns the existing entry
+// with existed = true (the first registration's name wins). It fails
+// only when the graph is genuinely new and the registry is full.
+func (r *Registry) Add(name string, g *graph.Graph) (entry *GraphEntry, existed bool, err error) {
+	return r.AddWithID(store.GraphID(g), name, g)
+}
+
+// AddWithID is Add with the content address already computed — the boot
+// re-index path uses it so each persisted graph is hashed once (by
+// store.LoadGraphs), not twice. id must be store.GraphID(g); nothing
+// else may mint ids.
+func (r *Registry) AddWithID(id, name string, g *graph.Graph) (entry *GraphEntry, existed bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.graphs) >= r.limit {
-		return nil, fmt.Errorf("graph registry full (%d graphs); DELETE /v1/graphs/{id} to free one", r.limit)
+	if e, ok := r.graphs[id]; ok {
+		return e, true, nil
 	}
-	r.seq++
-	e := &GraphEntry{ID: fmt.Sprintf("g%d", r.seq), Name: name, Graph: g}
+	if len(r.graphs) >= r.limit {
+		return nil, false, fmt.Errorf("graph registry full (%d graphs); DELETE /v1/graphs/{id} to free one", r.limit)
+	}
+	e := &GraphEntry{ID: id, Name: name, Graph: g}
 	r.graphs[e.ID] = e
-	return e, nil
+	return e, false, nil
 }
 
 // Delete removes the entry with the given id, reporting whether it
@@ -87,12 +107,7 @@ func (r *Registry) List() []*GraphEntry {
 	for _, e := range r.graphs {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i].ID) != len(out[j].ID) {
-			return len(out[i].ID) < len(out[j].ID)
-		}
-		return out[i].ID < out[j].ID
-	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -151,11 +166,14 @@ func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
 		}
 	default:
 		name = req.Path
-		g, err = graph.LoadEdgeList(req.Path, !directed)
+		var binary bool
+		g, binary, err = store.LoadGraphFile(req.Path, !directed)
 		if err != nil {
 			return "", nil, err
 		}
-		if !req.KeepProbs {
+		// Binary .wmg files carry authoritative probabilities; only text
+		// edge lists get the weighted-cascade reset.
+		if !binary && !req.KeepProbs {
 			g = g.WeightedCascade()
 		}
 	}

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"uicwelfare/internal/core"
+	"uicwelfare/internal/graph"
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
+	"uicwelfare/internal/store"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
 )
@@ -21,6 +23,9 @@ type Options struct {
 	QueueCap int
 	// CacheEntries bounds the sketch cache (default 64).
 	CacheEntries int
+	// CacheMB bounds the in-memory sketch cache by approximate resident
+	// cost in megabytes (0 = entry bound only).
+	CacheMB int
 	// JobRetention bounds how many finished jobs stay queryable
 	// (default 1024).
 	JobRetention int
@@ -30,50 +35,123 @@ type Options struct {
 	// server-side files. Off by default: an unauthenticated daemon
 	// must not let remote callers open arbitrary local paths.
 	AllowPathLoads bool
+	// DataDir enables the persistence tier: graphs are stored
+	// content-addressed under <DataDir>/graphs, completed sketch builds
+	// are spilled under <DataDir>/sketches, and New re-indexes both so a
+	// restarted daemon keeps its graph ids and answers its first repeated
+	// allocate from a warm path. Empty keeps today's purely in-memory
+	// behavior.
+	DataDir string
+	// DiskMB bounds the spilled-sketch tier in megabytes (0 = unbounded);
+	// only meaningful with DataDir set.
+	DiskMB int
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
-// cache, the job store, and the worker pool. Handler exposes it over
-// HTTP.
+// cache (in-memory tier plus optional disk tier), the job store, and the
+// worker pool. Handler exposes it over HTTP.
 type Service struct {
 	registry   *Registry
 	cache      *SketchCache
+	disk       *store.Store // nil without a data dir
 	jobs       *JobStore
 	pool       *Pool
 	start      time.Time
 	allowPaths bool
 }
 
-// New assembles a Service and starts its worker pool.
-func New(opts Options) *Service {
+// New assembles a Service and starts its worker pool. With a data
+// directory configured it also opens the disk tier and re-indexes it:
+// every readable stored graph is registered under its content id (up to
+// the registry bound), so clients' graph ids — and the sketch-cache keys
+// derived from them — survive restarts.
+func New(opts Options) (*Service, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
-	return &Service{
+	// Open the disk tier before starting the worker pool: a failed Open
+	// must not leave the pool's goroutines running behind the error.
+	var disk *store.Store
+	if opts.DataDir != "" {
+		var err error
+		if disk, err = store.Open(opts.DataDir, opts.DiskMB); err != nil {
+			return nil, err
+		}
+	}
+	s := &Service{
 		registry:   NewRegistry(opts.MaxGraphs),
-		cache:      NewSketchCache(opts.CacheEntries),
+		cache:      NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, store.SketchCost),
+		disk:       disk,
 		jobs:       NewJobStore(opts.JobRetention),
 		pool:       NewPool(opts.Workers, opts.QueueCap),
 		start:      time.Now(),
 		allowPaths: opts.AllowPathLoads,
 	}
+	if disk != nil {
+		for _, sg := range disk.LoadGraphs() {
+			if _, _, err := s.registry.AddWithID(sg.ID, sg.Name, sg.Graph); err != nil {
+				break // registry full: keep what fit
+			}
+		}
+	}
+	return s, nil
 }
 
 // Close drains the worker pool.
 func (s *Service) Close() { s.pool.Close() }
 
-// ResetSketchCache drops all cached sketches (used by the cold-path
-// benchmark). Safe to call while requests are in flight.
+// ResetSketchCache drops all cached in-memory sketches (used by the
+// cold-path benchmark). Safe to call while requests are in flight.
 func (s *Service) ResetSketchCache() { s.cache.Reset() }
 
-// Registry exposes the graph registry (used by tests and the daemon to
-// preload graphs).
+// Registry exposes the graph registry (used by tests; registration that
+// should persist goes through RegisterGraph).
 func (s *Service) Registry() *Registry { return s.registry }
+
+// RegisterGraph adds a graph to the registry under its content id and,
+// when the disk tier is enabled, persists it so a restart re-registers
+// it under the same id. A duplicate of a resident graph dedupes to the
+// existing entry (existed = true) without touching disk.
+func (s *Service) RegisterGraph(name string, g *graph.Graph) (entry *GraphEntry, existed bool, err error) {
+	entry, existed, err = s.registry.Add(name, g)
+	if err != nil || existed {
+		return entry, existed, err
+	}
+	if s.disk != nil {
+		// Persistence is best-effort: on a write error the graph is still
+		// resident and usable, a restart simply won't have it. After the
+		// write, re-check for a concurrent DELETE — its disk sweep may
+		// have run before our SaveGraph, and an orphaned graph file would
+		// resurrect the deleted graph at every restart.
+		_ = s.disk.SaveGraph(entry.ID, entry.Name, entry.Graph)
+		if _, ok := s.registry.Get(entry.ID); !ok {
+			s.disk.DeleteGraph(entry.ID)
+		}
+	}
+	return entry, false, nil
+}
+
+// DeleteGraph removes a graph from the registry, drops its cached
+// sketches, and deletes its persisted artifacts (graph file and spilled
+// sketches). It reports whether the graph existed.
+func (s *Service) DeleteGraph(id string) bool {
+	if !s.registry.Delete(id) {
+		return false
+	}
+	s.cache.InvalidateGraph(id)
+	if s.disk != nil {
+		s.disk.DeleteGraph(id)
+	}
+	return true
+}
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Graphs      int              `json:"graphs"`
-	SketchCache CacheStats       `json:"sketch_cache"`
+	Graphs      int        `json:"graphs"`
+	SketchCache CacheStats `json:"sketch_cache"`
+	// DiskTier reports the persistence tier's counters; nil when the
+	// daemon runs without -data-dir.
+	DiskTier    *store.Stats     `json:"disk_tier,omitempty"`
 	Jobs        map[JobState]int `json:"jobs"`
 	Workers     int              `json:"workers"`
 	BusyWorkers int              `json:"busy_workers"`
@@ -84,7 +162,7 @@ type StatsResponse struct {
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() StatsResponse {
-	return StatsResponse{
+	out := StatsResponse{
 		Graphs:      s.registry.Len(),
 		SketchCache: s.cache.Stats(),
 		Jobs:        s.jobs.CountByState(),
@@ -94,6 +172,11 @@ func (s *Service) Stats() StatsResponse {
 		QueueCap:    s.pool.QueueCap(),
 		UptimeMS:    time.Since(s.start).Milliseconds(),
 	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		out.DiskTier = &ds
+	}
+	return out
 }
 
 // allocatePlan is a validated AllocateRequest resolved to its problem
@@ -195,24 +278,78 @@ func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
 	return s.AllocateCtx(context.Background(), req, nil)
 }
 
+// sketchForPlan resolves a sketch-capable plan's sketch through the
+// tiered cache: the in-memory tier first (with singleflight semantics),
+// then — inside the build callback, so concurrent requesters share one
+// disk read exactly like they share one build — the disk tier, and only
+// then a fresh build, whose result is spilled back to disk. hit reports
+// whether any tier avoided a rebuild; it is what AllocateResult exposes
+// as SketchCached and what the restart-warm smoke asserts on.
+func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.SketchPlanner, plan *allocatePlan, eps, ell float64, seed uint64) (sketch any, hit bool, err error) {
+	key := SketchKey(graphID, plan.meta.SketchFamily, int(plan.opts.Cascade), eps, ell, sp.SketchBudgets(plan.prob))
+	var diskHit bool
+	for {
+		var memHit bool
+		sketch, memHit, err = s.cache.GetOrBuildCtx(ctx, key, func() (any, error) {
+			if s.disk != nil {
+				if sk := s.disk.LoadSketch(graphID, key, plan.prob.G); sk != nil {
+					diskHit = true
+					return sk, nil
+				}
+			}
+			buildOpts := plan.opts
+			buildOpts.Eps, buildOpts.Ell = eps, ell
+			sk, err := sp.BuildSketch(ctx, plan.prob, buildOpts, stats.NewRNG(seed))
+			if err == nil && s.disk != nil {
+				_ = s.disk.SaveSketch(graphID, key, sk) // best-effort; failure only costs warmth
+			}
+			return sk, err
+		})
+		if err == nil {
+			// The graph may have been deleted while the sketch was
+			// building — after the delete's sweeps already ran, so the
+			// memory entry and the just-written spill would otherwise
+			// outlive the deletion (the spill permanently: nothing else
+			// sweeps a deleted graph's sketch files). Re-check and sweep
+			// both tiers.
+			if _, ok := s.registry.Get(graphID); !ok {
+				s.cache.InvalidateGraph(graphID)
+				if s.disk != nil {
+					s.disk.DeleteGraph(graphID)
+				}
+			}
+			return sketch, memHit || diskHit, nil
+		}
+		// A waiter inherits the *builder's* cancellation (or deadline
+		// expiry) through the shared singleflight entry. If this
+		// request's own context is still live, the dead entry has
+		// already been evicted — retry, becoming the new builder,
+		// instead of failing a job nobody canceled.
+		if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return nil, false, err
+	}
+}
+
 // AllocateCtx solves one allocation request under ctx, reporting
 // progress through report (which may be nil). Dispatch goes through the
 // core planner registry; for planners with the SketchPlanner capability
-// sketch generation goes through the cache (with singleflight
-// semantics), the rest run their Plan directly. Cancellation: ctx is
-// threaded through sketch construction, cache waits, and the inline
-// welfare estimate, so a canceled context aborts the request promptly
-// with ctx.Err(). A canceled cache build caches nothing — concurrent
-// waiters for the same sketch receive the error and the next request
-// rebuilds.
+// sketch resolution goes through the tiered cache (memory, then disk,
+// then build — see sketchForPlan), the rest run their Plan directly.
+// Cancellation: ctx is threaded through sketch construction, cache
+// waits, and the inline welfare estimate, so a canceled context aborts
+// the request promptly with ctx.Err(). A canceled cache build caches
+// nothing — concurrent waiters for the same sketch receive the error and
+// the next request rebuilds.
 func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report progress.Func) (*AllocateResult, error) {
 	startT := time.Now()
 	plan, err := s.validateAllocate(req)
 	if err != nil {
 		return nil, err
 	}
+	plan.opts.Progress = report
 	prob, opts := plan.prob, plan.opts
-	opts.Progress = report
 	seed := seedOf(req.Seed)
 	eps, ell := opts.Eps, opts.Ell
 	if eps <= 0 {
@@ -227,29 +364,11 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 		hit bool
 	)
 	if sp, ok := plan.planner.(core.SketchPlanner); ok {
-		key := SketchKey(req.GraphID, plan.meta.SketchFamily, int(opts.Cascade), eps, ell, sp.SketchBudgets(prob))
-		var v any
-		for {
-			var h bool
-			v, h, err = s.cache.GetOrBuildCtx(ctx, key, func() (any, error) {
-				buildOpts := opts
-				buildOpts.Eps, buildOpts.Ell = eps, ell
-				return sp.BuildSketch(ctx, prob, buildOpts, stats.NewRNG(seed))
-			})
-			if err == nil {
-				hit = h
-				break
-			}
-			// A waiter inherits the *builder's* cancellation (or deadline
-			// expiry) through the shared singleflight entry. If this
-			// request's own context is still live, the dead entry has
-			// already been evicted — retry, becoming the new builder,
-			// instead of failing a job nobody canceled.
-			if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-				continue
-			}
+		v, h, err := s.sketchForPlan(ctx, req.GraphID, sp, plan, eps, ell, seed)
+		if err != nil {
 			return nil, err
 		}
+		hit = h
 		res, err = sp.PlanFromSketch(prob, v)
 		if err != nil {
 			return nil, err
@@ -259,13 +378,6 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 		if err != nil {
 			return nil, err
 		}
-	}
-
-	// The graph may have been deleted while the sketch was building —
-	// after InvalidateGraph already ran, so the entry would otherwise
-	// outlive its never-reused graph id. Re-check and sweep.
-	if _, ok := s.registry.Get(req.GraphID); !ok {
-		s.cache.InvalidateGraph(req.GraphID)
 	}
 
 	out := NewAllocateResult(plan.meta.Name, res)
@@ -279,6 +391,66 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 		out.Welfare = &WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
 	}
 	out.ElapsedMS = time.Since(startT).Milliseconds()
+	return out, nil
+}
+
+// validateWarm resolves a warm request against the same checks as an
+// allocation, additionally requiring a sketch-capable algorithm —
+// warming a planner with no reusable sketch would build nothing a later
+// request could reuse.
+func (s *Service) validateWarm(graphID string, req *WarmRequest) (*allocatePlan, core.SketchPlanner, error) {
+	plan, err := s.validateAllocate(&AllocateRequest{
+		GraphID: graphID,
+		Algo:    req.Algo,
+		Config:  req.Config,
+		Items:   req.Items,
+		Budgets: req.Budgets,
+		Eps:     req.Eps,
+		Ell:     req.Ell,
+		Cascade: req.Cascade,
+		Seed:    req.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, ok := plan.planner.(core.SketchPlanner)
+	if !ok {
+		return nil, nil, fmt.Errorf("algorithm %q has no cacheable sketch to warm", plan.meta.Name)
+	}
+	return plan, sp, nil
+}
+
+// WarmCtx prebuilds the sketch an equivalent allocate request would
+// need, through the same tiered cache path, so a later allocation — or a
+// daemon restart followed by one, since completed builds spill to the
+// disk tier — starts warm. It runs as an ordinary cancelable job.
+func (s *Service) WarmCtx(ctx context.Context, graphID string, req *WarmRequest, report progress.Func) (*WarmResult, error) {
+	startT := time.Now()
+	plan, sp, err := s.validateWarm(graphID, req)
+	if err != nil {
+		return nil, err
+	}
+	plan.opts.Progress = report
+	eps, ell := plan.opts.Eps, plan.opts.Ell
+	if eps <= 0 {
+		eps = 0.5
+	}
+	if ell <= 0 {
+		ell = 1
+	}
+	sketch, hit, err := s.sketchForPlan(ctx, graphID, sp, plan, eps, ell, seedOf(req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	out := &WarmResult{
+		Algorithm:    plan.meta.Name,
+		SketchFamily: plan.meta.SketchFamily,
+		AlreadyWarm:  hit,
+		ElapsedMS:    time.Since(startT).Milliseconds(),
+	}
+	if sized, ok := sketch.(interface{ NumRRSets() int }); ok {
+		out.NumRRSets = sized.NumRRSets()
+	}
 	return out, nil
 }
 

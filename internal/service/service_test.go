@@ -26,7 +26,10 @@ type env struct {
 
 func newEnv(t *testing.T, opts service.Options) *env {
 	t.Helper()
-	svc := service.New(opts)
+	svc, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		srv.Close()

@@ -9,9 +9,12 @@ import (
 )
 
 func TestAllocateInlineEstimatePairCap(t *testing.T) {
-	svc := New(Options{})
+	svc, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
-	entry, err := svc.registry.Add("big", graph.FromEdges(7000, nil))
+	entry, _, err := svc.registry.Add("big", graph.FromEdges(7000, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +37,7 @@ func TestAllocateInlineEstimatePairCap(t *testing.T) {
 }
 
 func TestInvalidateGraphDropsInFlightBuilds(t *testing.T) {
-	c := NewSketchCache(8)
+	c := NewSketchCache(8, 0, nil)
 	gate := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

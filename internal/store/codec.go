@@ -1,0 +1,201 @@
+// Package store is welmaxd's persistence subsystem: a versioned,
+// checksummed binary codec for graphs (.wmg) and built RR sketches
+// (.wms), content-addressed graph identifiers, and a disk tier that
+// spills completed sketch builds under a data directory so a restarted
+// daemon answers its first allocate from a warm path instead of
+// regenerating sketches — the dominant cost of every allocation (the
+// reason the in-memory cache exists at all). Stable content-addressed
+// ids plus serializable sketches are also the foundation sharding needs:
+// they are what one backend can hand another.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// File format: an 8-byte magic, a uint32 format version, a uint64
+// payload length, the payload, and a CRC-32C of the payload — all
+// little-endian. The payload itself is a varint-packed body defined by
+// the graph and sketch codecs. Every field is verified on read: a
+// truncated file, a flipped bit, or a future version yields a typed
+// error (never a broken in-memory structure), which the cache layers
+// treat as a miss and fall back to a rebuild.
+const (
+	// GraphMagic opens a .wmg graph file.
+	GraphMagic = "WMGRAPH\x00"
+	// SketchMagic opens a .wms sketch file.
+	SketchMagic = "WMSKTCH\x00"
+	// Version is the current format version of both codecs.
+	Version = 1
+
+	// maxPayload bounds a frame's declared payload so a corrupt length
+	// field cannot trigger an absurd allocation before the checksum ever
+	// runs (4 GiB is far beyond any sketch the daemon's caps allow).
+	maxPayload = 4 << 30
+)
+
+// Typed codec errors, distinguishable with errors.Is so callers (and the
+// corrupt-input tests) can tell rejection modes apart.
+var (
+	// ErrBadMagic reports a file that is not the expected format at all.
+	ErrBadMagic = errors.New("store: bad magic")
+	// ErrBadVersion reports a well-formed frame of an unsupported version.
+	ErrBadVersion = errors.New("store: unsupported format version")
+	// ErrChecksum reports a payload whose CRC does not match.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrTruncated reports a frame that ends early.
+	ErrTruncated = errors.New("store: truncated file")
+	// ErrCorrupt reports a payload that passed the checksum but decodes
+	// to an inconsistent structure (a writer bug or a deliberate forgery,
+	// not random bit rot).
+	ErrCorrupt = errors.New("store: corrupt payload")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame writes one framed payload.
+func writeFrame(w io.Writer, magic string, payload []byte) error {
+	var hdr [20]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readFrame reads and verifies one framed payload.
+func readFrame(r io.Reader, magic string) ([]byte, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, hdr[:8], magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrBadVersion, v, Version)
+	}
+	size := binary.LittleEndian.Uint64(hdr[12:20])
+	if size > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrCorrupt, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrTruncated, err)
+	}
+	want := binary.LittleEndian.Uint32(sum[:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// payloadWriter packs a frame body: varints for counts and ids, fixed
+// 32/64-bit words for floats.
+type payloadWriter struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (p *payloadWriter) uvarint(x uint64) {
+	n := binary.PutUvarint(p.tmp[:], x)
+	p.buf.Write(p.tmp[:n])
+}
+
+func (p *payloadWriter) float32(x float32) {
+	binary.LittleEndian.PutUint32(p.tmp[:4], math.Float32bits(x))
+	p.buf.Write(p.tmp[:4])
+}
+
+func (p *payloadWriter) float64(x float64) {
+	binary.LittleEndian.PutUint64(p.tmp[:8], math.Float64bits(x))
+	p.buf.Write(p.tmp[:8])
+}
+
+func (p *payloadWriter) string(s string) {
+	p.uvarint(uint64(len(s)))
+	p.buf.WriteString(s)
+}
+
+// payloadReader unpacks a frame body, turning any overrun into
+// ErrCorrupt (the checksum already passed, so a short body is a
+// structural inconsistency, not bit rot).
+type payloadReader struct {
+	rest []byte
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(p.rest)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	p.rest = p.rest[n:]
+	return x, nil
+}
+
+// count reads a varint meant to size an allocation, rejecting values
+// that could not possibly fit the remaining body (each counted element
+// occupies at least one byte).
+func (p *payloadReader) count() (int, error) {
+	x, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(len(p.rest)) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrCorrupt, x, len(p.rest))
+	}
+	return int(x), nil
+}
+
+func (p *payloadReader) float32() (float32, error) {
+	if len(p.rest) < 4 {
+		return 0, fmt.Errorf("%w: short float32", ErrCorrupt)
+	}
+	x := math.Float32frombits(binary.LittleEndian.Uint32(p.rest))
+	p.rest = p.rest[4:]
+	return x, nil
+}
+
+func (p *payloadReader) float64() (float64, error) {
+	if len(p.rest) < 8 {
+		return 0, fmt.Errorf("%w: short float64", ErrCorrupt)
+	}
+	x := math.Float64frombits(binary.LittleEndian.Uint64(p.rest))
+	p.rest = p.rest[8:]
+	return x, nil
+}
+
+func (p *payloadReader) string() (string, error) {
+	n, err := p.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(p.rest[:n])
+	p.rest = p.rest[n:]
+	return s, nil
+}
+
+func (p *payloadReader) done() error {
+	if len(p.rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p.rest))
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Restart-warm smoke test: boots welmaxd with a data dir, loads a graph,
+# allocates (cold), restarts the daemon over the same data dir, and
+# asserts that the graph id survived and the repeated allocate is served
+# from the persisted sketch (a cache hit + a disk-tier hit in /v1/stats).
+# CI runs this against the real binary; the httptest-level equivalent
+# lives in internal/service/persist_test.go.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+DATA="$(mktemp -d)"
+BIN="$(mktemp -d)/welmaxd"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$DATA" "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+fail() { echo "restart_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon did not become healthy"
+}
+
+wait_job() { # $1 = job id; prints the terminal job JSON
+  local view state
+  for _ in $(seq 1 600); do
+    view="$(curl -fsS "$BASE/v1/jobs/$1")"
+    state="$(jq -r .state <<<"$view")"
+    case "$state" in
+      done) echo "$view"; return 0 ;;
+      failed|canceled) fail "job $1 ended $state: $(jq -r .error <<<"$view")" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $1 did not finish"
+}
+
+go build -o "$BIN" ./cmd/welmaxd
+
+# --- first lifetime: register + cold allocate ---------------------------
+"$BIN" -addr "$ADDR" -data-dir "$DATA" & PID=$!
+wait_healthy
+
+GRAPH_ID="$(curl -fsS -X POST "$BASE/v1/graphs" \
+  -d '{"network":"flixster","scale":0.02}' | jq -r .id)"
+[ -n "$GRAPH_ID" ] && [ "$GRAPH_ID" != null ] || fail "graph registration"
+echo "registered $GRAPH_ID"
+
+JOB="$(curl -fsS -X POST "$BASE/v1/allocate" \
+  -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r .job_id)"
+VIEW="$(wait_job "$JOB")"
+[ "$(jq -r .result.sketch_cached <<<"$VIEW")" = false ] || fail "cold allocate claimed a cache hit"
+echo "cold allocate done"
+
+kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+
+# --- second lifetime: same data dir, same graph id, warm from disk ------
+"$BIN" -addr "$ADDR" -data-dir "$DATA" & PID=$!
+wait_healthy
+
+curl -fsS "$BASE/v1/graphs/$GRAPH_ID" >/dev/null || fail "graph id did not survive the restart"
+
+JOB2="$(curl -fsS -X POST "$BASE/v1/allocate" \
+  -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r .job_id)"
+VIEW2="$(wait_job "$JOB2")"
+[ "$(jq -r .result.sketch_cached <<<"$VIEW2")" = true ] || fail "post-restart allocate missed the cache"
+
+STATS="$(curl -fsS "$BASE/v1/stats")"
+HITS="$(jq -r .disk_tier.hits <<<"$STATS")"
+[ "$HITS" -ge 1 ] || fail "disk tier reports $HITS hits, want >= 1"
+
+echo "restart_smoke: OK (graph $GRAPH_ID, disk hits $HITS)"

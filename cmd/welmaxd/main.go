@@ -20,6 +20,19 @@
 //	curl -s -X DELETE localhost:8080/v1/jobs/j1 # cancel a running job
 //	curl -s -X POST localhost:8080/v1/graphs/<id>/warm -d '{"budgets":[50,50]}'
 //	curl -s localhost:8080/v1/stats
+//
+// Cluster mode: welmaxd also runs as the routing tier in front of N
+// backend daemons. Backends are ordinary welmaxd processes started with
+// -node so their job ids carry a cluster-unique prefix; the router
+// places each graph on one backend by rendezvous-hashing its
+// content-addressed id, proxies graph- and job-scoped requests, fans
+// multi-graph requests out, and re-routes graphs (shipping warm
+// sketches) when a backend goes down or comes back:
+//
+//	welmaxd -addr :8081 -node b0 -data-dir /var/lib/welmaxd-b0 &
+//	welmaxd -addr :8082 -node b1 -data-dir /var/lib/welmaxd-b1 &
+//	welmaxd -addr :8080 -route 'b0=http://127.0.0.1:8081,b1=http://127.0.0.1:8082' &
+//	curl -s -X POST localhost:8080/v1/graphs -d '{"network":"flixster"}'  # same API
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"uicwelfare/internal/cluster"
 	"uicwelfare/internal/service"
 )
 
@@ -47,10 +61,20 @@ func main() {
 		retention  = flag.Int("retain", 1024, "finished jobs kept queryable")
 		allowPaths = flag.Bool("allow-paths", false, "let POST /v1/graphs load server-side edge-list or .wmg files")
 		preload    = flag.String("preload", "", "built-in network to load at startup (optional)")
-		dataDir    = flag.String("data-dir", "", "persistence directory: graphs and spilled sketches survive restarts (optional)")
+		dataDir    = flag.String("data-dir", "", "persistence directory: graphs, spilled sketches, and the job audit trail survive restarts (optional)")
 		diskMB     = flag.Int("disk-mb", 0, "spilled-sketch disk budget in MB (0 = unbounded; needs -data-dir)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "in-memory sketch lifetime (0 = forever); expired sketches rebuild on next use")
+		nodeID     = flag.String("node", "", "cluster node id: job ids become <node>-j<seq> and /v1/healthz reports it (required behind a router)")
+		route      = flag.String("route", "", "run as a cluster router over these backends: 'b0=http://host:port,b1=...' (ignores backend-only flags)")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "router health-probe cadence (with -route)")
+		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "router per-backend request deadline, SSE excepted (with -route)")
 	)
 	flag.Parse()
+
+	if *route != "" {
+		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths)
+		return
+	}
 
 	svc, err := service.New(service.Options{
 		Workers:        *workers,
@@ -61,6 +85,8 @@ func main() {
 		AllowPathLoads: *allowPaths,
 		DataDir:        *dataDir,
 		DiskMB:         *diskMB,
+		CacheTTL:       *cacheTTL,
+		NodeID:         *nodeID,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -104,7 +130,52 @@ func main() {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	log.Printf("welmaxd listening on %s (%d workers)", *addr, *workers)
+	if *nodeID != "" {
+		log.Printf("welmaxd node %s listening on %s (%d workers)", *nodeID, *addr, *workers)
+	} else {
+		log.Printf("welmaxd listening on %s (%d workers)", *addr, *workers)
+	}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "welmaxd:", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// runRouter serves the cluster routing tier (-route).
+func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool) {
+	backends, err := cluster.ParseBackends(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "welmaxd:", err)
+		os.Exit(1)
+	}
+	rt, err := cluster.New(cluster.Options{
+		Backends:       backends,
+		ProbeInterval:  probeEvery,
+		ProxyTimeout:   proxyTimeout,
+		AllowPathLoads: allowPaths,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "welmaxd:", err)
+		os.Exit(1)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	srv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("router shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	log.Printf("welmaxd router listening on %s (%d backends)", addr, len(backends))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
 		os.Exit(1)

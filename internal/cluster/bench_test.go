@@ -1,0 +1,53 @@
+package cluster_test
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+)
+
+// BenchmarkClusterAllocate measures the warm allocation path through the
+// routing tier — submit via the router, stream the job to completion —
+// against a 2-backend cluster. Compare with BenchmarkServiceAllocate
+// (repo root) to see the proxy hop's cost on top of the single-node warm
+// path.
+func BenchmarkClusterAllocate(b *testing.B) {
+	backends := []*backend{
+		startBackendAt(b, "b0", "127.0.0.1:0", service.Options{Workers: 2}),
+		startBackendAt(b, "b1", "127.0.0.1:0", service.Options{Workers: 2}),
+	}
+	rt, c := newCluster(b, backends, cluster.Options{
+		ProbeInterval: time.Hour,
+		ProxyTimeout:  30 * time.Second,
+	})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(6)
+	req := service.AllocateRequest{GraphID: info.ID, Budgets: []int{2, 2}, Seed: 1}
+
+	// Warm the owner's sketch cache once so the loop measures the steady
+	// state: route + enqueue + warm allocate + stream.
+	if view := c.waitJob(c.submit("/v1/allocate", req)); view.State != service.JobDone {
+		b.Fatalf("warm-up allocate failed: %s", view.Error)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobID := c.submit("/v1/allocate", req)
+		// The SSE stream ends at the terminal event: a blocking wait with
+		// no poll interval noise.
+		resp, err := http.Get(c.base + "/v1/jobs/" + jobID + "/events")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,83 @@
+// Package cluster scales welmaxd horizontally: a routing tier that
+// fronts N backend daemons and presents the single-node HTTP API
+// unchanged. RR-sketch memory is the binding resource of the serving
+// system — a sketch is rebuilt wherever its graph lives — so the router
+// partitions graphs (and with them the sketch caches) across backends by
+// rendezvous (HRW) hashing on the content-addressed graph id:
+//
+//   - POST /v1/graphs and every graph-scoped route (allocate, estimate,
+//     warm, sketches) proxy to the graph's owning backend;
+//   - multi-graph routes (GET /v1/graphs, /v1/stats, /v1/algorithms) fan
+//     out and merge;
+//   - job routes follow the backend encoded in the job id ("b1-j7" —
+//     backends mint cluster-scoped ids when started with -node).
+//
+// The router probes each backend's GET /v1/healthz, marks backends
+// down/up, and on a membership change re-routes graphs: the graph's
+// .wmg bytes (kept from registration, or fetched from the owner on
+// adoption) are re-registered on the new HRW owner, and — when the old
+// owner is still alive — its warm sketches are exported and imported
+// into the new owner through the .wms stream container, so rebalancing
+// does not discard sketch work. Content-addressed graph ids and
+// serializable sketches (PR 3's internal/store) are what make both
+// transfers possible.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Backend is one welmaxd shard: its cluster node name (the -node flag it
+// was started with, echoed by its /v1/healthz) and its base URL.
+type Backend struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParseBackends parses the router's -route topology spec:
+// "b0=http://127.0.0.1:8081,b1=http://127.0.0.1:8082". Names must be
+// unique, non-empty, and free of the characters the wire formats assign
+// meaning to ("-" ends the node prefix of a job id, "," and "=" delimit
+// the spec itself).
+func ParseBackends(spec string) ([]Backend, error) {
+	var out []Backend
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: backend %q: want name=url", part)
+		}
+		if name == "" || strings.ContainsAny(name, "-,=/ ") {
+			return nil, fmt.Errorf("cluster: bad backend name %q (letters, digits, dots only)", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", name)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q: bad url %q", name, rawURL)
+		}
+		seen[name] = true
+		out = append(out, Backend{Name: name, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no backends in %q", spec)
+	}
+	return out, nil
+}
+
+// JobNode extracts the node name from a cluster-scoped job id ("b1-j7"
+// → "b1"). Single-node ids ("j7") have no node and report ok = false.
+func JobNode(jobID string) (node string, ok bool) {
+	i := strings.LastIndexByte(jobID, '-')
+	if i <= 0 {
+		return "", false
+	}
+	return jobID[:i], true
+}

@@ -1,0 +1,223 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+)
+
+// backend is one in-process welmaxd shard listening on a real TCP port,
+// so tests can kill it and bring a fresh instance back up on the same
+// address — the lifecycle the router's membership tracking is about.
+type backend struct {
+	name   string
+	addr   string
+	opts   service.Options
+	svc    *service.Service
+	srv    *http.Server
+	closed bool
+}
+
+// startBackendAt boots a backend named name on addr ("127.0.0.1:0" picks
+// a free port; a previous backend's addr reuses it for restarts).
+func startBackendAt(t testing.TB, name, addr string, opts service.Options) *backend {
+	t.Helper()
+	opts.NodeID = name
+	svc, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	b := &backend{name: name, addr: ln.Addr().String(), opts: opts, svc: svc, srv: srv}
+	t.Cleanup(b.kill)
+	return b
+}
+
+func (b *backend) url() string { return "http://" + b.addr }
+
+// kill stops the backend abruptly (in-flight requests are dropped).
+func (b *backend) kill() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	_ = b.srv.Close()
+	b.svc.Close()
+}
+
+// restart brings a fresh daemon up on the same address (same node name,
+// same options — a process restart).
+func (b *backend) restart(t testing.TB) *backend {
+	t.Helper()
+	if !b.closed {
+		t.Fatal("restarting a live backend")
+	}
+	return startBackendAt(t, b.name, b.addr, b.opts)
+}
+
+// newCluster assembles a router (not Started — tests drive Sync
+// explicitly for determinism) and its client-facing test server.
+func newCluster(t testing.TB, backends []*backend, opts cluster.Options) (*cluster.Router, *client) {
+	t.Helper()
+	for _, b := range backends {
+		opts.Backends = append(opts.Backends, cluster.Backend{Name: b.name, URL: b.url()})
+	}
+	rt, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, &client{t: t, base: front.URL}
+}
+
+// client is a minimal JSON client against the router front end.
+type client struct {
+	t    testing.TB
+	base string
+}
+
+func (c *client) do(method, path string, body any) (int, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		raw, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func (c *client) doJSON(method, path string, body, out any, wantStatus int) {
+	c.t.Helper()
+	status, raw := c.do(method, path, body)
+	if status != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d: %s", method, path, status, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: bad response %q: %v", method, path, raw, err)
+		}
+	}
+}
+
+// lineEdges builds a distinct tiny path graph of n nodes.
+func lineEdges(n int) string {
+	var b strings.Builder
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "%d %d 0.5\n", i, i+1)
+	}
+	return b.String()
+}
+
+// registerLine registers a path graph of n nodes through the router.
+func (c *client) registerLine(n int) service.GraphInfo {
+	c.t.Helper()
+	var info service.GraphInfo
+	c.doJSON("POST", "/v1/graphs", service.GraphRequest{
+		Name: fmt.Sprintf("line%d", n), Edges: lineEdges(n), KeepProbs: true,
+	}, &info, http.StatusCreated)
+	return info
+}
+
+// submit posts an async request and returns the (node-prefixed) job id.
+func (c *client) submit(path string, req any) string {
+	c.t.Helper()
+	var out struct {
+		JobID string `json:"job_id"`
+	}
+	c.doJSON("POST", path, req, &out, http.StatusAccepted)
+	if out.JobID == "" {
+		c.t.Fatal("no job id")
+	}
+	return out.JobID
+}
+
+// jobView mirrors the backend job view with a typed allocate result.
+type jobView struct {
+	ID     string                  `json:"id"`
+	State  service.JobState        `json:"state"`
+	Error  string                  `json:"error"`
+	Result *service.AllocateResult `json:"result"`
+}
+
+// waitJob polls the job through the router until it is terminal.
+func (c *client) waitJob(id string) jobView {
+	c.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var view jobView
+		c.doJSON("GET", "/v1/jobs/"+id, nil, &view, http.StatusOK)
+		if view.State.Terminal() {
+			return view
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.t.Fatalf("job %s did not finish", id)
+	return jobView{}
+}
+
+// streamEvents reads the job's SSE stream through the router until the
+// terminal event, returning the SSE event names in order.
+func (c *client) streamEvents(id string) []string {
+	c.t.Helper()
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		c.t.Fatalf("events: content type %q", ct)
+	}
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// syncCtx is a short helper context for explicit Sync calls.
+func syncCtx() context.Context { return context.Background() }

@@ -1,0 +1,190 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+)
+
+// TestClusterEndToEnd drives a 3-backend cluster through the full
+// sharding story: HRW placement spreads graphs across backends, the
+// client-facing API (register, allocate, jobs, SSE) is the single-node
+// API, aggregate warm-sketch capacity is the sum of the shards, a
+// backend kill re-routes its graphs, and its recovery moves them back
+// with their warm sketches shipped rather than discarded.
+func TestClusterEndToEnd(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b2", "127.0.0.1:0", service.Options{}),
+	}
+	byName := func(name string) *backend {
+		for _, b := range backends {
+			if b.name == name {
+				return b
+			}
+		}
+		t.Fatalf("no backend %q", name)
+		return nil
+	}
+	rt, c := newCluster(t, backends, cluster.Options{
+		ProbeInterval: time.Hour, // tests drive Sync explicitly
+		ProxyTimeout:  30 * time.Second,
+	})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	// --- placement: distinct graphs land on distinct backends ----------
+	var infos []service.GraphInfo
+	for n := 3; n <= 8; n++ {
+		infos = append(infos, c.registerLine(n))
+	}
+	ownerOf := map[string]string{}
+	ownersSeen := map[string]bool{}
+	for _, info := range infos {
+		resident := ""
+		for _, b := range backends {
+			if _, ok := b.svc.Registry().Get(info.ID); !ok {
+				continue
+			}
+			if resident != "" {
+				t.Fatalf("graph %s resident on both %s and %s", info.ID, resident, b.name)
+			}
+			resident = b.name
+		}
+		if resident == "" {
+			t.Fatalf("graph %s resident nowhere", info.ID)
+		}
+		want, _ := cluster.Owner([]string{"b0", "b1", "b2"}, info.ID)
+		if resident != want {
+			t.Errorf("graph %s on %s, HRW says %s", info.ID, resident, want)
+		}
+		ownerOf[info.ID] = resident
+		ownersSeen[resident] = true
+	}
+	if len(ownersSeen) < 2 {
+		t.Fatalf("all %d graphs landed on one backend: %v", len(infos), ownerOf)
+	}
+
+	// The merged listing shows every graph exactly once.
+	var list struct {
+		Graphs  []service.GraphInfo `json:"graphs"`
+		Partial bool                `json:"partial"`
+	}
+	c.doJSON("GET", "/v1/graphs", nil, &list, 200)
+	if len(list.Graphs) != len(infos) || list.Partial {
+		t.Fatalf("merged listing: %d graphs (partial=%v), want %d", len(list.Graphs), list.Partial, len(infos))
+	}
+
+	// --- allocate through the router; jobs route by id prefix ----------
+	req := func(id string) service.AllocateRequest {
+		return service.AllocateRequest{GraphID: id, Budgets: []int{2, 2}, Seed: 3}
+	}
+	for _, info := range infos {
+		jobID := c.submit("/v1/allocate", req(info.ID))
+		if !strings.HasPrefix(jobID, ownerOf[info.ID]+"-") {
+			t.Fatalf("job %s for graph on %s", jobID, ownerOf[info.ID])
+		}
+		view := c.waitJob(jobID)
+		if view.State != service.JobDone {
+			t.Fatalf("allocate %s failed: %s", info.ID, view.Error)
+		}
+		if view.Result.SketchCached {
+			t.Errorf("first allocate of %s claims a warm sketch", info.ID)
+		}
+	}
+
+	// --- capacity: the warm set is partitioned, and in aggregate every
+	// graph's sketch is resident — no single backend could hold what the
+	// cluster holds if its cache were the only one.
+	totalWarm := 0
+	perBackend := map[string]int{}
+	for _, b := range backends {
+		n := b.svc.Stats().SketchCache.Entries
+		perBackend[b.name] = n
+		totalWarm += n
+	}
+	if totalWarm != len(infos) {
+		t.Errorf("cluster holds %d warm sketches, want %d (one per graph): %v", totalWarm, len(infos), perBackend)
+	}
+	for name, n := range perBackend {
+		if n == totalWarm {
+			t.Errorf("backend %s holds the entire warm set (%d)", name, n)
+		}
+	}
+
+	// Repeated allocates are warm, and SSE progress streams flow through
+	// the proxy ending in the terminal event.
+	warmJob := c.submit("/v1/allocate", req(infos[0].ID))
+	events := c.streamEvents(warmJob)
+	if len(events) == 0 || events[len(events)-1] != "done" {
+		t.Fatalf("proxied SSE events = %v, want terminal done", events)
+	}
+	if view := c.waitJob(warmJob); !view.Result.SketchCached {
+		t.Error("repeated allocate missed the warm sketch")
+	}
+
+	// --- kill the owner of graph 0: its graphs re-route ----------------
+	victim := ownerOf[infos[0].ID]
+	byName(victim).kill()
+	rt.Sync(syncCtx()) // probe sees the death, rebalance re-ships from the catalog
+
+	view := c.waitJob(c.submit("/v1/allocate", req(infos[0].ID)))
+	if view.State != service.JobDone {
+		t.Fatalf("allocate after owner kill failed: %s", view.Error)
+	}
+	if view.Result.SketchCached {
+		t.Error("allocate on the fail-over owner claims the dead backend's sketch")
+	}
+	interim := ""
+	for _, b := range backends {
+		if b.name == victim {
+			continue
+		}
+		if _, ok := b.svc.Registry().Get(infos[0].ID); ok {
+			interim = b.name
+		}
+	}
+	if interim == "" {
+		t.Fatal("graph 0 not re-routed to a survivor")
+	}
+
+	// --- recovery: ownership returns, warm sketches ship along ---------
+	revived := byName(victim).restart(t)
+	for i, b := range backends {
+		if b.name == victim {
+			backends[i] = revived
+		}
+	}
+	rt.Sync(syncCtx())
+
+	if _, ok := revived.svc.Registry().Get(infos[0].ID); !ok {
+		t.Fatal("recovered backend did not take its graph back")
+	}
+	if _, ok := byName(interim).svc.Registry().Get(infos[0].ID); ok {
+		t.Error("interim owner still holds the graph after hand-back")
+	}
+	stats := rt.Stats(syncCtx())
+	if stats.Cluster.SketchShips == 0 {
+		t.Error("no sketch stream was shipped during rebalancing")
+	}
+	if stats.Cluster.Rebalances == 0 {
+		t.Error("no rebalances counted")
+	}
+
+	// The shipped sketch serves the recovered owner's first allocate warm
+	// — the whole point of shipping rather than rebuilding.
+	view = c.waitJob(c.submit("/v1/allocate", req(infos[0].ID)))
+	if view.State != service.JobDone {
+		t.Fatalf("allocate after recovery failed: %s", view.Error)
+	}
+	if !view.Result.SketchCached {
+		t.Error("recovered owner built from scratch; the shipped warm sketch was lost")
+	}
+	if !strings.HasPrefix(view.ID, victim+"-") {
+		t.Errorf("post-recovery job %s not on %s", view.ID, victim)
+	}
+}

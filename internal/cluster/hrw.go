@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing places each graph on one
+// backend: every (backend, graph) pair gets a pseudo-random score and
+// the live backend with the highest score owns the graph. Unlike
+// mod-N hashing, removing or adding one backend only moves the graphs
+// that backend wins or loses — every other placement is untouched, which
+// is exactly what keeps warm sketch caches stable across membership
+// changes.
+
+// hrwScore hashes one (backend, key) pair: FNV-1a over "backend\x00key"
+// followed by a 64-bit avalanche finalizer (MurmurHash3's fmix64). The
+// finalizer is essential, not decoration — raw FNV's high bits are
+// dominated by the prefix, so without it one backend outscores the
+// others on every key and "placement" degenerates to a single shard.
+func hrwScore(backend, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backend))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is MurmurHash3's fmix64 finalizer: every input bit flips each
+// output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the backend that owns key under HRW placement, or
+// ok = false when backends is empty. Ties (vanishingly unlikely with a
+// 64-bit score) break toward the lexicographically smaller name so every
+// router instance agrees.
+func Owner(backends []string, key string) (owner string, ok bool) {
+	var best uint64
+	for _, b := range backends {
+		s := hrwScore(b, key)
+		if owner == "" || s > best || (s == best && b < owner) {
+			owner, best = b, s
+		}
+	}
+	return owner, owner != ""
+}
+
+// Rank orders backends by descending HRW score for key: Rank(...)[0] is
+// the owner, the rest are the failover order a router can probe when the
+// owner is down.
+func Rank(backends []string, key string) []string {
+	out := append([]string(nil), backends...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := hrwScore(out[i], key), hrwScore(out[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,104 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"uicwelfare/internal/cluster"
+)
+
+func TestHRWOwnerStability(t *testing.T) {
+	three := []string{"b0", "b1", "b2"}
+	two := []string{"b0", "b1"}
+
+	counts := map[string]int{}
+	moved := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("g%032x", i)
+		owner3, ok := cluster.Owner(three, key)
+		if !ok {
+			t.Fatal("no owner with three backends")
+		}
+		counts[owner3]++
+		owner2, _ := cluster.Owner(two, key)
+		// Removing b2 may only move b2's keys: anything b0/b1 owned
+		// stays put — the property that keeps warm caches stable.
+		if owner3 != "b2" && owner2 != owner3 {
+			t.Fatalf("key %s moved %s -> %s when b2 left", key, owner3, owner2)
+		}
+		if owner3 == "b2" {
+			moved++
+		}
+	}
+	for _, b := range three {
+		if counts[b] < 50 {
+			t.Errorf("backend %s owns only %d/300 keys — distribution is skewed: %v", b, counts[b], counts)
+		}
+	}
+	if moved == 0 {
+		t.Error("b2 owned nothing; stability check was vacuous")
+	}
+
+	if _, ok := cluster.Owner(nil, "g1"); ok {
+		t.Error("empty backend set produced an owner")
+	}
+}
+
+func TestHRWRank(t *testing.T) {
+	backends := []string{"b0", "b1", "b2", "b3"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("g%d", i)
+		rank := cluster.Rank(backends, key)
+		if len(rank) != len(backends) {
+			t.Fatalf("rank %v is not a permutation of %v", rank, backends)
+		}
+		owner, _ := cluster.Owner(backends, key)
+		if rank[0] != owner {
+			t.Fatalf("rank[0] = %s, Owner = %s", rank[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, b := range rank {
+			if seen[b] {
+				t.Fatalf("rank %v repeats %s", rank, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := cluster.ParseBackends("b0=http://127.0.0.1:8081, b1=http://127.0.0.1:8082/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "b0" || got[1].URL != "http://127.0.0.1:8082" {
+		t.Errorf("parsed %+v", got)
+	}
+	for _, bad := range []string{
+		"",
+		"http://127.0.0.1:8081",     // no name
+		"b0=http://x,b0=http://y",   // duplicate
+		"b-0=http://127.0.0.1:8081", // dash collides with job-id syntax
+		"b0=not a url",              // bad url
+		"b0=",                       // empty url
+	} {
+		if _, err := cluster.ParseBackends(bad); err == nil {
+			t.Errorf("ParseBackends(%q) accepted", bad)
+		}
+	}
+}
+
+func TestJobNode(t *testing.T) {
+	for id, want := range map[string]string{
+		"b0-j7":     "b0",
+		"shard2-j1": "shard2",
+		"j7":        "",
+		"-j7":       "",
+		"":          "",
+	} {
+		node, ok := cluster.JobNode(id)
+		if (want == "") == ok || node != want {
+			t.Errorf("JobNode(%q) = %q, %v; want %q", id, node, ok, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"uicwelfare/internal/service"
+)
+
+// Membership tracks the health of a fixed backend set. The router probes
+// every backend's GET /v1/healthz each round; a backend is up when the
+// probe succeeds AND reports the node name the topology expects —
+// answering at b1's address with b0's identity is a miswiring that would
+// route jobs to the wrong shard, so it counts as down with an
+// explanatory error.
+type Membership struct {
+	client       *http.Client
+	probeTimeout time.Duration
+
+	mu      sync.RWMutex
+	members []*member
+}
+
+type member struct {
+	backend Backend
+	healthy bool
+	probed  bool // at least one probe completed
+	lastErr string
+}
+
+// BackendStatus is the wire view of one backend's health (part of the
+// router's /v1/stats).
+type BackendStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// NewMembership tracks the given backends, all initially unprobed (and
+// so down until the first probe round).
+func NewMembership(backends []Backend, client *http.Client, probeTimeout time.Duration) *Membership {
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	m := &Membership{client: client, probeTimeout: probeTimeout}
+	for _, b := range backends {
+		m.members = append(m.members, &member{backend: b})
+	}
+	return m
+}
+
+// ProbeAll probes every backend concurrently and applies the results,
+// reporting whether any backend changed state (including the first
+// round's unknown→probed transitions) — the router rebalances on change.
+func (m *Membership) ProbeAll(ctx context.Context) (changed bool) {
+	m.mu.RLock()
+	backends := make([]Backend, len(m.members))
+	for i, mem := range m.members {
+		backends[i] = mem.backend
+	}
+	m.mu.RUnlock()
+
+	type result struct {
+		healthy bool
+		errMsg  string
+	}
+	results := make([]result, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := m.probe(ctx, b)
+			if err != nil {
+				results[i] = result{false, err.Error()}
+				return
+			}
+			results[i] = result{healthy: true}
+		}()
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, mem := range m.members {
+		if !mem.probed || mem.healthy != results[i].healthy {
+			changed = true
+		}
+		mem.probed = true
+		mem.healthy = results[i].healthy
+		mem.lastErr = results[i].errMsg
+	}
+	return changed
+}
+
+// probe checks one backend's /v1/healthz.
+func (m *Membership) probe(ctx context.Context, b Backend) error {
+	ctx, cancel := context.WithTimeout(ctx, m.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var hz service.HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return fmt.Errorf("healthz body: %w", err)
+	}
+	if hz.Status != "ok" {
+		return fmt.Errorf("healthz status %q", hz.Status)
+	}
+	if hz.Node != b.Name {
+		return fmt.Errorf("backend at %s identifies as node %q, topology says %q (start it with -node %s)",
+			b.URL, hz.Node, b.Name, b.Name)
+	}
+	return nil
+}
+
+// Alive returns the names of the healthy backends, in topology order.
+func (m *Membership) Alive() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for _, mem := range m.members {
+		if mem.healthy {
+			out = append(out, mem.backend.Name)
+		}
+	}
+	return out
+}
+
+// IsAlive reports whether the named backend is currently healthy.
+func (m *Membership) IsAlive(name string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, mem := range m.members {
+		if mem.backend.Name == name {
+			return mem.healthy
+		}
+	}
+	return false
+}
+
+// URLOf returns the base URL of the named backend.
+func (m *Membership) URLOf(name string) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, mem := range m.members {
+		if mem.backend.Name == name {
+			return mem.backend.URL, true
+		}
+	}
+	return "", false
+}
+
+// Snapshot returns every backend's status for the router's stats view.
+func (m *Membership) Snapshot() []BackendStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]BackendStatus, len(m.members))
+	for i, mem := range m.members {
+		out[i] = BackendStatus{
+			Name:    mem.backend.Name,
+			URL:     mem.backend.URL,
+			Healthy: mem.healthy,
+			Error:   mem.lastErr,
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"uicwelfare/internal/service"
+)
+
+// syncCatalog runs one adopt + rebalance pass. Passes are serialized:
+// the probe loop, Sync, and tests may all trigger one, and two
+// concurrent passes could ship the same graph twice.
+func (r *Router) syncCatalog(ctx context.Context) {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	// Clear the drift flag before the pass, never after: a request that
+	// flags new drift while the pass runs must survive into the next
+	// round, and rebalance below only ever re-raises the flag.
+	r.dirty.Store(false)
+	r.adopt(ctx)
+	r.rebalance(ctx)
+}
+
+// adopt discovers graphs the router does not know about — typically a
+// backend's -data-dir re-index after a restart — by listing every live
+// backend and fetching the .wmg export of each unknown graph. Eagerly
+// fetching the bytes is the point: once the router holds them it can
+// re-route the graph even if the backend that introduced it dies.
+func (r *Router) adopt(ctx context.Context) {
+	for _, res := range r.fanout(ctx, http.MethodGet, "/v1/graphs") {
+		if res.err != nil || res.status != http.StatusOK {
+			continue
+		}
+		var body struct {
+			Graphs []service.GraphInfo `json:"graphs"`
+		}
+		if err := json.Unmarshal(res.body, &body); err != nil {
+			continue
+		}
+		for _, gi := range body.Graphs {
+			r.mu.Lock()
+			known := r.catalog[gi.ID] != nil
+			dead := r.tombs[gi.ID]
+			r.mu.Unlock()
+			if dead {
+				// A client-deleted graph still resident somewhere (a move
+				// raced the DELETE): sweep it instead of re-adopting it.
+				if status, _, err := r.call(ctx, http.MethodDelete, res.backend, "/v1/graphs/"+gi.ID, nil); err != nil || status != http.StatusOK {
+					log.Printf("cluster: sweep deleted %s on %s: status %d err %v", gi.ID, res.backend, status, err)
+				}
+				continue
+			}
+			if known {
+				continue
+			}
+			status, wmg, err := r.call(ctx, http.MethodGet, res.backend, "/v1/graphs/"+gi.ID+"/export", nil)
+			if err != nil || status != http.StatusOK {
+				log.Printf("cluster: adopt %s from %s: status %d err %v", gi.ID, res.backend, status, err)
+				continue
+			}
+			r.mu.Lock()
+			if r.catalog[gi.ID] == nil && !r.tombs[gi.ID] {
+				r.catalog[gi.ID] = &graphRecord{id: gi.ID, name: gi.Name, wmg: wmg, owner: res.backend}
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// rebalance re-routes every cataloged graph whose HRW owner (among live
+// backends) differs from where it currently lives: the graph's .wmg
+// bytes are registered on the new owner, the old owner's warm sketches
+// are shipped along when it is still alive to export them, and the old
+// copy is deleted so its registry slot and sketch memory are freed. A
+// failed move leaves the record unchanged — the next membership change
+// or probe round retries.
+func (r *Router) rebalance(ctx context.Context) {
+	alive := r.members.Alive()
+	if len(alive) == 0 {
+		r.mu.Lock()
+		n := len(r.catalog)
+		r.mu.Unlock()
+		if n > 0 {
+			r.dirty.Store(true) // nothing can be placed; keep retrying
+		}
+		return
+	}
+	r.mu.Lock()
+	records := make([]*graphRecord, 0, len(r.catalog))
+	for _, rec := range r.catalog {
+		records = append(records, rec)
+	}
+	r.mu.Unlock()
+
+	converged := true
+	for _, rec := range records {
+		r.mu.Lock()
+		id, name, wmg, owner := rec.id, rec.name, rec.wmg, rec.owner
+		deleted := r.catalog[id] != rec
+		r.mu.Unlock()
+		if deleted {
+			continue
+		}
+		want, ok := Owner(alive, id)
+		if !ok || want == owner {
+			continue
+		}
+		if err := r.moveGraph(ctx, id, name, wmg, owner, want); err != nil {
+			log.Printf("cluster: move %s %s -> %s: %v", id, owner, want, err)
+			converged = false // retried next probe round via the dirty flag
+			continue
+		}
+		r.mu.Lock()
+		// A DELETE may have removed the record mid-move: the fresh copy on
+		// the new owner must not outlive the deletion.
+		resurrected := r.catalog[id] != rec
+		if !resurrected {
+			rec.owner = want
+		}
+		r.mu.Unlock()
+		if resurrected {
+			if status, _, err := r.call(ctx, http.MethodDelete, want, "/v1/graphs/"+id, nil); err != nil || status != http.StatusOK {
+				log.Printf("cluster: undo move of deleted %s on %s: status %d err %v", id, want, status, err)
+			}
+			continue
+		}
+		r.rebalances.Add(1)
+	}
+	if !converged {
+		r.dirty.Store(true)
+	}
+}
+
+// moveGraph ships one graph to its new owner: register the graph bytes
+// there (raw .wmg import), stream the old owner's warm sketches across
+// (when it is alive to export them), and delete the old copy.
+func (r *Router) moveGraph(ctx context.Context, id, name string, wmg []byte, oldOwner, newOwner string) error {
+	oldAlive := oldOwner != "" && r.members.IsAlive(oldOwner)
+
+	// The graph must exist on the new owner before sketches can import.
+	status, raw, err := r.call(ctx, http.MethodPost, newOwner, "/v1/graphs/import", bytes.NewReader(wmg))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated && status != http.StatusOK {
+		return fmt.Errorf("register on %s: status %d: %s", newOwner, status, raw)
+	}
+
+	if oldAlive {
+		// Best-effort: a failed transfer just means the new owner starts
+		// cold, exactly as if the old owner had died.
+		if shipped, err := r.streamSketches(ctx, id, oldOwner, newOwner); err != nil {
+			log.Printf("cluster: ship sketches for %s %s -> %s: %v", id, oldOwner, newOwner, err)
+		} else if shipped > 0 {
+			r.ships.Add(1)
+		}
+	}
+
+	if oldAlive && oldOwner != newOwner {
+		if status, _, err := r.call(ctx, http.MethodDelete, oldOwner, "/v1/graphs/"+id, nil); err != nil || status != http.StatusOK {
+			log.Printf("cluster: free %s on %s: status %d err %v", id, oldOwner, status, err)
+		}
+	}
+	return nil
+}
+
+// streamSketches pipes the old owner's sketch export straight into the
+// new owner's import — the response body becomes the request body, so
+// the router never buffers the warm set (which can approach the 1GB
+// ship cap). It returns how many sketches the new owner imported.
+func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, error) {
+	fromBase, ok1 := r.members.URLOf(from)
+	toBase, ok2 := r.members.URLOf(to)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("unknown backend %q or %q", from, to)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	get, err := http.NewRequestWithContext(ctx, http.MethodGet, fromBase+"/v1/graphs/"+id+"/sketches", nil)
+	if err != nil {
+		return 0, err
+	}
+	exp, err := r.client.Do(get)
+	if err != nil {
+		return 0, err
+	}
+	defer exp.Body.Close()
+	if exp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("export: status %d", exp.StatusCode)
+	}
+	post, err := http.NewRequestWithContext(ctx, http.MethodPost, toBase+"/v1/graphs/"+id+"/sketches",
+		io.LimitReader(exp.Body, maxShipBytes))
+	if err != nil {
+		return 0, err
+	}
+	imp, err := r.client.Do(post)
+	if err != nil {
+		return 0, err
+	}
+	defer imp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(imp.Body, 1<<20))
+	if imp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("import: status %d: %s", imp.StatusCode, raw)
+	}
+	var body struct {
+		Imported int `json:"imported"`
+	}
+	_ = json.Unmarshal(raw, &body)
+	return body.Imported, nil
+}

@@ -1,0 +1,679 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/store"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Backends is the fixed topology (see ParseBackends).
+	Backends []Backend
+	// ProbeInterval is the health-probe cadence (default 2s).
+	ProbeInterval time.Duration
+	// ProxyTimeout bounds each proxied or fanned-out backend request
+	// (default 30s). SSE streams are exempt — they live as long as the
+	// client's connection.
+	ProxyTimeout time.Duration
+	// AllowPathLoads permits POST /v1/graphs bodies naming router-side
+	// files, mirroring the backend flag.
+	AllowPathLoads bool
+	// Client is the HTTP client for probes and proxying (default: a
+	// plain &http.Client{}; timeouts come from request contexts).
+	Client *http.Client
+}
+
+// Router fronts N welmaxd backends behind the single-node API: it places
+// each graph on one backend by HRW hash of the content-addressed graph
+// id, proxies graph-scoped requests to the owner, fans multi-graph
+// requests out, follows job ids to the backend that minted them, and
+// re-routes graphs (shipping warm sketches along) when membership
+// changes.
+type Router struct {
+	members    *Membership
+	client     *http.Client
+	interval   time.Duration
+	timeout    time.Duration
+	allowPaths bool
+	start      time.Time
+
+	mu      sync.Mutex
+	catalog map[string]*graphRecord
+	// tombs remembers client-deleted graph ids so a rebalance or adopt
+	// pass racing the DELETE cannot resurrect the graph from a stale
+	// snapshot or a backend copy. Re-registering the id clears its
+	// tombstone. Bounded crudely: past 4096 entries the set resets,
+	// which only re-opens the (tiny) race for long-dead ids.
+	tombs map[string]bool
+
+	// syncMu serializes adopt+rebalance passes.
+	syncMu     sync.Mutex
+	rebalances atomic.Int64 // graphs moved to a new owner
+	ships      atomic.Int64 // sketch streams shipped alongside a move
+	// dirty marks an unconverged catalog (a move failed, or a graph's
+	// owner is down): the probe loop re-runs syncCatalog every round
+	// while set, not only on membership flips, so transient move
+	// failures are retried instead of stranding a graph on a dead owner.
+	dirty atomic.Bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// graphRecord is the router's view of one registered graph: the encoded
+// .wmg bytes it can re-ship when ownership changes, and the backend
+// currently holding it.
+type graphRecord struct {
+	id    string
+	name  string
+	wmg   []byte
+	owner string
+}
+
+// New assembles a router over the given topology. Call Start to begin
+// probing (until the first probe round every backend counts as down).
+func New(opts Options) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends")
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.ProxyTimeout <= 0 {
+		opts.ProxyTimeout = 30 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	probeTimeout := min(opts.ProbeInterval, 2*time.Second)
+	return &Router{
+		members:    NewMembership(opts.Backends, client, probeTimeout),
+		client:     client,
+		interval:   opts.ProbeInterval,
+		timeout:    opts.ProxyTimeout,
+		allowPaths: opts.AllowPathLoads,
+		start:      time.Now(),
+		catalog:    map[string]*graphRecord{},
+		tombs:      map[string]bool{},
+		stop:       make(chan struct{}),
+	}, nil
+}
+
+// Start runs the probe/rebalance loop: an immediate first sync, then one
+// probe round per interval, rebalancing whenever membership changed.
+func (r *Router) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.Sync(context.Background())
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				if r.members.ProbeAll(context.Background()) || r.dirty.Load() {
+					r.syncCatalog(context.Background())
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop.
+func (r *Router) Close() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// Sync runs one full round synchronously — probe every backend, adopt
+// unknown graphs, rebalance ownership. The loop uses it for its first
+// round; tests use it for determinism.
+func (r *Router) Sync(ctx context.Context) {
+	r.members.ProbeAll(ctx)
+	r.syncCatalog(ctx)
+}
+
+// --- HTTP surface -------------------------------------------------------
+
+// Handler returns the router's client-facing API — the same routes a
+// single-node welmaxd serves.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", r.handleCreateGraph)
+	mux.HandleFunc("GET /v1/graphs", r.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}", r.proxyGraphScoped)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", r.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{id}/warm", r.proxyGraphScoped)
+	mux.HandleFunc("GET /v1/graphs/{id}/export", r.proxyGraphScoped)
+	mux.HandleFunc("GET /v1/graphs/{id}/sketches", r.proxyGraphScoped)
+	mux.HandleFunc("POST /v1/graphs/{id}/sketches", r.proxyGraphScoped)
+	mux.HandleFunc("GET /v1/algorithms", r.handleAlgorithms)
+	mux.HandleFunc("POST /v1/allocate", r.handleBodyRouted)
+	mux.HandleFunc("POST /v1/estimate", r.handleBodyRouted)
+	mux.HandleFunc("GET /v1/jobs", r.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.proxyJobScoped)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", r.proxyJobScoped)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", r.proxyJobScoped)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeRetryable reports a transient routing failure (owner down,
+// backend unreachable): the body carries "retryable": true so clients
+// know the same request may succeed after the next rebalance.
+func writeRetryable(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "retryable": true})
+}
+
+// maxBodyBytes mirrors the backend's request-body bound.
+const maxBodyBytes = 64 << 20
+
+// maxShipBytes bounds router-internal transfers (sketch-stream exports
+// read back during a move). Warm sets are bounded by the backends'
+// cache budgets, but they can legitimately exceed the public 64MB
+// request cap, and silently truncating one would discard sketch work.
+const maxShipBytes = 1 << 30
+
+// ownerOf resolves the backend that should serve a graph-scoped request:
+// the cataloged owner when the router registered (or adopted) the graph,
+// otherwise the HRW owner among live backends — covering graphs that
+// exist only on a backend's boot re-index until adoption picks them up.
+func (r *Router) ownerOf(graphID string) (string, error) {
+	r.mu.Lock()
+	rec := r.catalog[graphID]
+	dead := r.tombs[graphID]
+	r.mu.Unlock()
+	if rec != nil {
+		if !r.members.IsAlive(rec.owner) {
+			return "", fmt.Errorf("backend %q owning graph %s is down; rebalance pending, retry shortly", rec.owner, graphID)
+		}
+		return rec.owner, nil
+	}
+	// Not cataloged: either unknown everywhere (the HRW owner will 404,
+	// which is the right answer) or registered directly on some backend
+	// behind the router's back — flag the drift so the next probe round
+	// adopts it instead of waiting for a membership flip.
+	if !dead {
+		r.dirty.Store(true)
+	}
+	alive := r.members.Alive()
+	owner, ok := Owner(alive, graphID)
+	if !ok {
+		return "", fmt.Errorf("no live backends")
+	}
+	return owner, nil
+}
+
+// proxyGraphScoped forwards /v1/graphs/{id}... to the graph's owner.
+func (r *Router) proxyGraphScoped(w http.ResponseWriter, req *http.Request) {
+	owner, err := r.ownerOf(req.PathValue("id"))
+	if err != nil {
+		writeRetryable(w, http.StatusBadGateway, err)
+		return
+	}
+	r.proxy(w, req, owner, nil)
+}
+
+// handleDeleteGraph forwards the delete to the owner and, on success,
+// forgets the graph so the rebalancer stops re-shipping it.
+func (r *Router) handleDeleteGraph(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	owner, err := r.ownerOf(id)
+	if err != nil {
+		writeRetryable(w, http.StatusBadGateway, err)
+		return
+	}
+	status := r.proxy(w, req, owner, nil)
+	if status >= 200 && status < 300 {
+		r.mu.Lock()
+		delete(r.catalog, id)
+		if len(r.tombs) > 4096 {
+			r.tombs = map[string]bool{}
+		}
+		r.tombs[id] = true
+		r.mu.Unlock()
+	}
+}
+
+// proxyJobScoped forwards /v1/jobs/{id}... to the backend encoded in the
+// job id's node prefix.
+func (r *Router) proxyJobScoped(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	node, ok := JobNode(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q (cluster job ids carry a node prefix, e.g. b0-j7)", id))
+		return
+	}
+	if _, ok := r.members.URLOf(node); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q: no backend %q in the topology", id, node))
+		return
+	}
+	if !r.members.IsAlive(node) {
+		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q holding job %s is down", node, id))
+		return
+	}
+	r.proxy(w, req, node, nil)
+}
+
+// handleBodyRouted forwards POST /v1/allocate and /v1/estimate: the
+// routing key (graph_id) lives in the JSON body, so it is buffered,
+// peeked, and replayed to the owner.
+func (r *Router) handleBodyRouted(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var peek struct {
+		GraphID string `json:"graph_id"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if peek.GraphID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("graph_id required"))
+		return
+	}
+	owner, err := r.ownerOf(peek.GraphID)
+	if err != nil {
+		writeRetryable(w, http.StatusBadGateway, err)
+		return
+	}
+	r.proxy(w, req, owner, body)
+}
+
+// handleCreateGraph implements POST /v1/graphs: materialize the graph on
+// the router (the only way to learn its content id before placing it),
+// pick the HRW owner, and re-register it there as inline .wmg bytes. The
+// router keeps the bytes so it can re-ship the graph if the owner later
+// leaves.
+func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
+	var greq service.GraphRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&greq); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if greq.Path != "" && !r.allowPaths {
+		writeError(w, http.StatusForbidden,
+			fmt.Errorf("router-side path loading is disabled (start the router with -allow-paths)"))
+		return
+	}
+	name, g, err := service.LoadGraph(&greq)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := store.GraphID(g)
+	var wmg bytes.Buffer
+	if err := store.EncodeGraph(&wmg, name, g); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	// A graph already routed keeps its owner (content addressing makes
+	// this a dedupe); a new one goes to its HRW owner.
+	r.mu.Lock()
+	rec := r.catalog[id]
+	r.mu.Unlock()
+	owner := ""
+	if rec != nil && r.members.IsAlive(rec.owner) {
+		owner = rec.owner
+	} else if o, ok := Owner(r.members.Alive(), id); ok {
+		owner = o
+	} else {
+		writeRetryable(w, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
+		return
+	}
+
+	// Raw .wmg import, not a JSON-embedded graph: base64 inside a
+	// GraphRequest would hit the backend's request-body cap long before
+	// the graphs the backends themselves can hold.
+	status, raw, err := r.call(req.Context(), http.MethodPost, owner, "/v1/graphs/import", bytes.NewReader(wmg.Bytes()))
+	if err != nil {
+		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", owner, err))
+		return
+	}
+	if status == http.StatusCreated || status == http.StatusOK {
+		r.mu.Lock()
+		delete(r.tombs, id) // a re-registration revives a deleted id
+		if rec = r.catalog[id]; rec == nil {
+			r.catalog[id] = &graphRecord{id: id, name: name, wmg: wmg.Bytes(), owner: owner}
+		} else {
+			rec.owner = owner
+			rec.wmg = wmg.Bytes()
+		}
+		r.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(raw)
+}
+
+// handleAlgorithms proxies to the first live backend — every backend
+// runs the same registry, so any answer is the cluster's answer.
+func (r *Router) handleAlgorithms(w http.ResponseWriter, req *http.Request) {
+	alive := r.members.Alive()
+	if len(alive) == 0 {
+		writeRetryable(w, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
+		return
+	}
+	r.proxy(w, req, alive[0], nil)
+}
+
+// handleListGraphs fans GET /v1/graphs out to every live backend and
+// merges the lists (deduped by id — during a rebalance a graph can be
+// momentarily resident on two backends). Backends that fail within the
+// proxy deadline are reported in "errors" with "partial": true rather
+// than failing the whole listing.
+func (r *Router) handleListGraphs(w http.ResponseWriter, req *http.Request) {
+	results := r.fanout(req.Context(), http.MethodGet, "/v1/graphs")
+	seen := map[string]service.GraphInfo{}
+	errs := map[string]string{}
+	for _, res := range results {
+		if res.err != nil {
+			errs[res.backend] = res.err.Error()
+			continue
+		}
+		var body struct {
+			Graphs []service.GraphInfo `json:"graphs"`
+		}
+		if err := json.Unmarshal(res.body, &body); err != nil {
+			errs[res.backend] = err.Error()
+			continue
+		}
+		for _, gi := range body.Graphs {
+			seen[gi.ID] = gi
+		}
+	}
+	graphs := make([]service.GraphInfo, 0, len(seen))
+	r.mu.Lock()
+	for id, gi := range seen {
+		graphs = append(graphs, gi)
+		// A listed graph the catalog does not know about was registered
+		// directly on a backend: flag it for adoption on the next round.
+		if r.catalog[id] == nil && !r.tombs[id] {
+			r.dirty.Store(true)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].ID < graphs[j].ID })
+	out := map[string]any{"graphs": graphs}
+	if len(errs) > 0 {
+		out["partial"] = true
+		out["errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// RouterStats is the router's GET /v1/stats body: the cluster summary
+// plus each live backend's own stats.
+type RouterStats struct {
+	Cluster struct {
+		Backends []BackendStatus `json:"backends"`
+		// Graphs counts graphs the router has routed or adopted.
+		Graphs int `json:"graphs"`
+		// Rebalances counts graphs moved to a new owner; SketchShips
+		// counts the warm-sketch streams shipped along with them.
+		Rebalances  int64 `json:"rebalances"`
+		SketchShips int64 `json:"sketch_ships"`
+		UptimeMS    int64 `json:"uptime_ms"`
+	} `json:"cluster"`
+	// Backends maps node name to that backend's full StatsResponse;
+	// unreachable backends appear in Errors instead.
+	Backends map[string]service.StatsResponse `json:"backends"`
+	Errors   map[string]string                `json:"errors,omitempty"`
+}
+
+// Stats assembles the cluster stats view (also used by tests directly).
+func (r *Router) Stats(ctx context.Context) RouterStats {
+	var out RouterStats
+	out.Cluster.Backends = r.members.Snapshot()
+	r.mu.Lock()
+	out.Cluster.Graphs = len(r.catalog)
+	r.mu.Unlock()
+	out.Cluster.Rebalances = r.rebalances.Load()
+	out.Cluster.SketchShips = r.ships.Load()
+	out.Cluster.UptimeMS = time.Since(r.start).Milliseconds()
+	out.Backends = map[string]service.StatsResponse{}
+	for _, res := range r.fanout(ctx, http.MethodGet, "/v1/stats") {
+		if res.err != nil {
+			if out.Errors == nil {
+				out.Errors = map[string]string{}
+			}
+			out.Errors[res.backend] = res.err.Error()
+			continue
+		}
+		var st service.StatsResponse
+		if err := json.Unmarshal(res.body, &st); err == nil {
+			out.Backends[res.backend] = st
+		}
+	}
+	return out
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats(req.Context()))
+}
+
+// handleListJobs fans GET /v1/jobs out and concatenates: job ids are
+// globally unique (node-prefixed), so no rewriting or deduping is
+// needed. The ?state= filter is forwarded verbatim.
+func (r *Router) handleListJobs(w http.ResponseWriter, req *http.Request) {
+	path := "/v1/jobs"
+	if q := req.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	var jobs []json.RawMessage
+	errs := map[string]string{}
+	for _, res := range r.fanout(req.Context(), http.MethodGet, path) {
+		if res.err != nil {
+			errs[res.backend] = res.err.Error()
+			continue
+		}
+		if res.status == http.StatusBadRequest {
+			// A 400 (bad ?state=) is the client's error; relay it.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.body)
+			return
+		}
+		if res.status != http.StatusOK {
+			// Any other failure is that backend's problem, not the
+			// listing's: report it partial like an unreachable backend.
+			errs[res.backend] = fmt.Sprintf("status %d", res.status)
+			continue
+		}
+		var body struct {
+			Jobs []json.RawMessage `json:"jobs"`
+		}
+		if err := json.Unmarshal(res.body, &body); err != nil {
+			errs[res.backend] = err.Error()
+			continue
+		}
+		jobs = append(jobs, body.Jobs...)
+	}
+	out := map[string]any{"jobs": jobs}
+	if len(jobs) == 0 {
+		out["jobs"] = []json.RawMessage{}
+	}
+	if len(errs) > 0 {
+		out["partial"] = true
+		out["errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	alive := r.members.Alive()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"role":     "router",
+		"backends": len(r.members.Snapshot()),
+		"alive":    len(alive),
+	})
+}
+
+// --- proxy plumbing -----------------------------------------------------
+
+// proxy forwards req to the named backend, streaming the response back
+// (flushing per chunk, which is what lets SSE event streams pass
+// through). body, when non-nil, replaces the (already consumed) request
+// body. Returns the relayed status, or 0 when the backend was
+// unreachable (a 502 with a retryable body was written instead).
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, backend string, body []byte) int {
+	base, ok := r.members.URLOf(backend)
+	if !ok {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("unknown backend %q", backend))
+		return 0
+	}
+	url := base + req.URL.Path
+	if q := req.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+
+	ctx := req.Context()
+	// Event streams run until the client hangs up; everything else gets
+	// the proxy deadline.
+	streaming := req.Method == http.MethodGet && len(req.URL.Path) > 7 && req.URL.Path[len(req.URL.Path)-7:] == "/events"
+	if !streaming {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+
+	var rd io.Reader = req.Body
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(ctx, req.Method, url, rd)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return 0
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", backend, err))
+		return 0
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Cache-Control", "Content-Disposition"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	copyFlush(w, resp.Body)
+	return resp.StatusCode
+}
+
+// copyFlush copies src to dst, flushing after every read so proxied SSE
+// frames reach the client as the backend emits them.
+func copyFlush(dst http.ResponseWriter, src io.Reader) {
+	fl, _ := dst.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// call performs one router-initiated backend request (registration,
+// shipping) under the proxy deadline, returning the status and body.
+func (r *Router) call(ctx context.Context, method, backend, path string, body io.Reader) (int, []byte, error) {
+	base, ok := r.members.URLOf(backend)
+	if !ok {
+		return 0, nil, fmt.Errorf("unknown backend %q", backend)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShipBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+func jsonBody(v any) io.Reader {
+	raw, _ := json.Marshal(v)
+	return bytes.NewReader(raw)
+}
+
+// fanoutResult is one backend's answer to a fanned-out request.
+type fanoutResult struct {
+	backend string
+	status  int
+	body    []byte
+	err     error
+}
+
+// fanout issues the request to every live backend concurrently, each
+// under the proxy deadline — one slow backend delays the merge at most
+// by the deadline, never forever.
+func (r *Router) fanout(ctx context.Context, method, path string) []fanoutResult {
+	alive := r.members.Alive()
+	out := make([]fanoutResult, len(alive))
+	var wg sync.WaitGroup
+	for i, name := range alive {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body, err := r.call(ctx, method, name, path, nil)
+			out[i] = fanoutResult{backend: name, status: status, body: body, err: err}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,312 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+)
+
+// retryableBody decodes the router's transient-failure error shape.
+type retryableBody struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable"`
+}
+
+// TestOwnerDownRetryableThenReroute kills a graph's owner and checks the
+// two phases a client sees: before the router notices, graph-scoped
+// requests fail with a 502 whose body says retryable; after the next
+// probe round, the graph has been re-shipped and the same request
+// succeeds.
+func TestOwnerDownRetryableThenReroute(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 5 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(4)
+	var owner, survivor *backend
+	for _, b := range backends {
+		if _, ok := b.svc.Registry().Get(info.ID); ok {
+			owner = b
+		} else {
+			survivor = b
+		}
+	}
+	if owner == nil || survivor == nil {
+		t.Fatal("placement did not yield one owner and one survivor")
+	}
+	owner.kill()
+
+	// Phase 1: stale membership — the proxy attempt fails and the error
+	// body marks the failure retryable.
+	alloc := service.AllocateRequest{GraphID: info.ID, Budgets: []int{2, 2}}
+	status, raw := c.do("POST", "/v1/allocate", alloc)
+	if status != http.StatusBadGateway {
+		t.Fatalf("allocate with owner down: status %d: %s", status, raw)
+	}
+	var body retryableBody
+	if err := json.Unmarshal(raw, &body); err != nil || !body.Retryable || body.Error == "" {
+		t.Fatalf("error body %s not retryable", raw)
+	}
+
+	// Phase 2: the probe round notices, rebalance re-ships, the retry
+	// lands on the survivor.
+	rt.Sync(syncCtx())
+	view := c.waitJob(c.submit("/v1/allocate", alloc))
+	if view.State != service.JobDone {
+		t.Fatalf("rerouted allocate failed: %s", view.Error)
+	}
+	if _, ok := survivor.svc.Registry().Get(info.ID); !ok {
+		t.Error("graph not resident on the survivor")
+	}
+
+	// Deleting through the router tombstones the id: later sync passes
+	// must not re-adopt or re-ship the deleted graph from anywhere.
+	if status, raw := c.do("DELETE", "/v1/graphs/"+info.ID, nil); status != http.StatusOK {
+		t.Fatalf("delete through router: status %d: %s", status, raw)
+	}
+	rt.Sync(syncCtx())
+	rt.Sync(syncCtx())
+	var merged struct {
+		Graphs []service.GraphInfo `json:"graphs"`
+	}
+	c.doJSON("GET", "/v1/graphs", nil, &merged, http.StatusOK)
+	if len(merged.Graphs) != 0 {
+		t.Errorf("deleted graph resurrected: %+v", merged.Graphs)
+	}
+	if _, ok := survivor.svc.Registry().Get(info.ID); ok {
+		t.Error("deleted graph still resident on the survivor")
+	}
+
+	// Job routes to the dead backend are retryable too; malformed and
+	// unknown-node ids are plain 404s.
+	if status, raw := c.do("GET", "/v1/jobs/"+owner.name+"-j1", nil); status != http.StatusBadGateway {
+		t.Errorf("job on dead backend: status %d: %s", status, raw)
+	}
+	if status, _ := c.do("GET", "/v1/jobs/j1", nil); status != http.StatusNotFound {
+		t.Errorf("unprefixed job id: status %d, want 404", status)
+	}
+	if status, _ := c.do("GET", "/v1/jobs/zz-j1", nil); status != http.StatusNotFound {
+		t.Errorf("unknown node: status %d, want 404", status)
+	}
+}
+
+// slowBackend is a stub that answers health probes as a well-behaved
+// node but stalls every other route — the pathological slow shard.
+func slowBackend(t *testing.T, name string, delay time.Duration) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.HealthzResponse{Status: "ok", Node: name})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		_, _ = fmt.Fprint(w, `{"graphs":[],"jobs":[]}`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFanoutRespectsDeadlineWithSlowBackend fans out across one healthy
+// backend and one stalled one: the merge must return within the proxy
+// deadline, carrying the healthy backend's data and reporting the slow
+// one as a partial failure.
+func TestFanoutRespectsDeadlineWithSlowBackend(t *testing.T) {
+	real := startBackendAt(t, "b0", "127.0.0.1:0", service.Options{})
+	slow := slowBackend(t, "slow", 10*time.Second)
+
+	rt, err := cluster.New(cluster.Options{
+		Backends: []cluster.Backend{
+			{Name: "b0", URL: real.url()},
+			{Name: "slow", URL: slow.URL},
+		},
+		ProbeInterval: time.Hour,
+		ProxyTimeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	c := &client{t: t, base: front.URL}
+	rt.Sync(syncCtx()) // both probe healthy; adopt tolerates the stall
+
+	// Register directly on the healthy backend: routing through the
+	// router could pick the stub as HRW owner.
+	direct := &client{t: t, base: real.url()}
+	var info service.GraphInfo
+	direct.doJSON("POST", "/v1/graphs", service.GraphRequest{
+		Name: "tri", Edges: lineEdges(4), KeepProbs: true,
+	}, &info, http.StatusCreated)
+
+	start := time.Now()
+	var list struct {
+		Graphs  []service.GraphInfo `json:"graphs"`
+		Partial bool                `json:"partial"`
+		Errors  map[string]string   `json:"errors"`
+	}
+	c.doJSON("GET", "/v1/graphs", nil, &list, http.StatusOK)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fan-out took %v; the slow backend was allowed to stall the merge", elapsed)
+	}
+	if len(list.Graphs) != 1 || list.Graphs[0].ID != info.ID {
+		t.Errorf("merged graphs = %+v, want the healthy backend's graph", list.Graphs)
+	}
+	if !list.Partial || list.Errors["slow"] == "" {
+		t.Errorf("partial=%v errors=%v, want the slow backend reported", list.Partial, list.Errors)
+	}
+
+	// The stats fan-out degrades the same way.
+	var stats cluster.RouterStats
+	start = time.Now()
+	c.doJSON("GET", "/v1/stats", nil, &stats, http.StatusOK)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stats fan-out took %v", elapsed)
+	}
+	if _, ok := stats.Backends["b0"]; !ok {
+		t.Error("healthy backend missing from stats")
+	}
+	if stats.Errors["slow"] == "" {
+		t.Error("slow backend not reported in stats errors")
+	}
+}
+
+// TestAdoptsDirectlyRegisteredGraph registers a graph on a backend
+// behind the router's back (the backends serve the full single-node
+// API): the next sync must adopt it — fetching its .wmg so it is
+// re-shippable — and place it on its HRW owner so graph-scoped routes
+// through the router work instead of 404ing on the wrong backend.
+func TestAdoptsDirectlyRegisteredGraph(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 5 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	// Register on whichever backend HRW would NOT pick, to force a move.
+	edges := lineEdges(7)
+	direct := &client{t: t, base: backends[0].url()}
+	var info service.GraphInfo
+	direct.doJSON("POST", "/v1/graphs", service.GraphRequest{Name: "direct", Edges: edges, KeepProbs: true}, &info, http.StatusCreated)
+	want, _ := cluster.Owner([]string{"b0", "b1"}, info.ID)
+	if want != "b0" {
+		// Already on the non-owner; otherwise move it to b1 and restart
+		// the scenario from there.
+		c.doJSON("GET", "/v1/graphs", nil, nil, http.StatusOK) // flags drift
+	}
+
+	rt.Sync(syncCtx()) // adopt + rebalance onto the HRW owner
+	var got service.GraphInfo
+	c.doJSON("GET", "/v1/graphs/"+info.ID, nil, &got, http.StatusOK)
+	if got.ID != info.ID {
+		t.Fatalf("graph-scoped route after adoption = %+v", got)
+	}
+	owner := ""
+	for _, b := range backends {
+		if _, ok := b.svc.Registry().Get(info.ID); ok {
+			if owner != "" {
+				t.Fatal("graph resident on both backends after adoption")
+			}
+			owner = b.name
+		}
+	}
+	if owner != want {
+		t.Errorf("graph on %s after adoption, HRW owner is %s", owner, want)
+	}
+	view := c.waitJob(c.submit("/v1/allocate", service.AllocateRequest{GraphID: info.ID, Budgets: []int{2, 2}}))
+	if view.State != service.JobDone {
+		t.Fatalf("allocate on adopted graph failed: %s", view.Error)
+	}
+}
+
+// TestNodeIdentityMismatchIsUnhealthy wires the topology to a backend
+// announcing a different node id: the probe must mark it down with an
+// explanatory error rather than route jobs to the wrong shard.
+func TestNodeIdentityMismatchIsUnhealthy(t *testing.T) {
+	b := startBackendAt(t, "actual", "127.0.0.1:0", service.Options{})
+	rt, err := cluster.New(cluster.Options{
+		Backends:      []cluster.Backend{{Name: "expected", URL: b.url()}},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Sync(syncCtx())
+	snap := rt.Stats(syncCtx()).Cluster.Backends
+	if len(snap) != 1 || snap[0].Healthy {
+		t.Fatalf("mismatched backend counted healthy: %+v", snap)
+	}
+	if snap[0].Error == "" {
+		t.Error("no explanatory error for the identity mismatch")
+	}
+}
+
+// TestStreamSurvivesMembershipChange opens a proxied SSE stream, then
+// kills and revives a different backend (forcing a probe transition and
+// a rebalance pass) while the stream is up: the in-flight stream must
+// still deliver its terminal event.
+func TestStreamSurvivesMembershipChange(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 10 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(5)
+	var owner, other *backend
+	for _, b := range backends {
+		if _, ok := b.svc.Registry().Get(info.ID); ok {
+			owner = b
+		} else {
+			other = b
+		}
+	}
+	// A Monte-Carlo estimate long enough to still be streaming while the
+	// other backend bounces (harmless if it finishes early — the stream
+	// then just replays to its terminal event).
+	jobID := c.submit("/v1/estimate", service.EstimateRequest{
+		GraphID:    info.ID,
+		Allocation: service.AllocationDTO{Seeds: [][]int64{{0}, {1}}},
+		Runs:       2_000_000,
+	})
+
+	done := make(chan []string, 1)
+	go func() { done <- c.streamEvents(jobID) }()
+
+	other.kill()
+	rt.Sync(syncCtx()) // membership change: down
+	other = other.restart(t)
+	rt.Sync(syncCtx()) // membership change: up again, rebalance runs
+
+	select {
+	case events := <-done:
+		if len(events) == 0 || events[len(events)-1] != "done" {
+			t.Fatalf("stream events = %v, want terminal done", events)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("stream never terminated")
+	}
+	if owner == nil {
+		t.Fatal("no owner found")
+	}
+}

@@ -3,9 +3,11 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SketchCache is the in-memory tier of the sketch cache: a
@@ -35,15 +37,24 @@ import (
 type SketchCache struct {
 	mu         sync.Mutex
 	maxEntries int
-	maxCost    int64           // byte budget; 0 = unbounded
+	maxCost    int64         // byte budget; 0 = unbounded
+	ttl        time.Duration // completed-entry lifetime; 0 = immortal
+	now        func() time.Time
 	costOf     func(any) int64 // prices a completed sketch; nil = cost 0
 	entries    map[string]*cacheEntry
 	tick       uint64 // logical clock for LRU ordering
 	totalCost  int64  // sum of completed entries' costs
 
-	hits      int64
-	misses    int64
-	evictions int64
+	hits        int64
+	misses      int64
+	evictions   int64
+	expirations int64
+
+	// onExpire, when set, receives each expired key. Called under the
+	// cache lock, so it must stay cheap — the service wires it to unlink
+	// the key's disk spill (one os.Remove), without which a TTL expiry
+	// would "rebuild" by reloading the identical stale spill from disk.
+	onExpire func(key string)
 }
 
 type cacheEntry struct {
@@ -52,6 +63,9 @@ type cacheEntry struct {
 	err      error
 	cost     int64 // set when the build completes; in-flight entries cost 0
 	lastUsed uint64
+	// expires is the TTL deadline, set when the build completes; zero
+	// means the entry never expires. In-flight entries cannot expire.
+	expires time.Time
 	// evictOnReady marks an in-flight entry whose key was invalidated
 	// mid-build (graph deleted); the builder removes it on completion.
 	evictOnReady bool
@@ -60,16 +74,60 @@ type cacheEntry struct {
 // NewSketchCache returns a cache bounded to maxEntries sketches (default
 // 64 if maxEntries <= 0) and, when maxCostBytes > 0, to a total
 // completed-entry cost of maxCostBytes as priced by cost (which may be
-// nil when no byte budget is set).
-func NewSketchCache(maxEntries int, maxCostBytes int64, cost func(any) int64) *SketchCache {
+// nil when no byte budget is set). A positive ttl additionally bounds
+// every completed entry's lifetime: past it the entry reads as a miss
+// and is rebuilt, so a long-running daemon's sketches are periodically
+// refreshed instead of pinning one early sample forever.
+func NewSketchCache(maxEntries int, maxCostBytes int64, ttl time.Duration, cost func(any) int64) *SketchCache {
 	if maxEntries <= 0 {
 		maxEntries = 64
 	}
 	return &SketchCache{
 		maxEntries: maxEntries,
 		maxCost:    maxCostBytes,
+		ttl:        ttl,
+		now:        time.Now,
 		costOf:     cost,
 		entries:    map[string]*cacheEntry{},
+	}
+}
+
+// expireLocked removes a completed entry whose TTL has passed, counting
+// the expiry. It reports whether the entry was dropped. Caller holds
+// c.mu.
+func (c *SketchCache) expireLocked(key string, e *cacheEntry) bool {
+	if c.ttl <= 0 || e.expires.IsZero() || c.now().Before(e.expires) {
+		return false
+	}
+	c.totalCost -= e.cost
+	delete(c.entries, key)
+	c.expirations++
+	if c.onExpire != nil {
+		c.onExpire(key)
+	}
+	return true
+}
+
+// SetExpireHook registers the expired-key callback (see onExpire).
+func (c *SketchCache) SetExpireHook(fn func(key string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onExpire = fn
+}
+
+// sweepExpiredLocked drops every expired completed entry (Stats calls
+// it so the expiration counter advances even on an idle daemon). Caller
+// holds c.mu.
+func (c *SketchCache) sweepExpiredLocked() {
+	if c.ttl <= 0 {
+		return
+	}
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			c.expireLocked(k, e)
+		default:
+		}
 	}
 }
 
@@ -90,16 +148,27 @@ func (c *SketchCache) GetOrBuild(key string, build func() (any, error)) (sketch 
 func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func() (any, error)) (sketch any, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.tick++
-		e.lastUsed = c.tick
-		c.hits++
-		c.mu.Unlock()
+		// An expired completed entry reads as a miss and is dropped;
+		// this caller becomes the rebuilder. In-flight entries have no
+		// deadline yet and are always shared.
+		expired := false
 		select {
 		case <-e.ready:
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			expired = c.expireLocked(key, e)
+		default:
 		}
-		return e.sketch, true, e.err
+		if !expired {
+			c.tick++
+			e.lastUsed = c.tick
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+			return e.sketch, true, e.err
+		}
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.tick++
@@ -115,10 +184,14 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 	case (e.err != nil || e.evictOnReady) && c.entries[key] == e:
 		delete(c.entries, key)
 	case e.err == nil && c.entries[key] == e:
-		// The entry graduates from in-flight to completed: price it and
-		// re-run eviction, since the cache may now exceed its byte budget.
+		// The entry graduates from in-flight to completed: price it,
+		// start its TTL clock, and re-run eviction, since the cache may
+		// now exceed its byte budget.
 		if c.costOf != nil {
 			e.cost = c.costOf(e.sketch)
+		}
+		if c.ttl > 0 {
+			e.expires = c.now().Add(c.ttl)
 		}
 		c.totalCost += e.cost
 		c.evictLocked(key)
@@ -158,6 +231,75 @@ func (c *SketchCache) evictLocked(keep string) {
 		delete(c.entries, victim)
 		c.evictions++
 	}
+}
+
+// Put inserts an already-built sketch (a rebalancing import, not a
+// local build) as a completed entry under key, reporting whether it was
+// added. An existing entry — completed or still building — wins: the
+// import must not disturb in-flight waiters or displace a fresher local
+// build.
+func (c *SketchCache) Put(key string, sketch any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		// A resident expired entry is the one exception: replacing it is
+		// strictly better than the rebuild the next lookup would do.
+		select {
+		case <-e.ready:
+			if !c.expireLocked(key, e) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	e := &cacheEntry{ready: make(chan struct{}), sketch: sketch}
+	close(e.ready)
+	if c.costOf != nil {
+		e.cost = c.costOf(sketch)
+	}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	c.entries[key] = e
+	c.totalCost += e.cost
+	c.evictLocked(key)
+	return true
+}
+
+// KeyedSketch is one completed cache entry, as exported by
+// CompletedForGraph for sketch shipping.
+type KeyedSketch struct {
+	Key    string
+	Sketch any
+}
+
+// CompletedForGraph returns the completed, unexpired entries belonging
+// to a graph, sorted by key for a deterministic export order. In-flight
+// builds are skipped — the importer would have to wait on them, and the
+// rebalancer wants a point-in-time snapshot.
+func (c *SketchCache) CompletedForGraph(graphID string) []KeyedSketch {
+	prefix := graphID + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []KeyedSketch
+	for k, e := range c.entries {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		select {
+		case <-e.ready:
+			if e.err != nil || c.expireLocked(k, e) {
+				continue
+			}
+			out = append(out, KeyedSketch{Key: k, Sketch: e.sketch})
+		default:
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // InvalidateGraph drops every entry whose key belongs to the given
@@ -203,28 +345,53 @@ func (c *SketchCache) Reset() {
 
 // CacheStats is the /v1/stats view of the in-memory sketch tier.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Entries int `json:"entries"`
+	// EntriesByFamily breaks Entries down by sketch family ("prima",
+	// "imm"), so an operator can see what kind of work a shard holds —
+	// one aggregate number hides a cache full of the wrong family.
+	EntriesByFamily map[string]int `json:"entries_by_family,omitempty"`
+	Hits            int64          `json:"hits"`
+	Misses          int64          `json:"misses"`
+	Evictions       int64          `json:"evictions"`
+	// Expirations counts completed entries dropped by the TTL
+	// (-cache-ttl); 0 with no TTL configured.
+	Expirations int64 `json:"expirations"`
 	// CostBytes is the approximate resident cost of the completed
 	// entries; MaxCostBytes is the configured budget (0 = unbounded).
 	CostBytes    int64 `json:"cost_bytes"`
 	MaxCostBytes int64 `json:"max_cost_bytes,omitempty"`
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters, first sweeping expired entries so the
+// TTL is visible even without traffic touching the expired keys.
 func (c *SketchCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:      len(c.entries),
-		Hits:         c.hits,
-		Misses:       c.misses,
-		Evictions:    c.evictions,
-		CostBytes:    c.totalCost,
-		MaxCostBytes: c.maxCost,
+	c.sweepExpiredLocked()
+	families := map[string]int{}
+	for k := range c.entries {
+		families[familyOfKey(k)]++
 	}
+	return CacheStats{
+		Entries:         len(c.entries),
+		EntriesByFamily: families,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		Expirations:     c.expirations,
+		CostBytes:       c.totalCost,
+		MaxCostBytes:    c.maxCost,
+	}
+}
+
+// familyOfKey extracts the sketch family from a cache key (its second
+// "|"-separated segment — see SketchKey).
+func familyOfKey(key string) string {
+	parts := strings.SplitN(key, "|", 3)
+	if len(parts) < 2 {
+		return "unknown"
+	}
+	return parts[1]
 }
 
 // SketchKey derives the cache key for a sketch request. family is the

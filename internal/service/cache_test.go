@@ -10,7 +10,7 @@ import (
 )
 
 func TestSketchCacheSingleflight(t *testing.T) {
-	c := NewSketchCache(8, 0, nil)
+	c := NewSketchCache(8, 0, 0, nil)
 	var builds atomic.Int32
 	gate := make(chan struct{})
 
@@ -59,7 +59,7 @@ func TestSketchCacheSingleflight(t *testing.T) {
 }
 
 func TestSketchCacheEviction(t *testing.T) {
-	c := NewSketchCache(2, 0, nil)
+	c := NewSketchCache(2, 0, 0, nil)
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("k%d", i)
 		if _, hit, _ := c.GetOrBuild(key, func() (any, error) { return i, nil }); hit {
@@ -86,7 +86,7 @@ func TestSketchCacheCostEviction(t *testing.T) {
 	// Entry bound is generous; the byte budget is the binding constraint:
 	// each entry costs 60, the budget is 100, so at most one completed
 	// entry fits at a time.
-	c := NewSketchCache(10, 100, func(any) int64 { return 60 })
+	c := NewSketchCache(10, 100, 0, func(any) int64 { return 60 })
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("k%d", i)
 		if _, _, err := c.GetOrBuild(key, func() (any, error) { return i, nil }); err != nil {
@@ -119,7 +119,7 @@ func TestSketchCacheCostEviction(t *testing.T) {
 }
 
 func TestSketchCacheErrorNotCached(t *testing.T) {
-	c := NewSketchCache(8, 0, nil)
+	c := NewSketchCache(8, 0, 0, nil)
 	boom := errors.New("boom")
 	if _, _, err := c.GetOrBuild("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
@@ -206,8 +206,8 @@ func TestJobStoreLifecycle(t *testing.T) {
 	if _, ok := s.Snapshot(r.ID); ok {
 		t.Error("removed job still present")
 	}
-	if len(s.List()) != 2 {
-		t.Errorf("list = %+v", s.List())
+	if len(s.List("")) != 2 {
+		t.Errorf("list = %+v", s.List(""))
 	}
 }
 

@@ -52,6 +52,12 @@ type GraphRequest struct {
 	Path     string `json:"path,omitempty"`
 	Directed *bool  `json:"directed,omitempty"` // default true
 
+	// Wmg is an inline binary .wmg graph (base64 in JSON). The cluster
+	// router ships graphs between backends with it: the codec preserves
+	// exact probabilities, so the content address recomputed on the
+	// receiving backend matches the sender's.
+	Wmg []byte `json:"wmg,omitempty"`
+
 	// KeepProbs keeps the probabilities of the edge list instead of
 	// resetting them to the weighted-cascade 1/indeg(v) default.
 	KeepProbs bool `json:"keep_probs,omitempty"`

@@ -8,16 +8,21 @@ import (
 
 	"uicwelfare/internal/core"
 	"uicwelfare/internal/progress"
+	"uicwelfare/internal/store"
 )
 
 // Handler returns the daemon's HTTP API as an http.Handler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
+	mux.HandleFunc("POST /v1/graphs/import", s.handleImportGraph)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{id}/warm", s.handleWarmGraph)
+	mux.HandleFunc("GET /v1/graphs/{id}/export", s.handleExportGraph)
+	mux.HandleFunc("GET /v1/graphs/{id}/sketches", s.handleExportSketches)
+	mux.HandleFunc("POST /v1/graphs/{id}/sketches", s.handleImportSketches)
 	mux.HandleFunc("GET /v1/algorithms", s.handleListAlgorithms)
 	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -27,6 +32,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
 	return mux
 }
 
@@ -45,6 +51,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // maxBodyBytes bounds request bodies (inline edge lists are the largest
 // legitimate payload); anything bigger is rejected instead of buffered.
 const maxBodyBytes = 64 << 20
+
+// maxImportBytes bounds a sketch-stream import. Shipped warm sets are
+// larger than any request body (they scale with the sender's cache
+// budget, not with one payload) and the stream is consumed one
+// checksummed entry at a time, so the higher cap does not translate
+// into one giant buffer.
+const maxImportBytes = 1 << 30
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -78,6 +91,31 @@ func (s *Service) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	// Content addressing dedupes re-registrations of the same graph to
 	// the existing entry: 200 with the resident info, not a second copy.
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, entry.Info())
+}
+
+// handleImportGraph implements POST /v1/graphs/import: register a graph
+// from raw .wmg bytes. This is the cluster shipping path — embedding the
+// graph as base64 in a JSON GraphRequest would cap it at ~48MB of
+// encoded graph under maxBodyBytes, and shipped graphs legitimately
+// exceed that. The embedded name label is kept, the content id is
+// recomputed on this side, and duplicates dedupe exactly like
+// handleCreateGraph (201 new, 200 resident).
+func (s *Service) handleImportGraph(w http.ResponseWriter, r *http.Request) {
+	name, g, err := store.DecodeGraph(http.MaxBytesReader(w, r.Body, maxImportBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, existed, err := s.RegisterGraph(name, g)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	status := http.StatusCreated
 	if existed {
 		status = http.StatusOK
@@ -288,7 +326,74 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+	var state JobState
+	if raw := r.URL.Query().Get("state"); raw != "" {
+		switch st := JobState(raw); st {
+		case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+			state = st
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown job state %q", raw))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List(state)})
+}
+
+// handleExportGraph implements GET /v1/graphs/{id}/export: the resident
+// graph as .wmg bytes — what the cluster router fetches so it can
+// re-register the graph on a different backend during rebalancing (and a
+// convenient backup endpoint besides).
+func (s *Service) handleExportGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	entry, ok := s.registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+store.GraphExt))
+	_ = store.EncodeGraph(w, entry.Name, entry.Graph)
+}
+
+// handleExportSketches implements GET /v1/graphs/{id}/sketches: the
+// graph's completed in-memory sketches as a sketch-stream container (see
+// Service.ExportSketches). An empty cache yields an empty 200 body —
+// shipping zero sketches is a valid rebalance.
+func (s *Service) handleExportSketches(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.registry.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := s.ExportSketches(id, w); err != nil {
+		return // headers are gone; the truncated stream fails the reader's checksum
+	}
+}
+
+// handleImportSketches implements POST /v1/graphs/{id}/sketches: install
+// shipped sketches into this backend's cache so it starts warm for a
+// graph it just received (see Service.ImportSketches). Only cluster
+// members accept it: an imported sketch becomes authoritative for
+// allocation results, so a daemon not running behind a router (-node
+// unset) must not let arbitrary callers install sketch contents.
+func (s *Service) handleImportSketches(w http.ResponseWriter, r *http.Request) {
+	if s.nodeID == "" {
+		writeError(w, http.StatusForbidden,
+			fmt.Errorf("sketch import is a cluster endpoint (start welmaxd with -node)"))
+		return
+	}
+	id := r.PathValue("id")
+	if _, ok := s.registry.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	imported, skipped, err := s.ImportSketches(id, http.MaxBytesReader(w, r.Body, maxImportBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"imported": imported, "skipped": skipped})
 }
 
 func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -306,4 +411,11 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleHealthzV1 implements GET /v1/healthz: the structured liveness
+// probe the cluster router polls (node id, graph count, uptime) —
+// cheaper than /v1/stats, which walks every job.
+func (s *Service) handleHealthzV1(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Healthz())
 }

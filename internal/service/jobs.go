@@ -82,12 +82,16 @@ type Job struct {
 	subs     map[chan JobEvent]struct{}
 }
 
-// JobView is the wire form of a job returned by GET /v1/jobs/{id}.
+// JobView is the wire form of a job returned by GET /v1/jobs/{id}, and
+// the record shape of the on-disk audit trail (<data-dir>/jobs).
 type JobView struct {
 	ID      string   `json:"id"`
 	Kind    string   `json:"kind"`
 	State   JobState `json:"state"`
 	Created string   `json:"created"`
+	// Finished is the terminal timestamp (audit trails need it even
+	// though the live API could derive it).
+	Finished string `json:"finished,omitempty"`
 	// ElapsedMS is running time so far (running) or total (terminal).
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 	// CancelRequested is set once DELETE /v1/jobs/{id} has asked a
@@ -116,6 +120,9 @@ func (j *Job) view() JobView {
 	case j.State.Terminal() && !j.Started.IsZero():
 		v.ElapsedMS = j.Finished.Sub(j.Started).Milliseconds()
 	}
+	if j.State.Terminal() && !j.Finished.IsZero() {
+		v.Finished = j.Finished.UTC().Format(time.RFC3339Nano)
+	}
 	return v
 }
 
@@ -129,6 +136,11 @@ type JobStore struct {
 	ids    []string // insertion order, for listing
 	seq    int
 	retain int
+	prefix string // node prefix baked into every minted id
+	// onFinal, when set, receives the wire view of every job reaching a
+	// terminal state (the audit-trail spill). Called synchronously under
+	// the store lock — the sink must be fast and must not call back.
+	onFinal func(JobView)
 }
 
 // NewJobStore returns an empty store keeping at most retain finished
@@ -140,6 +152,27 @@ func NewJobStore(retain int) *JobStore {
 	return &JobStore{jobs: map[string]*Job{}, retain: retain}
 }
 
+// SetNodeID makes subsequently minted job ids carry a node prefix
+// ("b1-j7" instead of "j7"): in a cluster, the id itself tells the
+// router which backend owns the job, so job routes need no lookup
+// table. Empty keeps the single-node "j7" form.
+func (s *JobStore) SetNodeID(node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if node == "" {
+		s.prefix = ""
+		return
+	}
+	s.prefix = node + "-"
+}
+
+// SetFinalSink registers the terminal-job callback (see onFinal).
+func (s *JobStore) SetFinalSink(fn func(JobView)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onFinal = fn
+}
+
 // Create registers a queued job and returns it.
 func (s *JobStore) Create(kind string, req any) *Job {
 	s.mu.Lock()
@@ -147,7 +180,7 @@ func (s *JobStore) Create(kind string, req any) *Job {
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		ID:      fmt.Sprintf("j%d", s.seq),
+		ID:      fmt.Sprintf("%sj%d", s.prefix, s.seq),
 		Kind:    kind,
 		State:   JobQueued,
 		Created: time.Now(),
@@ -186,19 +219,24 @@ func (s *JobStore) Remove(id string) {
 // reports ok = false: the worker must skip it.
 func (s *JobStore) Start(id string) (ctx context.Context, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
+		s.mu.Unlock()
 		return nil, false
 	}
 	now := time.Now()
 	if j.cancelRequested {
 		j.Started, j.Finished = now, now
-		s.finalizeLocked(j, JobCanceled, "canceled before start")
+		sink, view := s.finalizeLocked(j, JobCanceled, "canceled before start")
+		s.mu.Unlock()
+		if sink != nil {
+			sink(view)
+		}
 		return nil, false
 	}
 	j.State = JobRunning
 	j.Started = now
+	s.mu.Unlock()
 	return j.ctx, true
 }
 
@@ -206,33 +244,48 @@ func (s *JobStore) Start(id string) (ctx context.Context, ok bool) {
 // was canceled), or failed.
 func (s *JobStore) Finish(id string, result any, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
+		s.mu.Unlock()
 		return
 	}
 	j.Finished = time.Now()
+	var (
+		sink func(JobView)
+		view JobView
+	)
 	switch {
 	case err == nil:
 		j.Result = result
-		s.finalizeLocked(j, JobDone, "")
+		sink, view = s.finalizeLocked(j, JobDone, "")
 	case errors.Is(err, context.Canceled) && j.cancelRequested:
-		s.finalizeLocked(j, JobCanceled, err.Error())
+		sink, view = s.finalizeLocked(j, JobCanceled, err.Error())
 	default:
-		s.finalizeLocked(j, JobFailed, err.Error())
+		sink, view = s.finalizeLocked(j, JobFailed, err.Error())
+	}
+	s.mu.Unlock()
+	if sink != nil {
+		sink(view)
 	}
 }
 
 // finalizeLocked moves a job to a terminal state, publishes the terminal
 // event, closes subscribers, and releases the job's context. Caller
-// holds s.mu and has set Finished (and Started where applicable).
-func (s *JobStore) finalizeLocked(j *Job, state JobState, errMsg string) {
+// holds s.mu and has set Finished (and Started where applicable). The
+// audit sink and terminal view are returned instead of invoked so the
+// caller can run the sink's disk append after unlocking — a slow disk
+// must not stall every other job-store operation.
+func (s *JobStore) finalizeLocked(j *Job, state JobState, errMsg string) (func(JobView), JobView) {
 	j.State = state
 	j.Err = errMsg
 	s.publishLocked(j, JobEvent{Type: string(state), Error: errMsg})
 	s.closeSubsLocked(j)
 	j.cancel()
 	s.trimLocked()
+	if s.onFinal == nil {
+		return nil, JobView{}
+	}
+	return s.onFinal, j.view()
 }
 
 // Cancel requests cancellation of a queued or running job, reporting
@@ -361,13 +414,17 @@ func (s *JobStore) Snapshot(id string) (JobView, bool) {
 	return j.view(), true
 }
 
-// List returns the wire view of every job in insertion order.
-func (s *JobStore) List() []JobView {
+// List returns the wire view of every job in insertion order. A
+// non-empty state keeps only jobs currently in that lifecycle state
+// (the ?state= filter of GET /v1/jobs).
+func (s *JobStore) List(state JobState) []JobView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]JobView, 0, len(s.ids))
 	for _, id := range s.ids {
-		out = append(out, s.jobs[id].view())
+		if j := s.jobs[id]; state == "" || j.State == state {
+			out = append(out, j.view())
+		}
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -121,13 +122,13 @@ func (r *Registry) Len() int {
 // LoadGraph materializes the graph described by a GraphRequest.
 func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
 	sources := 0
-	for _, set := range []bool{req.Network != "", req.Edges != "", req.Path != ""} {
+	for _, set := range []bool{req.Network != "", req.Edges != "", req.Path != "", len(req.Wmg) > 0} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return "", nil, fmt.Errorf("exactly one of network, edges, path required")
+		return "", nil, fmt.Errorf("exactly one of network, edges, path, wmg required")
 	}
 	directed := true
 	if req.Directed != nil {
@@ -163,6 +164,14 @@ func LoadGraph(req *GraphRequest) (name string, g *graph.Graph, err error) {
 		}
 		if !req.KeepProbs {
 			g = g.WeightedCascade()
+		}
+	case len(req.Wmg) > 0:
+		// Inline binary upload: probabilities are authoritative, exactly
+		// like a .wmg path load, and the embedded name label is the
+		// default.
+		name, g, err = store.DecodeGraph(bytes.NewReader(req.Wmg))
+		if err != nil {
+			return "", nil, err
 		}
 	default:
 		name = req.Path

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"time"
 
 	"uicwelfare/internal/core"
@@ -45,6 +47,16 @@ type Options struct {
 	// DiskMB bounds the spilled-sketch tier in megabytes (0 = unbounded);
 	// only meaningful with DataDir set.
 	DiskMB int
+	// CacheTTL bounds how long a completed in-memory sketch stays
+	// servable (0 = forever); expired entries read as misses and are
+	// counted in /v1/stats.
+	CacheTTL time.Duration
+	// NodeID names this backend inside a cluster. When set, job ids are
+	// minted as "<NodeID>-j<seq>" so the routing tier can map a job id
+	// back to its backend, and GET /v1/healthz reports it so the router
+	// can verify it is probing the backend it thinks it is. Empty (the
+	// single-node default) keeps plain "j<seq>" ids.
+	NodeID string
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
@@ -58,6 +70,8 @@ type Service struct {
 	pool       *Pool
 	start      time.Time
 	allowPaths bool
+	nodeID     string
+	cacheTTL   time.Duration
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -80,14 +94,28 @@ func New(opts Options) (*Service, error) {
 	}
 	s := &Service{
 		registry:   NewRegistry(opts.MaxGraphs),
-		cache:      NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, store.SketchCost),
+		cache:      NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, opts.CacheTTL, store.SketchCost),
 		disk:       disk,
 		jobs:       NewJobStore(opts.JobRetention),
 		pool:       NewPool(opts.Workers, opts.QueueCap),
 		start:      time.Now(),
 		allowPaths: opts.AllowPathLoads,
+		nodeID:     opts.NodeID,
+		cacheTTL:   opts.CacheTTL,
 	}
+	s.jobs.SetNodeID(opts.NodeID)
 	if disk != nil {
+		// A TTL expiry must invalidate the disk spill too — otherwise the
+		// "rebuild" reloads the identical stale sketch from disk and the
+		// TTL never refreshes anything on a persistent daemon.
+		s.cache.SetExpireHook(func(key string) {
+			if gid, _, ok := strings.Cut(key, "|"); ok {
+				disk.DeleteSketch(gid, key)
+			}
+		})
+		// Terminal jobs spill to the audit trail; append failures are
+		// counted in the disk tier's spill errors, never fail the job.
+		s.jobs.SetFinalSink(func(v JobView) { _ = disk.AppendJobRecord(v) })
 		for _, sg := range disk.LoadGraphs() {
 			if _, _, err := s.registry.AddWithID(sg.ID, sg.Name, sg.Graph); err != nil {
 				break // registry full: keep what fit
@@ -147,6 +175,9 @@ func (s *Service) DeleteGraph(id string) bool {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
+	// Node is the backend's cluster node id; empty on a single-node
+	// daemon.
+	Node        string     `json:"node,omitempty"`
 	Graphs      int        `json:"graphs"`
 	SketchCache CacheStats `json:"sketch_cache"`
 	// DiskTier reports the persistence tier's counters; nil when the
@@ -163,6 +194,7 @@ type StatsResponse struct {
 // Stats snapshots the service counters.
 func (s *Service) Stats() StatsResponse {
 	out := StatsResponse{
+		Node:        s.nodeID,
 		Graphs:      s.registry.Len(),
 		SketchCache: s.cache.Stats(),
 		Jobs:        s.jobs.CountByState(),
@@ -177,6 +209,85 @@ func (s *Service) Stats() StatsResponse {
 		out.DiskTier = &ds
 	}
 	return out
+}
+
+// HealthzResponse is the body of GET /v1/healthz: the lightweight
+// liveness probe the cluster router polls. Node echoes the backend's
+// -node id so the router can detect a miswired topology (probing b1 at
+// b0's address) instead of silently routing jobs to the wrong shard.
+type HealthzResponse struct {
+	Status   string `json:"status"`
+	Node     string `json:"node,omitempty"`
+	Graphs   int    `json:"graphs"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+// Healthz snapshots the liveness view.
+func (s *Service) Healthz() HealthzResponse {
+	return HealthzResponse{
+		Status:   "ok",
+		Node:     s.nodeID,
+		Graphs:   s.registry.Len(),
+		UptimeMS: time.Since(s.start).Milliseconds(),
+	}
+}
+
+// ExportSketches streams the graph's completed in-memory sketches as a
+// sketch-stream container (store.WriteSketchStreamEntry frames) — the
+// payload one backend ships another so rebalancing a graph does not
+// discard its warm-sketch work. Disk-tier spills are not exported: their
+// cache keys are stored hashed, and anything recently used is resident
+// in memory anyway. It returns how many sketches were written.
+func (s *Service) ExportSketches(graphID string, w io.Writer) (int, error) {
+	if _, ok := s.registry.Get(graphID); !ok {
+		return 0, fmt.Errorf("unknown graph %q", graphID)
+	}
+	entries := s.cache.CompletedForGraph(graphID)
+	for i, e := range entries {
+		if err := store.WriteSketchStreamEntry(w, e.Key, e.Sketch); err != nil {
+			return i, err
+		}
+	}
+	return len(entries), nil
+}
+
+// ImportSketches reads a sketch-stream container into the graph's cache
+// (and, with a data dir, the disk tier), so this backend starts warm for
+// a graph it just received. Entries keyed for a different graph are
+// rejected — a misrouted stream must not poison the cache — and entries
+// whose key is already resident are skipped, not replaced.
+func (s *Service) ImportSketches(graphID string, r io.Reader) (imported, skipped int, err error) {
+	entry, ok := s.registry.Get(graphID)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown graph %q", graphID)
+	}
+	prefix := graphID + "|"
+	_, err = store.ReadSketchStream(r, entry.Graph, func(key string, sketch any) error {
+		if !strings.HasPrefix(key, prefix) {
+			return fmt.Errorf("sketch key %q does not belong to graph %q", key, graphID)
+		}
+		if !s.cache.Put(key, sketch) {
+			skipped++
+			return nil
+		}
+		if s.disk != nil {
+			_ = s.disk.SaveSketch(graphID, key, sketch) // best-effort, like local builds
+		}
+		imported++
+		return nil
+	})
+	if err != nil {
+		return imported, skipped, err
+	}
+	// Mirror sketchForPlan's delete race guard: if the graph vanished
+	// while the stream was importing, sweep what we just inserted.
+	if _, ok := s.registry.Get(graphID); !ok {
+		s.cache.InvalidateGraph(graphID)
+		if s.disk != nil {
+			s.disk.DeleteGraph(graphID)
+		}
+	}
+	return imported, skipped, nil
 }
 
 // allocatePlan is a validated AllocateRequest resolved to its problem
@@ -292,7 +403,10 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 		var memHit bool
 		sketch, memHit, err = s.cache.GetOrBuildCtx(ctx, key, func() (any, error) {
 			if s.disk != nil {
-				if sk := s.disk.LoadSketch(graphID, key, plan.prob.G); sk != nil {
+				// The TTL bounds spill age too: a spill left by cost
+				// eviction or a restart must not resurrect a sketch older
+				// than the TTL promises.
+				if sk := s.disk.LoadSketch(graphID, key, plan.prob.G, s.cacheTTL); sk != nil {
 					diskHit = true
 					return sk, nil
 				}

@@ -37,7 +37,7 @@ func TestAllocateInlineEstimatePairCap(t *testing.T) {
 }
 
 func TestInvalidateGraphDropsInFlightBuilds(t *testing.T) {
-	c := NewSketchCache(8, 0, nil)
+	c := NewSketchCache(8, 0, 0, nil)
 	gate := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

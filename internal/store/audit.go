@@ -1,0 +1,68 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// jobsDir holds the job audit trail under the data directory.
+func jobsDir(dir string) string { return filepath.Join(dir, "jobs") }
+
+// jobHistoryPath is the JSON-lines file terminal jobs are appended to.
+func (s *Store) jobHistoryPath() string {
+	return filepath.Join(jobsDir(s.dir), "history.jsonl")
+}
+
+// AppendJobRecord appends one terminal job (its wire JobView) to the
+// audit trail as a JSON line. The file is opened with O_APPEND per call
+// — single-line appends are atomic at the sizes jobs marshal to, and a
+// restarted daemon simply keeps appending to the same trail, which is
+// the point of spilling it. Failures are counted as spill errors and
+// returned; they never fail the job itself.
+func (s *Store) AppendJobRecord(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		s.spillErrors.Add(1)
+		return fmt.Errorf("store: job record: %w", err)
+	}
+	s.auditMu.Lock()
+	defer s.auditMu.Unlock()
+	f, err := os.OpenFile(s.jobHistoryPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.spillErrors.Add(1)
+		return fmt.Errorf("store: job record: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		s.spillErrors.Add(1)
+		return fmt.Errorf("store: job record: %w", err)
+	}
+	return nil
+}
+
+// JobHistory decodes every line of the audit trail into raw JSON
+// messages, oldest first (used by tests and offline tooling; the daemon
+// itself only appends). A missing file is an empty history. Unparsable
+// lines are skipped — the trail is an append-only log that may end with
+// a torn line after a crash.
+func (s *Store) JobHistory() []json.RawMessage {
+	f, err := os.Open(s.jobHistoryPath())
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !json.Valid(line) {
+			continue
+		}
+		out = append(out, json.RawMessage(append([]byte(nil), line...)))
+	}
+	return out
+}

@@ -59,7 +59,11 @@ func DecodeGraph(r io.Reader) (name string, g *graph.Graph, err error) {
 		return "", nil, err
 	}
 	const maxNodes = 1 << 31 // NodeID is int32
-	if n64 > maxNodes || m64 > uint64(len(p.rest)) {
+	// Bound n against the remaining bytes too (every node contributes at
+	// least a one-byte degree): a forged header declaring n=2^31 in a
+	// 30-byte frame must not allocate a 17 GiB offset slice — this codec
+	// reads unauthenticated request bodies (wmg / /v1/graphs/import).
+	if n64 > maxNodes || n64 > uint64(len(p.rest)) || m64 > uint64(len(p.rest)) {
 		return "", nil, fmt.Errorf("%w: implausible n=%d m=%d", ErrCorrupt, n64, m64)
 	}
 	n, m := int(n64), int(m64)

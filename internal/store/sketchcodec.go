@@ -24,6 +24,15 @@ const (
 // DecodeSketch takes the resident graph instead.
 func EncodeSketch(w io.Writer, sketch any) error {
 	var p payloadWriter
+	if err := encodeSketchPayload(&p, sketch); err != nil {
+		return err
+	}
+	return writeFrame(w, SketchMagic, p.buf.Bytes())
+}
+
+// encodeSketchPayload packs the frame body shared by the .wms codec and
+// the sketch-stream container (which prepends a cache key to it).
+func encodeSketchPayload(p *payloadWriter, sketch any) error {
 	switch sk := sketch.(type) {
 	case *prima.Sketch:
 		col, maxBudget, phase1, allNodesN := sk.State()
@@ -31,7 +40,7 @@ func EncodeSketch(w io.Writer, sketch any) error {
 		p.uvarint(uint64(maxBudget))
 		p.uvarint(uint64(phase1))
 		p.uvarint(uint64(allNodesN))
-		encodeCollection(&p, col)
+		encodeCollection(p, col)
 	case *imm.Sketch:
 		col, k, phase1, lb, allNodesN := sk.State()
 		p.uvarint(familyIMM)
@@ -39,11 +48,11 @@ func EncodeSketch(w io.Writer, sketch any) error {
 		p.uvarint(uint64(phase1))
 		p.float64(lb)
 		p.uvarint(uint64(allNodesN))
-		encodeCollection(&p, col)
+		encodeCollection(p, col)
 	default:
 		return fmt.Errorf("store: cannot encode sketch type %T", sketch)
 	}
-	return writeFrame(w, SketchMagic, p.buf.Bytes())
+	return nil
 }
 
 // DecodeSketch reads one .wms frame against the graph it was built for,
@@ -58,6 +67,20 @@ func DecodeSketch(r io.Reader, g *graph.Graph) (any, error) {
 		return nil, err
 	}
 	p := payloadReader{rest: payload}
+	sketch, err := decodeSketchPayload(&p, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return sketch, nil
+}
+
+// decodeSketchPayload unpacks what encodeSketchPayload wrote; the caller
+// is responsible for the trailing-bytes check (stream entries embed the
+// payload after other fields).
+func decodeSketchPayload(p *payloadReader, g *graph.Graph) (any, error) {
 	family, err := p.uvarint()
 	if err != nil {
 		return nil, err
@@ -70,11 +93,8 @@ func DecodeSketch(r io.Reader, g *graph.Graph) (any, error) {
 		if err := firstErr(err1, err2, err3); err != nil {
 			return nil, err
 		}
-		col, err := decodeCollection(&p, g)
+		col, err := decodeCollection(p, g)
 		if err != nil {
-			return nil, err
-		}
-		if err := p.done(); err != nil {
 			return nil, err
 		}
 		return prima.RestoreSketch(col, int(maxBudget), int(phase1), int(allNodesN)), nil
@@ -86,11 +106,8 @@ func DecodeSketch(r io.Reader, g *graph.Graph) (any, error) {
 		if err := firstErr(err1, err2, err3, err4); err != nil {
 			return nil, err
 		}
-		col, err := decodeCollection(&p, g)
+		col, err := decodeCollection(p, g)
 		if err != nil {
-			return nil, err
-		}
-		if err := p.done(); err != nil {
 			return nil, err
 		}
 		return imm.RestoreSketch(col, int(k), int(phase1), lb, int(allNodesN)), nil

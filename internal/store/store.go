@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uicwelfare/internal/graph"
 )
@@ -40,18 +41,21 @@ type Store struct {
 	// evictMu serializes the size-scan-and-evict pass so concurrent
 	// spills don't double-delete.
 	evictMu sync.Mutex
+	// auditMu serializes appends to the job-history trail.
+	auditMu sync.Mutex
 
 	diskHits    atomic.Int64
 	spills      atomic.Int64
 	spillErrors atomic.Int64
 	loadErrors  atomic.Int64
 	evictions   atomic.Int64
+	expired     atomic.Int64
 }
 
 // Open creates (if needed) and opens a data directory. maxSketchMB
 // bounds the spilled-sketch tier in megabytes; 0 leaves it unbounded.
 func Open(dir string, maxSketchMB int) (*Store, error) {
-	for _, sub := range []string{graphsDir(dir), sketchesDir(dir)} {
+	for _, sub := range []string{graphsDir(dir), sketchesDir(dir), jobsDir(dir)} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -80,6 +84,9 @@ type Stats struct {
 	LoadErrors int64 `json:"load_errors"`
 	// Evictions counts spilled sketches deleted to honor the byte budget.
 	Evictions int64 `json:"evictions"`
+	// Expired counts spills rejected (and removed) for exceeding the
+	// cache TTL at load time.
+	Expired int64 `json:"expired"`
 }
 
 // Stats snapshots the disk-tier counters.
@@ -90,6 +97,7 @@ func (s *Store) Stats() Stats {
 		SpillErrors: s.spillErrors.Load(),
 		LoadErrors:  s.loadErrors.Load(),
 		Evictions:   s.evictions.Load(),
+		Expired:     s.expired.Load(),
 	}
 }
 
@@ -215,9 +223,19 @@ func (s *Store) SaveSketch(graphID, key string, sketch any) error {
 // LoadSketch returns the spilled sketch for a cache key, or nil on a
 // miss. An unreadable file counts as a load error, is removed so the
 // rebuild's spill replaces it, and reads as a miss — the caller falls
-// back to building from scratch.
-func (s *Store) LoadSketch(graphID, key string, g *graph.Graph) any {
+// back to building from scratch. A positive maxAge additionally rejects
+// (and removes) spills older than it: with a cache TTL configured, a
+// spill left behind by cost eviction or a restart must not resurrect a
+// sketch older than the TTL promises.
+func (s *Store) LoadSketch(graphID, key string, g *graph.Graph, maxAge time.Duration) any {
 	path := s.sketchPath(graphID, key)
+	if maxAge > 0 {
+		if info, err := os.Stat(path); err == nil && time.Since(info.ModTime()) > maxAge {
+			os.Remove(path)
+			s.expired.Add(1)
+			return nil
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil
@@ -231,6 +249,13 @@ func (s *Store) LoadSketch(graphID, key string, g *graph.Graph) any {
 	}
 	s.diskHits.Add(1)
 	return sketch
+}
+
+// DeleteSketch removes one spilled sketch. The cache's TTL expiry uses
+// it: an expired in-memory entry must invalidate the disk copy too, or
+// the "rebuild" would just reload the same stale spill.
+func (s *Store) DeleteSketch(graphID, key string) {
+	os.Remove(s.sketchPath(graphID, key))
 }
 
 // HasSketch reports whether a spill exists for the key without decoding

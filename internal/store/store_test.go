@@ -365,7 +365,7 @@ func TestStoreCorruptArtifactsAreSkipped(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.LoadSketch(id, "key1", g); got != nil {
+	if got := s.LoadSketch(id, "key1", g, 0); got != nil {
 		t.Fatal("corrupt sketch decoded")
 	}
 	if s.Stats().LoadErrors != 2 {
@@ -383,14 +383,14 @@ func TestStoreSketchTier(t *testing.T) {
 	}
 	g := testGraph(t)
 	id := GraphID(g)
-	if s.LoadSketch(id, "key1", g) != nil {
+	if s.LoadSketch(id, "key1", g, 0) != nil {
 		t.Fatal("hit on empty store")
 	}
 	sk := prima.BuildSketch(g, []int{5, 3}, prima.Options{}, stats.NewRNG(1))
 	if err := s.SaveSketch(id, "key1", sk); err != nil {
 		t.Fatal(err)
 	}
-	got := s.LoadSketch(id, "key1", g)
+	got := s.LoadSketch(id, "key1", g, 0)
 	if got == nil {
 		t.Fatal("miss after spill")
 	}

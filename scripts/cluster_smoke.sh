@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boots a router in front of two welmaxd backends,
+# registers a graph through the router, allocates through it, kills the
+# owning backend, and verifies the router re-routes the graph to the
+# survivor so the same allocate succeeds again. CI runs this against the
+# real binary; the in-process equivalents live in
+# internal/cluster/{router,e2e}_test.go.
+set -euo pipefail
+
+ROUTER="127.0.0.1:18090"
+B0="127.0.0.1:18091"
+B1="127.0.0.1:18092"
+BASE="http://$ROUTER"
+BIN="$(mktemp -d)/welmaxd"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() { # $1 = base url
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon at $1 did not become healthy"
+}
+
+wait_job() { # $1 = job id; prints the terminal job JSON
+  local view state
+  for _ in $(seq 1 600); do
+    view="$(curl -fsS "$BASE/v1/jobs/$1")"
+    state="$(jq -r .state <<<"$view")"
+    case "$state" in
+      done) echo "$view"; return 0 ;;
+      failed|canceled) fail "job $1 ended $state: $(jq -r .error <<<"$view")" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $1 did not finish"
+}
+
+go build -o "$BIN" ./cmd/welmaxd
+
+"$BIN" -addr "$B0" -node b0 & PIDS+=($!); B0_PID=$!
+"$BIN" -addr "$B1" -node b1 & PIDS+=($!); B1_PID=$!
+wait_healthy "http://$B0"
+wait_healthy "http://$B1"
+
+"$BIN" -addr "$ROUTER" -route "b0=http://$B0,b1=http://$B1" -probe-interval 300ms & PIDS+=($!)
+wait_healthy "$BASE"
+
+# Wait for the first probe round to mark both backends up.
+for _ in $(seq 1 100); do
+  ALIVE="$(curl -fsS "$BASE/healthz" | jq -r .alive)"
+  [ "$ALIVE" = 2 ] && break
+  sleep 0.1
+done
+[ "$ALIVE" = 2 ] || fail "router sees $ALIVE/2 backends alive"
+
+# --- register + allocate through the router -----------------------------
+GRAPH_ID="$(curl -fsS -X POST "$BASE/v1/graphs" \
+  -d '{"network":"flixster","scale":0.02}' | jq -r .id)"
+[ -n "$GRAPH_ID" ] && [ "$GRAPH_ID" != null ] || fail "graph registration through router"
+
+# The graph must be resident on exactly one backend: its HRW owner.
+OWNER=""
+for node in b0 b1; do
+  url="http://$B0"; [ "$node" = b1 ] && url="http://$B1"
+  if curl -fsS "$url/v1/graphs/$GRAPH_ID" >/dev/null 2>&1; then
+    [ -z "$OWNER" ] || fail "graph resident on both backends"
+    OWNER="$node"
+  fi
+done
+[ -n "$OWNER" ] || fail "graph resident on no backend"
+echo "registered $GRAPH_ID on $OWNER"
+
+JOB="$(curl -fsS -X POST "$BASE/v1/allocate" \
+  -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r .job_id)"
+case "$JOB" in "$OWNER"-j*) ;; *) fail "job id $JOB does not carry owner prefix $OWNER" ;; esac
+wait_job "$JOB" >/dev/null
+echo "allocate through router done ($JOB)"
+
+# --- kill the owner: the router must re-route ---------------------------
+OWNER_PID=$B0_PID; SURVIVOR_URL="http://$B1"; SURVIVOR=b1
+if [ "$OWNER" = b1 ]; then OWNER_PID=$B1_PID; SURVIVOR_URL="http://$B0"; SURVIVOR=b0; fi
+kill "$OWNER_PID"; wait "$OWNER_PID" 2>/dev/null || true
+echo "killed owner $OWNER"
+
+# Wait for the probe to notice and the rebalance to re-ship the graph.
+for _ in $(seq 1 100); do
+  if curl -fsS "$SURVIVOR_URL/v1/graphs/$GRAPH_ID" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$SURVIVOR_URL/v1/graphs/$GRAPH_ID" >/dev/null || fail "graph was not re-routed to $SURVIVOR"
+
+# Submission may race the tail of the rebalance (502 retryable); retry
+# briefly, which is exactly what the error body tells clients to do.
+JOB2=""
+for _ in $(seq 1 50); do
+  JOB2="$(curl -sS -X POST "$BASE/v1/allocate" \
+    -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r '.job_id // empty')"
+  [ -n "$JOB2" ] && break
+  sleep 0.1
+done
+case "$JOB2" in "$SURVIVOR"-j*) ;; *) fail "post-kill job ${JOB2:-<none>} not on survivor $SURVIVOR" ;; esac
+wait_job "$JOB2" >/dev/null
+
+STATS="$(curl -fsS "$BASE/v1/stats")"
+REBALANCES="$(jq -r .cluster.rebalances <<<"$STATS")"
+[ "$REBALANCES" -ge 1 ] || fail "router reports $REBALANCES rebalances, want >= 1"
+
+echo "cluster_smoke: OK (graph $GRAPH_ID, owner $OWNER -> $SURVIVOR, rebalances $REBALANCES)"

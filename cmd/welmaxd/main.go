@@ -33,6 +33,15 @@
 //	welmaxd -addr :8082 -node b1 -data-dir /var/lib/welmaxd-b1 &
 //	welmaxd -addr :8080 -route 'b0=http://127.0.0.1:8081,b1=http://127.0.0.1:8082' &
 //	curl -s -X POST localhost:8080/v1/graphs -d '{"network":"flixster"}'  # same API
+//
+// Backends accept raw graph and sketch imports — cluster-internal
+// endpoints whose contents become authoritative for allocation results —
+// so either keep backends on a private network or start every process
+// with the same -cluster-token (or WELMAXD_CLUSTER_TOKEN): backends then
+// reject import/sketch requests without the token, and the router
+// attaches it to its own traffic (placement, rebalancing, sketch ships)
+// while relaying — never substituting — the token on proxied client
+// requests.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -65,14 +75,24 @@ func main() {
 		diskMB     = flag.Int("disk-mb", 0, "spilled-sketch disk budget in MB (0 = unbounded; needs -data-dir)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "in-memory sketch lifetime (0 = forever); expired sketches rebuild on next use")
 		nodeID     = flag.String("node", "", "cluster node id: job ids become <node>-j<seq> and /v1/healthz reports it (required behind a router)")
-		route      = flag.String("route", "", "run as a cluster router over these backends: 'b0=http://host:port,b1=...' (ignores backend-only flags)")
+		route      = flag.String("route", "", "run as a cluster router over these backends: 'b0=http://host:port,b1=...' (ignores backend-only flags except -data-dir and -cluster-token)")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "router health-probe cadence (with -route)")
 		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "router per-backend request deadline, SSE excepted (with -route)")
+		token      = flag.String("cluster-token", "", "shared cluster secret: backends require it on import/sketch endpoints, the router attaches it (or set WELMAXD_CLUSTER_TOKEN)")
 	)
 	flag.Parse()
 
+	clusterToken := *token
+	if clusterToken == "" {
+		clusterToken = os.Getenv("WELMAXD_CLUSTER_TOKEN")
+	}
+
 	if *route != "" {
-		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths)
+		spillDir := ""
+		if *dataDir != "" {
+			spillDir = filepath.Join(*dataDir, "catalog")
+		}
+		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken)
 		return
 	}
 
@@ -87,6 +107,7 @@ func main() {
 		DiskMB:         *diskMB,
 		CacheTTL:       *cacheTTL,
 		NodeID:         *nodeID,
+		ClusterToken:   clusterToken,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -143,7 +164,7 @@ func main() {
 }
 
 // runRouter serves the cluster routing tier (-route).
-func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool) {
+func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string) {
 	backends, err := cluster.ParseBackends(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -154,6 +175,8 @@ func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowP
 		ProbeInterval:  probeEvery,
 		ProxyTimeout:   proxyTimeout,
 		AllowPathLoads: allowPaths,
+		SpillDir:       spillDir,
+		ClusterToken:   clusterToken,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)

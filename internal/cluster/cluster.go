@@ -14,8 +14,9 @@
 //
 // The router probes each backend's GET /v1/healthz, marks backends
 // down/up, and on a membership change re-routes graphs: the graph's
-// .wmg bytes (kept from registration, or fetched from the owner on
-// adoption) are re-registered on the new HRW owner, and — when the old
+// .wmg bytes (spilled to the router's catalog directory at registration
+// or adoption, re-fetched from a live holder if the spill is lost) are
+// re-registered on the new HRW owner, and — when the old
 // owner is still alive — its warm sketches are exported and imported
 // into the new owner through the .wms stream container, so rebalancing
 // does not discard sketch work. Content-addressed graph ids and

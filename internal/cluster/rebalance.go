@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 
 	"uicwelfare/internal/service"
 )
@@ -56,6 +57,19 @@ func (r *Router) adopt(ctx context.Context) {
 				continue
 			}
 			if known {
+				// A cataloged graph whose spill went missing (a failed
+				// write at registration, external removal) is re-fetched
+				// while a live backend still exports it, so the re-ship
+				// guarantee holds if that backend later dies.
+				if _, err := os.Stat(r.spillPath(gi.ID)); err != nil {
+					status, wmg, err := r.call(ctx, http.MethodGet, res.backend, "/v1/graphs/"+gi.ID+"/export", nil)
+					if err != nil || status != http.StatusOK {
+						log.Printf("cluster: re-spill %s from %s: status %d err %v", gi.ID, res.backend, status, err)
+						r.dirty.Store(true)
+					} else {
+						r.saveWMG(gi.ID, wmg)
+					}
+				}
 				continue
 			}
 			status, wmg, err := r.call(ctx, http.MethodGet, res.backend, "/v1/graphs/"+gi.ID+"/export", nil)
@@ -64,10 +78,25 @@ func (r *Router) adopt(ctx context.Context) {
 				continue
 			}
 			r.mu.Lock()
-			if r.catalog[gi.ID] == nil && !r.tombs[gi.ID] {
-				r.catalog[gi.ID] = &graphRecord{id: gi.ID, name: gi.Name, wmg: wmg, owner: res.backend}
+			adopted := r.catalog[gi.ID] == nil && !r.tombs[gi.ID]
+			if adopted {
+				r.catalog[gi.ID] = &graphRecord{id: gi.ID, name: gi.Name, owner: res.backend}
 			}
 			r.mu.Unlock()
+			if !adopted {
+				continue // a DELETE (or another pass) won the race; no spill
+			}
+			r.saveWMG(gi.ID, wmg)
+			// Mirror the delete-race guard elsewhere: a DELETE that landed
+			// between the insert and the spill write removed the file
+			// before it existed — sweep it so no orphan .wmg outlives the
+			// deletion.
+			r.mu.Lock()
+			gone := r.tombs[gi.ID]
+			r.mu.Unlock()
+			if gone {
+				r.removeWMG(gi.ID)
+			}
 		}
 	}
 }
@@ -100,7 +129,7 @@ func (r *Router) rebalance(ctx context.Context) {
 	converged := true
 	for _, rec := range records {
 		r.mu.Lock()
-		id, name, wmg, owner := rec.id, rec.name, rec.wmg, rec.owner
+		id, owner := rec.id, rec.owner
 		deleted := r.catalog[id] != rec
 		r.mu.Unlock()
 		if deleted {
@@ -110,7 +139,7 @@ func (r *Router) rebalance(ctx context.Context) {
 		if !ok || want == owner {
 			continue
 		}
-		if err := r.moveGraph(ctx, id, name, wmg, owner, want); err != nil {
+		if err := r.moveGraph(ctx, id, owner, want); err != nil {
 			log.Printf("cluster: move %s %s -> %s: %v", id, owner, want, err)
 			converged = false // retried next probe round via the dirty flag
 			continue
@@ -127,6 +156,7 @@ func (r *Router) rebalance(ctx context.Context) {
 			if status, _, err := r.call(ctx, http.MethodDelete, want, "/v1/graphs/"+id, nil); err != nil || status != http.StatusOK {
 				log.Printf("cluster: undo move of deleted %s on %s: status %d err %v", id, want, status, err)
 			}
+			r.removeWMG(id) // moveGraph may have re-spilled mid-delete
 			continue
 		}
 		r.rebalances.Add(1)
@@ -137,15 +167,39 @@ func (r *Router) rebalance(ctx context.Context) {
 }
 
 // moveGraph ships one graph to its new owner: register the graph bytes
-// there (raw .wmg import), stream the old owner's warm sketches across
-// (when it is alive to export them), and delete the old copy.
-func (r *Router) moveGraph(ctx context.Context, id, name string, wmg []byte, oldOwner, newOwner string) error {
+// there (raw .wmg import, read back from the catalog spill or re-fetched
+// from a live holder), stream the old owner's warm sketches across (when
+// it is alive to export them), and delete the old copy.
+func (r *Router) moveGraph(ctx context.Context, id, oldOwner, newOwner string) error {
 	oldAlive := oldOwner != "" && r.members.IsAlive(oldOwner)
+
+	wmg, err := r.loadWMG(id)
+	fromSpill := err == nil
+	if err != nil {
+		if wmg, err = r.fetchWMG(ctx, id, oldOwner); err != nil {
+			return err
+		}
+		r.saveWMG(id, wmg)
+	}
 
 	// The graph must exist on the new owner before sketches can import.
 	status, raw, err := r.call(ctx, http.MethodPost, newOwner, "/v1/graphs/import", bytes.NewReader(wmg))
 	if err != nil {
 		return err
+	}
+	if fromSpill && status == http.StatusBadRequest {
+		// A readable spill the backend rejects is corrupt or stale (bit
+		// rot, a foreign file in a user-supplied catalog dir). Drop it and
+		// retry once from a live holder — otherwise the dirty-flag loop
+		// would reload the same bad file every probe round forever.
+		r.removeWMG(id)
+		if wmg, err = r.fetchWMG(ctx, id, oldOwner); err != nil {
+			return fmt.Errorf("spill for %s rejected by %s (status %d: %s); %w", id, newOwner, status, raw, err)
+		}
+		r.saveWMG(id, wmg)
+		if status, raw, err = r.call(ctx, http.MethodPost, newOwner, "/v1/graphs/import", bytes.NewReader(wmg)); err != nil {
+			return err
+		}
 	}
 	if status != http.StatusCreated && status != http.StatusOK {
 		return fmt.Errorf("register on %s: status %d: %s", newOwner, status, raw)
@@ -169,6 +223,29 @@ func (r *Router) moveGraph(ctx context.Context, id, name string, wmg []byte, old
 	return nil
 }
 
+// fetchWMG recovers a graph's encoded bytes when the catalog spill is
+// missing or unreadable: the graph's current holder is asked for its
+// export first, then every other live backend (mid-rebalance a graph can
+// be resident on a backend that is not its cataloged owner).
+func (r *Router) fetchWMG(ctx context.Context, id, preferred string) ([]byte, error) {
+	var order []string
+	if preferred != "" && r.members.IsAlive(preferred) {
+		order = append(order, preferred)
+	}
+	for _, b := range r.members.Alive() {
+		if b != preferred {
+			order = append(order, b)
+		}
+	}
+	for _, b := range order {
+		status, raw, err := r.call(ctx, http.MethodGet, b, "/v1/graphs/"+id+"/export", nil)
+		if err == nil && status == http.StatusOK {
+			return raw, nil
+		}
+	}
+	return nil, fmt.Errorf("graph %s: no spilled copy and no live backend exports it", id)
+}
+
 // streamSketches pipes the old owner's sketch export straight into the
 // new owner's import — the response body becomes the request body, so
 // the router never buffers the warm set (which can approach the 1GB
@@ -185,6 +262,9 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	if err != nil {
 		return 0, err
 	}
+	if r.token != "" {
+		get.Header.Set(service.ClusterTokenHeader, r.token)
+	}
 	exp, err := r.client.Do(get)
 	if err != nil {
 		return 0, err
@@ -197,6 +277,9 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 		io.LimitReader(exp.Body, maxShipBytes))
 	if err != nil {
 		return 0, err
+	}
+	if r.token != "" {
+		post.Header.Set(service.ClusterTokenHeader, r.token)
 	}
 	imp, err := r.client.Do(post)
 	if err != nil {

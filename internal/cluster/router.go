@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +32,18 @@ type Options struct {
 	// AllowPathLoads permits POST /v1/graphs bodies naming router-side
 	// files, mirroring the backend flag.
 	AllowPathLoads bool
+	// SpillDir is where the router spills each cataloged graph's encoded
+	// .wmg bytes so it can re-ship a graph whose owner died without
+	// holding the whole cluster corpus in router memory. Empty uses a
+	// temporary directory removed on Close.
+	SpillDir string
+	// ClusterToken, when set, is attached (as service.ClusterTokenHeader)
+	// to the router's own backend requests — placement imports,
+	// rebalancing, sketch ships — so backends started with -cluster-token
+	// accept them. Proxied client requests are NOT stamped with it:
+	// clients hitting token-gated endpoints through the router must
+	// present the token themselves.
+	ClusterToken string
 	// Client is the HTTP client for probes and proxying (default: a
 	// plain &http.Client{}; timeouts come from request contexts).
 	Client *http.Client
@@ -46,6 +61,9 @@ type Router struct {
 	interval   time.Duration
 	timeout    time.Duration
 	allowPaths bool
+	token      string
+	spillDir   string
+	ownSpill   bool // spillDir is router-created and removed on Close
 	start      time.Time
 
 	mu      sync.Mutex
@@ -71,13 +89,15 @@ type Router struct {
 	wg   sync.WaitGroup
 }
 
-// graphRecord is the router's view of one registered graph: the encoded
-// .wmg bytes it can re-ship when ownership changes, and the backend
-// currently holding it.
+// graphRecord is the router's view of one registered graph: its name
+// label and the backend currently holding it. The encoded .wmg bytes the
+// router re-ships when ownership changes live on disk under spillDir
+// (see saveWMG) — keeping them in the record would grow router RSS with
+// the entire cluster corpus, making the routing tier the memory
+// bottleneck sharding exists to remove.
 type graphRecord struct {
 	id    string
 	name  string
-	wmg   []byte
 	owner string
 }
 
@@ -97,6 +117,16 @@ func New(opts Options) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	spillDir, ownSpill := opts.SpillDir, false
+	if spillDir == "" {
+		d, err := os.MkdirTemp("", "welmaxrouter-catalog-")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: catalog spill dir: %w", err)
+		}
+		spillDir, ownSpill = d, true
+	} else if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: catalog spill dir: %w", err)
+	}
 	probeTimeout := min(opts.ProbeInterval, 2*time.Second)
 	return &Router{
 		members:    NewMembership(opts.Backends, client, probeTimeout),
@@ -104,6 +134,9 @@ func New(opts Options) (*Router, error) {
 		interval:   opts.ProbeInterval,
 		timeout:    opts.ProxyTimeout,
 		allowPaths: opts.AllowPathLoads,
+		token:      opts.ClusterToken,
+		spillDir:   spillDir,
+		ownSpill:   ownSpill,
 		start:      time.Now(),
 		catalog:    map[string]*graphRecord{},
 		tombs:      map[string]bool{},
@@ -133,10 +166,57 @@ func (r *Router) Start() {
 	}()
 }
 
-// Close stops the probe loop.
+// Close stops the probe loop and, when the catalog spill directory was
+// router-created, removes it.
 func (r *Router) Close() {
 	close(r.stop)
 	r.wg.Wait()
+	if r.ownSpill {
+		os.RemoveAll(r.spillDir)
+	}
+}
+
+// --- catalog spill ------------------------------------------------------
+
+func (r *Router) spillPath(id string) string {
+	return filepath.Join(r.spillDir, id+store.GraphExt)
+}
+
+// saveWMG spills a graph's encoded bytes under the catalog directory,
+// reporting success. On failure the move path falls back to re-fetching
+// the export from a live holder (fetchWMG), and adopt re-tries the spill
+// while one still exports the graph.
+func (r *Router) saveWMG(id string, wmg []byte) bool {
+	tmp, err := os.CreateTemp(r.spillDir, id+".*.tmp")
+	if err != nil {
+		log.Printf("cluster: spill %s: %v", id, err)
+		return false
+	}
+	if _, err := tmp.Write(wmg); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		log.Printf("cluster: spill %s: %v", id, err)
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		log.Printf("cluster: spill %s: %v", id, err)
+		return false
+	}
+	if err := os.Rename(tmp.Name(), r.spillPath(id)); err != nil {
+		os.Remove(tmp.Name())
+		log.Printf("cluster: spill %s: %v", id, err)
+		return false
+	}
+	return true
+}
+
+func (r *Router) loadWMG(id string) ([]byte, error) {
+	return os.ReadFile(r.spillPath(id))
+}
+
+func (r *Router) removeWMG(id string) {
+	os.Remove(r.spillPath(id))
 }
 
 // Sync runs one full round synchronously — probe every backend, adopt
@@ -207,15 +287,21 @@ const maxShipBytes = 1 << 30
 // otherwise the HRW owner among live backends — covering graphs that
 // exist only on a backend's boot re-index until adoption picks them up.
 func (r *Router) ownerOf(graphID string) (string, error) {
+	// rec.owner is copied while r.mu is held: rebalance() rewrites the
+	// field under the same lock, and an unlocked read here would race it.
 	r.mu.Lock()
 	rec := r.catalog[graphID]
 	dead := r.tombs[graphID]
+	var owner string
+	if rec != nil {
+		owner = rec.owner
+	}
 	r.mu.Unlock()
 	if rec != nil {
-		if !r.members.IsAlive(rec.owner) {
-			return "", fmt.Errorf("backend %q owning graph %s is down; rebalance pending, retry shortly", rec.owner, graphID)
+		if !r.members.IsAlive(owner) {
+			return "", fmt.Errorf("backend %q owning graph %s is down; rebalance pending, retry shortly", owner, graphID)
 		}
-		return rec.owner, nil
+		return owner, nil
 	}
 	// Not cataloged: either unknown everywhere (the HRW owner will 404,
 	// which is the right answer) or registered directly on some backend
@@ -260,6 +346,7 @@ func (r *Router) handleDeleteGraph(w http.ResponseWriter, req *http.Request) {
 		}
 		r.tombs[id] = true
 		r.mu.Unlock()
+		r.removeWMG(id)
 	}
 }
 
@@ -314,8 +401,8 @@ func (r *Router) handleBodyRouted(w http.ResponseWriter, req *http.Request) {
 // handleCreateGraph implements POST /v1/graphs: materialize the graph on
 // the router (the only way to learn its content id before placing it),
 // pick the HRW owner, and re-register it there as inline .wmg bytes. The
-// router keeps the bytes so it can re-ship the graph if the owner later
-// leaves.
+// bytes are spilled to the catalog directory so the router can re-ship
+// the graph if the owner later leaves.
 func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 	var greq service.GraphRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
@@ -342,13 +429,18 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 	}
 
 	// A graph already routed keeps its owner (content addressing makes
-	// this a dedupe); a new one goes to its HRW owner.
+	// this a dedupe); a new one goes to its HRW owner. The owner field is
+	// copied under r.mu — rebalance() rewrites it under the same lock.
 	r.mu.Lock()
 	rec := r.catalog[id]
+	var curOwner string
+	if rec != nil {
+		curOwner = rec.owner
+	}
 	r.mu.Unlock()
 	owner := ""
-	if rec != nil && r.members.IsAlive(rec.owner) {
-		owner = rec.owner
+	if rec != nil && r.members.IsAlive(curOwner) {
+		owner = curOwner
 	} else if o, ok := Owner(r.members.Alive(), id); ok {
 		owner = o
 	} else {
@@ -365,13 +457,18 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if status == http.StatusCreated || status == http.StatusOK {
+		if !r.saveWMG(id, wmg.Bytes()) {
+			// The graph is registered but not re-shippable from the router
+			// alone; flag the catalog so the next probe round re-tries the
+			// spill (adopt) while the owner still exports it.
+			r.dirty.Store(true)
+		}
 		r.mu.Lock()
 		delete(r.tombs, id) // a re-registration revives a deleted id
 		if rec = r.catalog[id]; rec == nil {
-			r.catalog[id] = &graphRecord{id: id, name: name, wmg: wmg.Bytes(), owner: owner}
+			r.catalog[id] = &graphRecord{id: id, name: name, owner: owner}
 		} else {
 			rec.owner = owner
-			rec.wmg = wmg.Bytes()
 		}
 		r.mu.Unlock()
 	}
@@ -581,9 +678,14 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, backend string,
 		writeError(w, http.StatusInternalServerError, err)
 		return 0
 	}
-	if ct := req.Header.Get("Content-Type"); ct != "" {
-		out.Header.Set("Content-Type", ct)
-	}
+	// The client's own cluster-token header (if any) passes through with
+	// the rest; the router's credential is deliberately NOT attached here.
+	// Stamping it onto client-originated requests would let any caller who
+	// can reach the router import sketches into a token-gated backend — a
+	// confused deputy. The router authenticates only its own traffic
+	// (call, streamSketches); clients hitting gated endpoints through the
+	// proxy must present the token themselves.
+	copyEndToEndHeaders(out.Header, req.Header)
 	resp, err := r.client.Do(out)
 	if err != nil {
 		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", backend, err))
@@ -598,6 +700,34 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, backend string,
 	w.WriteHeader(resp.StatusCode)
 	copyFlush(w, resp.Body)
 	return resp.StatusCode
+}
+
+// hopHeaders are the hop-by-hop (or transport-owned) request headers a
+// proxy must not forward verbatim; everything else — Accept,
+// Last-Event-ID (an SSE client resuming through the router), conditional
+// headers — passes through end to end.
+var hopHeaders = map[string]bool{
+	"Connection":          true,
+	"Content-Length":      true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Proxy-Connection":    true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// copyEndToEndHeaders copies the end-to-end request headers from src
+// onto an outbound backend request.
+func copyEndToEndHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if hopHeaders[k] {
+			continue
+		}
+		dst[k] = append([]string(nil), vv...)
+	}
 }
 
 // copyFlush copies src to dst, flushing after every read so proxied SSE
@@ -633,6 +763,9 @@ func (r *Router) call(ctx context.Context, method, backend, path string, body io
 	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return 0, nil, err
+	}
+	if r.token != "" {
+		req.Header.Set(service.ClusterTokenHeader, r.token)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

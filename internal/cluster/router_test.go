@@ -1,10 +1,15 @@
 package cluster_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -308,5 +313,238 @@ func TestStreamSurvivesMembershipChange(t *testing.T) {
 	}
 	if owner == nil {
 		t.Fatal("no owner found")
+	}
+}
+
+// TestClusterTokenEndToEnd runs a 2-backend cluster where every process
+// shares a cluster token: the router's imports and sketch ships must
+// carry it (registration and kill-reroute work end to end), while a
+// tokenless client talking to a backend directly is refused.
+func TestClusterTokenEndToEnd(t *testing.T) {
+	const token = "sesame"
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{ClusterToken: token}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{ClusterToken: token}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{
+		ProbeInterval: time.Hour,
+		ProxyTimeout:  5 * time.Second,
+		ClusterToken:  token,
+	})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(6) // router → backend /v1/graphs/import carries the token
+	var owner, survivor *backend
+	for _, b := range backends {
+		if _, ok := b.svc.Registry().Get(info.ID); ok {
+			owner = b
+		} else {
+			survivor = b
+		}
+	}
+	if owner == nil || survivor == nil {
+		t.Fatal("placement did not yield one owner and one survivor")
+	}
+
+	// A tokenless caller hitting the backend directly is refused — and so
+	// is one going through the router, which must not lend its own
+	// credential to client-originated requests.
+	direct := &client{t: t, base: owner.url()}
+	if status, _ := direct.do("POST", "/v1/graphs/"+info.ID+"/sketches", []byte("x")); status != http.StatusForbidden {
+		t.Errorf("tokenless direct sketch import: status %d, want 403", status)
+	}
+	if status, _ := c.do("POST", "/v1/graphs/"+info.ID+"/sketches", []byte("x")); status != http.StatusForbidden {
+		t.Errorf("tokenless sketch import through router: status %d, want 403", status)
+	}
+
+	// Kill the owner: the re-ship (import on the survivor) needs the
+	// token too, and the rerouted allocate must succeed.
+	owner.kill()
+	rt.Sync(syncCtx())
+	view := c.waitJob(c.submit("/v1/allocate", service.AllocateRequest{GraphID: info.ID, Budgets: []int{2, 2}}))
+	if view.State != service.JobDone {
+		t.Fatalf("rerouted allocate failed: %s", view.Error)
+	}
+	if _, ok := survivor.svc.Registry().Get(info.ID); !ok {
+		t.Error("graph not resident on the survivor")
+	}
+}
+
+// TestProxyForwardsRequestHeaders checks that end-to-end request headers
+// (Last-Event-ID — an SSE client resuming through the router — and
+// Accept) reach the backend, while hop-by-hop headers do not.
+func TestProxyForwardsRequestHeaders(t *testing.T) {
+	var got http.Header
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(service.HealthzResponse{Status: "ok", Node: "b0"})
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Clone()
+		_, _ = fmt.Fprint(w, `{"algorithms":[]}`)
+	})
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprint(w, `{"graphs":[]}`)
+	})
+	stub := httptest.NewServer(mux)
+	t.Cleanup(stub.Close)
+
+	rt, err := cluster.New(cluster.Options{
+		Backends:      []cluster.Backend{{Name: "b0", URL: stub.URL}},
+		ProbeInterval: time.Hour,
+		ClusterToken:  "sesame",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	rt.Sync(syncCtx())
+
+	req, err := http.NewRequest("GET", front.URL+"/v1/algorithms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "41")
+	req.Header.Set("Accept", "text/event-stream")
+	// The client's own token header is relayed verbatim — the router must
+	// never stamp ITS credential onto a client-originated request (that
+	// would let anonymous callers reach token-gated backend endpoints
+	// through the proxy, a confused deputy).
+	req.Header.Set(service.ClusterTokenHeader, "client-supplied")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied request: status %d", resp.StatusCode)
+	}
+	if v := got.Get("Last-Event-ID"); v != "41" {
+		t.Errorf("Last-Event-ID = %q, want 41", v)
+	}
+	if v := got.Get("Accept"); v != "text/event-stream" {
+		t.Errorf("Accept = %q", v)
+	}
+	if v := got.Get(service.ClusterTokenHeader); v != "client-supplied" {
+		t.Errorf("cluster token reaching backend = %q, want the client's own relayed", v)
+	}
+	if v := got.Get("Connection"); v != "" {
+		t.Errorf("hop-by-hop Connection header forwarded: %q", v)
+	}
+}
+
+// TestConcurrentProxyDuringRebalance hammers graph-scoped routes while
+// sync passes rewrite ownership — the -race regression for the unlocked
+// rec.owner reads the proxy path used to do.
+func TestConcurrentProxyDuringRebalance(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 5 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	infos := []service.GraphInfo{c.registerLine(4), c.registerLine(5), c.registerLine(6)}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := infos[i%len(infos)].ID
+				c.do("GET", "/v1/graphs/"+id, nil)
+				c.do("POST", "/v1/graphs", service.GraphRequest{
+					Name: "line4", Edges: lineEdges(4), KeepProbs: true,
+				})
+			}
+		}(i)
+	}
+	// Kill and revive a backend so every Sync rewrites ownership while
+	// the proxy goroutines read it.
+	for round := 0; round < 3; round++ {
+		backends[0].kill()
+		rt.Sync(syncCtx())
+		backends[0] = backends[0].restart(t)
+		rt.Sync(syncCtx())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCorruptSpillRecoversFromLiveHolder corrupts the router's spilled
+// .wmg between two moves: the next move must detect the backend's 400 on
+// the corrupt bytes, drop the spill, re-fetch the export from the live
+// holder, and complete — not retry the same bad file forever.
+func TestCorruptSpillRecoversFromLiveHolder(t *testing.T) {
+	spill := t.TempDir()
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b2", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{
+		ProbeInterval: time.Hour,
+		ProxyTimeout:  5 * time.Second,
+		SpillDir:      spill,
+	})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(6)
+	holder := func() *backend {
+		for _, b := range backends {
+			if b.closed {
+				continue
+			}
+			if _, ok := b.svc.Registry().Get(info.ID); ok {
+				return b
+			}
+		}
+		return nil
+	}
+	first := holder()
+	if first == nil {
+		t.Fatal("graph resident nowhere")
+	}
+
+	// Kill the owner: the graph moves via the (intact) spill.
+	first.kill()
+	rt.Sync(syncCtx())
+	second := holder()
+	if second == nil {
+		t.Fatal("graph not re-routed after owner kill")
+	}
+
+	// Corrupt the spill, then revive the original owner: HRW moves the
+	// graph back, which must survive the corrupt spill by re-fetching
+	// from the live holder.
+	path := filepath.Join(spill, info.ID+".wmg")
+	if err := os.WriteFile(path, []byte("garbage, not a wmg frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	revived := first.restart(t)
+	backends[slices.Index(backends, first)] = revived
+	rt.Sync(syncCtx())
+
+	if _, ok := revived.svc.Registry().Get(info.ID); !ok {
+		t.Fatal("graph did not move back to the revived HRW owner")
+	}
+	view := c.waitJob(c.submit("/v1/allocate", service.AllocateRequest{GraphID: info.ID, Budgets: []int{2, 2}}))
+	if view.State != service.JobDone {
+		t.Fatalf("allocate after corrupt-spill recovery failed: %s", view.Error)
+	}
+	if raw, err := os.ReadFile(path); err != nil || bytes.HasPrefix(raw, []byte("garbage")) {
+		t.Errorf("spill not repaired after recovery (err %v)", err)
 	}
 }

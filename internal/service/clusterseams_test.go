@@ -2,7 +2,9 @@ package service_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"io"
 	"net/http"
 	"testing"
 
@@ -176,4 +178,97 @@ func TestGraphExportRoundTrip(t *testing.T) {
 	if got.ID != info.ID || got.Name != "tri" {
 		t.Errorf("wmg registration = %+v, want id %s", got, info.ID)
 	}
+}
+
+// TestImportGraphForgedLengthRejected sends /v1/graphs/import a 30-byte
+// body whose frame header declares a multi-GiB payload — the remote-OOM
+// shape. The daemon must answer 400 (truncated) instead of committing
+// the declared allocation.
+func TestImportGraphForgedLengthRejected(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	var frame bytes.Buffer
+	frame.WriteString(store.GraphMagic)
+	var word [8]byte
+	binary.LittleEndian.PutUint32(word[:4], store.Version)
+	frame.Write(word[:4])
+	binary.LittleEndian.PutUint64(word[:], uint64(3<<30))
+	frame.Write(word[:])
+	frame.WriteString("short body")
+	status, raw := e.do("POST", "/v1/graphs/import", frame.Bytes())
+	if status != http.StatusBadRequest {
+		t.Errorf("forged import: status %d: %s", status, raw)
+	}
+}
+
+// TestClusterTokenGatesInternalEndpoints starts a backend with a cluster
+// token: the cluster-internal endpoints (raw graph import, sketch
+// export/import) must refuse requests without the shared secret — -node
+// is a deployment hint, not authentication — while requests carrying it
+// pass, and the public API stays open.
+func TestClusterTokenGatesInternalEndpoints(t *testing.T) {
+	const token = "sesame"
+	e := newEnv(t, service.Options{NodeID: "b0", ClusterToken: token})
+	info := registerInline(t, e) // public registration needs no token
+
+	var warm warmJobView
+	e.waitJob(t, e.submit(t, "/v1/graphs/"+info.ID+"/warm", service.WarmRequest{Budgets: []int{2, 2}}), &warm)
+	if warm.State != service.JobDone {
+		t.Fatalf("warm failed: %s", warm.Error)
+	}
+
+	withToken := func(method, path string, body []byte, tok string) (int, []byte) {
+		t.Helper()
+		return withTokenOn(t, e, method, path, body, tok)
+	}
+
+	// Tokenless (and wrong-token) access to the internal endpoints: 403.
+	for _, tok := range []string{"", "wrong"} {
+		if status, _ := withToken("GET", "/v1/graphs/"+info.ID+"/sketches", nil, tok); status != http.StatusForbidden {
+			t.Errorf("sketch export with token %q: status %d, want 403", tok, status)
+		}
+		if status, _ := withToken("POST", "/v1/graphs/"+info.ID+"/sketches", []byte("x"), tok); status != http.StatusForbidden {
+			t.Errorf("sketch import with token %q: status %d, want 403", tok, status)
+		}
+		if status, _ := withToken("POST", "/v1/graphs/import", []byte("x"), tok); status != http.StatusForbidden {
+			t.Errorf("graph import with token %q: status %d, want 403", tok, status)
+		}
+	}
+
+	// With the token the same routes work end to end.
+	status, stream := withToken("GET", "/v1/graphs/"+info.ID+"/sketches", nil, token)
+	if status != http.StatusOK || len(stream) == 0 {
+		t.Fatalf("export with token: status %d, %d bytes", status, len(stream))
+	}
+	e2 := newEnv(t, service.Options{NodeID: "b1", ClusterToken: token})
+	registerInline(t, e2)
+	if status, raw := withTokenOn(t, e2, "POST", "/v1/graphs/"+info.ID+"/sketches", stream, token); status != http.StatusOK {
+		t.Fatalf("import with token: status %d: %s", status, raw)
+	}
+}
+
+// withTokenOn issues one request against env e, attaching the cluster
+// token when tok is non-empty.
+func withTokenOn(t *testing.T, e *env, method, path string, body []byte, tok string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, e.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != "" {
+		req.Header.Set(service.ClusterTokenHeader, tok)
+	}
+	resp, err := e.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -59,6 +60,27 @@ const maxBodyBytes = 64 << 20
 // into one giant buffer.
 const maxImportBytes = 1 << 30
 
+// ClusterTokenHeader carries the shared cluster secret (-cluster-token)
+// on router-to-backend requests; backends started with the token require
+// it on the cluster-internal endpoints.
+const ClusterTokenHeader = "X-Cluster-Token"
+
+// authorizeCluster gates a cluster-internal endpoint (raw graph import,
+// sketch export/import) behind the shared cluster token when one is
+// configured. Without a token the check passes — the deployment is then
+// trusting its network boundary instead (see Options.ClusterToken).
+func (s *Service) authorizeCluster(w http.ResponseWriter, r *http.Request) bool {
+	if s.clusterToken == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get(ClusterTokenHeader)), []byte(s.clusterToken)) == 1 {
+		return true
+	}
+	writeError(w, http.StatusForbidden,
+		fmt.Errorf("missing or wrong %s (this backend requires the cluster token)", ClusterTokenHeader))
+	return false
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -106,6 +128,9 @@ func (s *Service) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
 // recomputed on this side, and duplicates dedupe exactly like
 // handleCreateGraph (201 new, 200 resident).
 func (s *Service) handleImportGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeCluster(w, r) {
+		return
+	}
 	name, g, err := store.DecodeGraph(http.MaxBytesReader(w, r.Body, maxImportBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -360,6 +385,9 @@ func (s *Service) handleExportGraph(w http.ResponseWriter, r *http.Request) {
 // Service.ExportSketches). An empty cache yields an empty 200 body —
 // shipping zero sketches is a valid rebalance.
 func (s *Service) handleExportSketches(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeCluster(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	if _, ok := s.registry.Get(id); !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
@@ -376,11 +404,17 @@ func (s *Service) handleExportSketches(w http.ResponseWriter, r *http.Request) {
 // graph it just received (see Service.ImportSketches). Only cluster
 // members accept it: an imported sketch becomes authoritative for
 // allocation results, so a daemon not running behind a router (-node
-// unset) must not let arbitrary callers install sketch contents.
+// unset) must not let arbitrary callers install sketch contents — and a
+// cluster member with -cluster-token set additionally requires the
+// shared secret, because -node alone is a deployment hint, not
+// authentication.
 func (s *Service) handleImportSketches(w http.ResponseWriter, r *http.Request) {
 	if s.nodeID == "" {
 		writeError(w, http.StatusForbidden,
 			fmt.Errorf("sketch import is a cluster endpoint (start welmaxd with -node)"))
+		return
+	}
+	if !s.authorizeCluster(w, r) {
 		return
 	}
 	id := r.PathValue("id")

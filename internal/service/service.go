@@ -57,21 +57,31 @@ type Options struct {
 	// can verify it is probing the backend it thinks it is. Empty (the
 	// single-node default) keeps plain "j<seq>" ids.
 	NodeID string
+	// ClusterToken, when set, is the shared secret the cluster-internal
+	// endpoints (POST /v1/graphs/import and the sketch export/import
+	// routes) require in the ClusterTokenHeader. Imported sketches become
+	// authoritative for allocation results, so a backend reachable
+	// beyond its private network should set this (the router attaches
+	// the token to its own backend traffic and relays a client's token on
+	// proxied requests). Empty skips the check — appropriate only when
+	// backends listen on a private network.
+	ClusterToken string
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
 // cache (in-memory tier plus optional disk tier), the job store, and the
 // worker pool. Handler exposes it over HTTP.
 type Service struct {
-	registry   *Registry
-	cache      *SketchCache
-	disk       *store.Store // nil without a data dir
-	jobs       *JobStore
-	pool       *Pool
-	start      time.Time
-	allowPaths bool
-	nodeID     string
-	cacheTTL   time.Duration
+	registry     *Registry
+	cache        *SketchCache
+	disk         *store.Store // nil without a data dir
+	jobs         *JobStore
+	pool         *Pool
+	start        time.Time
+	allowPaths   bool
+	nodeID       string
+	clusterToken string
+	cacheTTL     time.Duration
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -93,15 +103,16 @@ func New(opts Options) (*Service, error) {
 		}
 	}
 	s := &Service{
-		registry:   NewRegistry(opts.MaxGraphs),
-		cache:      NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, opts.CacheTTL, store.SketchCost),
-		disk:       disk,
-		jobs:       NewJobStore(opts.JobRetention),
-		pool:       NewPool(opts.Workers, opts.QueueCap),
-		start:      time.Now(),
-		allowPaths: opts.AllowPathLoads,
-		nodeID:     opts.NodeID,
-		cacheTTL:   opts.CacheTTL,
+		registry:     NewRegistry(opts.MaxGraphs),
+		cache:        NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, opts.CacheTTL, store.SketchCost),
+		disk:         disk,
+		jobs:         NewJobStore(opts.JobRetention),
+		pool:         NewPool(opts.Workers, opts.QueueCap),
+		start:        time.Now(),
+		allowPaths:   opts.AllowPathLoads,
+		nodeID:       opts.NodeID,
+		clusterToken: opts.ClusterToken,
+		cacheTTL:     opts.CacheTTL,
 	}
 	s.jobs.SetNodeID(opts.NodeID)
 	if disk != nil {

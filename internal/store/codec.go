@@ -93,9 +93,30 @@ func readFrame(r io.Reader, magic string) ([]byte, error) {
 	if size > maxPayload {
 		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrCorrupt, size)
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	// Grow the payload buffer as bytes actually arrive instead of
+	// trusting the declared size with one up-front allocation: frames
+	// also arrive over HTTP (graph and sketch imports), where a 20-byte
+	// request forging a multi-GiB length field must not commit gigabytes
+	// of zeroed memory before the short read is even detected. Growth is
+	// geometric (amortized O(size) copying) but capped at the declared
+	// size, so allocation stays within ~2x of the bytes actually
+	// received and an honest payload's final slice is exact — no doubled
+	// backing array outlives the read.
+	const initialPayloadCap = 512 << 10
+	payload := make([]byte, min(size, initialPayloadCap))
+	read := 0
+	for {
+		n, err := io.ReadFull(r, payload[read:])
+		read += n
+		if err != nil {
+			return nil, fmt.Errorf("%w: payload: read %d of %d bytes: %v", ErrTruncated, read, size, err)
+		}
+		if uint64(len(payload)) == size {
+			break
+		}
+		grown := make([]byte, min(size, 2*uint64(len(payload))))
+		copy(grown, payload)
+		payload = grown
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {

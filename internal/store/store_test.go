@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"uicwelfare/internal/graph"
@@ -488,5 +489,44 @@ func TestLoadGraphFileSniffsFormats(t *testing.T) {
 
 	if _, _, err := LoadGraphFile(filepath.Join(dir, "missing"), false); err == nil {
 		t.Error("missing file: want error")
+	}
+}
+
+// TestReadFrameForgedLengthDoesNotPreallocate feeds readFrame a tiny
+// body whose header declares a near-maxPayload length — the shape of a
+// remote-OOM attempt against the HTTP import endpoints. The read must
+// fail as truncated after consuming the real bytes, without committing
+// the declared (multi-GiB) allocation up front.
+func TestReadFrameForgedLengthDoesNotPreallocate(t *testing.T) {
+	var frame bytes.Buffer
+	frame.WriteString(GraphMagic)
+	var word [8]byte
+	binary.LittleEndian.PutUint32(word[:4], Version)
+	frame.Write(word[:4])
+	binary.LittleEndian.PutUint64(word[:], uint64(3<<30)) // forged: 3 GiB declared
+	frame.Write(word[:])
+	frame.WriteString("short body")
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := readFrame(bytes.NewReader(frame.Bytes()), GraphMagic)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("readFrame allocated %d bytes for a 10-byte body declaring 3 GiB", grew)
+	}
+
+	// A declared length over the format bound is still rejected outright.
+	frame.Reset()
+	frame.WriteString(GraphMagic)
+	binary.LittleEndian.PutUint32(word[:4], Version)
+	frame.Write(word[:4])
+	binary.LittleEndian.PutUint64(word[:], uint64(5<<30))
+	frame.Write(word[:])
+	if _, err := readFrame(bytes.NewReader(frame.Bytes()), GraphMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized declared payload: err = %v, want ErrCorrupt", err)
 	}
 }

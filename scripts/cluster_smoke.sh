@@ -46,12 +46,17 @@ wait_job() { # $1 = job id; prints the terminal job JSON
 
 go build -o "$BIN" ./cmd/welmaxd
 
-"$BIN" -addr "$B0" -node b0 & PIDS+=($!); B0_PID=$!
-"$BIN" -addr "$B1" -node b1 & PIDS+=($!); B1_PID=$!
+# Every process shares the cluster token, so the smoke also exercises the
+# authenticated import/sketch-ship path the router uses when rebalancing.
+TOKEN="smoke-secret"
+
+"$BIN" -addr "$B0" -node b0 -cluster-token "$TOKEN" & PIDS+=($!); B0_PID=$!
+"$BIN" -addr "$B1" -node b1 -cluster-token "$TOKEN" & PIDS+=($!); B1_PID=$!
 wait_healthy "http://$B0"
 wait_healthy "http://$B1"
 
-"$BIN" -addr "$ROUTER" -route "b0=http://$B0,b1=http://$B1" -probe-interval 300ms & PIDS+=($!)
+"$BIN" -addr "$ROUTER" -route "b0=http://$B0,b1=http://$B1" -probe-interval 300ms \
+  -cluster-token "$TOKEN" & PIDS+=($!)
 wait_healthy "$BASE"
 
 # Wait for the first probe round to mark both backends up.
@@ -78,6 +83,14 @@ for node in b0 b1; do
 done
 [ -n "$OWNER" ] || fail "graph resident on no backend"
 echo "registered $GRAPH_ID on $OWNER"
+
+# Tokenless callers must not reach the cluster-internal endpoints —
+# neither directly nor through the router (which must not lend its own
+# credential to client requests).
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$B0/v1/graphs/import" --data-binary 'x')"
+[ "$STATUS" = 403 ] || fail "tokenless graph import got status $STATUS, want 403"
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/graphs/$GRAPH_ID/sketches" --data-binary 'x')"
+[ "$STATUS" = 403 ] || fail "tokenless sketch import through router got status $STATUS, want 403"
 
 JOB="$(curl -fsS -X POST "$BASE/v1/allocate" \
   -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r .job_id)"

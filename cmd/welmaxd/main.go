@@ -6,7 +6,11 @@
 // welmax CLI. With -data-dir it also persists graphs (content-addressed,
 // so ids are stable) and spills built sketches to disk, so a restarted
 // daemon keeps its graph ids and answers its first repeated allocate
-// from a warm path.
+// from a warm path. Concurrent allocate requests that differ only in
+// budgets are coalesced onto one dominating sketch build
+// (-batch-window, on by default), and -admission-mb adds cost-based
+// admission control: requests whose predicted sketch cost exceeds the
+// budget answer 429 with a retryable body instead of queueing.
 //
 // Quick start:
 //
@@ -74,6 +78,8 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "persistence directory: graphs, spilled sketches, and the job audit trail survive restarts (optional)")
 		diskMB     = flag.Int("disk-mb", 0, "spilled-sketch disk budget in MB (0 = unbounded; needs -data-dir)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "in-memory sketch lifetime (0 = forever); expired sketches rebuild on next use")
+		batchWin   = flag.Duration("batch-window", 10*time.Millisecond, "gather window coalescing concurrent allocate/warm requests that differ only in budgets onto one dominating sketch build (0 disables batching)")
+		admitMB    = flag.Int("admission-mb", 0, "cost-based admission control: reject allocate/warm requests (429, retryable) whose predicted sketch cost exceeds this many MB (0 disables)")
 		nodeID     = flag.String("node", "", "cluster node id: job ids become <node>-j<seq> and /v1/healthz reports it (required behind a router)")
 		route      = flag.String("route", "", "run as a cluster router over these backends: 'b0=http://host:port,b1=...' (ignores backend-only flags except -data-dir and -cluster-token)")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "router health-probe cadence (with -route)")
@@ -106,6 +112,8 @@ func main() {
 		DataDir:        *dataDir,
 		DiskMB:         *diskMB,
 		CacheTTL:       *cacheTTL,
+		BatchWindow:    *batchWin,
+		AdmissionMB:    *admitMB,
 		NodeID:         *nodeID,
 		ClusterToken:   clusterToken,
 	})

@@ -1,0 +1,239 @@
+// Package batch implements welmaxd's budget-coalescing scheduler: the
+// layer that turns N concurrent sketch-bound requests differing only in
+// budgets into one sketch build sized for a budget vector dominating
+// them all.
+//
+// The economics come straight from the paper's RR-sketch machinery
+// (PRIMA/IMM): building the sketch is the dominant cost of every
+// allocation, and a sketch sized for budget vector b_max answers any
+// request whose budgets it dominates — PRIMA's prefix-preserving
+// ordering serves every budget in the vector it was sized for, and an
+// IMM ordering selected for k serves any prefix k' ≤ k, because greedy
+// max-coverage on a fixed collection is prefix-consistent. Concurrent
+// allocate requests that differ only in budgets are therefore duplicate
+// work, and the scheduler deduplicates them *before* they reach the
+// sketch cache, whose keys include the exact budget vector.
+//
+// Mechanics: requests are grouped by everything that genuinely changes
+// the sketch distribution — (graph, sketch family, cascade, ε, ℓ) — and
+// the first request for a group opens a gather window. Requests arriving
+// within the window join the group, merging their budget vectors through
+// the planner's family-specific merge (union of budget values for PRIMA,
+// max total for IMM). When the window closes the group runs ONE build,
+// sized for the merged vector, and every waiter is answered from the
+// shared sketch; each then slices its own budgets out of it downstream
+// (PlanFromSketch only reads). A request arriving after the window
+// closed still joins the in-flight build when the frozen merged vector
+// already dominates its budgets; otherwise it opens the next group.
+//
+// Cancellation is reference-counted: a waiter abandoning its request
+// (client disconnect, job cancel) never cancels the shared build —
+// the build's context is canceled only when the last waiter has left.
+package batch
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MergeFunc merges two canonical sketch-budget vectors of one sketch
+// family into the canonical vector whose sketch serves any request
+// served by either input. It must be commutative, associative, and
+// idempotent (merge(a, a) == a) — the scheduler folds every group
+// member's budgets through it and uses merge(frozen, b) == frozen as the
+// "b is already covered" test for late joiners.
+type MergeFunc func(a, b []int) []int
+
+// BuildFunc runs the group's single sketch build, sized for the merged
+// canonical budget vector. hit reports whether some cache tier supplied
+// the sketch without a fresh build. The scheduler invokes the FIRST
+// group member's BuildFunc on behalf of everyone, so the closure must
+// depend only on what the group key pins (graph, family, cascade, ε, ℓ)
+// plus the budgets argument — never on the submitting request's own
+// budget vector.
+type BuildFunc func(ctx context.Context, budgets []int) (sketch any, hit bool, err error)
+
+// Scheduler coalesces concurrent sketch builds per group key. The zero
+// value is not usable; construct with New.
+type Scheduler struct {
+	window time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*group
+
+	batches   atomic.Int64 // gather windows that ran a build
+	coalesced atomic.Int64 // requests that joined an existing group
+}
+
+// group is one gather window's worth of requests. budgets accumulates
+// the merged vector while gathering and is frozen when the window
+// closes; waiters is the live-request refcount driving build
+// cancellation.
+type group struct {
+	budgets  []int
+	building bool
+	waiters  int
+
+	buildCtx context.Context
+	cancel   context.CancelFunc
+
+	done   chan struct{} // closed once sketch/hit/err are final
+	sketch any
+	hit    bool
+	err    error
+}
+
+// New returns a scheduler gathering each group for the given window. A
+// window of zero (or negative) still coalesces whatever arrives while a
+// build is pending, but closes the gather phase immediately — callers
+// wanting batching off should simply not route through the scheduler.
+func New(window time.Duration) *Scheduler {
+	return &Scheduler{window: window, groups: map[string]*group{}}
+}
+
+// Stats is the scheduler's counter snapshot: Batches counts coalesced
+// sketch builds (each gather window that reached its build), Coalesced
+// counts the requests beyond each group's first that were answered from
+// a shared build.
+type Stats struct {
+	Batches   int64
+	Coalesced int64
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{Batches: s.batches.Load(), Coalesced: s.coalesced.Load()}
+}
+
+// Dominates reports whether a sketch built for the canonical budget
+// vector have also serves want under merge's semantics: exactly when
+// merging want in changes nothing. It is the single definition of the
+// dominance test — the scheduler's late-join and Covered checks and the
+// service's merged-sketch fast path and admission wave-through all rely
+// on these exact semantics staying identical.
+func Dominates(merge MergeFunc, have, want []int) bool {
+	merged := merge(have, want)
+	if len(merged) != len(have) {
+		return false
+	}
+	for i := range merged {
+		if merged[i] != have[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit enters one request into the scheduler: key groups requests that
+// may share a sketch, budgets is this request's canonical sketch-budget
+// vector, merge folds vectors within the group, and build runs the
+// group's single sketch construction. It returns the shared sketch,
+// whether a cache tier (hit) or a shared in-flight group (shared)
+// avoided a fresh build for this caller, and the build's error. A caller
+// whose ctx is canceled while waiting detaches with ctx.Err(); the
+// build itself is canceled only when every waiter has detached.
+func (s *Scheduler) Submit(ctx context.Context, key string, budgets []int, merge MergeFunc, build BuildFunc) (sketch any, hit, shared bool, err error) {
+	s.mu.Lock()
+	g := s.groups[key]
+	joined := false
+	if g != nil {
+		switch {
+		case !g.building:
+			g.budgets = merge(g.budgets, budgets)
+			g.waiters++
+			joined = true
+		case Dominates(merge, g.budgets, budgets):
+			// The window already closed, but the frozen merged vector
+			// dominates this request: the in-flight sketch serves it.
+			g.waiters++
+			joined = true
+		default:
+			// Too late and not covered: this request leads the next group.
+			g = nil
+		}
+	}
+	if g == nil {
+		buildCtx, cancel := context.WithCancel(context.Background())
+		g = &group{
+			budgets:  append([]int(nil), budgets...),
+			waiters:  1,
+			buildCtx: buildCtx,
+			cancel:   cancel,
+			done:     make(chan struct{}),
+		}
+		s.groups[key] = g
+		ng := g
+		time.AfterFunc(s.window, func() { s.fire(key, ng, build) })
+	}
+	s.mu.Unlock()
+	if joined {
+		s.coalesced.Add(1)
+	}
+
+	select {
+	case <-g.done:
+		return g.sketch, g.hit, joined, g.err
+	case <-ctx.Done():
+		s.detach(key, g)
+		return nil, false, joined, ctx.Err()
+	}
+}
+
+// Covered reports whether the group currently under key already has a
+// merged budget vector dominating budgets — a request joining it adds
+// no new sketch work. Admission control uses it to wave such requests
+// through regardless of their a-priori price.
+func (s *Scheduler) Covered(key string, budgets []int, merge MergeFunc) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[key]
+	return g != nil && Dominates(merge, g.budgets, budgets)
+}
+
+// fire closes the group's gather window and runs its build. It runs on
+// the window timer's goroutine; waiters observe completion through
+// g.done.
+func (s *Scheduler) fire(key string, g *group, build BuildFunc) {
+	s.mu.Lock()
+	g.building = true
+	merged := append([]int(nil), g.budgets...)
+	dead := g.waiters == 0
+	s.mu.Unlock()
+
+	if dead {
+		// Every requester left during the gather window; there is nobody
+		// to answer, so skip the build entirely.
+		g.err = context.Canceled
+	} else {
+		s.batches.Add(1)
+		g.sketch, g.hit, g.err = build(g.buildCtx, merged)
+	}
+
+	s.mu.Lock()
+	if s.groups[key] == g {
+		delete(s.groups, key)
+	}
+	s.mu.Unlock()
+	close(g.done)
+	g.cancel()
+}
+
+// detach drops one waiter's reference. The last one out removes the
+// group from its key's slot — atomically with the decrement, so no
+// later submit can observe (and join) a group whose build context is
+// about to be canceled — and then cancels that context (a no-op once
+// the build has finished).
+func (s *Scheduler) detach(key string, g *group) {
+	s.mu.Lock()
+	g.waiters--
+	last := g.waiters == 0
+	if last && s.groups[key] == g {
+		delete(s.groups, key)
+	}
+	s.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+}

@@ -1,0 +1,399 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// unionMerge mimics the PRIMA merge: union of budget values, sorted
+// non-increasingly, deduped.
+func unionMerge(a, b []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range append(append([]int(nil), a...), b...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] > out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// maxMerge mimics the IMM merge: a single total budget, maxed.
+func maxMerge(a, b []int) []int {
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	if len(b) == 0 || a[0] >= b[0] {
+		return append([]int(nil), a...)
+	}
+	return append([]int(nil), b...)
+}
+
+// TestCoalescesConcurrentSubmits drives N concurrent submits with
+// distinct budgets through one group and asserts exactly one build ran,
+// sized for the merged vector, with N-1 submits counted as coalesced.
+func TestCoalescesConcurrentSubmits(t *testing.T) {
+	s := New(50 * time.Millisecond)
+	var builds atomic.Int64
+	var gotBudgets []int
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		builds.Add(1)
+		gotBudgets = budgets
+		return "sketch", false, nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sk, _, shared, err := s.Submit(context.Background(), "g1", []int{i + 1}, unionMerge, build)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if sk != "sketch" {
+				t.Errorf("submit %d: got %v", i, sk)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+	if len(gotBudgets) != n || gotBudgets[0] != n {
+		t.Fatalf("merged budgets = %v, want union of 1..%d sorted desc", gotBudgets, n)
+	}
+	st := s.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("Batches = %d, want 1", st.Batches)
+	}
+	if st.Coalesced != n-1 || sharedCount.Load() != n-1 {
+		t.Fatalf("Coalesced = %d (shared %d), want %d", st.Coalesced, sharedCount.Load(), n-1)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce asserts group isolation: different keys
+// build independently.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	s := New(20 * time.Millisecond)
+	var builds atomic.Int64
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		builds.Add(1)
+		return len(budgets), false, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, _, err := s.Submit(context.Background(), fmt.Sprintf("k%d", i), []int{5}, maxMerge, build); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 4 {
+		t.Fatalf("builds = %d, want 4", got)
+	}
+	if st := s.Stats(); st.Coalesced != 0 {
+		t.Fatalf("Coalesced = %d, want 0", st.Coalesced)
+	}
+}
+
+// TestCanceledWaiterDoesNotCancelBuild: one of two waiters abandons
+// mid-build; the build must complete for the survivor.
+func TestCanceledWaiterDoesNotCancelBuild(t *testing.T) {
+	s := New(10 * time.Millisecond)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		close(started)
+		select {
+		case <-release:
+			return "ok", false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	errs := make(chan error, 2)
+	var got atomic.Value
+	go func() {
+		_, _, _, err := s.Submit(ctx1, "g", []int{3}, maxMerge, build)
+		errs <- err
+	}()
+	go func() {
+		sk, _, _, err := s.Submit(context.Background(), "g", []int{2}, maxMerge, build)
+		if sk != nil {
+			got.Store(sk)
+		}
+		errs <- err
+	}()
+
+	<-started
+	cancel1()
+	// The canceled waiter returns promptly with its own ctx error.
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-errs; err != nil {
+		t.Fatalf("surviving waiter: %v", err)
+	}
+	if got.Load() != "ok" {
+		t.Fatalf("surviving waiter got %v, want ok", got.Load())
+	}
+}
+
+// TestAllWaitersCanceledCancelsBuild: once the last waiter detaches, the
+// build context must be canceled so the work stops.
+func TestAllWaitersCanceledCancelsBuild(t *testing.T) {
+	s := New(10 * time.Millisecond)
+	started := make(chan struct{})
+	buildCanceled := make(chan struct{})
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		close(started)
+		<-ctx.Done()
+		close(buildCanceled)
+		return nil, false, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Submit(ctx, "g", []int{3}, maxMerge, build)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-buildCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("build context was never canceled after the last waiter left")
+	}
+}
+
+// TestJoinerAfterAllWaitersDetachedStartsFresh: when every waiter of a
+// still-gathering group cancels, a later live request must lead a fresh
+// group (with a live build context) instead of inheriting the dead
+// group's cancellation.
+func TestJoinerAfterAllWaitersDetachedStartsFresh(t *testing.T) {
+	s := New(150 * time.Millisecond)
+	var builds atomic.Int64
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		builds.Add(1)
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		return "ok", false, nil
+	}
+	// Leader opens the window and cancels before it fires.
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Submit(ctx, "g", []int{3}, maxMerge, build)
+		leaderErr <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the leader open the group
+	cancel()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader: err = %v, want context.Canceled", err)
+	}
+	// A later live request must not be poisoned by the dead group.
+	sk, _, _, err := s.Submit(context.Background(), "g", []int{5}, maxMerge, build)
+	if err != nil {
+		t.Fatalf("live request after dead group: %v (inherited the dead group's cancellation?)", err)
+	}
+	if sk != "ok" {
+		t.Fatalf("got %v, want ok", sk)
+	}
+}
+
+// TestCoveredReportsInFlightDominance pins the admission-control seam:
+// Covered is true exactly while a live group's merged vector dominates
+// the probe budgets.
+func TestCoveredReportsInFlightDominance(t *testing.T) {
+	s := New(100 * time.Millisecond)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		close(started)
+		<-release
+		return "ok", false, nil
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, _, _, err := s.Submit(context.Background(), "g", []int{10}, maxMerge, build); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // gather window closed, build for [10] in flight
+	if !s.Covered("g", []int{7}, maxMerge) {
+		t.Error("Covered([7]) = false with [10] in flight")
+	}
+	if s.Covered("g", []int{12}, maxMerge) {
+		t.Error("Covered([12]) = true with only [10] in flight")
+	}
+	if s.Covered("other", []int{7}, maxMerge) {
+		t.Error("Covered = true for a key with no group")
+	}
+	close(release)
+	<-done
+	if s.Covered("g", []int{7}, maxMerge) {
+		t.Error("Covered = true after the group completed")
+	}
+}
+
+// TestLateDominatedRequestJoinsInFlightBuild: a submit arriving after
+// the window closed, whose budgets the frozen merged vector dominates,
+// must join the in-flight build instead of starting a second one.
+func TestLateDominatedRequestJoinsInFlightBuild(t *testing.T) {
+	s := New(5 * time.Millisecond)
+	firstRunning := make(chan struct{})
+	release := make(chan struct{})
+	var builds atomic.Int64
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		if builds.Add(1) == 1 {
+			close(firstRunning)
+			<-release
+		}
+		return "sketch", false, nil
+	}
+	leader := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Submit(context.Background(), "g", []int{10}, maxMerge, build)
+		leader <- err
+	}()
+	<-firstRunning // window closed, build in flight for [10]
+
+	late := make(chan bool, 1)
+	go func() {
+		_, _, shared, err := s.Submit(context.Background(), "g", []int{4}, maxMerge, build)
+		if err != nil {
+			t.Error(err)
+		}
+		late <- shared
+	}()
+	// Give the late submit a moment to register, then release the build.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-leader; err != nil {
+		t.Fatal(err)
+	}
+	if !<-late {
+		t.Fatal("late dominated request did not share the in-flight build")
+	}
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+}
+
+// TestLateUncoveredRequestOpensNewGroup: a submit arriving after the
+// window closed whose budgets exceed the frozen vector must run its own
+// build.
+func TestLateUncoveredRequestOpensNewGroup(t *testing.T) {
+	s := New(5 * time.Millisecond)
+	firstRunning := make(chan struct{})
+	release := make(chan struct{})
+	var builds atomic.Int64
+	var mu sync.Mutex
+	var sizes []int
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		if builds.Add(1) == 1 {
+			close(firstRunning)
+			<-release
+		}
+		mu.Lock()
+		sizes = append(sizes, budgets[0])
+		mu.Unlock()
+		return "sketch", false, nil
+	}
+	leader := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Submit(context.Background(), "g", []int{4}, maxMerge, build)
+		leader <- err
+	}()
+	<-firstRunning
+
+	lateDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.Submit(context.Background(), "g", []int{10}, maxMerge, build)
+		lateDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-leader; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-lateDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("builds = %d, want 2", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[int]bool{4: true, 10: true}
+	for _, k := range sizes {
+		if !want[k] {
+			t.Fatalf("unexpected build size %d (sizes %v)", k, sizes)
+		}
+	}
+}
+
+// TestBuildErrorReachesEveryWaiter: a failing build reports the same
+// error to all group members, and the next submit builds afresh.
+func TestBuildErrorReachesEveryWaiter(t *testing.T) {
+	s := New(20 * time.Millisecond)
+	boom := errors.New("boom")
+	var builds atomic.Int64
+	build := func(ctx context.Context, budgets []int) (any, bool, error) {
+		builds.Add(1)
+		return nil, false, boom
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, _, err := s.Submit(context.Background(), "g", []int{2}, maxMerge, build); !errors.Is(err, boom) {
+				t.Errorf("err = %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builds = %d, want 1", builds.Load())
+	}
+	// Nothing is cached in the scheduler: a fresh submit builds again.
+	if _, _, _, err := s.Submit(context.Background(), "g", []int{2}, maxMerge, build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+}

@@ -1,0 +1,80 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+)
+
+// TestAdmissionRejectRelaysThroughRouter drives the admission-control
+// 429 path through the cluster tier: a backend refusing a request whose
+// predicted sketch cost blows its -admission-mb budget must surface to
+// the client through the router with the same status and retryable
+// body, and the router's stats must aggregate the per-shard
+// admission_rejects counters.
+func TestAdmissionRejectRelaysThroughRouter(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{AdmissionMB: 1, BatchWindow: 5 * time.Millisecond}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{AdmissionMB: 1, BatchWindow: 5 * time.Millisecond}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 10 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	info := c.registerLine(200)
+
+	// ε at the floor prices the sketch two orders of magnitude past the
+	// backends' 1MB admission budget.
+	status, raw := c.do("POST", "/v1/allocate",
+		service.AllocateRequest{GraphID: info.ID, Budgets: []int{10, 10}, Eps: 0.05})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("expensive allocate through router: status %d, want 429: %s", status, raw)
+	}
+	var body struct {
+		Error         string `json:"error"`
+		Retryable     bool   `json:"retryable"`
+		EstimatedCost int64  `json:"estimated_cost"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Retryable || body.EstimatedCost <= 1<<20 {
+		t.Fatalf("429 body through router lost the retryable contract: %s", raw)
+	}
+
+	// A sanely-priced request on the same graph clears admission and
+	// completes end to end.
+	view := c.waitJob(c.submit("/v1/allocate",
+		service.AllocateRequest{GraphID: info.ID, Budgets: []int{3, 3}}))
+	if view.State != service.JobDone {
+		t.Fatalf("cheap allocate: %s (%s)", view.State, view.Error)
+	}
+
+	// The router's cluster summary aggregates the shards' admission and
+	// batching counters.
+	var stats struct {
+		Cluster struct {
+			AdmissionRejects int64 `json:"admission_rejects"`
+			Batched          int64 `json:"batched"`
+		} `json:"cluster"`
+		Backends map[string]service.StatsResponse `json:"backends"`
+	}
+	c.doJSON("GET", "/v1/stats", nil, &stats, http.StatusOK)
+	if stats.Cluster.AdmissionRejects != 1 {
+		t.Fatalf("cluster admission_rejects = %d, want 1", stats.Cluster.AdmissionRejects)
+	}
+	if stats.Cluster.Batched < 1 {
+		t.Fatalf("cluster batched = %d, want >= 1 (the cheap allocate's build)", stats.Cluster.Batched)
+	}
+	perShard := int64(0)
+	for _, st := range stats.Backends {
+		perShard += st.Batch.AdmissionRejects
+	}
+	if perShard != stats.Cluster.AdmissionRejects {
+		t.Fatalf("per-shard admission sum %d != cluster aggregate %d", perShard, stats.Cluster.AdmissionRejects)
+	}
+}

@@ -22,6 +22,12 @@
 // does not discard sketch work. Content-addressed graph ids and
 // serializable sketches (PR 3's internal/store) are what make both
 // transfers possible.
+//
+// Per-shard behaviors surface through the router untouched: a
+// backend's cost-based admission reject (429 with a retryable body)
+// relays verbatim, and the router's /v1/stats aggregates each shard's
+// batch-scheduler and admission counters alongside its own routing
+// counters.
 package cluster
 
 import (

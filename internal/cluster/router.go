@@ -544,7 +544,15 @@ type RouterStats struct {
 		// counts the warm-sketch streams shipped along with them.
 		Rebalances  int64 `json:"rebalances"`
 		SketchShips int64 `json:"sketch_ships"`
-		UptimeMS    int64 `json:"uptime_ms"`
+		// Batched, CoalescedRequests, and AdmissionRejects aggregate the
+		// per-shard batch-scheduler and admission-control counters across
+		// the live backends (each backend's own numbers are under
+		// Backends[name].batch) — batching and admission run per shard,
+		// so the cluster-level picture is their sum.
+		Batched           int64 `json:"batched"`
+		CoalescedRequests int64 `json:"coalesced_requests"`
+		AdmissionRejects  int64 `json:"admission_rejects"`
+		UptimeMS          int64 `json:"uptime_ms"`
 	} `json:"cluster"`
 	// Backends maps node name to that backend's full StatsResponse;
 	// unreachable backends appear in Errors instead.
@@ -574,6 +582,9 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		var st service.StatsResponse
 		if err := json.Unmarshal(res.body, &st); err == nil {
 			out.Backends[res.backend] = st
+			out.Cluster.Batched += st.Batch.Batched
+			out.Cluster.CoalescedRequests += st.Batch.CoalescedRequests
+			out.Cluster.AdmissionRejects += st.Batch.AdmissionRejects
 		}
 	}
 	return out

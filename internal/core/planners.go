@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"uicwelfare/internal/imm"
 	"uicwelfare/internal/prima"
@@ -14,18 +15,21 @@ import (
 func init() {
 	bothCascades := []string{CascadeNameIC, CascadeNameLT}
 	Register(AlgoBundleGRD, Meta{
-		Description:  "Algorithm 1: (1-1/e-ε)-approximate greedy allocation on the prefix-preserving PRIMA ordering",
-		SketchFamily: "prima",
-		Cascades:     bothCascades,
+		Description:   "Algorithm 1: (1-1/e-ε)-approximate greedy allocation on the prefix-preserving PRIMA ordering",
+		SketchFamily:  "prima",
+		Cascades:      bothCascades,
+		CostEstimator: primaCostEstimate,
 	}, func() Planner { return bundleGRDPlanner{} })
 	Register(AlgoItemDisjoint, Meta{
-		Description:  "item-disj baseline (§4.3.1.2): one IMM call, disjoint seeds, one item per seed node",
-		SketchFamily: "imm",
-		Cascades:     bothCascades,
+		Description:   "item-disj baseline (§4.3.1.2): one IMM call, disjoint seeds, one item per seed node",
+		SketchFamily:  "imm",
+		Cascades:      bothCascades,
+		CostEstimator: immCostEstimate,
 	}, func() Planner { return itemDisjointPlanner{} })
 	Register(AlgoBundleDisjoint, Meta{
-		Description: "bundle-disj baseline (§4.3.1.2): greedy bundling with fresh IMM seeds per bundle",
-		Cascades:    bothCascades,
+		Description:   "bundle-disj baseline (§4.3.1.2): greedy bundling with fresh IMM seeds per bundle",
+		Cascades:      bothCascades,
+		CostEstimator: immCostEstimate,
 	}, func() Planner { return bundleDisjointPlanner{} })
 }
 
@@ -67,6 +71,21 @@ func (bundleGRDPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error) {
 	return BundleGRDFromSketch(p, sk), nil
 }
 
+// MergeBudgets unions two canonical PRIMA budget vectors: a sketch
+// sized for the union carries the prefix-preserving guarantee for every
+// budget in either input (the union bound over |b| budgets only grows
+// by log|b|/log n in ℓ'). Inputs are already clamped to [1, n], so no
+// further clamping is needed.
+func (bundleGRDPlanner) MergeBudgets(a, b []int) []int {
+	return prima.CanonicalBudgets(append(append([]int(nil), a...), b...), math.MaxInt)
+}
+
+// BuildSketchForBudgets builds the PRIMA sketch for an explicit merged
+// budget vector (the batch scheduler's dominating build).
+func (bundleGRDPlanner) BuildSketchForBudgets(ctx context.Context, p *Problem, budgets []int, opts Options, rng *stats.RNG) (any, error) {
+	return prima.BuildSketchCtx(ctx, p.G, budgets, primaOptions(opts), rng)
+}
+
 // itemDisjointPlanner adapts ItemDisjoint to the registry. The sketch
 // seam is IMM sized for the total budget.
 type itemDisjointPlanner struct{}
@@ -93,6 +112,31 @@ func (itemDisjointPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error
 		return Result{}, fmt.Errorf("core: %s expects an *imm.Sketch, got %T", AlgoItemDisjoint, sketch)
 	}
 	return ItemDisjointFromSketch(p, sk), nil
+}
+
+// MergeBudgets takes the larger of two IMM total budgets: the greedy
+// ordering selected for max(k_a, k_b) is prefix-consistent, so its
+// first k' nodes are exactly what a k'-sized selection on the same
+// collection would return.
+func (itemDisjointPlanner) MergeBudgets(a, b []int) []int {
+	ka, kb := 0, 0
+	if len(a) > 0 {
+		ka = a[0]
+	}
+	if len(b) > 0 {
+		kb = b[0]
+	}
+	return []int{max(ka, kb)}
+}
+
+// BuildSketchForBudgets builds the IMM sketch for an explicit merged
+// total budget (the batch scheduler's dominating build).
+func (itemDisjointPlanner) BuildSketchForBudgets(ctx context.Context, p *Problem, budgets []int, opts Options, rng *stats.RNG) (any, error) {
+	k := 0
+	if len(budgets) > 0 {
+		k = budgets[0]
+	}
+	return imm.BuildSketchCtx(ctx, p.G, k, immOptions(opts), rng)
 }
 
 // bundleDisjointPlanner adapts BundleDisjoint. Its adaptive sequence of

@@ -26,6 +26,20 @@ const (
 	CascadeNameLT = "lt"
 )
 
+// CostEstimator predicts the approximate resident bytes of the sketch
+// work a request would trigger — the same accounting store.SketchCost
+// applies to a built sketch (8 bytes per RR membership plus 8 per RR
+// set) evaluated on the sampling bounds instead of on a finished
+// collection. It is the pricing seam of the service's admission control:
+// the daemon calls it with the graph's node and edge counts, the
+// resolved ε and ℓ (defaults already applied), and the request's raw
+// budget vector, and compares the (calibrated) prediction against its
+// admission budget before queueing the request. Estimates derive from
+// the worst-case phase-2 bound λ*/k, so they overshoot real builds by a
+// roughly constant factor — the service corrects the bias with
+// store.CostModel, which tracks the observed predicted-to-actual ratio.
+type CostEstimator func(nodes, edges int, eps, ell float64, budgets []int) int64
+
 // Meta describes a registered planner: its registry name and the
 // capability flags GET /v1/algorithms reports.
 type Meta struct {
@@ -40,6 +54,10 @@ type Meta struct {
 	SketchFamily string
 	// Cascades lists the diffusion models the planner supports.
 	Cascades []string
+	// CostEstimator, when non-nil, prices a request's sketch work for
+	// admission control. Planners without one are unpriceable and bypass
+	// admission.
+	CostEstimator CostEstimator
 }
 
 // SketchCacheable reports whether the planner's dominant cost is a
@@ -70,6 +88,29 @@ type SketchPlanner interface {
 	// It only reads the sketch, so one cached sketch can serve many
 	// concurrent calls.
 	PlanFromSketch(p *Problem, sketch any) (Result, error)
+}
+
+// BatchSketchPlanner is the optional capability of sketch planners
+// whose sketch, built for one budget vector, serves every request whose
+// budgets that vector dominates — the property welmaxd's batch
+// scheduler exploits to coalesce concurrent mixed-budget requests onto
+// one build. Both RR-sketch families qualify: PRIMA's prefix-preserving
+// guarantee covers every budget in the vector it was sized for, and an
+// IMM greedy ordering selected for k is prefix-consistent for any
+// k' ≤ k.
+type BatchSketchPlanner interface {
+	SketchPlanner
+	// MergeBudgets merges two canonical sketch-budget vectors (the form
+	// SketchBudgets returns) into the canonical vector whose sketch
+	// serves any request served by either. It must be commutative,
+	// associative, and idempotent; the batch scheduler folds a whole
+	// gather window's budgets through it.
+	MergeBudgets(a, b []int) []int
+	// BuildSketchForBudgets builds the family sketch sized for an
+	// explicit canonical budget vector on p's graph — p's own budgets
+	// are ignored, which is what lets a batch build dominate several
+	// requests at once.
+	BuildSketchForBudgets(ctx context.Context, p *Problem, budgets []int, opts Options, rng *stats.RNG) (any, error)
 }
 
 // Factory builds a fresh planner instance. Lookup invokes it per

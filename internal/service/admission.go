@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+
+	"uicwelfare/internal/batch"
+	"uicwelfare/internal/core"
+)
+
+// AdmissionError reports a request refused by cost-based admission
+// control: its predicted sketch cost exceeds the configured admission
+// budget. The HTTP layer maps it to 429 with a retryable body — the
+// same request may be admitted later, once warmer caches or a
+// recalibrated cost model change the prediction, so clients should back
+// off and retry rather than treat it as a hard failure.
+type AdmissionError struct {
+	// EstimatedBytes is the calibrated predicted resident cost of the
+	// sketch work the request would trigger.
+	EstimatedBytes int64
+	// BudgetBytes is the configured admission budget it exceeded.
+	BudgetBytes int64
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("predicted sketch cost %d bytes exceeds the admission budget of %d bytes (retry later, or shrink budgets / raise eps)",
+		e.EstimatedBytes, e.BudgetBytes)
+}
+
+// EstimateCost prices a validated plan's sketch work: the planner's
+// a-priori estimator (core.Meta.CostEstimator) scaled by the cost
+// model's learned observed/predicted ratio. Plans without an estimator
+// price at zero (unpriceable planners bypass admission).
+func (s *Service) EstimateCost(plan *allocatePlan) int64 {
+	if plan.meta.CostEstimator == nil {
+		return 0
+	}
+	eps, ell := resolveEpsEll(plan.opts.Eps, plan.opts.Ell)
+	raw := plan.meta.CostEstimator(plan.prob.G.N(), plan.prob.G.M(), eps, ell, plan.prob.Budgets)
+	return s.costModel.Predict(raw)
+}
+
+// admitPlan applies cost-based admission control to a validated
+// allocate/warm plan, returning a non-nil *AdmissionError (counted in
+// /v1/stats) when the request must be refused. Admission prices *new*
+// sketch work only: with the exact-budget sketch already resident or in
+// flight — or, under batching, a gathering/in-flight batch group whose
+// current merged vector already covers the request — serving it costs
+// nothing extra, so it is admitted regardless of the prediction.
+func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError {
+	if s.admissionBytes <= 0 {
+		return nil
+	}
+	if sp, ok := plan.planner.(core.SketchPlanner); ok {
+		eps, ell := resolveEpsEll(plan.opts.Eps, plan.opts.Ell)
+		family, cascade := plan.meta.SketchFamily, int(plan.opts.Cascade)
+		budgets := sp.SketchBudgets(plan.prob)
+		if s.cache.Resident(SketchKey(graphID, family, cascade, eps, ell, budgets)) {
+			return nil
+		}
+		if bp, ok := sp.(core.BatchSketchPlanner); ok && s.batcher != nil {
+			groupKey := SketchKey(graphID, family, cascade, eps, ell, nil)
+			// A gathering/in-flight batch whose merged vector covers the
+			// request, or a resident sketch from a previous batch that
+			// dominates it, both serve the request with no new work.
+			if s.batcher.Covered(groupKey, budgets, bp.MergeBudgets) {
+				return nil
+			}
+			if rec, ok := s.lookupMerged(groupKey); ok &&
+				batch.Dominates(bp.MergeBudgets, rec.budgets, budgets) && s.cache.Resident(rec.key) {
+				return nil
+			}
+		}
+	}
+	// Otherwise — including planners with no reusable sketch — price the
+	// request's sketch work directly.
+	if est := s.EstimateCost(plan); est > s.admissionBytes {
+		s.admissionRejects.Add(1)
+		return &AdmissionError{EstimatedBytes: est, BudgetBytes: s.admissionBytes}
+	}
+	return nil
+}

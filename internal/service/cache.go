@@ -201,6 +201,64 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 	return e.sketch, false, e.err
 }
 
+// LookupCtx returns the sketch cached under key without building on a
+// miss: a completed (unexpired) entry returns immediately, an in-flight
+// entry is waited on (cancelably, like GetOrBuildCtx's waiter path), and
+// a miss reports ok = false without creating an entry or counting a
+// miss. The batch scheduler uses it as its fast path — on a miss the
+// build decision belongs to the gather window, not to this lookup.
+func (c *SketchCache) LookupCtx(ctx context.Context, key string) (sketch any, ok bool, err error) {
+	c.mu.Lock()
+	if e, present := c.entries[key]; present {
+		expired := false
+		select {
+		case <-e.ready:
+			expired = c.expireLocked(key, e)
+		default:
+		}
+		if !expired {
+			c.tick++
+			e.lastUsed = c.tick
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+			return e.sketch, true, e.err
+		}
+	}
+	c.mu.Unlock()
+	return nil, false, nil
+}
+
+// Resident reports whether key currently has a completed, unexpired, or
+// in-flight entry, without touching LRU order or counters. Admission
+// control uses it: a request whose sketch is already resident (or being
+// built) triggers no new sketch work, so it is admitted regardless of
+// its predicted cost.
+func (c *SketchCache) Resident(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return false
+		}
+		// An expired entry will read as a miss; report it absent without
+		// dropping it here (lookups own expiry so the counters stay
+		// consistent).
+		return c.ttl <= 0 || e.expires.IsZero() || c.now().Before(e.expires)
+	default:
+		return true // in-flight: the build is already paid for
+	}
+}
+
 // evictLocked drops least-recently-used completed entries until the
 // cache fits both the entry bound and the byte budget. The entry under
 // keep and entries still building are never evicted — a single sketch

@@ -5,22 +5,37 @@
 // generation — the dominant cost of every allocation — through a
 // concurrency-safe sketch cache, so repeated and concurrent queries
 // against the same network reuse sketches instead of regenerating them.
+// Concurrent requests that differ only in budgets additionally coalesce
+// onto one dominating sketch build (Options.BatchWindow, via
+// internal/batch), and cost-based admission control
+// (Options.AdmissionMB) refuses — retryably, with 429 — requests whose
+// predicted sketch cost would blow the cache budget.
 //
-// Endpoints:
+// Endpoints (docs/API.md is the complete reference, kept in sync with
+// the mux by scripts/apidocs_check.sh):
 //
-//	POST   /v1/graphs            load an edge list or generate a built-in network
-//	                             (content-addressed: duplicates dedupe to the resident entry)
-//	GET    /v1/graphs            list resident graphs
-//	POST   /v1/graphs/{id}/warm  prebuild a sketch as a cancelable job
-//	GET    /v1/algorithms        list registered planners with capability flags
-//	POST   /v1/allocate          enqueue an allocation job; returns a job id
-//	POST   /v1/estimate          enqueue a welfare-estimation job; returns a job id
-//	GET    /v1/jobs/{id}         poll a job (queued → running → done | failed | canceled)
-//	GET    /v1/jobs/{id}/events  stream job progress as server-sent events
-//	DELETE /v1/jobs/{id}         cancel an active job / delete a finished one
-//	GET    /v1/jobs              list jobs
-//	GET    /v1/stats             cache hits/misses, jobs by state, worker utilization
-//	GET    /healthz              liveness
+//	POST   /v1/graphs                  load an edge list or generate a built-in network
+//	                                   (content-addressed: duplicates dedupe to the resident entry)
+//	POST   /v1/graphs/import           register raw .wmg bytes (cluster-internal, token-gated)
+//	GET    /v1/graphs                  list resident graphs
+//	GET    /v1/graphs/{id}             one graph's info
+//	DELETE /v1/graphs/{id}             remove a graph, its sketches, and its persisted artifacts
+//	POST   /v1/graphs/{id}/warm        prebuild a sketch as a cancelable job (admission applies)
+//	GET    /v1/graphs/{id}/export      the resident graph as .wmg bytes
+//	GET    /v1/graphs/{id}/sketches    export warm sketches as a .wms stream (cluster-internal)
+//	POST   /v1/graphs/{id}/sketches    import a shipped sketch stream (cluster-internal)
+//	GET    /v1/algorithms              list registered planners with capability flags
+//	POST   /v1/allocate                enqueue an allocation job; 429 + retryable over the
+//	                                   admission budget; returns a job id
+//	POST   /v1/estimate                enqueue a welfare-estimation job; returns a job id
+//	GET    /v1/jobs                    list jobs (?state= filters)
+//	GET    /v1/jobs/{id}               poll a job (queued → running → done | failed | canceled)
+//	GET    /v1/jobs/{id}/events        stream job progress as server-sent events
+//	DELETE /v1/jobs/{id}               cancel an active job / delete a finished one
+//	GET    /v1/stats                   cache/batch/admission/disk counters, jobs by state,
+//	                                   worker utilization
+//	GET    /healthz                    plain liveness
+//	GET    /v1/healthz                 structured liveness (node identity; the router's probe)
 package service
 
 import (

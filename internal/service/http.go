@@ -167,8 +167,15 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if _, _, err := s.validateWarm(id, &req); err != nil {
+	plan, _, err := s.validateWarm(id, &req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Warming is exactly the sketch work admission exists to price;
+	// apply the same gate as POST /v1/allocate.
+	if aerr := s.admitPlan(id, plan); aerr != nil {
+		writeAdmissionReject(w, aerr)
 		return
 	}
 	s.enqueue(w, "warm", &req, func(ctx context.Context, report progress.Func) (any, error) {
@@ -224,6 +231,21 @@ func (s *Service) enqueue(w http.ResponseWriter, kind string, req any, run func(
 	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": job.ID, "state": string(JobQueued)})
 }
 
+// writeAdmissionReject answers 429 Too Many Requests for a request
+// refused by cost-based admission control. The body mirrors the cluster
+// tier's transient-failure contract ("retryable": true) and carries the
+// calibrated cost estimate so clients can see how far over budget they
+// are; the router relays the status and body verbatim, so the contract
+// is identical through a cluster proxy.
+func writeAdmissionReject(w http.ResponseWriter, aerr *AdmissionError) {
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":           aerr.Error(),
+		"retryable":       true,
+		"estimated_cost":  aerr.EstimatedBytes,
+		"admission_limit": aerr.BudgetBytes,
+	})
+}
+
 func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	var req AllocateRequest
 	if !decodeBody(w, r, &req) {
@@ -231,8 +253,16 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Fail malformed requests synchronously with 400; the job itself
 	// revalidates when it runs.
-	if _, err := s.validateAllocate(&req); err != nil {
+	plan, err := s.validateAllocate(&req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Cost-based admission: refuse (retryably) work whose predicted
+	// sketch cost would blow the cache budget, before it ties up a
+	// worker.
+	if aerr := s.admitPlan(req.GraphID, plan); aerr != nil {
+		writeAdmissionReject(w, aerr)
 		return
 	}
 	s.enqueue(w, "allocate", &req, func(ctx context.Context, report progress.Func) (any, error) {

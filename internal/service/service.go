@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"uicwelfare/internal/batch"
 	"uicwelfare/internal/core"
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/progress"
@@ -57,6 +60,21 @@ type Options struct {
 	// can verify it is probing the backend it thinks it is. Empty (the
 	// single-node default) keeps plain "j<seq>" ids.
 	NodeID string
+	// BatchWindow enables the budget-coalescing batch scheduler: a
+	// sketch-cache miss holds the request for this gather window, merges
+	// it with concurrent requests that differ only in budgets (same
+	// graph, sketch family, cascade, ε, ℓ), and runs one sketch build
+	// sized for a budget vector dominating them all. Zero (the default)
+	// disables batching; every miss builds its exact-budget sketch
+	// immediately, as before.
+	BatchWindow time.Duration
+	// AdmissionMB enables cost-based admission control: allocate and
+	// warm requests whose predicted sketch cost (the planner's
+	// core.Meta.CostEstimator, calibrated by observed builds) exceeds
+	// this many megabytes are rejected with 429 and a retryable body
+	// instead of queueing work that would blow the cache budget. Zero
+	// disables admission (every request is queued).
+	AdmissionMB int
 	// ClusterToken, when set, is the shared secret the cluster-internal
 	// endpoints (POST /v1/graphs/import and the sketch export/import
 	// routes) require in the ClusterTokenHeader. Imported sketches become
@@ -82,6 +100,26 @@ type Service struct {
 	nodeID       string
 	clusterToken string
 	cacheTTL     time.Duration
+
+	// batcher coalesces concurrent mixed-budget sketch builds; nil when
+	// batching is disabled (BatchWindow 0).
+	batcher     *batch.Scheduler
+	batchWindow time.Duration
+	// mergedIdx remembers, per batch group key, the budget vector and
+	// cache key of the most recent batch-built sketch, so a later
+	// request dominated by it is served from (and admitted against) the
+	// resident dominating sketch instead of cold-building its
+	// exact-budget one — without it, a repeat of any coalesced
+	// request's budgets would rebuild while the dominating sketch sits
+	// in the cache.
+	mergedMu  sync.Mutex
+	mergedIdx map[string]mergedSketch
+	// admissionBytes is the cost-based admission budget (0 = off);
+	// costModel calibrates the planners' a-priori cost estimates against
+	// observed builds; admissionRejects counts 429s for /v1/stats.
+	admissionBytes   int64
+	costModel        *store.CostModel
+	admissionRejects atomic.Int64
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -103,16 +141,23 @@ func New(opts Options) (*Service, error) {
 		}
 	}
 	s := &Service{
-		registry:     NewRegistry(opts.MaxGraphs),
-		cache:        NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, opts.CacheTTL, store.SketchCost),
-		disk:         disk,
-		jobs:         NewJobStore(opts.JobRetention),
-		pool:         NewPool(opts.Workers, opts.QueueCap),
-		start:        time.Now(),
-		allowPaths:   opts.AllowPathLoads,
-		nodeID:       opts.NodeID,
-		clusterToken: opts.ClusterToken,
-		cacheTTL:     opts.CacheTTL,
+		registry:       NewRegistry(opts.MaxGraphs),
+		cache:          NewSketchCache(opts.CacheEntries, int64(opts.CacheMB)<<20, opts.CacheTTL, store.SketchCost),
+		disk:           disk,
+		jobs:           NewJobStore(opts.JobRetention),
+		pool:           NewPool(opts.Workers, opts.QueueCap),
+		start:          time.Now(),
+		allowPaths:     opts.AllowPathLoads,
+		nodeID:         opts.NodeID,
+		clusterToken:   opts.ClusterToken,
+		cacheTTL:       opts.CacheTTL,
+		batchWindow:    opts.BatchWindow,
+		admissionBytes: int64(opts.AdmissionMB) << 20,
+		costModel:      store.NewCostModel(),
+	}
+	if opts.BatchWindow > 0 {
+		s.batcher = batch.New(opts.BatchWindow)
+		s.mergedIdx = map[string]mergedSketch{}
 	}
 	s.jobs.SetNodeID(opts.NodeID)
 	if disk != nil {
@@ -178,6 +223,7 @@ func (s *Service) DeleteGraph(id string) bool {
 		return false
 	}
 	s.cache.InvalidateGraph(id)
+	s.dropMergedForGraph(id)
 	if s.disk != nil {
 		s.disk.DeleteGraph(id)
 	}
@@ -193,13 +239,45 @@ type StatsResponse struct {
 	SketchCache CacheStats `json:"sketch_cache"`
 	// DiskTier reports the persistence tier's counters; nil when the
 	// daemon runs without -data-dir.
-	DiskTier    *store.Stats     `json:"disk_tier,omitempty"`
+	DiskTier *store.Stats `json:"disk_tier,omitempty"`
+	// Batch reports the budget-coalescing scheduler and the cost-based
+	// admission control (zeros when both are disabled).
+	Batch       BatchStats       `json:"batch"`
 	Jobs        map[JobState]int `json:"jobs"`
 	Workers     int              `json:"workers"`
 	BusyWorkers int              `json:"busy_workers"`
 	QueueDepth  int              `json:"queue_depth"`
 	QueueCap    int              `json:"queue_cap"`
 	UptimeMS    int64            `json:"uptime_ms"`
+}
+
+// BatchStats is the /v1/stats view of the batch scheduler and the
+// cost-based admission control. All sources are atomics or
+// mutex-guarded snapshots — /v1/stats is served concurrently with
+// allocates, so every counter read here must be synchronized with its
+// writer.
+type BatchStats struct {
+	// Enabled reports whether a batch window is configured.
+	Enabled bool `json:"enabled"`
+	// WindowMS is the configured gather window in milliseconds.
+	WindowMS float64 `json:"window_ms,omitempty"`
+	// Batched counts coalesced sketch builds: gather windows that
+	// reached their single dominating build.
+	Batched int64 `json:"batched"`
+	// CoalescedRequests counts requests beyond each batch's first that
+	// were answered from a shared build instead of building their own
+	// sketch.
+	CoalescedRequests int64 `json:"coalesced_requests"`
+	// AdmissionRejects counts requests refused with 429 because their
+	// predicted sketch cost exceeded the admission budget.
+	AdmissionRejects int64 `json:"admission_rejects"`
+	// AdmissionMaxBytes is the configured admission budget (0 = off).
+	AdmissionMaxBytes int64 `json:"admission_max_bytes,omitempty"`
+	// CostRatio and CostSamples describe the cost-model calibration:
+	// the learned observed/predicted ratio and how many completed
+	// builds informed it.
+	CostRatio   float64 `json:"cost_ratio"`
+	CostSamples int     `json:"cost_samples"`
 }
 
 // Stats snapshots the service counters.
@@ -219,6 +297,18 @@ func (s *Service) Stats() StatsResponse {
 		ds := s.disk.Stats()
 		out.DiskTier = &ds
 	}
+	out.Batch = BatchStats{
+		Enabled:           s.batcher != nil,
+		AdmissionRejects:  s.admissionRejects.Load(),
+		AdmissionMaxBytes: s.admissionBytes,
+	}
+	if s.batcher != nil {
+		bs := s.batcher.Stats()
+		out.Batch.WindowMS = float64(s.batchWindow) / float64(time.Millisecond)
+		out.Batch.Batched = bs.Batches
+		out.Batch.CoalescedRequests = bs.Coalesced
+	}
+	out.Batch.CostRatio, out.Batch.CostSamples = s.costModel.Snapshot()
 	return out
 }
 
@@ -393,6 +483,21 @@ func seedOf(s uint64) uint64 {
 	return s
 }
 
+// resolveEpsEll applies the paper's approximation-parameter defaults
+// (ε = 0.5, ℓ = 1) to unset request values. This is the single place
+// the service-wide defaults live — the allocate/warm paths and
+// admission pricing all resolve through it, so admission cannot price
+// one sketch while the build keys another.
+func resolveEpsEll(eps, ell float64) (float64, float64) {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	if ell <= 0 {
+		ell = 1
+	}
+	return eps, ell
+}
+
 // Allocate synchronously solves one allocation request with no
 // cancellation or progress reporting (the warm-path benchmarks and the
 // tests use this).
@@ -400,15 +505,121 @@ func (s *Service) Allocate(req *AllocateRequest) (*AllocateResult, error) {
 	return s.AllocateCtx(context.Background(), req, nil)
 }
 
-// sketchForPlan resolves a sketch-capable plan's sketch through the
-// tiered cache: the in-memory tier first (with singleflight semantics),
-// then — inside the build callback, so concurrent requesters share one
-// disk read exactly like they share one build — the disk tier, and only
-// then a fresh build, whose result is spilled back to disk. hit reports
-// whether any tier avoided a rebuild; it is what AllocateResult exposes
-// as SketchCached and what the restart-warm smoke asserts on.
-func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.SketchPlanner, plan *allocatePlan, eps, ell float64, seed uint64) (sketch any, hit bool, err error) {
-	key := SketchKey(graphID, plan.meta.SketchFamily, int(plan.opts.Cascade), eps, ell, sp.SketchBudgets(plan.prob))
+// mergedSketch is one mergedIdx record: the canonical budget vector a
+// batch build was sized for and the cache key it lives under.
+type mergedSketch struct {
+	budgets []int
+	key     string
+}
+
+// maxMergedRecords bounds mergedIdx: group keys are request-controlled
+// (ε, ℓ, cascade sweeps mint fresh ones), and unlike the sketch cache
+// nothing else evicts these records, so without a cap the index would
+// grow for the life of a graph.
+const maxMergedRecords = 512
+
+// recordMerged notes the group's latest batch-built sketch. Past the
+// bound an arbitrary record is dropped — records are an advisory fast
+// path, so losing one only costs a rebuild the cache may still absorb.
+func (s *Service) recordMerged(groupKey string, budgets []int, key string) {
+	s.mergedMu.Lock()
+	if _, exists := s.mergedIdx[groupKey]; !exists && len(s.mergedIdx) >= maxMergedRecords {
+		for k := range s.mergedIdx {
+			delete(s.mergedIdx, k)
+			break
+		}
+	}
+	s.mergedIdx[groupKey] = mergedSketch{budgets: budgets, key: key}
+	s.mergedMu.Unlock()
+}
+
+// lookupMerged returns the group's latest batch-built sketch record.
+func (s *Service) lookupMerged(groupKey string) (mergedSketch, bool) {
+	s.mergedMu.Lock()
+	defer s.mergedMu.Unlock()
+	rec, ok := s.mergedIdx[groupKey]
+	return rec, ok
+}
+
+// dropMergedForGraph forgets a deleted graph's merged-sketch records
+// (group keys start with "<graphID>|", like cache keys) so the index
+// does not grow with long-dead graphs.
+func (s *Service) dropMergedForGraph(graphID string) {
+	if s.mergedIdx == nil {
+		return
+	}
+	prefix := graphID + "|"
+	s.mergedMu.Lock()
+	for k := range s.mergedIdx {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.mergedIdx, k)
+		}
+	}
+	s.mergedMu.Unlock()
+}
+
+// degenerateBudgets reports whether canonical sketch budgets hit the
+// PRIMA/IMM builders' whole-graph shortcut (top budget >= n). Such a
+// "build" samples nothing and returns the all-nodes identity ordering,
+// which is only prefix-preserving for the full budget — so a degenerate
+// request must never coalesce with sampled builds: merging would drag
+// every group member's result onto the unsampled ordering. The batched
+// path routes these requests directly instead; they cost nothing to
+// build, so there is nothing to coalesce anyway.
+func degenerateBudgets(budgets []int, n int) bool {
+	for _, b := range budgets {
+		if b >= n {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepIfDeleted re-checks a graph's residency after sketch work
+// completed: the graph may have been deleted while the sketch was
+// building — after the delete's sweeps already ran, so the memory entry
+// and a just-written spill would otherwise outlive the deletion (the
+// spill permanently: nothing else sweeps a deleted graph's sketch
+// files). Sweeps both tiers when the graph is gone.
+func (s *Service) sweepIfDeleted(graphID string) {
+	if _, ok := s.registry.Get(graphID); !ok {
+		s.cache.InvalidateGraph(graphID)
+		s.dropMergedForGraph(graphID)
+		if s.disk != nil {
+			s.disk.DeleteGraph(graphID)
+		}
+	}
+}
+
+// lookupResident resolves key through the in-memory tier without
+// triggering a build on a miss, retrying when an in-flight builder's
+// own cancellation (not ctx's) poisoned the wait. found reports a
+// successful hit; a miss is (nil, false, nil) and a real error —
+// including ctx's own cancellation — is (nil, false, err).
+func (s *Service) lookupResident(ctx context.Context, graphID, key string) (sketch any, found bool, err error) {
+	for {
+		sk, ok, err := s.cache.LookupCtx(ctx, key)
+		if !ok {
+			return nil, false, nil
+		}
+		if err == nil {
+			s.sweepIfDeleted(graphID)
+			return sk, true, nil
+		}
+		if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue // the in-flight builder died, not us: re-resolve
+		}
+		return nil, false, err
+	}
+}
+
+// buildThroughTiers resolves key through the tiered cache: the
+// in-memory tier first (with singleflight semantics), then — inside the
+// build callback, so concurrent requesters share one disk read exactly
+// like they share one build — the disk tier, and only then build, whose
+// result is spilled back to disk. hit reports whether any tier avoided
+// a rebuild.
+func (s *Service) buildThroughTiers(ctx context.Context, graphID, key string, g *graph.Graph, build func(ctx context.Context) (any, error)) (sketch any, hit bool, err error) {
 	var diskHit bool
 	for {
 		var memHit bool
@@ -417,32 +628,19 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 				// The TTL bounds spill age too: a spill left by cost
 				// eviction or a restart must not resurrect a sketch older
 				// than the TTL promises.
-				if sk := s.disk.LoadSketch(graphID, key, plan.prob.G, s.cacheTTL); sk != nil {
+				if sk := s.disk.LoadSketch(graphID, key, g, s.cacheTTL); sk != nil {
 					diskHit = true
 					return sk, nil
 				}
 			}
-			buildOpts := plan.opts
-			buildOpts.Eps, buildOpts.Ell = eps, ell
-			sk, err := sp.BuildSketch(ctx, plan.prob, buildOpts, stats.NewRNG(seed))
+			sk, err := build(ctx)
 			if err == nil && s.disk != nil {
 				_ = s.disk.SaveSketch(graphID, key, sk) // best-effort; failure only costs warmth
 			}
 			return sk, err
 		})
 		if err == nil {
-			// The graph may have been deleted while the sketch was
-			// building — after the delete's sweeps already ran, so the
-			// memory entry and the just-written spill would otherwise
-			// outlive the deletion (the spill permanently: nothing else
-			// sweeps a deleted graph's sketch files). Re-check and sweep
-			// both tiers.
-			if _, ok := s.registry.Get(graphID); !ok {
-				s.cache.InvalidateGraph(graphID)
-				if s.disk != nil {
-					s.disk.DeleteGraph(graphID)
-				}
-			}
+			s.sweepIfDeleted(graphID)
 			return sketch, memHit || diskHit, nil
 		}
 		// A waiter inherits the *builder's* cancellation (or deadline
@@ -450,6 +648,103 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 		// request's own context is still live, the dead entry has
 		// already been evicted — retry, becoming the new builder,
 		// instead of failing a job nobody canceled.
+		if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return nil, false, err
+	}
+}
+
+// observeBuildCost feeds a completed fresh build into the cost-model
+// calibration: predicted bytes (the planner's a-priori estimator on the
+// budgets actually built) against the finished sketch's real resident
+// cost. Disk loads and cache hits are not observed — they carry no new
+// information about the estimator's bias.
+func (s *Service) observeBuildCost(plan *allocatePlan, eps, ell float64, budgets []int, sketch any) {
+	if plan.meta.CostEstimator == nil {
+		return
+	}
+	raw := plan.meta.CostEstimator(plan.prob.G.N(), plan.prob.G.M(), eps, ell, budgets)
+	s.costModel.Observe(raw, store.SketchCost(sketch))
+}
+
+// sketchForPlan resolves a sketch-capable plan's sketch. The exact
+// budget key is consulted first (memory tier, cancelable in-flight
+// waits); on a miss the request either builds its own sketch through
+// the tiered cache (batching disabled) or enters the batch scheduler,
+// which holds it for the gather window, merges concurrent requests'
+// budgets into one dominating vector, and answers everyone from a
+// single build — sized for the merged budgets and cached under the
+// merged key, so the disk tier and singleflight semantics apply to it
+// unchanged. hit reports whether any tier or a shared batch build
+// avoided fresh sketch work for this caller; it is what AllocateResult
+// exposes as SketchCached and what the restart-warm smoke asserts on.
+func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.SketchPlanner, plan *allocatePlan, eps, ell float64, seed uint64) (sketch any, hit bool, err error) {
+	family, cascade := plan.meta.SketchFamily, int(plan.opts.Cascade)
+	key := SketchKey(graphID, family, cascade, eps, ell, sp.SketchBudgets(plan.prob))
+	buildOpts := plan.opts
+	buildOpts.Eps, buildOpts.Ell = eps, ell
+
+	bp, batchable := sp.(core.BatchSketchPlanner)
+	if s.batcher == nil || !batchable || degenerateBudgets(sp.SketchBudgets(plan.prob), plan.prob.G.N()) {
+		return s.buildThroughTiers(ctx, graphID, key, plan.prob.G, func(bctx context.Context) (any, error) {
+			sk, err := sp.BuildSketch(bctx, plan.prob, buildOpts, stats.NewRNG(seed))
+			if err == nil {
+				s.observeBuildCost(plan, eps, ell, plan.prob.Budgets, sk)
+			}
+			return sk, err
+		})
+	}
+
+	// Batched path. Fast path first: an exact-budget sketch already
+	// resident (or in flight) skips the gather window entirely.
+	if sk, found, err := s.lookupResident(ctx, graphID, key); found || err != nil {
+		return sk, found, err
+	}
+
+	// Group by everything that pins the sketch distribution except the
+	// budgets; the scheduler merges those. The build callback depends
+	// only on group-key material plus the merged budgets it is handed,
+	// so it is safe for the scheduler to run the first member's closure
+	// on behalf of the whole group.
+	groupKey := SketchKey(graphID, family, cascade, eps, ell, nil)
+
+	// Second fast path: a previous batch's sketch dominating this
+	// request may still be resident under its merged key — serve from
+	// it instead of cold-building the exact-budget sketch the merged
+	// one already subsumes. An evicted or expired record falls through
+	// to the scheduler.
+	if rec, ok := s.lookupMerged(groupKey); ok && batch.Dominates(bp.MergeBudgets, rec.budgets, sp.SketchBudgets(plan.prob)) {
+		if sk, found, err := s.lookupResident(ctx, graphID, rec.key); found || err != nil {
+			return sk, found, err
+		}
+	}
+
+	for {
+		sk, cacheHit, shared, err := s.batcher.Submit(ctx, groupKey, sp.SketchBudgets(plan.prob), bp.MergeBudgets,
+			func(bctx context.Context, merged []int) (any, bool, error) {
+				mergedKey := SketchKey(graphID, family, cascade, eps, ell, merged)
+				sk, hit, err := s.buildThroughTiers(bctx, graphID, mergedKey, plan.prob.G, func(bctx context.Context) (any, error) {
+					sk, err := bp.BuildSketchForBudgets(bctx, plan.prob, merged, buildOpts, stats.NewRNG(seed))
+					if err == nil {
+						s.observeBuildCost(plan, eps, ell, merged, sk)
+					}
+					return sk, err
+				})
+				if err == nil {
+					s.recordMerged(groupKey, merged, mergedKey)
+				}
+				return sk, hit, err
+			})
+		if err == nil {
+			s.sweepIfDeleted(graphID)
+			return sk, cacheHit || shared, nil
+		}
+		// Like buildThroughTiers' waiters, a batch member can inherit a
+		// cancellation that was never its own — e.g. it joined a group
+		// whose other waiters all detached mid-build. If this request's
+		// context is still live, re-enter the scheduler (leading a fresh
+		// group if need be) instead of failing a job nobody canceled.
 		if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			continue
 		}
@@ -476,13 +771,7 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 	plan.opts.Progress = report
 	prob, opts := plan.prob, plan.opts
 	seed := seedOf(req.Seed)
-	eps, ell := opts.Eps, opts.Ell
-	if eps <= 0 {
-		eps = 0.5
-	}
-	if ell <= 0 {
-		ell = 1
-	}
+	eps, ell := resolveEpsEll(opts.Eps, opts.Ell)
 
 	var (
 		res core.Result
@@ -556,13 +845,7 @@ func (s *Service) WarmCtx(ctx context.Context, graphID string, req *WarmRequest,
 		return nil, err
 	}
 	plan.opts.Progress = report
-	eps, ell := plan.opts.Eps, plan.opts.Ell
-	if eps <= 0 {
-		eps = 0.5
-	}
-	if ell <= 0 {
-		ell = 1
-	}
+	eps, ell := resolveEpsEll(plan.opts.Eps, plan.opts.Ell)
 	sketch, hit, err := s.sketchForPlan(ctx, graphID, sp, plan, eps, ell, seedOf(req.Seed))
 	if err != nil {
 		return nil, err

@@ -7,6 +7,12 @@
 // reason the in-memory cache exists at all). Stable content-addressed
 // ids plus serializable sketches are also the foundation sharding needs:
 // they are what one backend can hand another.
+//
+// The package also owns the service's cost accounting: SketchCost
+// prices a built sketch's resident bytes (the cache's eviction
+// currency), and CostModel calibrates the planners' a-priori cost
+// estimates against observed builds — the pricing seam admission
+// control charges requests against.
 package store
 
 import (

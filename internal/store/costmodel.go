@@ -1,0 +1,82 @@
+package store
+
+import "sync"
+
+// CostModel calibrates a planner's a-priori sketch-cost prediction
+// (core.Meta.CostEstimator) against what builds actually cost
+// (SketchCost on the finished sketch). The estimators derive from the
+// worst-case phase-2 sampling bound λ*/k, which overshoots real
+// adaptive builds by a roughly constant, deployment-dependent factor —
+// a graph's degree distribution and the lower bound the adaptive phase
+// finds move the ratio, but they move it consistently. The model tracks
+// that ratio as an exponentially weighted moving average: every
+// completed build Observes (predicted, actual), and admission control
+// Predicts by scaling the raw estimate with the learned ratio. A fresh
+// daemon starts with ratio 1 (raw worst-case pricing — admission errs
+// strict until the first build calibrates it), and the ratio is clamped
+// to [1/64, 64] so one pathological sample cannot flip admission wide
+// open or shut.
+type CostModel struct {
+	mu      sync.Mutex
+	ratio   float64 // EWMA of actual/predicted
+	samples int
+}
+
+// costModelAlpha is the EWMA weight of each new observation.
+const costModelAlpha = 0.3
+
+// costModelClamp bounds the learned ratio (and its reciprocal).
+const costModelClamp = 64.0
+
+// NewCostModel returns an uncalibrated model (ratio 1: predictions pass
+// through unscaled).
+func NewCostModel() *CostModel {
+	return &CostModel{ratio: 1}
+}
+
+// Observe feeds one completed build's predicted and actual resident
+// bytes into the calibration. Non-positive inputs are ignored — a
+// degenerate sketch (floor-priced) carries no ratio information.
+func (m *CostModel) Observe(predicted, actual int64) {
+	if predicted <= 0 || actual <= 0 {
+		return
+	}
+	r := float64(actual) / float64(predicted)
+	if r > costModelClamp {
+		r = costModelClamp
+	}
+	if r < 1/costModelClamp {
+		r = 1 / costModelClamp
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.samples == 0 {
+		m.ratio = r
+	} else {
+		m.ratio = (1-costModelAlpha)*m.ratio + costModelAlpha*r
+	}
+	m.samples++
+}
+
+// Predict scales a raw estimate by the learned ratio. With no
+// observations yet the estimate passes through unchanged.
+func (m *CostModel) Predict(predicted int64) int64 {
+	if predicted <= 0 {
+		return predicted
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := float64(predicted) * m.ratio
+	if out < 1 {
+		return 1
+	}
+	return int64(out)
+}
+
+// Snapshot returns the learned ratio and how many builds informed it
+// (for /v1/stats).
+func (m *CostModel) Snapshot() (ratio float64, samples int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ratio, m.samples
+}

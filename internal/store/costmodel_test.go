@@ -1,0 +1,79 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCostModelUncalibratedPassesThrough(t *testing.T) {
+	m := NewCostModel()
+	if got := m.Predict(1000); got != 1000 {
+		t.Fatalf("Predict = %d, want 1000", got)
+	}
+	if ratio, samples := m.Snapshot(); ratio != 1 || samples != 0 {
+		t.Fatalf("Snapshot = (%g, %d), want (1, 0)", ratio, samples)
+	}
+}
+
+func TestCostModelLearnsOvershootRatio(t *testing.T) {
+	m := NewCostModel()
+	// Estimator consistently overshoots 10x: actual = predicted/10.
+	for i := 0; i < 20; i++ {
+		m.Observe(10_000, 1_000)
+	}
+	got := m.Predict(50_000)
+	if got < 4_000 || got > 6_000 {
+		t.Fatalf("calibrated Predict(50k) = %d, want ~5000", got)
+	}
+	if _, samples := m.Snapshot(); samples != 20 {
+		t.Fatalf("samples = %d, want 20", samples)
+	}
+}
+
+func TestCostModelFirstSampleSeedsRatio(t *testing.T) {
+	m := NewCostModel()
+	m.Observe(1_000, 100)
+	if ratio, _ := m.Snapshot(); ratio != 0.1 {
+		t.Fatalf("ratio after first sample = %g, want 0.1 (no blend with the uncalibrated 1)", ratio)
+	}
+}
+
+func TestCostModelClampsPathologicalSamples(t *testing.T) {
+	m := NewCostModel()
+	m.Observe(1, 1<<50) // absurd actual/predicted
+	if ratio, _ := m.Snapshot(); ratio > costModelClamp {
+		t.Fatalf("ratio = %g, want clamped to %g", ratio, costModelClamp)
+	}
+	m2 := NewCostModel()
+	m2.Observe(1<<50, 1)
+	if ratio, _ := m2.Snapshot(); ratio < 1/costModelClamp {
+		t.Fatalf("ratio = %g, want clamped to %g", ratio, 1/costModelClamp)
+	}
+	// Degenerate observations carry no information.
+	m3 := NewCostModel()
+	m3.Observe(0, 100)
+	m3.Observe(100, 0)
+	if _, samples := m3.Snapshot(); samples != 0 {
+		t.Fatalf("degenerate observations were counted: samples = %d", samples)
+	}
+}
+
+func TestCostModelConcurrent(t *testing.T) {
+	m := NewCostModel()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Observe(1000, 500)
+				m.Predict(1000)
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if ratio, samples := m.Snapshot(); samples != 800 || ratio < 0.49 || ratio > 0.51 {
+		t.Fatalf("Snapshot = (%g, %d), want (~0.5, 800)", ratio, samples)
+	}
+}

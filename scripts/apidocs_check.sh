@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# apidocs_check.sh — keep docs/API.md honest.
+#
+# Extracts every route registered in the service mux
+# (internal/service/http.go) and the cluster router mux
+# (internal/cluster/router.go) and checks it appears in docs/API.md;
+# then checks the reverse — every "### `METHOD /path`" heading in the
+# docs still corresponds to a registered route. Either direction
+# failing means the docs drifted from the code; CI runs this so the
+# drift cannot land silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/API.md
+SOURCES=(internal/service/http.go internal/cluster/router.go)
+
+for f in "$DOC" "${SOURCES[@]}"; do
+  [ -f "$f" ] || { echo "apidocs_check: missing $f" >&2; exit 1; }
+done
+
+# Route patterns look like: mux.HandleFunc("GET /v1/graphs/{id}", ...)
+code_routes=$(grep -hoE 'HandleFunc\("[A-Z]+ [^"]+"' "${SOURCES[@]}" \
+  | sed -E 's/HandleFunc\("([^"]+)"/\1/' | sort -u)
+
+# Documented routes are level-3 headings: ### `GET /v1/graphs/{id}`
+doc_routes=$(grep -oE '^### `[A-Z]+ [^`]+`' "$DOC" \
+  | sed -E 's/^### `([^`]+)`/\1/' | sort -u)
+
+fail=0
+while IFS= read -r route; do
+  [ -z "$route" ] && continue
+  if ! printf '%s\n' "$doc_routes" | grep -qxF -- "$route"; then
+    echo "apidocs_check: $DOC is missing a heading for registered route: $route" >&2
+    fail=1
+  fi
+done <<<"$code_routes"
+
+while IFS= read -r route; do
+  [ -z "$route" ] && continue
+  if ! printf '%s\n' "$code_routes" | grep -qxF -- "$route"; then
+    echo "apidocs_check: $DOC documents a route no mux registers: $route" >&2
+    fail=1
+  fi
+done <<<"$doc_routes"
+
+if [ "$fail" -ne 0 ]; then
+  echo "apidocs_check: FAILED — update docs/API.md to match the muxes" >&2
+  exit 1
+fi
+echo "apidocs_check: ok ($(printf '%s\n' "$code_routes" | grep -c .) routes documented)"

@@ -451,8 +451,9 @@ func BenchmarkServiceAllocate(b *testing.B) {
 		}
 		return entry.ID
 	}
-	newService := func(b *testing.B) *service.Service {
-		svc, err := service.New(service.Options{Workers: 1})
+	newService := func(b *testing.B, opts service.Options) *service.Service {
+		opts.Workers = 1
+		svc, err := service.New(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -460,7 +461,7 @@ func BenchmarkServiceAllocate(b *testing.B) {
 	}
 
 	b.Run("cold", func(b *testing.B) {
-		svc := newService(b)
+		svc := newService(b, service.Options{})
 		defer svc.Close()
 		id := load(b, svc)
 		b.ResetTimer()
@@ -478,8 +479,8 @@ func BenchmarkServiceAllocate(b *testing.B) {
 		}
 	})
 
-	b.Run("warm", func(b *testing.B) {
-		svc := newService(b)
+	warm := func(b *testing.B, opts service.Options) {
+		svc := newService(b, opts)
 		defer svc.Close()
 		id := load(b, svc)
 		if _, err := svc.Allocate(req(id)); err != nil {
@@ -495,7 +496,15 @@ func BenchmarkServiceAllocate(b *testing.B) {
 				b.Fatal("warm iteration missed the cache")
 			}
 		}
-	})
+	}
+
+	b.Run("warm", func(b *testing.B) { warm(b, service.Options{}) })
+
+	// warm-notelemetry is the telemetry overhead guard's baseline: the
+	// identical warm path with tracing and histograms disabled.
+	// scripts/bench_snapshot.sh compares the two and fails the smoke when
+	// the instrumented path costs more than 5% over this one.
+	b.Run("warm-notelemetry", func(b *testing.B) { warm(b, service.Options{TelemetryOff: true}) })
 }
 
 // BenchmarkBatchedAllocate measures the batch scheduler's coalescing

@@ -46,6 +46,14 @@
 // attaches it to its own traffic (placement, rebalancing, sketch ships)
 // while relaying — never substituting — the token on proxied client
 // requests.
+//
+// Observability: every request carries an X-Welmax-Trace-Id (minted at
+// the edge when the client sends none) that follows the job through
+// logs, /v1/jobs records, and SSE events; GET /v1/metrics serves
+// Prometheus-format latency histograms (merged across shards on the
+// router); -pprof-addr exposes net/http/pprof on a separate listener;
+// -slow-ms logs a structured line with per-stage timings for any job
+// slower than the threshold; -telemetry=off disables all of it.
 package main
 
 import (
@@ -55,6 +63,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,8 +94,17 @@ func main() {
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "router health-probe cadence (with -route)")
 		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "router per-backend request deadline, SSE excepted (with -route)")
 		token      = flag.String("cluster-token", "", "shared cluster secret: backends require it on import/sketch endpoints, the router attaches it (or set WELMAXD_CLUSTER_TOKEN)")
+		telemetryF = flag.String("telemetry", "on", "request tracing and latency histograms: on or off")
+		slowMS     = flag.Int("slow-ms", 1000, "log a structured slow-request line (with trace id and per-stage timings) for jobs at or above this many milliseconds (0 disables)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *telemetryF != "on" && *telemetryF != "off" {
+		fmt.Fprintf(os.Stderr, "welmaxd: -telemetry must be on or off, got %q\n", *telemetryF)
+		os.Exit(1)
+	}
+	startPprof(*pprofAddr)
 
 	clusterToken := *token
 	if clusterToken == "" {
@@ -116,6 +134,8 @@ func main() {
 		AdmissionMB:    *admitMB,
 		NodeID:         *nodeID,
 		ClusterToken:   clusterToken,
+		TelemetryOff:   *telemetryF == "off",
+		SlowThreshold:  slowThreshold(*slowMS),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -169,6 +189,36 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// slowThreshold maps the -slow-ms flag onto service.Options.SlowThreshold
+// (where 0 means "default" and negative disables).
+func slowThreshold(ms int) time.Duration {
+	if ms <= 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// startPprof serves net/http/pprof on its own listener (and mux — the
+// profiling surface never shares the API mux, so it can be bound to
+// localhost while the API is public). No-op when addr is empty.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
 }
 
 // runRouter serves the cluster routing tier (-route).

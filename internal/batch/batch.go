@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"uicwelfare/internal/telemetry"
 )
 
 // MergeFunc merges two canonical sketch-budget vectors of one sketch
@@ -141,7 +143,9 @@ func (s *Scheduler) Submit(ctx context.Context, key string, budgets []int, merge
 	if g != nil {
 		switch {
 		case !g.building:
+			endMerge := telemetry.StartSpan(ctx, "budget_merge")
 			g.budgets = merge(g.budgets, budgets)
+			endMerge()
 			g.waiters++
 			joined = true
 		case Dominates(merge, g.budgets, budgets):

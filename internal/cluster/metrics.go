@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"uicwelfare/internal/telemetry"
+)
+
+// handleMetrics implements the router's GET /v1/metrics: the cluster's
+// merged latency histograms plus every backend's gauges. Histograms are
+// fetched from each live shard in JSON form and element-wise summed
+// with the router's own (all histograms share the fixed bucket bounds),
+// so `welmax_http_request_duration_seconds{route="POST /v1/allocate"}`
+// is one series covering the whole cluster. Gauges are point-in-time
+// per shard and cannot be meaningfully summed, so each is relayed with
+// a node label identifying the backend it came from. Unreachable
+// backends contribute a welmax_backend_up{node} of 0 and nothing else —
+// a scrape never fails because a shard is down.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	groups := [][]telemetry.HistSnapshot{r.metrics.Snapshot()}
+	gauges := []telemetry.Gauge{}
+	errs := map[string]string{}
+	for _, res := range r.fanout(req.Context(), http.MethodGet, "/v1/metrics?format=json") {
+		if res.err != nil {
+			errs[res.backend] = res.err.Error()
+			gauges = append(gauges, backendUp(res.backend, 0))
+			continue
+		}
+		var export telemetry.Export
+		if err := json.Unmarshal(res.body, &export); err != nil {
+			errs[res.backend] = err.Error()
+			gauges = append(gauges, backendUp(res.backend, 0))
+			continue
+		}
+		groups = append(groups, export.Histograms)
+		gauges = append(gauges, backendUp(res.backend, 1))
+		for _, g := range export.Gauges {
+			g.Labels = append([]telemetry.Label{{Name: "node", Value: res.backend}}, g.Labels...)
+			gauges = append(gauges, g)
+		}
+	}
+	merged := telemetry.MergeSnapshots(groups...)
+	if req.URL.Query().Get("format") == "json" {
+		out := map[string]any{"histograms": merged, "gauges": gauges}
+		if len(errs) > 0 {
+			out["partial"] = true
+			out["errors"] = errs
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, merged, gauges)
+}
+
+func backendUp(node string, v float64) telemetry.Gauge {
+	return telemetry.Gauge{
+		Name:   "welmax_backend_up",
+		Labels: []telemetry.Label{{Name: "node", Value: node}},
+		Value:  v,
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"uicwelfare/internal/service"
 	"uicwelfare/internal/store"
+	"uicwelfare/internal/telemetry"
 )
 
 // Options configures a Router.
@@ -65,6 +66,7 @@ type Router struct {
 	spillDir   string
 	ownSpill   bool // spillDir is router-created and removed on Close
 	start      time.Time
+	metrics    *telemetry.Metrics
 
 	mu      sync.Mutex
 	catalog map[string]*graphRecord
@@ -138,6 +140,7 @@ func New(opts Options) (*Router, error) {
 		spillDir:   spillDir,
 		ownSpill:   ownSpill,
 		start:      time.Now(),
+		metrics:    telemetry.NewMetrics(),
 		catalog:    map[string]*graphRecord{},
 		tombs:      map[string]bool{},
 		stop:       make(chan struct{}),
@@ -233,25 +236,39 @@ func (r *Router) Sync(ctx context.Context) {
 // single-node welmaxd serves.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", r.handleCreateGraph)
-	mux.HandleFunc("GET /v1/graphs", r.handleListGraphs)
-	mux.HandleFunc("GET /v1/graphs/{id}", r.proxyGraphScoped)
-	mux.HandleFunc("DELETE /v1/graphs/{id}", r.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/graphs/{id}/warm", r.proxyGraphScoped)
-	mux.HandleFunc("GET /v1/graphs/{id}/export", r.proxyGraphScoped)
-	mux.HandleFunc("GET /v1/graphs/{id}/sketches", r.proxyGraphScoped)
-	mux.HandleFunc("POST /v1/graphs/{id}/sketches", r.proxyGraphScoped)
-	mux.HandleFunc("GET /v1/algorithms", r.handleAlgorithms)
-	mux.HandleFunc("POST /v1/allocate", r.handleBodyRouted)
-	mux.HandleFunc("POST /v1/estimate", r.handleBodyRouted)
-	mux.HandleFunc("GET /v1/jobs", r.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", r.proxyJobScoped)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", r.proxyJobScoped)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", r.proxyJobScoped)
-	mux.HandleFunc("GET /v1/stats", r.handleStats)
-	mux.HandleFunc("GET /healthz", r.handleHealthz)
-	mux.HandleFunc("GET /v1/healthz", r.handleHealthz)
+	mux.HandleFunc("POST /v1/graphs", r.timed("POST /v1/graphs", r.handleCreateGraph))
+	mux.HandleFunc("GET /v1/graphs", r.timed("GET /v1/graphs", r.handleListGraphs))
+	mux.HandleFunc("GET /v1/graphs/{id}", r.timed("GET /v1/graphs/{id}", r.proxyGraphScoped))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", r.timed("DELETE /v1/graphs/{id}", r.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/graphs/{id}/warm", r.timed("POST /v1/graphs/{id}/warm", r.proxyGraphScoped))
+	mux.HandleFunc("GET /v1/graphs/{id}/export", r.timed("GET /v1/graphs/{id}/export", r.proxyGraphScoped))
+	mux.HandleFunc("GET /v1/graphs/{id}/sketches", r.timed("GET /v1/graphs/{id}/sketches", r.proxyGraphScoped))
+	mux.HandleFunc("POST /v1/graphs/{id}/sketches", r.timed("POST /v1/graphs/{id}/sketches", r.proxyGraphScoped))
+	mux.HandleFunc("GET /v1/algorithms", r.timed("GET /v1/algorithms", r.handleAlgorithms))
+	mux.HandleFunc("POST /v1/allocate", r.timed("POST /v1/allocate", r.handleBodyRouted))
+	mux.HandleFunc("POST /v1/estimate", r.timed("POST /v1/estimate", r.handleBodyRouted))
+	mux.HandleFunc("GET /v1/jobs", r.timed("GET /v1/jobs", r.handleListJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", r.timed("GET /v1/jobs/{id}", r.proxyJobScoped))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", r.timed("GET /v1/jobs/{id}/events", r.proxyJobScoped))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", r.timed("DELETE /v1/jobs/{id}", r.proxyJobScoped))
+	mux.HandleFunc("GET /v1/stats", r.timed("GET /v1/stats", r.handleStats))
+	mux.HandleFunc("GET /v1/metrics", r.timed("GET /v1/metrics", r.handleMetrics))
+	mux.HandleFunc("GET /healthz", r.timed("GET /healthz", r.handleHealthz))
+	mux.HandleFunc("GET /v1/healthz", r.timed("GET /v1/healthz", r.handleHealthz))
 	return mux
+}
+
+// timed wraps a route handler with the router's own request-latency
+// histogram. The route label is the literal mux pattern (Go 1.22's
+// ServeMux has no Pattern field on the request, so the registration
+// closes over it).
+func (r *Router) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		h(w, req)
+		r.metrics.Observe("welmax_http_request_duration_seconds",
+			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -697,13 +714,20 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, backend string,
 	// (call, streamSketches); clients hitting gated endpoints through the
 	// proxy must present the token themselves.
 	copyEndToEndHeaders(out.Header, req.Header)
+	// The trace id is minted here, at the cluster edge, when the client
+	// did not send one: the backend keeps a router-minted (or
+	// client-sent) id, so the same id names the request in the router's
+	// logs, the backend's job record, and the SSE stream.
+	if out.Header.Get(telemetry.TraceHeader) == "" {
+		out.Header.Set(telemetry.TraceHeader, telemetry.NewTraceID())
+	}
 	resp, err := r.client.Do(out)
 	if err != nil {
 		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", backend, err))
 		return 0
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Cache-Control", "Content-Disposition"} {
+	for _, h := range []string{"Content-Type", "Cache-Control", "Content-Disposition", telemetry.TraceHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -1,0 +1,157 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/cluster"
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/telemetry"
+)
+
+// placeOnBothShards registers distinct graphs through the router until
+// each backend owns at least one, returning one graph id per backend.
+func placeOnBothShards(t *testing.T, c *client, backends []*backend) map[string]string {
+	t.Helper()
+	owned := map[string]string{}
+	for n := 3; n <= 40 && len(owned) < len(backends); n++ {
+		info := c.registerLine(n)
+		for _, b := range backends {
+			if _, ok := b.svc.Registry().Get(info.ID); ok {
+				if _, dup := owned[b.name]; !dup {
+					owned[b.name] = info.ID
+				}
+			}
+		}
+	}
+	if len(owned) < len(backends) {
+		t.Fatalf("placement never covered all backends: %v", owned)
+	}
+	return owned
+}
+
+// TestRouterMetricsMergeAndTracePropagation drives one allocate on each
+// of two shards, then checks (a) the router's GET /v1/metrics serves
+// the element-wise sum of both shards' histograms plus node-labeled
+// gauges, and (b) a trace id minted at the router follows the job into
+// the backend's job record and SSE stream, with stage spans attached.
+func TestRouterMetricsMergeAndTracePropagation(t *testing.T) {
+	backends := []*backend{
+		startBackendAt(t, "b0", "127.0.0.1:0", service.Options{}),
+		startBackendAt(t, "b1", "127.0.0.1:0", service.Options{}),
+	}
+	rt, c := newCluster(t, backends, cluster.Options{ProbeInterval: time.Hour, ProxyTimeout: 10 * time.Second})
+	defer rt.Close()
+	rt.Sync(syncCtx())
+
+	owned := placeOnBothShards(t, c, backends)
+
+	// One allocate per shard. The first goes through a raw request so the
+	// response headers are visible: the router must mint a trace id (the
+	// client sends none) and relay the backend's echo of it.
+	first := true
+	var traceID, tracedJob string
+	for _, graphID := range owned {
+		body, err := json.Marshal(service.AllocateRequest{GraphID: graphID, Budgets: []int{3, 3}, Runs: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(c.base+"/v1/allocate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack struct {
+			JobID   string `json:"job_id"`
+			TraceID string `json:"trace_id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("allocate: status %d, err %v", resp.StatusCode, err)
+		}
+		if first {
+			first = false
+			traceID, tracedJob = resp.Header.Get(telemetry.TraceHeader), ack.JobID
+			if traceID == "" || ack.TraceID != traceID {
+				t.Fatalf("router-minted trace: header %q, body %q", traceID, ack.TraceID)
+			}
+		}
+		if view := c.waitJob(ack.JobID); view.State != service.JobDone {
+			t.Fatalf("allocate on %s ended %q: %s", graphID, view.State, view.Error)
+		}
+	}
+
+	// The traced job's record on the backend carries the router's id and
+	// the stage spans.
+	var view service.JobView
+	c.doJSON("GET", "/v1/jobs/"+tracedJob, nil, &view, http.StatusOK)
+	if view.TraceID != traceID {
+		t.Errorf("job trace_id = %q, want router-minted %q", view.TraceID, traceID)
+	}
+	if len(view.Stages) < 4 {
+		t.Errorf("job carries %d stage spans, want >= 4: %v", len(view.Stages), view.Stages)
+	}
+
+	// Its SSE stream (replayed through the router) names the trace on
+	// every data frame.
+	resp, err := http.Get(c.base + "/v1/jobs/" + tracedJob + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		frames++
+		var ev service.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", data, err)
+		}
+		if ev.TraceID != traceID {
+			t.Errorf("SSE frame trace_id = %q, want %q", ev.TraceID, traceID)
+		}
+	}
+	if frames == 0 {
+		t.Fatal("no SSE frames through the router")
+	}
+
+	// The router's exposition: merged histograms (one allocate per shard
+	// sums to 2) and per-node gauges from both backends.
+	status, raw := c.do("GET", "/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("router metrics: status %d", status)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`welmax_job_duration_seconds_count{kind="allocate"} 2`,
+		`welmax_http_request_duration_seconds_bucket{route="POST /v1/allocate",le="+Inf"}`,
+		fmt.Sprintf(`welmax_backend_up{node=%q} 1`, backends[0].name),
+		fmt.Sprintf(`welmax_backend_up{node=%q} 1`, backends[1].name),
+		fmt.Sprintf(`welmax_graphs{node=%q}`, backends[0].name),
+		fmt.Sprintf(`welmax_graphs{node=%q}`, backends[1].name),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+
+	// A dead shard degrades the scrape, never fails it.
+	backends[1].kill()
+	status, raw = c.do("GET", "/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("router metrics with dead shard: status %d", status)
+	}
+	if !strings.Contains(string(raw), fmt.Sprintf(`welmax_backend_up{node=%q} 0`, backends[1].name)) {
+		t.Errorf("dead shard not reported down:\n%s", raw)
+	}
+}

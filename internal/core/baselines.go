@@ -6,6 +6,7 @@ import (
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/imm"
 	"uicwelfare/internal/itemset"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/uic"
 )
@@ -29,11 +30,19 @@ func ItemDisjoint(p *Problem, opts Options, rng *stats.RNG) Result {
 // is only read, so one cached sketch can serve many concurrent
 // allocations.
 func ItemDisjointFromSketch(p *Problem, sk *imm.Sketch) Result {
+	return ItemDisjointFromSketchProgress(p, sk, nil)
+}
+
+// ItemDisjointFromSketchProgress is ItemDisjointFromSketch with
+// incremental seed-prefix reporting: report (when non-nil) receives
+// StageSelect events carrying the ordering committed so far as the
+// greedy selection runs.
+func ItemDisjointFromSketchProgress(p *Problem, sk *imm.Sketch, report progress.Func) Result {
 	alloc := uic.NewAllocation(p.K())
 	if p.TotalBudget() == 0 {
 		return Result{Alloc: alloc}
 	}
-	res := sk.Select()
+	res := sk.SelectReport(seedReporter(report, sk.K))
 	pool := res.Seeds
 	pos := 0
 	for _, i := range p.BudgetOrder() {

@@ -57,12 +57,39 @@ func BundleGRD(p *Problem, opts Options, rng *stats.RNG) Result {
 	return res
 }
 
+// seedReporter adapts a progress.Func into the seed-prefix callback the
+// sketch SelectReport methods take: each prefix is copied into a fresh
+// int64 slice (the callback's argument aliases selection storage) and
+// emitted as a StageSelect event against the selection budget. A nil
+// report yields a nil callback, keeping the non-progress path free of
+// per-seed overhead.
+func seedReporter(report progress.Func, total int) func(prefix []graph.NodeID) {
+	if report == nil {
+		return nil
+	}
+	return func(prefix []graph.NodeID) {
+		ids := make([]int64, len(prefix))
+		for i, v := range prefix {
+			ids[i] = int64(v)
+		}
+		report(progress.Event{Stage: progress.StageSelect, Done: len(prefix), Total: total, SeedPrefix: ids})
+	}
+}
+
 // BundleGRDFromSketch runs bundleGRD's selection and assignment on a
 // prebuilt PRIMA sketch (built for this problem's graph and budgets).
 // The sketch is only read, so one cached sketch can serve many
 // concurrent allocations — the fast path of the welmaxd sketch cache.
 func BundleGRDFromSketch(p *Problem, sk *prima.Sketch) Result {
-	pres := sk.Select()
+	return BundleGRDFromSketchProgress(p, sk, nil)
+}
+
+// BundleGRDFromSketchProgress is BundleGRDFromSketch with incremental
+// seed-prefix reporting: report (when non-nil) receives StageSelect
+// events carrying the ordering committed so far as the greedy selection
+// runs.
+func BundleGRDFromSketchProgress(p *Problem, sk *prima.Sketch, report progress.Func) Result {
+	pres := sk.SelectReport(seedReporter(report, sk.MaxBudget))
 	alloc := uic.NewAllocation(p.K())
 	for i, b := range p.Budgets {
 		if b > len(pres.Seeds) {

@@ -7,6 +7,7 @@ import (
 
 	"uicwelfare/internal/imm"
 	"uicwelfare/internal/prima"
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 )
 
@@ -71,6 +72,14 @@ func (bundleGRDPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error) {
 	return BundleGRDFromSketch(p, sk), nil
 }
 
+func (bundleGRDPlanner) PlanFromSketchProgress(p *Problem, sketch any, report progress.Func) (Result, error) {
+	sk, ok := sketch.(*prima.Sketch)
+	if !ok {
+		return Result{}, fmt.Errorf("core: %s expects a *prima.Sketch, got %T", AlgoBundleGRD, sketch)
+	}
+	return BundleGRDFromSketchProgress(p, sk, report), nil
+}
+
 // MergeBudgets unions two canonical PRIMA budget vectors: a sketch
 // sized for the union carries the prefix-preserving guarantee for every
 // budget in either input (the union bound over |b| budgets only grows
@@ -112,6 +121,14 @@ func (itemDisjointPlanner) PlanFromSketch(p *Problem, sketch any) (Result, error
 		return Result{}, fmt.Errorf("core: %s expects an *imm.Sketch, got %T", AlgoItemDisjoint, sketch)
 	}
 	return ItemDisjointFromSketch(p, sk), nil
+}
+
+func (itemDisjointPlanner) PlanFromSketchProgress(p *Problem, sketch any, report progress.Func) (Result, error) {
+	sk, ok := sketch.(*imm.Sketch)
+	if !ok {
+		return Result{}, fmt.Errorf("core: %s expects an *imm.Sketch, got %T", AlgoItemDisjoint, sketch)
+	}
+	return ItemDisjointFromSketchProgress(p, sk, report), nil
 }
 
 // MergeBudgets takes the larger of two IMM total budgets: the greedy

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 )
 
@@ -88,6 +89,18 @@ type SketchPlanner interface {
 	// It only reads the sketch, so one cached sketch can serve many
 	// concurrent calls.
 	PlanFromSketch(p *Problem, sketch any) (Result, error)
+}
+
+// ProgressiveSketchPlanner is the optional capability of sketch
+// planners whose selection can report the incremental seed prefix as
+// the greedy ordering grows: PlanFromSketchProgress is PlanFromSketch
+// with a progress callback receiving StageSelect events whose
+// SeedPrefix is the ordering committed so far. The welmaxd job stream
+// forwards these to SSE subscribers so clients can render a partial
+// allocation before the job finishes.
+type ProgressiveSketchPlanner interface {
+	SketchPlanner
+	PlanFromSketchProgress(p *Problem, sketch any, report progress.Func) (Result, error)
 }
 
 // BatchSketchPlanner is the optional capability of sketch planners

@@ -8,6 +8,7 @@ import (
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/rrset"
 	"uicwelfare/internal/stats"
+	"uicwelfare/internal/telemetry"
 )
 
 // Options configures IMM. The defaults (Eps 0.5, Ell 1) are the ones the
@@ -139,7 +140,9 @@ func BuildSketchCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rn
 		if err := grow(int64(math.Ceil(thetaI))); err != nil {
 			return nil, err
 		}
+		endSel := telemetry.StartSpan(ctx, "greedy_select")
 		_, frac := col.NodeSelection(k)
+		endSel()
 		if float64(n)*frac >= (1+epsp)*x {
 			lb = float64(n) * frac / (1 + epsp)
 			theta = lambdaStar / lb
@@ -190,10 +193,23 @@ func RestoreSketch(col *rrset.Collection, k, phase1 int, lb float64, allNodesN i
 // the IMM result. It only reads the collection and is safe to call
 // concurrently from multiple goroutines on one shared Sketch.
 func (s *Sketch) Select() Result {
+	return s.SelectReport(nil)
+}
+
+// SelectReport is Select with an incremental seed-prefix callback:
+// report (when non-nil) receives the ordering committed so far, every
+// few seeds and once with the final selection (degenerate sketches
+// report their full selection once). The prefix slice aliases selection
+// storage — copy before retaining. Like Select it only reads the
+// collection, so concurrent calls on one shared Sketch remain safe.
+func (s *Sketch) SelectReport(report func(prefix []graph.NodeID)) Result {
 	if s.allNodesN > 0 {
 		seeds := make([]graph.NodeID, s.allNodesN)
 		for i := range seeds {
 			seeds[i] = graph.NodeID(i)
+		}
+		if report != nil {
+			report(seeds)
 		}
 		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(s.allNodesN), LB: s.LB}
 	}
@@ -201,7 +217,7 @@ func (s *Sketch) Select() Result {
 		return Result{}
 	}
 	n := s.Col.N()
-	seeds, frac := s.Col.NodeSelection(s.K)
+	seeds, frac := s.Col.NodeSelectionReport(s.K, report)
 	return Result{
 		Seeds:       seeds,
 		Coverage:    frac,

@@ -17,6 +17,7 @@ import (
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/rrset"
 	"uicwelfare/internal/stats"
+	"uicwelfare/internal/telemetry"
 )
 
 // Options configures PRIMA. Zero values default to the paper's settings
@@ -199,7 +200,9 @@ func BuildSketchCtx(ctx context.Context, g *graph.Graph, budgets []int, opts Opt
 			seeds = prevSelection[:k]
 			frac = col.FractionCovered(seeds)
 		} else {
+			endSel := telemetry.StartSpan(ctx, "greedy_select")
 			seeds, frac = col.NodeSelection(k)
+			endSel()
 			prevSelection = seeds
 		}
 
@@ -273,10 +276,23 @@ func RestoreSketch(col *rrset.Collection, maxBudget, phase1, allNodesN int) *Ske
 // the PRIMA result. It only reads the collection and is safe to call
 // concurrently from multiple goroutines on one shared Sketch.
 func (s *Sketch) Select() Result {
+	return s.SelectReport(nil)
+}
+
+// SelectReport is Select with an incremental seed-prefix callback:
+// report (when non-nil) receives the ordering committed so far, every
+// few seeds and once with the final selection (degenerate sketches
+// report their full selection once). The prefix slice aliases selection
+// storage — copy before retaining. Like Select it only reads the
+// collection, so concurrent calls on one shared Sketch remain safe.
+func (s *Sketch) SelectReport(report func(prefix []graph.NodeID)) Result {
 	if s.allNodesN > 0 {
 		seeds := make([]graph.NodeID, s.allNodesN)
 		for i := range seeds {
 			seeds[i] = graph.NodeID(i)
+		}
+		if report != nil {
+			report(seeds)
 		}
 		return Result{Seeds: seeds, Coverage: 1, SpreadEst: float64(s.allNodesN)}
 	}
@@ -284,7 +300,7 @@ func (s *Sketch) Select() Result {
 		return Result{}
 	}
 	n := s.Col.N()
-	seeds, frac := s.Col.NodeSelection(s.MaxBudget)
+	seeds, frac := s.Col.NodeSelectionReport(s.MaxBudget, report)
 	return Result{
 		Seeds:       seeds,
 		Coverage:    frac,

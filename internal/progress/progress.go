@@ -15,6 +15,9 @@ const (
 	StageSketch Stage = "sketch"
 	// StageEstimate covers Monte-Carlo welfare estimation runs.
 	StageEstimate Stage = "estimate"
+	// StageSelect covers the final greedy seed selection; its events
+	// carry the incremental seed prefix chosen so far.
+	StageSelect Stage = "select"
 )
 
 // Event is one progress report. For StageSketch, Round counts growth
@@ -22,12 +25,18 @@ const (
 // regeneration) and Done/Total are RR-set counts against the current
 // round's target — Total may change between rounds as the adaptive
 // search tightens θ. For StageEstimate, Done/Total are Monte-Carlo runs
-// finished versus requested.
+// finished versus requested. For StageSelect, Done/Total are seeds
+// selected versus the selection budget and SeedPrefix is the ordering
+// so far.
 type Event struct {
 	Stage Stage
 	Round int
 	Done  int
 	Total int
+	// SeedPrefix, on StageSelect events, is the ordered seed prefix the
+	// greedy selection has committed to so far (node ids as int64, the
+	// wire form). Each event carries a fresh slice safe to retain.
+	SeedPrefix []int64
 }
 
 // Func receives events. Implementations must be fast (they run on the

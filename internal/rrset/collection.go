@@ -6,6 +6,7 @@ import (
 
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/stats"
+	"uicwelfare/internal/telemetry"
 )
 
 // Collection stores a growing multiset of RR sets together with the
@@ -138,6 +139,7 @@ const growChunk = 256
 // when canceled, leaving the collection with whatever it had sampled;
 // callers abandoning the build should discard the collection.
 func (c *Collection) GrowCtx(ctx context.Context, target int64, rng *stats.RNG, report func(done, target int64)) error {
+	defer telemetry.StartSpan(ctx, "rrset_grow")()
 	for int64(c.Len()) < target {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -211,6 +213,21 @@ func (c *Collection) FractionCovered(seeds []graph.NodeID) float64 {
 // k' nodes of the budget-k selection — the property PRIMA's budget-switch
 // seed reuse relies on.
 func (c *Collection) NodeSelection(k int) (seeds []graph.NodeID, covered float64) {
+	return c.NodeSelectionReport(k, nil)
+}
+
+// selectionReportChunk is how many seed selections NodeSelectionReport
+// commits between prefix reports; small enough that a progress stream
+// sees the ordering grow, large enough that reporting stays invisible
+// next to the coverage updates themselves.
+const selectionReportChunk = 16
+
+// NodeSelectionReport is NodeSelection with an incremental prefix
+// callback: report (when non-nil) receives the ordered prefix selected
+// so far, every selectionReportChunk seeds and once more with the final
+// selection. The slice aliases the selection's own storage — callers
+// that retain it must copy.
+func (c *Collection) NodeSelectionReport(k int, report func(prefix []graph.NodeID)) (seeds []graph.NodeID, covered float64) {
 	n := c.g.N()
 	if k > n {
 		k = n
@@ -222,6 +239,12 @@ func (c *Collection) NodeSelection(k int) (seeds []graph.NodeID, covered float64
 	setCovered := make([]bool, c.Len())
 	seeds = make([]graph.NodeID, 0, k)
 	totalCovered := 0
+	commit := func(v int32) {
+		seeds = append(seeds, graph.NodeID(v))
+		if report != nil && len(seeds)%selectionReportChunk == 0 {
+			report(seeds)
+		}
+	}
 
 	// Lazy-greedy with a simple binary heap keyed by stale degree.
 	h := newMaxHeap(deg)
@@ -233,10 +256,10 @@ func (c *Collection) NodeSelection(k int) (seeds []graph.NodeID, covered float64
 		if deg[v] == 0 {
 			// All remaining nodes cover nothing new; still emit nodes to
 			// honor the budget (arbitrary but deterministic order).
-			seeds = append(seeds, graph.NodeID(v))
+			commit(v)
 			continue
 		}
-		seeds = append(seeds, graph.NodeID(v))
+		commit(v)
 		for _, id := range c.coverOf[v] {
 			if setCovered[id] {
 				continue
@@ -247,6 +270,9 @@ func (c *Collection) NodeSelection(k int) (seeds []graph.NodeID, covered float64
 				deg[w]--
 			}
 		}
+	}
+	if report != nil && len(seeds) > 0 && len(seeds)%selectionReportChunk != 0 {
+		report(seeds)
 	}
 	if c.Len() == 0 {
 		return seeds, 0

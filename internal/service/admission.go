@@ -27,16 +27,17 @@ func (e *AdmissionError) Error() string {
 }
 
 // EstimateCost prices a validated plan's sketch work: the planner's
-// a-priori estimator (core.Meta.CostEstimator) scaled by the cost
-// model's learned observed/predicted ratio. Plans without an estimator
+// a-priori estimator (core.Meta.CostEstimator) scaled by the graph's
+// learned observed/predicted ratio (falling back to the global model
+// for graphs with no observed builds yet). Plans without an estimator
 // price at zero (unpriceable planners bypass admission).
-func (s *Service) EstimateCost(plan *allocatePlan) int64 {
+func (s *Service) EstimateCost(graphID string, plan *allocatePlan) int64 {
 	if plan.meta.CostEstimator == nil {
 		return 0
 	}
 	eps, ell := resolveEpsEll(plan.opts.Eps, plan.opts.Ell)
 	raw := plan.meta.CostEstimator(plan.prob.G.N(), plan.prob.G.M(), eps, ell, plan.prob.Budgets)
-	return s.costModel.Predict(raw)
+	return s.costModels.Predict(graphID, raw)
 }
 
 // admitPlan applies cost-based admission control to a validated
@@ -73,7 +74,7 @@ func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError 
 	}
 	// Otherwise — including planners with no reusable sketch — price the
 	// request's sketch work directly.
-	if est := s.EstimateCost(plan); est > s.admissionBytes {
+	if est := s.EstimateCost(graphID, plan); est > s.admissionBytes {
 		s.admissionRejects.Add(1)
 		return &AdmissionError{EstimatedBytes: est, BudgetBytes: s.admissionBytes}
 	}

@@ -178,7 +178,7 @@ func TestPoolBoundedQueue(t *testing.T) {
 
 func TestJobStoreLifecycle(t *testing.T) {
 	s := NewJobStore(0)
-	j := s.Create("allocate", "req")
+	j := s.Create("allocate", "trace-1", "req")
 	if view, ok := s.Snapshot(j.ID); !ok || view.State != JobQueued {
 		t.Fatalf("snapshot = %+v, %v", view, ok)
 	}
@@ -189,7 +189,7 @@ func TestJobStoreLifecycle(t *testing.T) {
 		t.Errorf("done view = %+v", view)
 	}
 
-	f := s.Create("estimate", nil)
+	f := s.Create("estimate", "", nil)
 	s.Start(f.ID)
 	s.Finish(f.ID, nil, errors.New("nope"))
 	if view, _ := s.Snapshot(f.ID); view.State != JobFailed || view.Error != "nope" {
@@ -201,7 +201,7 @@ func TestJobStoreLifecycle(t *testing.T) {
 		t.Errorf("counts = %v", counts)
 	}
 
-	r := s.Create("allocate", nil)
+	r := s.Create("allocate", "", nil)
 	s.Remove(r.ID)
 	if _, ok := s.Snapshot(r.ID); ok {
 		t.Error("removed job still present")
@@ -213,11 +213,11 @@ func TestJobStoreLifecycle(t *testing.T) {
 
 func TestJobStoreRetention(t *testing.T) {
 	s := NewJobStore(2)
-	running := s.Create("allocate", nil)
+	running := s.Create("allocate", "", nil)
 	s.Start(running.ID)
 	var finished []string
 	for i := 0; i < 5; i++ {
-		j := s.Create("allocate", nil)
+		j := s.Create("allocate", "", nil)
 		s.Start(j.ID)
 		s.Finish(j.ID, i, nil)
 		finished = append(finished, j.ID)

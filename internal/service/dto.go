@@ -34,6 +34,8 @@
 //	DELETE /v1/jobs/{id}               cancel an active job / delete a finished one
 //	GET    /v1/stats                   cache/batch/admission/disk counters, jobs by state,
 //	                                   worker utilization
+//	GET    /v1/metrics                 latency histograms + gauges, Prometheus text
+//	                                   (?format=json for the mergeable form)
 //	GET    /healthz                    plain liveness
 //	GET    /v1/healthz                 structured liveness (node identity; the router's probe)
 package service

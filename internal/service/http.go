@@ -6,35 +6,67 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"uicwelfare/internal/core"
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/store"
+	"uicwelfare/internal/telemetry"
 )
 
-// Handler returns the daemon's HTTP API as an http.Handler.
+// Handler returns the daemon's HTTP API as an http.Handler. Every
+// route is registered through timed, which closes over the literal
+// pattern string — Go 1.22's mux offers no way to read the matched
+// pattern back off the request, and the pattern is exactly the route
+// label the latency histograms need.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.handleCreateGraph)
-	mux.HandleFunc("POST /v1/graphs/import", s.handleImportGraph)
-	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
-	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/graphs/{id}/warm", s.handleWarmGraph)
-	mux.HandleFunc("GET /v1/graphs/{id}/export", s.handleExportGraph)
-	mux.HandleFunc("GET /v1/graphs/{id}/sketches", s.handleExportSketches)
-	mux.HandleFunc("POST /v1/graphs/{id}/sketches", s.handleImportSketches)
-	mux.HandleFunc("GET /v1/algorithms", s.handleListAlgorithms)
-	mux.HandleFunc("POST /v1/allocate", s.handleAllocate)
-	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
+	mux.HandleFunc("POST /v1/graphs", s.timed("POST /v1/graphs", s.handleCreateGraph))
+	mux.HandleFunc("POST /v1/graphs/import", s.timed("POST /v1/graphs/import", s.handleImportGraph))
+	mux.HandleFunc("GET /v1/graphs", s.timed("GET /v1/graphs", s.handleListGraphs))
+	mux.HandleFunc("GET /v1/graphs/{id}", s.timed("GET /v1/graphs/{id}", s.handleGetGraph))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.timed("DELETE /v1/graphs/{id}", s.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/graphs/{id}/warm", s.timed("POST /v1/graphs/{id}/warm", s.handleWarmGraph))
+	mux.HandleFunc("GET /v1/graphs/{id}/export", s.timed("GET /v1/graphs/{id}/export", s.handleExportGraph))
+	mux.HandleFunc("GET /v1/graphs/{id}/sketches", s.timed("GET /v1/graphs/{id}/sketches", s.handleExportSketches))
+	mux.HandleFunc("POST /v1/graphs/{id}/sketches", s.timed("POST /v1/graphs/{id}/sketches", s.handleImportSketches))
+	mux.HandleFunc("GET /v1/algorithms", s.timed("GET /v1/algorithms", s.handleListAlgorithms))
+	mux.HandleFunc("POST /v1/allocate", s.timed("POST /v1/allocate", s.handleAllocate))
+	mux.HandleFunc("POST /v1/estimate", s.timed("POST /v1/estimate", s.handleEstimate))
+	mux.HandleFunc("GET /v1/jobs", s.timed("GET /v1/jobs", s.handleListJobs))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("GET /v1/jobs/{id}", s.handleGetJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.timed("GET /v1/jobs/{id}/events", s.handleJobEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed("DELETE /v1/jobs/{id}", s.handleCancelJob))
+	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.timed("GET /v1/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/healthz", s.timed("GET /v1/healthz", s.handleHealthzV1))
 	return mux
+}
+
+// timed wraps a handler with per-route latency observation. SSE
+// streams are observed too — their "latency" is the stream lifetime,
+// which is the honest figure for a streaming route.
+func (s *Service) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.telemetryOn {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		s.metrics.Observe("welmax_http_request_duration_seconds",
+			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start))
+	}
+}
+
+// newTrace mints (or adopts, when the client sent a sanitizable
+// X-Welmax-Trace-Id) the request's trace and echoes the id on the
+// response, so the caller can correlate the job it is about to receive.
+func (s *Service) newTrace(w http.ResponseWriter, r *http.Request) *telemetry.Trace {
+	tr := telemetry.NewTrace(telemetry.SanitizeID(r.Header.Get(telemetry.TraceHeader)), s.telemetryOn)
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	return tr
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -167,6 +199,7 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	tr := s.newTrace(w, r)
 	plan, _, err := s.validateWarm(id, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -174,11 +207,14 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	// Warming is exactly the sketch work admission exists to price;
 	// apply the same gate as POST /v1/allocate.
-	if aerr := s.admitPlan(id, plan); aerr != nil {
+	endAdmit := tr.StartSpan("admission_check")
+	aerr := s.admitPlan(id, plan)
+	endAdmit()
+	if aerr != nil {
 		writeAdmissionReject(w, aerr)
 		return
 	}
-	s.enqueue(w, "warm", &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "warm", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.WarmCtx(ctx, id, &req, report)
 	})
 }
@@ -201,34 +237,39 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entry.Info())
 }
 
-// enqueue creates a job and submits run to the pool; run must return the
-// job's result and honor its context (DELETE /v1/jobs/{id} cancels it)
-// while reporting progress through report. It answers 202 with the job
-// id, or 503 when the queue is full.
-func (s *Service) enqueue(w http.ResponseWriter, kind string, req any, run func(ctx context.Context, report progress.Func) (any, error)) {
-	job := s.jobs.Create(kind, req)
+// enqueue creates a job under the request's trace and submits run to
+// the pool; run must return the job's result and honor its context
+// (DELETE /v1/jobs/{id} cancels it) while reporting progress through
+// report. The trace travels in the job context so span timings land on
+// it, and finishJob attaches them to the job record when the run ends.
+// It answers 202 with the job id, or 503 when the queue is full.
+func (s *Service) enqueue(w http.ResponseWriter, kind string, tr *telemetry.Trace, req any, run func(ctx context.Context, report progress.Func) (any, error)) {
+	job := s.jobs.Create(kind, tr.ID(), req)
 	ok := s.pool.Submit(func() {
 		ctx, ok := s.jobs.Start(job.ID)
 		if !ok {
 			return // canceled while queued; Start finalized the job
 		}
+		started := time.Now()
+		ctx = telemetry.NewContext(ctx, tr)
 		result, err := run(ctx, func(ev progress.Event) {
 			s.jobs.Publish(job.ID, JobEvent{
-				Type:  EventProgress,
-				Stage: string(ev.Stage),
-				Round: ev.Round,
-				Done:  ev.Done,
-				Total: ev.Total,
+				Type:       EventProgress,
+				Stage:      string(ev.Stage),
+				Round:      ev.Round,
+				Done:       ev.Done,
+				Total:      ev.Total,
+				SeedPrefix: ev.SeedPrefix,
 			})
 		})
-		s.jobs.Finish(job.ID, result, err)
+		s.finishJob(job.ID, kind, tr, started, result, err)
 	})
 	if !ok {
 		s.jobs.Remove(job.ID)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("job queue full"))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": job.ID, "state": string(JobQueued)})
+	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": job.ID, "state": string(JobQueued), "trace_id": tr.ID()})
 }
 
 // writeAdmissionReject answers 429 Too Many Requests for a request
@@ -251,6 +292,7 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	tr := s.newTrace(w, r)
 	// Fail malformed requests synchronously with 400; the job itself
 	// revalidates when it runs.
 	plan, err := s.validateAllocate(&req)
@@ -261,11 +303,14 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// Cost-based admission: refuse (retryably) work whose predicted
 	// sketch cost would blow the cache budget, before it ties up a
 	// worker.
-	if aerr := s.admitPlan(req.GraphID, plan); aerr != nil {
+	endAdmit := tr.StartSpan("admission_check")
+	aerr := s.admitPlan(req.GraphID, plan)
+	endAdmit()
+	if aerr != nil {
 		writeAdmissionReject(w, aerr)
 		return
 	}
-	s.enqueue(w, "allocate", &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "allocate", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.AllocateCtx(ctx, &req, report)
 	})
 }
@@ -275,11 +320,12 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	tr := s.newTrace(w, r)
 	if _, _, _, err := s.validateEstimate(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.enqueue(w, "estimate", &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "estimate", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.EstimateCtx(ctx, &req, report)
 	})
 }
@@ -369,7 +415,7 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				// subscriber (slow consumer or job removal): resync from
 				// the job snapshot so the client still sees the outcome.
 				if view, ok := s.jobs.Snapshot(id); ok && view.State.Terminal() {
-					write(JobEvent{Type: string(view.State), Error: view.Error})
+					write(JobEvent{Type: string(view.State), TraceID: view.TraceID, Error: view.Error})
 				}
 				return
 			}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"uicwelfare/internal/telemetry"
 )
 
 // JobState is the lifecycle of an asynchronous job.
@@ -35,11 +37,18 @@ const EventProgress = "progress"
 type JobEvent struct {
 	Seq  int    `json:"seq"`
 	Type string `json:"type"`
+	// TraceID correlates the event with the request's trace (the id of
+	// the X-Welmax-Trace-Id header); publishLocked stamps it from the
+	// job when the publisher left it empty.
+	TraceID string `json:"trace_id,omitempty"`
 	// Stage/Round/Done/Total mirror progress.Event for Type "progress".
 	Stage string `json:"stage,omitempty"`
 	Round int    `json:"round,omitempty"`
 	Done  int    `json:"done,omitempty"`
 	Total int    `json:"total,omitempty"`
+	// SeedPrefix, on "select"-stage progress events, is the ordered
+	// seed prefix the greedy selection has committed to so far.
+	SeedPrefix []int64 `json:"seed_prefix,omitempty"`
 	// Error carries the failure message on a "failed"/"canceled" event.
 	Error string `json:"error,omitempty"`
 }
@@ -70,6 +79,11 @@ type Job struct {
 	Request  any
 	Result   any
 	Err      string
+	// TraceID is the request trace that enqueued the job; Stages holds
+	// the trace's accumulated per-stage span timings, attached when the
+	// job finishes.
+	TraceID string
+	Stages  map[string]telemetry.StageStats
 
 	// ctx is canceled by Cancel; the worker threads it through sketch
 	// construction and estimation.
@@ -101,6 +115,13 @@ type JobView struct {
 	Request         any    `json:"request,omitempty"`
 	Result          any    `json:"result,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// TraceID is the request trace that enqueued the job (the value of
+	// the X-Welmax-Trace-Id request/response header).
+	TraceID string `json:"trace_id,omitempty"`
+	// Stages is the trace's per-stage span timing, attached when the
+	// job reaches a terminal state (and spilled to history.jsonl with
+	// the rest of the view).
+	Stages map[string]telemetry.StageStats `json:"stages,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -113,6 +134,8 @@ func (j *Job) view() JobView {
 		Request:         j.Request,
 		Result:          j.Result,
 		Error:           j.Err,
+		TraceID:         j.TraceID,
+		Stages:          j.Stages,
 	}
 	switch {
 	case j.State == JobRunning:
@@ -173,8 +196,9 @@ func (s *JobStore) SetFinalSink(fn func(JobView)) {
 	s.onFinal = fn
 }
 
-// Create registers a queued job and returns it.
-func (s *JobStore) Create(kind string, req any) *Job {
+// Create registers a queued job under the request's trace id (empty is
+// fine for untraced callers) and returns it.
+func (s *JobStore) Create(kind, traceID string, req any) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -185,6 +209,7 @@ func (s *JobStore) Create(kind string, req any) *Job {
 		State:   JobQueued,
 		Created: time.Now(),
 		Request: req,
+		TraceID: traceID,
 		ctx:     ctx,
 		cancel:  cancel,
 		subs:    map[chan JobEvent]struct{}{},
@@ -345,12 +370,30 @@ func (s *JobStore) Publish(id string, ev JobEvent) {
 	s.publishLocked(j, ev)
 }
 
-// publishLocked assigns the event's sequence number, appends it to the
+// SetStages attaches a trace's accumulated span timings to the job
+// (no-op for unknown jobs or empty stage maps). Workers call it just
+// before Finish so the terminal view and the audit record carry it.
+func (s *JobStore) SetStages(id string, stages map[string]telemetry.StageStats) {
+	if len(stages) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		j.Stages = stages
+	}
+}
+
+// publishLocked assigns the event's sequence number, stamps the job's
+// trace id (when the publisher left it empty), appends the event to the
 // bounded history, and offers it to every subscriber without blocking
 // (a full subscriber just misses the event). Caller holds s.mu.
 func (s *JobStore) publishLocked(j *Job, ev JobEvent) {
 	j.eventSeq++
 	ev.Seq = j.eventSeq
+	if ev.TraceID == "" {
+		ev.TraceID = j.TraceID
+	}
 	if len(j.events) >= maxJobEvents {
 		copy(j.events, j.events[1:])
 		j.events = j.events[:len(j.events)-1]

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"uicwelfare/internal/telemetry"
+)
+
+// handleMetrics implements GET /v1/metrics: the backend's latency
+// histograms and operational gauges. The default rendering is
+// Prometheus text exposition; ?format=json serves the same data as a
+// telemetry.Export — the machine-mergeable form the cluster router
+// fetches from every shard and sums into its own exposition.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	export := telemetry.Export{Histograms: s.metrics.Snapshot(), Gauges: s.gauges()}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, export)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, export.Histograms, export.Gauges)
+}
+
+// gauges assembles the point-in-time metrics from the same sources
+// /v1/stats reads, plus the per-graph cost-model calibration. Names are
+// stable: the router relays them per backend (adding a node label), so
+// renaming one breaks merged dashboards.
+func (s *Service) gauges() []telemetry.Gauge {
+	st := s.Stats()
+	out := []telemetry.Gauge{
+		{Name: "welmax_graphs", Value: float64(st.Graphs)},
+		{Name: "welmax_sketch_cache_entries", Value: float64(st.SketchCache.Entries)},
+		{Name: "welmax_sketch_cache_hits", Value: float64(st.SketchCache.Hits)},
+		{Name: "welmax_sketch_cache_misses", Value: float64(st.SketchCache.Misses)},
+		{Name: "welmax_sketch_cache_evictions", Value: float64(st.SketchCache.Evictions)},
+		{Name: "welmax_sketch_cache_expirations", Value: float64(st.SketchCache.Expirations)},
+		{Name: "welmax_sketch_cache_cost_bytes", Value: float64(st.SketchCache.CostBytes)},
+		{Name: "welmax_batch_builds", Value: float64(st.Batch.Batched)},
+		{Name: "welmax_batch_coalesced_requests", Value: float64(st.Batch.CoalescedRequests)},
+		{Name: "welmax_admission_rejects", Value: float64(st.Batch.AdmissionRejects)},
+		{Name: "welmax_jobs_queue_depth", Value: float64(st.QueueDepth)},
+		{Name: "welmax_workers_busy", Value: float64(st.BusyWorkers)},
+		{Name: "welmax_cost_ratio_global", Value: st.Batch.CostRatio},
+	}
+	perGraph := s.costModels.PerGraph()
+	sort.Slice(perGraph, func(i, j int) bool { return perGraph[i].GraphID < perGraph[j].GraphID })
+	for _, g := range perGraph {
+		out = append(out, telemetry.Gauge{
+			Name:   "welmax_graph_cost_ratio",
+			Labels: []telemetry.Label{{Name: "graph_id", Value: g.GraphID}},
+			Value:  g.Ratio,
+		})
+	}
+	return out
+}
+
+// observeTrace records a finished unit of work into the histograms: its
+// total duration under welmax_job_duration_seconds{kind} and each of
+// its trace's stages under welmax_stage_duration_seconds{stage,family}.
+func (s *Service) observeTrace(kind string, tr *telemetry.Trace, elapsed time.Duration) {
+	s.metrics.Observe("welmax_job_duration_seconds",
+		[]telemetry.Label{{Name: "kind", Value: kind}}, elapsed)
+	stages := tr.Stages()
+	if len(stages) == 0 {
+		return
+	}
+	family := tr.Family()
+	if family == "" {
+		family = "none"
+	}
+	for stage, st := range stages {
+		s.metrics.Observe("welmax_stage_duration_seconds",
+			[]telemetry.Label{{Name: "stage", Value: stage}, {Name: "family", Value: family}}, st.Total())
+	}
+}
+
+// finishJob is the worker-side epilogue of every HTTP-enqueued job: it
+// attaches the trace's span timings to the job record, feeds the
+// histograms, emits the structured slow-request log line when the run
+// crossed the threshold, and finalizes the job. It runs whether the job
+// succeeded, failed, or was canceled — slow failures are exactly the
+// requests worth finding in the log.
+func (s *Service) finishJob(id, kind string, tr *telemetry.Trace, started time.Time, result any, err error) {
+	elapsed := time.Since(started)
+	s.jobs.SetStages(id, tr.Stages())
+	if s.telemetryOn {
+		s.observeTrace(kind, tr, elapsed)
+		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+			s.logSlowJob(id, kind, tr, elapsed, err)
+		}
+	}
+	s.jobs.Finish(id, result, err)
+}
+
+// logSlowJob emits one structured (JSON) log line for a job that ran at
+// or beyond the slow threshold, carrying the trace id and the stage
+// breakdown so a slow request can be diagnosed from the log alone.
+func (s *Service) logSlowJob(id, kind string, tr *telemetry.Trace, elapsed time.Duration, err error) {
+	entry := map[string]any{
+		"msg":        "slow_request",
+		"job_id":     id,
+		"kind":       kind,
+		"trace_id":   tr.ID(),
+		"elapsed_ms": float64(elapsed) / float64(time.Millisecond),
+	}
+	if stages := tr.Stages(); len(stages) > 0 {
+		entry["stages"] = stages
+	}
+	if err != nil {
+		entry["error"] = err.Error()
+	}
+	line, jerr := json.Marshal(entry)
+	if jerr != nil {
+		s.slowLogf("slow_request job=%s kind=%s trace=%s elapsed=%v", id, kind, tr.ID(), elapsed)
+		return
+	}
+	s.slowLogf("%s", line)
+}
+
+// Metrics exposes the histogram registry (the cluster router's merge
+// path and tests read it; handlers go through /v1/metrics).
+func (s *Service) Metrics() *telemetry.Metrics { return s.metrics }

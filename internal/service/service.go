@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/store"
+	"uicwelfare/internal/telemetry"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
 )
@@ -84,6 +86,15 @@ type Options struct {
 	// proxied requests). Empty skips the check — appropriate only when
 	// backends listen on a private network.
 	ClusterToken string
+	// TelemetryOff disables span recording and histogram observation
+	// (-telemetry=off). Trace ids are still minted and propagated — they
+	// are too cheap and too useful for correlation to turn off — but
+	// every StartSpan and metric observe becomes a no-op, which is what
+	// the warm-path overhead benchmark measures against.
+	TelemetryOff bool
+	// SlowThreshold is the job duration at or above which a structured
+	// slow-request log line is emitted (default 1s; < 0 disables).
+	SlowThreshold time.Duration
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
@@ -115,11 +126,22 @@ type Service struct {
 	mergedMu  sync.Mutex
 	mergedIdx map[string]mergedSketch
 	// admissionBytes is the cost-based admission budget (0 = off);
-	// costModel calibrates the planners' a-priori cost estimates against
-	// observed builds; admissionRejects counts 429s for /v1/stats.
+	// costModels calibrates the planners' a-priori cost estimates
+	// against observed builds, per graph with a global fallback;
+	// admissionRejects counts 429s for /v1/stats.
 	admissionBytes   int64
-	costModel        *store.CostModel
+	costModels       *store.CostModels
 	admissionRejects atomic.Int64
+
+	// telemetryOn gates span recording and histogram observation;
+	// metrics is the latency-histogram registry /v1/metrics serves
+	// (always non-nil, so observe sites need no nil checks);
+	// slowThreshold is the slow-request log cutoff and slowLogf the log
+	// sink (a test seam; defaults to log.Printf).
+	telemetryOn   bool
+	metrics       *telemetry.Metrics
+	slowThreshold time.Duration
+	slowLogf      func(format string, args ...any)
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -153,7 +175,14 @@ func New(opts Options) (*Service, error) {
 		cacheTTL:       opts.CacheTTL,
 		batchWindow:    opts.BatchWindow,
 		admissionBytes: int64(opts.AdmissionMB) << 20,
-		costModel:      store.NewCostModel(),
+		costModels:     store.NewCostModels(),
+		telemetryOn:    !opts.TelemetryOff,
+		metrics:        telemetry.NewMetrics(),
+		slowThreshold:  opts.SlowThreshold,
+		slowLogf:       log.Printf,
+	}
+	if s.slowThreshold == 0 {
+		s.slowThreshold = time.Second
 	}
 	if opts.BatchWindow > 0 {
 		s.batcher = batch.New(opts.BatchWindow)
@@ -224,6 +253,7 @@ func (s *Service) DeleteGraph(id string) bool {
 	}
 	s.cache.InvalidateGraph(id)
 	s.dropMergedForGraph(id)
+	s.costModels.Forget(id)
 	if s.disk != nil {
 		s.disk.DeleteGraph(id)
 	}
@@ -308,7 +338,7 @@ func (s *Service) Stats() StatsResponse {
 		out.Batch.Batched = bs.Batches
 		out.Batch.CoalescedRequests = bs.Coalesced
 	}
-	out.Batch.CostRatio, out.Batch.CostSamples = s.costModel.Snapshot()
+	out.Batch.CostRatio, out.Batch.CostSamples = s.costModels.Snapshot()
 	return out
 }
 
@@ -597,6 +627,7 @@ func (s *Service) sweepIfDeleted(graphID string) {
 // successful hit; a miss is (nil, false, nil) and a real error —
 // including ctx's own cancellation — is (nil, false, err).
 func (s *Service) lookupResident(ctx context.Context, graphID, key string) (sketch any, found bool, err error) {
+	defer telemetry.StartSpan(ctx, "cache_lookup")()
 	for {
 		sk, ok, err := s.cache.LookupCtx(ctx, key)
 		if !ok {
@@ -623,22 +654,34 @@ func (s *Service) buildThroughTiers(ctx context.Context, graphID, key string, g 
 	var diskHit bool
 	for {
 		var memHit bool
+		// The lookup span covers the in-memory tier only: it is ended
+		// (idempotently) the moment the build callback starts, so a miss
+		// that turns into a disk load or a fresh build does not inflate
+		// the cache-lookup timing with build work.
+		endLookup := telemetry.StartSpan(ctx, "cache_lookup")
 		sketch, memHit, err = s.cache.GetOrBuildCtx(ctx, key, func() (any, error) {
+			endLookup()
 			if s.disk != nil {
 				// The TTL bounds spill age too: a spill left by cost
 				// eviction or a restart must not resurrect a sketch older
 				// than the TTL promises.
-				if sk := s.disk.LoadSketch(graphID, key, g, s.cacheTTL); sk != nil {
+				endLoad := telemetry.StartSpan(ctx, "disk_load")
+				sk := s.disk.LoadSketch(graphID, key, g, s.cacheTTL)
+				endLoad()
+				if sk != nil {
 					diskHit = true
 					return sk, nil
 				}
 			}
 			sk, err := build(ctx)
 			if err == nil && s.disk != nil {
+				endSpill := telemetry.StartSpan(ctx, "sketch_spill")
 				_ = s.disk.SaveSketch(graphID, key, sk) // best-effort; failure only costs warmth
+				endSpill()
 			}
 			return sk, err
 		})
+		endLookup()
 		if err == nil {
 			s.sweepIfDeleted(graphID)
 			return sketch, memHit || diskHit, nil
@@ -658,14 +701,15 @@ func (s *Service) buildThroughTiers(ctx context.Context, graphID, key string, g 
 // observeBuildCost feeds a completed fresh build into the cost-model
 // calibration: predicted bytes (the planner's a-priori estimator on the
 // budgets actually built) against the finished sketch's real resident
-// cost. Disk loads and cache hits are not observed — they carry no new
-// information about the estimator's bias.
-func (s *Service) observeBuildCost(plan *allocatePlan, eps, ell float64, budgets []int, sketch any) {
+// cost, keyed by the graph it built on (plus the global fallback). Disk
+// loads and cache hits are not observed — they carry no new information
+// about the estimator's bias.
+func (s *Service) observeBuildCost(graphID string, plan *allocatePlan, eps, ell float64, budgets []int, sketch any) {
 	if plan.meta.CostEstimator == nil {
 		return
 	}
 	raw := plan.meta.CostEstimator(plan.prob.G.N(), plan.prob.G.M(), eps, ell, budgets)
-	s.costModel.Observe(raw, store.SketchCost(sketch))
+	s.costModels.Observe(graphID, raw, store.SketchCost(sketch))
 }
 
 // sketchForPlan resolves a sketch-capable plan's sketch. The exact
@@ -690,7 +734,7 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 		return s.buildThroughTiers(ctx, graphID, key, plan.prob.G, func(bctx context.Context) (any, error) {
 			sk, err := sp.BuildSketch(bctx, plan.prob, buildOpts, stats.NewRNG(seed))
 			if err == nil {
-				s.observeBuildCost(plan, eps, ell, plan.prob.Budgets, sk)
+				s.observeBuildCost(graphID, plan, eps, ell, plan.prob.Budgets, sk)
 			}
 			return sk, err
 		})
@@ -721,13 +765,24 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 	}
 
 	for {
+		// The gather span covers the batch wait: it is ended
+		// (idempotently) when the group's build actually starts, so the
+		// submitting request's trace separates "waited for the window"
+		// from the build stages recorded inside.
+		endGather := telemetry.StartSpan(ctx, "batch_gather")
 		sk, cacheHit, shared, err := s.batcher.Submit(ctx, groupKey, sp.SketchBudgets(plan.prob), bp.MergeBudgets,
 			func(bctx context.Context, merged []int) (any, bool, error) {
+				endGather()
+				// The scheduler runs the group build on its window timer's
+				// goroutine with a detached context; re-attach the
+				// submitting request's trace so build-stage spans land on
+				// it rather than vanishing.
+				bctx = telemetry.NewContext(bctx, telemetry.FromContext(ctx))
 				mergedKey := SketchKey(graphID, family, cascade, eps, ell, merged)
 				sk, hit, err := s.buildThroughTiers(bctx, graphID, mergedKey, plan.prob.G, func(bctx context.Context) (any, error) {
 					sk, err := bp.BuildSketchForBudgets(bctx, plan.prob, merged, buildOpts, stats.NewRNG(seed))
 					if err == nil {
-						s.observeBuildCost(plan, eps, ell, merged, sk)
+						s.observeBuildCost(graphID, plan, eps, ell, merged, sk)
 					}
 					return sk, err
 				})
@@ -736,6 +791,7 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 				}
 				return sk, hit, err
 			})
+		endGather()
 		if err == nil {
 			s.sweepIfDeleted(graphID)
 			return sk, cacheHit || shared, nil
@@ -764,10 +820,21 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 // the next request rebuilds.
 func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report progress.Func) (*AllocateResult, error) {
 	startT := time.Now()
+	// A direct call (no HTTP layer, e.g. the benchmarks) carries no
+	// trace; mint an owned one so span timings and histograms cover
+	// this path too. The owner observes its own histograms at return —
+	// HTTP-minted traces are observed by finishJob instead.
+	tr := telemetry.FromContext(ctx)
+	ownedTrace := tr == nil && s.telemetryOn
+	if ownedTrace {
+		tr = telemetry.NewTrace(telemetry.NewTraceID(), true)
+		ctx = telemetry.NewContext(ctx, tr)
+	}
 	plan, err := s.validateAllocate(req)
 	if err != nil {
 		return nil, err
 	}
+	tr.SetFamily(planFamily(plan.meta))
 	plan.opts.Progress = report
 	prob, opts := plan.prob, plan.opts
 	seed := seedOf(req.Seed)
@@ -783,7 +850,13 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 			return nil, err
 		}
 		hit = h
-		res, err = sp.PlanFromSketch(prob, v)
+		endSel := telemetry.StartSpan(ctx, "greedy_select")
+		if pp, ok := sp.(core.ProgressiveSketchPlanner); ok && report != nil {
+			res, err = pp.PlanFromSketchProgress(prob, v, report)
+		} else {
+			res, err = sp.PlanFromSketch(prob, v)
+		}
+		endSel()
 		if err != nil {
 			return nil, err
 		}
@@ -797,15 +870,29 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 	out := NewAllocateResult(plan.meta.Name, res)
 	out.SketchCached = hit
 	if req.Runs > 0 {
+		endEst := telemetry.StartSpan(ctx, "estimate")
 		est, err := uic.EstimateWelfareParallelCascadeCtx(ctx, prob.G, prob.Model, opts.Cascade, res.Alloc,
 			stats.NewRNG(seed+1), req.Runs, req.Workers, report)
+		endEst()
 		if err != nil {
 			return nil, err
 		}
 		out.Welfare = &WelfareDTO{Mean: est.Mean, StdErr: est.StdErr, Runs: est.Runs}
 	}
 	out.ElapsedMS = time.Since(startT).Milliseconds()
+	if ownedTrace {
+		s.observeTrace("allocate", tr, time.Since(startT))
+	}
 	return out, nil
+}
+
+// planFamily labels a plan's traces and stage histograms: the sketch
+// family when the planner has one, the algorithm name otherwise.
+func planFamily(meta core.Meta) string {
+	if meta.SketchFamily != "" {
+		return meta.SketchFamily
+	}
+	return meta.Name
 }
 
 // validateWarm resolves a warm request against the same checks as an
@@ -844,6 +931,7 @@ func (s *Service) WarmCtx(ctx context.Context, graphID string, req *WarmRequest,
 	if err != nil {
 		return nil, err
 	}
+	telemetry.FromContext(ctx).SetFamily(planFamily(plan.meta))
 	plan.opts.Progress = report
 	eps, ell := resolveEpsEll(plan.opts.Eps, plan.opts.Ell)
 	sketch, hit, err := s.sketchForPlan(ctx, graphID, sp, plan, eps, ell, seedOf(req.Seed))
@@ -925,8 +1013,10 @@ func (s *Service) EstimateCtx(ctx context.Context, req *EstimateRequest, report 
 	if runs <= 0 {
 		runs = 10000
 	}
+	endEst := telemetry.StartSpan(ctx, "estimate")
 	est, err := uic.EstimateWelfareParallelCascadeCtx(ctx, entry.Graph, model, cascade, alloc,
 		stats.NewRNG(seedOf(req.Seed)), runs, req.Workers, report)
+	endEst()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/telemetry"
+)
+
+// logCapture swaps the slow-log seam for an in-memory sink.
+func logCapture(s *Service) func() []string {
+	var mu sync.Mutex
+	var lines []string
+	s.slowLogf = func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), lines...)
+	}
+}
+
+// TestSlowJobLog drives finishJob past the slow threshold and checks
+// the structured line: JSON, with trace id, kind, elapsed, and the
+// per-stage breakdown.
+func TestSlowJobLog(t *testing.T) {
+	s, err := New(Options{SlowThreshold: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := logCapture(s)
+
+	tr := telemetry.NewTrace("trace-slow-1", true)
+	end := tr.StartSpan("rrset_grow")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	job := s.jobs.Create("allocate", tr.ID(), nil)
+	s.jobs.Start(job.ID)
+	s.finishJob(job.ID, "allocate", tr, time.Now().Add(-2*time.Second), "done", nil)
+
+	lines := got()
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %d, want 1: %q", len(lines), lines)
+	}
+	var entry struct {
+		Msg       string                          `json:"msg"`
+		JobID     string                          `json:"job_id"`
+		Kind      string                          `json:"kind"`
+		TraceID   string                          `json:"trace_id"`
+		ElapsedMS float64                         `json:"elapsed_ms"`
+		Stages    map[string]telemetry.StageStats `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("slow log line is not JSON: %q: %v", lines[0], err)
+	}
+	if entry.Msg != "slow_request" || entry.Kind != "allocate" || entry.TraceID != "trace-slow-1" {
+		t.Errorf("slow log entry = %+v", entry)
+	}
+	if entry.JobID != job.ID {
+		t.Errorf("slow log job_id = %q, want %q", entry.JobID, job.ID)
+	}
+	if entry.ElapsedMS < 1900 {
+		t.Errorf("elapsed_ms = %v, want >= 1900", entry.ElapsedMS)
+	}
+	if st := entry.Stages["rrset_grow"]; st.Count != 1 || st.TotalMS <= 0 {
+		t.Errorf("stages = %+v, want rrset_grow with count 1", entry.Stages)
+	}
+
+	// The job view carries the same trace and stages.
+	view, ok := s.jobs.Snapshot(job.ID)
+	if !ok || view.TraceID != "trace-slow-1" || view.Stages["rrset_grow"].Count != 1 {
+		t.Errorf("job view = %+v", view)
+	}
+}
+
+// TestSlowJobLogDisabled checks the two off switches: a negative
+// threshold, and telemetry off entirely.
+func TestSlowJobLogDisabled(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"negative_threshold": {SlowThreshold: -1},
+		"telemetry_off":      {TelemetryOff: true, SlowThreshold: time.Millisecond},
+	} {
+		s, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := logCapture(s)
+		tr := telemetry.NewTrace("trace-quiet", true)
+		job := s.jobs.Create("allocate", tr.ID(), nil)
+		s.jobs.Start(job.ID)
+		s.finishJob(job.ID, "allocate", tr, time.Now().Add(-2*time.Second), nil, nil)
+		if lines := got(); len(lines) != 0 {
+			t.Errorf("%s: slow log fired: %q", name, lines)
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,241 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/telemetry"
+)
+
+// TestTraceIDEndToEnd follows one client-sent trace id through the
+// whole observable surface: the 202 response (header and body), the job
+// record, every SSE event, and the persisted history.jsonl audit line —
+// with at least four named stage spans attached to the job.
+func TestTraceIDEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnv(t, service.Options{Workers: 2, DataDir: dir})
+	id := e.registerGraph(t)
+
+	const traceID = "trace-e2e-42"
+	body, err := json.Marshal(service.AllocateRequest{GraphID: id, Budgets: []int{4, 4}, Runs: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", e.srv.URL+"/v1/allocate", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(telemetry.TraceHeader, traceID)
+	resp, err := e.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("allocate: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); got != traceID {
+		t.Errorf("response trace header = %q, want %q", got, traceID)
+	}
+	var ack struct {
+		JobID   string `json:"job_id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.TraceID != traceID {
+		t.Errorf("202 body trace_id = %q, want %q", ack.TraceID, traceID)
+	}
+
+	var view service.JobView
+	e.waitJob(t, ack.JobID, &view)
+	if view.State != service.JobDone {
+		t.Fatalf("job ended %q: %s", view.State, view.Error)
+	}
+	if view.TraceID != traceID {
+		t.Errorf("job view trace_id = %q, want %q", view.TraceID, traceID)
+	}
+	if len(view.Stages) < 4 {
+		t.Errorf("job carries %d stage spans, want >= 4: %v", len(view.Stages), view.Stages)
+	}
+	for _, stage := range []string{"cache_lookup", "rrset_grow", "greedy_select", "estimate"} {
+		st, ok := view.Stages[stage]
+		if !ok || st.Count < 1 {
+			t.Errorf("stage %q missing from job stages %v", stage, view.Stages)
+		}
+	}
+
+	// Every SSE frame (replayed history included) names the trace.
+	for i, ev := range readSSE(t, e, ack.JobID) {
+		if ev.Data.TraceID != traceID {
+			t.Errorf("SSE event %d trace_id = %q, want %q", i, ev.Data.TraceID, traceID)
+		}
+	}
+
+	// The terminal JobView lands in history.jsonl with the trace id (the
+	// audit append runs on the worker as the job finishes; poll briefly).
+	histPath := filepath.Join(dir, "jobs", "history.jsonl")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		raw, err := os.ReadFile(histPath)
+		if err == nil && strings.Contains(string(raw), traceID) {
+			if !strings.Contains(string(raw), `"stages"`) {
+				t.Errorf("history.jsonl record has no stages: %s", raw)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %q never appeared in %s (err %v)", traceID, histPath, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMetricsUnderConcurrentAllocates hammers GET /v1/metrics while
+// allocate jobs run — the race detector owns the interesting assertion —
+// then checks the exposition contains the expected route, job, and
+// stage series in both Prometheus text and JSON form.
+func TestMetricsUnderConcurrentAllocates(t *testing.T) {
+	e := newEnv(t, service.Options{Workers: 4})
+	id := e.registerGraph(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if status, _ := e.do("GET", "/v1/metrics", nil); status != http.StatusOK {
+				t.Errorf("metrics during load: status %d", status)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var jobs []string
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, e.submit(t, "/v1/allocate", service.AllocateRequest{
+			GraphID: id, Budgets: []int{3 + i%2, 3}, Runs: 1000,
+		}))
+	}
+	for _, jobID := range jobs {
+		var job allocJobView
+		e.waitJob(t, jobID, &job)
+		if job.State != service.JobDone {
+			t.Fatalf("job %s ended %q: %s", jobID, job.State, job.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	status, raw := e.do("GET", "/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`welmax_http_request_duration_seconds_bucket{route="POST /v1/allocate",le="+Inf"}`,
+		`welmax_job_duration_seconds_count{kind="allocate"} 6`,
+		`welmax_stage_duration_seconds_count{stage="greedy_select",family="prima"}`,
+		`welmax_stage_duration_seconds_count{stage="rrset_grow",family="prima"}`,
+		"# TYPE welmax_job_duration_seconds histogram",
+		"welmax_graphs 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+
+	var export telemetry.Export
+	e.doJSON("GET", "/v1/metrics?format=json", nil, &export, http.StatusOK)
+	if len(export.Histograms) == 0 || len(export.Gauges) == 0 {
+		t.Fatalf("JSON export empty: %d histograms, %d gauges", len(export.Histograms), len(export.Gauges))
+	}
+	for _, h := range export.Histograms {
+		if h.Name == "welmax_job_duration_seconds" && h.Count != 6 {
+			t.Errorf("job histogram count = %d, want 6", h.Count)
+		}
+	}
+}
+
+// TestSeedPrefixProgressEvents checks select-stage SSE events carry the
+// incremental seed prefix and that successive prefixes are consistent —
+// each extends the one before (lazy-greedy order is prefix-stable).
+func TestSeedPrefixProgressEvents(t *testing.T) {
+	e := newEnv(t, service.Options{Workers: 2})
+	id := e.registerGraph(t)
+
+	// The max budget exceeds the 16-selection report chunk so at least
+	// one intermediate prefix event fires before the final one.
+	jobID := e.submit(t, "/v1/allocate", service.AllocateRequest{
+		GraphID: id, Budgets: []int{20, 20}, Runs: 1000,
+	})
+	events := readSSE(t, e, jobID)
+	var prefixes [][]int64
+	for _, ev := range events {
+		if ev.Data.Type == service.EventProgress && ev.Data.Stage == "select" && len(ev.Data.SeedPrefix) > 0 {
+			prefixes = append(prefixes, ev.Data.SeedPrefix)
+		}
+	}
+	if len(prefixes) < 2 {
+		t.Fatalf("saw %d select-stage prefix events, want >= 2 (chunk + final): %+v", len(prefixes), events)
+	}
+	for i := 1; i < len(prefixes); i++ {
+		prev, cur := prefixes[i-1], prefixes[i]
+		if len(cur) < len(prev) {
+			t.Fatalf("prefix %d shrank: %v -> %v", i, prev, cur)
+		}
+		for j := range prev {
+			if cur[j] != prev[j] {
+				t.Fatalf("prefix %d not an extension: %v -> %v", i, prev, cur)
+			}
+		}
+	}
+	var job allocJobView
+	e.waitJob(t, jobID, &job)
+	if job.State != service.JobDone {
+		t.Fatalf("job ended %q: %s", job.State, job.Error)
+	}
+}
+
+// TestTelemetryOff checks the kill switch: jobs run, /v1/metrics still
+// answers, but no histograms accumulate and no trace ids are minted
+// into responses' bodies beyond the (still present) header echo.
+func TestTelemetryOff(t *testing.T) {
+	e := newEnv(t, service.Options{Workers: 2, TelemetryOff: true})
+	id := e.registerGraph(t)
+
+	jobID := e.submit(t, "/v1/allocate", service.AllocateRequest{
+		GraphID: id, Budgets: []int{3, 3}, Runs: 1000,
+	})
+	var job allocJobView
+	e.waitJob(t, jobID, &job)
+	if job.State != service.JobDone {
+		t.Fatalf("job ended %q: %s", job.State, job.Error)
+	}
+
+	var export telemetry.Export
+	e.doJSON("GET", "/v1/metrics?format=json", nil, &export, http.StatusOK)
+	if len(export.Histograms) != 0 {
+		t.Errorf("telemetry off but %d histogram series accumulated: %+v", len(export.Histograms), export.Histograms)
+	}
+	var view service.JobView
+	e.doJSON("GET", "/v1/jobs/"+jobID, nil, &view, http.StatusOK)
+	if len(view.Stages) != 0 {
+		t.Errorf("telemetry off but job carries stages: %v", view.Stages)
+	}
+}

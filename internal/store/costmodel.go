@@ -80,3 +80,102 @@ func (m *CostModel) Snapshot() (ratio float64, samples int) {
 	defer m.mu.Unlock()
 	return m.ratio, m.samples
 }
+
+// GraphCostRatio is one per-graph calibration entry, as exported to
+// /v1/metrics (welmax_graph_cost_ratio{graph_id}).
+type GraphCostRatio struct {
+	GraphID string
+	Ratio   float64
+	Samples int
+}
+
+// maxGraphModels caps the per-graph map so a churn of short-lived
+// graphs cannot grow it without bound; beyond the cap new graphs fall
+// back to the global model until older entries are Forgotten.
+const maxGraphModels = 256
+
+// CostModels keys CostModel calibration by graph id with a global
+// fallback: every observation updates both the graph's own model and
+// the global one, and Predict prefers the per-graph model once it has
+// seen at least one build on that graph. Different graphs can sit at
+// very different predicted-to-actual ratios (the λ*/k bound's slack
+// depends on the degree distribution), so per-graph calibration makes
+// admission pricing sharper on mixed workloads without losing the
+// global prior for graphs seen for the first time.
+type CostModels struct {
+	global *CostModel
+
+	mu      sync.Mutex
+	byGraph map[string]*CostModel
+}
+
+// NewCostModels returns an uncalibrated collection.
+func NewCostModels() *CostModels {
+	return &CostModels{global: NewCostModel(), byGraph: map[string]*CostModel{}}
+}
+
+// Observe feeds one completed build on graphID into both the per-graph
+// and the global calibration. An empty graphID updates only the global
+// model.
+func (c *CostModels) Observe(graphID string, predicted, actual int64) {
+	c.global.Observe(predicted, actual)
+	if graphID == "" {
+		return
+	}
+	c.mu.Lock()
+	m := c.byGraph[graphID]
+	if m == nil && len(c.byGraph) < maxGraphModels {
+		m = NewCostModel()
+		c.byGraph[graphID] = m
+	}
+	c.mu.Unlock()
+	if m != nil {
+		m.Observe(predicted, actual)
+	}
+}
+
+// Predict scales a raw estimate by the graph's learned ratio when that
+// graph has observations, falling back to the global model otherwise.
+func (c *CostModels) Predict(graphID string, predicted int64) int64 {
+	if graphID != "" {
+		c.mu.Lock()
+		m := c.byGraph[graphID]
+		c.mu.Unlock()
+		if m != nil {
+			if _, samples := m.Snapshot(); samples > 0 {
+				return m.Predict(predicted)
+			}
+		}
+	}
+	return c.global.Predict(predicted)
+}
+
+// Snapshot returns the global ratio and sample count (the /v1/stats
+// figures, unchanged from the single-model era).
+func (c *CostModels) Snapshot() (ratio float64, samples int) {
+	return c.global.Snapshot()
+}
+
+// PerGraph lists every per-graph calibration entry (unordered).
+func (c *CostModels) PerGraph() []GraphCostRatio {
+	c.mu.Lock()
+	models := make(map[string]*CostModel, len(c.byGraph))
+	for id, m := range c.byGraph {
+		models[id] = m
+	}
+	c.mu.Unlock()
+	out := make([]GraphCostRatio, 0, len(models))
+	for id, m := range models {
+		ratio, samples := m.Snapshot()
+		out = append(out, GraphCostRatio{GraphID: id, Ratio: ratio, Samples: samples})
+	}
+	return out
+}
+
+// Forget drops graphID's calibration (graph deletion); the global
+// model keeps what it learned.
+func (c *CostModels) Forget(graphID string) {
+	c.mu.Lock()
+	delete(c.byGraph, graphID)
+	c.mu.Unlock()
+}

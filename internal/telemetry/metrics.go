@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed resolution of every latency histogram:
+// bucket i (i < NumBuckets-1) counts observations with duration
+// ≤ 2^i microseconds, covering 1µs up to ~17.9 minutes in powers of
+// two; the last bucket is +Inf. Fixing the bounds repo-wide is what
+// makes cross-shard merging a plain element-wise sum.
+const NumBuckets = 32
+
+// bucketIndex maps a duration to its histogram bucket: the smallest i
+// with d ≤ 2^i microseconds, clamped to the +Inf bucket.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	// Smallest i with us <= 2^i, i.e. ceil(log2(us)).
+	i := bits.Len64(uint64(us - 1))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds returns the finite upper bounds in seconds (the last,
+// +Inf, bucket is implicit).
+func BucketBounds() []float64 {
+	out := make([]float64, NumBuckets-1)
+	for i := range out {
+		out[i] = float64(uint64(1)<<uint(i)) / 1e6
+	}
+	return out
+}
+
+// Histogram is one lock-free log2-bucketed latency histogram. Observe
+// is three atomic adds — cheap enough for the allocate hot path.
+type Histogram struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	buckets  [NumBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Label is one name/value pair attached to a histogram or gauge.
+// Labels are ordered (series identity is the ordered list), so the
+// emitting site controls the Prometheus rendering order.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// HistSnapshot is one histogram series' point-in-time state: the JSON
+// form backends serve at /v1/metrics?format=json and the router merges
+// across shards. Buckets are non-cumulative counts per BucketBounds
+// position (last = +Inf).
+type HistSnapshot struct {
+	Name       string  `json:"name"`
+	Labels     []Label `json:"labels,omitempty"`
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	Buckets    []int64 `json:"buckets"`
+}
+
+// Gauge is one point-in-time numeric metric (counters are exported
+// this way too — their cumulativeness lives in the source, not here).
+type Gauge struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Export is the complete JSON body of GET /v1/metrics?format=json.
+type Export struct {
+	Histograms []HistSnapshot `json:"histograms"`
+	Gauges     []Gauge        `json:"gauges,omitempty"`
+}
+
+// Metrics is a registry of labeled histograms. Series creation takes
+// the write lock once; subsequent observations are a read-locked map
+// hit plus atomic adds.
+type Metrics struct {
+	mu     sync.RWMutex
+	series map[string]*histSeries
+}
+
+type histSeries struct {
+	name   string
+	labels []Label
+	hist   Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{series: map[string]*histSeries{}}
+}
+
+// seriesKey builds the registry key for (name, labels). Label order is
+// part of the identity — emitting sites use fixed orders.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Observe records one duration into the named series, creating it on
+// first use.
+func (m *Metrics) Observe(name string, labels []Label, d time.Duration) {
+	key := seriesKey(name, labels)
+	m.mu.RLock()
+	s := m.series[key]
+	m.mu.RUnlock()
+	if s == nil {
+		m.mu.Lock()
+		if s = m.series[key]; s == nil {
+			s = &histSeries{name: name, labels: append([]Label(nil), labels...)}
+			m.series[key] = s
+		}
+		m.mu.Unlock()
+	}
+	s.hist.Observe(d)
+}
+
+// Snapshot captures every series. Bucket reads race benignly with
+// concurrent observes (each counter is individually atomic), which is
+// exactly the precision a metrics scrape needs.
+func (m *Metrics) Snapshot() []HistSnapshot {
+	m.mu.RLock()
+	series := make([]*histSeries, 0, len(m.series))
+	for _, s := range m.series {
+		series = append(series, s)
+	}
+	m.mu.RUnlock()
+	out := make([]HistSnapshot, 0, len(series))
+	for _, s := range series {
+		snap := HistSnapshot{
+			Name:       s.name,
+			Labels:     s.labels,
+			Count:      s.hist.count.Load(),
+			SumSeconds: float64(s.hist.sumNanos.Load()) / 1e9,
+			Buckets:    make([]int64, NumBuckets),
+		}
+		for i := range snap.Buckets {
+			snap.Buckets[i] = s.hist.buckets[i].Load()
+		}
+		out = append(out, snap)
+	}
+	sortSnapshots(out)
+	return out
+}
+
+// MergeSnapshots merges histogram snapshots from several sources
+// (shards) by (name, labels), summing counts, sums, and buckets — valid
+// because every Histogram shares the fixed BucketBounds.
+func MergeSnapshots(groups ...[]HistSnapshot) []HistSnapshot {
+	merged := map[string]*HistSnapshot{}
+	var order []string
+	for _, snaps := range groups {
+		for _, s := range snaps {
+			key := seriesKey(s.Name, s.Labels)
+			dst := merged[key]
+			if dst == nil {
+				cp := s
+				cp.Labels = append([]Label(nil), s.Labels...)
+				cp.Buckets = make([]int64, NumBuckets)
+				copy(cp.Buckets, s.Buckets)
+				merged[key] = &cp
+				order = append(order, key)
+				continue
+			}
+			dst.Count += s.Count
+			dst.SumSeconds += s.SumSeconds
+			for i := 0; i < len(s.Buckets) && i < len(dst.Buckets); i++ {
+				dst.Buckets[i] += s.Buckets[i]
+			}
+		}
+	}
+	out := make([]HistSnapshot, 0, len(order))
+	for _, key := range order {
+		out = append(out, *merged[key])
+	}
+	sortSnapshots(out)
+	return out
+}
+
+func sortSnapshots(snaps []HistSnapshot) {
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].Name != snaps[j].Name {
+			return snaps[i].Name < snaps[j].Name
+		}
+		return seriesKey("", snaps[i].Labels) < seriesKey("", snaps[j].Labels)
+	})
+}
+
+// escapeLabel escapes a label value for Prometheus text exposition.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders {a="b",c="d"} with an optional extra le pair
+// appended; empty labels and no le renders "".
+func renderLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `le="%s"`, le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WritePrometheus renders histograms and gauges in Prometheus text
+// exposition format (cumulative le buckets, _sum and _count series,
+// one # TYPE line per metric name). Series are sorted by name so each
+// metric's series stay contiguous under their TYPE line, as the
+// exposition format requires.
+func WritePrometheus(w io.Writer, hists []HistSnapshot, gauges []Gauge) {
+	hists = append([]HistSnapshot(nil), hists...)
+	sortSnapshots(hists)
+	gauges = append([]Gauge(nil), gauges...)
+	sort.Slice(gauges, func(i, j int) bool {
+		if gauges[i].Name != gauges[j].Name {
+			return gauges[i].Name < gauges[j].Name
+		}
+		return seriesKey("", gauges[i].Labels) < seriesKey("", gauges[j].Labels)
+	})
+	bounds := BucketBounds()
+	lastName := ""
+	for _, h := range hists {
+		if h.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name)
+			lastName = h.Name
+		}
+		cum := int64(0)
+		for i := 0; i < NumBuckets; i++ {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatFloat(bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, renderLabels(h.Labels, le), cum)
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, renderLabels(h.Labels, ""), formatFloat(h.SumSeconds))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, renderLabels(h.Labels, ""), h.Count)
+	}
+	lastName = ""
+	for _, g := range gauges {
+		if g.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name)
+			lastName = g.Name
+		}
+		fmt.Fprintf(w, "%s%s %s\n", g.Name, renderLabels(g.Labels, ""), formatFloat(g.Value))
+	}
+}

@@ -1,0 +1,214 @@
+// Package telemetry is welmaxd's observability substrate: request
+// traces with per-stage span timing, and lock-free log-bucketed latency
+// histograms exported in Prometheus text format. It sits below every
+// other tier (no repo-internal imports), so the sketch builders
+// (rrset, imm, prima), the service, the batch scheduler, and the
+// cluster router can all record into one shared vocabulary:
+//
+//   - a Trace is minted per request (or adopted from the TraceHeader),
+//     travels in the context, and accumulates how often each named
+//     stage ran and how long it took in total — bounded state, however
+//     many spans a build records;
+//   - StartSpan(ctx, stage) times one stage occurrence and is a no-op
+//     without a trace in ctx (library callers pay nothing);
+//   - Metrics is a registry of labeled histograms whose bucket
+//     increments are plain atomics, exportable as Prometheus text or as
+//     a JSON Export the cluster router merges across shards.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace id. The
+// cluster router mints one when the client did not send one, backends
+// adopt an inbound id or mint their own, and every response echoes the
+// id back so a client can correlate its request with job records, SSE
+// events, and slow-request logs.
+const TraceHeader = "X-Welmax-Trace-Id"
+
+// maxTraceIDLen bounds adopted trace ids: the id is echoed into logs,
+// job records, and SSE frames, so an unbounded client-chosen value
+// would let one request bloat all three.
+const maxTraceIDLen = 64
+
+// NewTraceID mints a random 16-hex-digit trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here a
+		// constant id only degrades correlation, so don't.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeID normalizes an externally supplied trace id: control
+// characters (which would corrupt log lines and SSE frames) are
+// stripped, overlong ids are truncated, and an empty result mints a
+// fresh id.
+func SanitizeID(id string) string {
+	clean := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && len(clean) < maxTraceIDLen; i++ {
+		if c := id[i]; c > 0x20 && c < 0x7f {
+			clean = append(clean, c)
+		}
+	}
+	if len(clean) == 0 {
+		return NewTraceID()
+	}
+	return string(clean)
+}
+
+// StageStats is the accumulated timing of one named stage within a
+// trace: how many spans ran and their total duration. It is the wire
+// form stored on job records (JobView.Stages → history.jsonl).
+type StageStats struct {
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Total returns the accumulated duration.
+func (s StageStats) Total() time.Duration {
+	return time.Duration(s.TotalMS * float64(time.Millisecond))
+}
+
+// Trace accumulates per-stage span timings for one request. It stores
+// totals per stage name, not individual span events, so a sketch build
+// recording thousands of rrset_grow spans costs one map entry. A nil
+// *Trace is valid everywhere and records nothing; a disabled trace
+// keeps its id (cheap correlation stays on) but drops span timings.
+type Trace struct {
+	id      string
+	enabled bool
+
+	mu     sync.Mutex
+	family string
+	stages map[string]StageStats
+}
+
+// NewTrace returns a trace with the given id. enabled=false keeps the
+// id for correlation but makes every span a no-op (-telemetry=off).
+func NewTrace(id string, enabled bool) *Trace {
+	return &Trace{id: id, enabled: enabled}
+}
+
+// ID returns the trace id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Enabled reports whether spans are recorded.
+func (t *Trace) Enabled() bool { return t != nil && t.enabled }
+
+// SetFamily labels the trace with the planner's sketch family
+// ("prima", "imm"); the stage-duration histograms carry it.
+func (t *Trace) SetFamily(family string) {
+	if t == nil || family == "" {
+		return
+	}
+	t.mu.Lock()
+	t.family = family
+	t.mu.Unlock()
+}
+
+// Family returns the sketch-family label ("" when unset or nil).
+func (t *Trace) Family() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.family
+}
+
+// Record adds one completed span of the named stage.
+func (t *Trace) Record(stage string, d time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	if t.stages == nil {
+		t.stages = map[string]StageStats{}
+	}
+	st := t.stages[stage]
+	st.Count++
+	st.TotalMS += float64(d) / float64(time.Millisecond)
+	t.stages[stage] = st
+	t.mu.Unlock()
+}
+
+// StartSpan starts timing one occurrence of stage and returns the
+// function ending it. The end function is idempotent and safe to call
+// from a different goroutine than the starter — hot paths that may end
+// a span early (e.g. a cache-lookup span ended when the build callback
+// starts, or a batch-gather span ended from the scheduler's timer
+// goroutine) can also defer it safely. On a nil or disabled trace both
+// directions are no-ops.
+func (t *Trace) StartSpan(stage string) func() {
+	if !t.Enabled() {
+		return func() {}
+	}
+	start := time.Now()
+	var ended atomic.Bool
+	return func() {
+		if ended.Swap(true) {
+			return
+		}
+		t.Record(stage, time.Since(start))
+	}
+}
+
+// Stages snapshots the accumulated per-stage timings.
+func (t *Trace) Stages() map[string]StageStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stages) == 0 {
+		return nil
+	}
+	out := make(map[string]StageStats, len(t.stages))
+	for k, v := range t.stages {
+		out[k] = v
+	}
+	return out
+}
+
+// ctxKey keys the trace in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. Attaching a nil trace returns ctx
+// unchanged.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// StartSpan times one occurrence of stage against the trace in ctx; a
+// context without a trace gets a no-op end function. This is the hook
+// the library tiers (rrset, imm, prima, batch) call — they stay
+// ignorant of whether anyone is tracing.
+func StartSpan(ctx context.Context, stage string) func() {
+	return FromContext(ctx).StartSpan(stage)
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},             // 1024µs ≤ 2^10
+		{time.Second, 20},                  // 1e6µs ≤ 2^20
+		{30 * time.Minute, NumBuckets - 1}, // beyond the finite range
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTraceSpansAccumulate(t *testing.T) {
+	tr := NewTrace("abc", true)
+	ctx := NewContext(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		end := StartSpan(ctx, "rrset_grow")
+		end()
+		end() // idempotent: the second call must not double-record
+	}
+	st := tr.Stages()
+	if st["rrset_grow"].Count != 3 {
+		t.Fatalf("rrset_grow count = %d, want 3", st["rrset_grow"].Count)
+	}
+	if tr.ID() != "abc" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+}
+
+func TestNilAndDisabledTrace(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.StartSpan("x")() // must not panic
+	nilTrace.Record("x", time.Second)
+	if nilTrace.ID() != "" || nilTrace.Enabled() || nilTrace.Stages() != nil {
+		t.Fatal("nil trace must read as empty")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	StartSpan(context.Background(), "x")() // no-op end
+
+	off := NewTrace("id", false)
+	off.StartSpan("x")()
+	if off.Stages() != nil {
+		t.Fatal("disabled trace must record nothing")
+	}
+	if off.ID() != "id" {
+		t.Fatal("disabled trace keeps its id")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := SanitizeID("ok-123"); got != "ok-123" {
+		t.Fatalf("SanitizeID(ok-123) = %q", got)
+	}
+	if got := SanitizeID("bad\nid\x00 here"); got != "badidhere" {
+		t.Fatalf("SanitizeID = %q", got)
+	}
+	if got := SanitizeID(strings.Repeat("a", 200)); len(got) != maxTraceIDLen {
+		t.Fatalf("len = %d, want %d", len(got), maxTraceIDLen)
+	}
+	if got := SanitizeID("\n\x01"); got == "" {
+		t.Fatal("all-control input must mint a fresh id")
+	}
+}
+
+func TestMetricsObserveAndSnapshot(t *testing.T) {
+	m := NewMetrics()
+	lbl := []Label{{Name: "route", Value: "POST /v1/allocate"}}
+	m.Observe("welmax_http_request_duration_seconds", lbl, 3*time.Microsecond)
+	m.Observe("welmax_http_request_duration_seconds", lbl, time.Second)
+	snaps := m.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d series, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.SumSeconds < 1.0 || s.SumSeconds > 1.1 {
+		t.Fatalf("sum = %g", s.SumSeconds)
+	}
+	if s.Buckets[2] != 1 || s.Buckets[20] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := []Label{{Name: "stage", Value: "grow"}}
+			for i := 0; i < 500; i++ {
+				m.Observe("welmax_stage_duration_seconds", lbl, time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					m.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snaps := m.Snapshot()
+	if len(snaps) != 1 || snaps[0].Count != 4000 {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewMetrics()
+	b := NewMetrics()
+	lbl := []Label{{Name: "route", Value: "GET /v1/stats"}}
+	a.Observe("m", lbl, time.Millisecond)
+	a.Observe("m", lbl, time.Millisecond)
+	b.Observe("m", lbl, 2*time.Millisecond)
+	b.Observe("other", nil, time.Microsecond)
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if len(merged) != 2 {
+		t.Fatalf("got %d series", len(merged))
+	}
+	byName := map[string]HistSnapshot{}
+	for _, s := range merged {
+		byName[s.Name] = s
+	}
+	if byName["m"].Count != 3 {
+		t.Fatalf("merged count = %d, want 3", byName["m"].Count)
+	}
+	if byName["m"].Buckets[bucketIndex(time.Millisecond)] != 2 {
+		t.Fatalf("merged buckets = %v", byName["m"].Buckets)
+	}
+	if byName["other"].Count != 1 {
+		t.Fatalf("other count = %d", byName["other"].Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("welmax_job_duration_seconds", []Label{{Name: "kind", Value: "allocate"}}, time.Millisecond)
+	var sb strings.Builder
+	WritePrometheus(&sb, m.Snapshot(), []Gauge{
+		{Name: "welmax_graphs", Value: 2},
+		{Name: "welmax_graph_cost_ratio", Labels: []Label{{Name: "graph_id", Value: `g"1`}}, Value: 0.5},
+	})
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE welmax_job_duration_seconds histogram\n",
+		`welmax_job_duration_seconds_bucket{kind="allocate",le="+Inf"} 1`,
+		`welmax_job_duration_seconds_count{kind="allocate"} 1`,
+		"# TYPE welmax_graphs gauge\n",
+		"welmax_graphs 2\n",
+		`welmax_graph_cost_ratio{graph_id="g\"1"} 0.5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Cumulative buckets: the +Inf bucket must equal the count.
+	if !strings.Contains(text, `le="0.001024"} 1`) {
+		t.Fatalf("1ms should land at the 2^10µs bound:\n%s", text)
+	}
+}

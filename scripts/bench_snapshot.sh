@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — one point on the perf trajectory.
+#
+# Runs the service-layer allocate benchmarks and writes BENCH_allocate.json
+# with a stable schema (benchmark name -> ns/op and sketchbuilds/op, plus
+# the commit and date), so successive CI runs are directly comparable.
+# Also the telemetry overhead guard: the warm allocate path with tracing
+# and histograms on must cost < 5% over the same path with -telemetry
+# off. Each benchmark runs COUNT times and the minimum ns/op is compared
+# — min-of-N is the standard way to strip scheduler noise from a
+# threshold check.
+#
+# Env knobs: BENCH_TIME (default 50x), BENCH_COUNT (default 3),
+# OUT (default BENCH_allocate.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TIME="${BENCH_TIME:-50x}"
+BENCH_COUNT="${BENCH_COUNT:-3}"
+OUT="${OUT:-BENCH_allocate.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServiceAllocate|BenchmarkBatchedAllocate' \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$raw"
+
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Reduce the -count repetitions to min ns/op (and min sketchbuilds/op —
+# it is deterministic per benchmark, so min == the value) per name, then
+# emit the stable JSON shape.
+awk -v commit="$commit" -v date="$date" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = ""; builds = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "sketchbuilds/op") builds = $(i-1)
+    }
+    if (ns == "") next
+    if (!(name in minNS) || ns + 0 < minNS[name] + 0) minNS[name] = ns
+    if (builds != "" && (!(name in minB) || builds + 0 < minB[name] + 0)) minB[name] = builds
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"schema\": 1,\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, date
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, minNS[name]
+        if (name in minB) printf ", \"sketchbuilds_per_op\": %s", minB[name]
+        printf "}%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"
+
+# --- telemetry overhead guard ------------------------------------------
+on="$(awk -F'"' '/"name": "BenchmarkServiceAllocate\/warm"/ {print $0}' "$OUT" | grep -oE 'ns_per_op": [0-9.]+' | grep -oE '[0-9.]+')"
+off="$(awk -F'"' '/"name": "BenchmarkServiceAllocate\/warm-notelemetry"/ {print $0}' "$OUT" | grep -oE 'ns_per_op": [0-9.]+' | grep -oE '[0-9.]+')"
+if [ -z "$on" ] || [ -z "$off" ]; then
+    echo "bench_snapshot: warm/warm-notelemetry results missing, cannot check overhead" >&2
+    exit 1
+fi
+awk -v on="$on" -v off="$off" 'BEGIN {
+    pct = (on - off) / off * 100
+    printf "telemetry warm-path overhead: %.2f%% (on %.0f ns/op, off %.0f ns/op)\n", pct, on, off
+    if (pct >= 5) {
+        print "FAIL: telemetry overhead >= 5% on the warm allocate path" > "/dev/stderr"
+        exit 1
+    }
+}'

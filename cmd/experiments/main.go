@@ -8,6 +8,11 @@
 //	experiments -run table2
 //	experiments -run fig4 -scale 0.2 -runs 2000
 //	experiments -run all -scale 0.1
+//
+// With -remote the mini grid runs against a live welmaxd or cluster
+// router via POST /v1/sweeps instead of in-process:
+//
+//	experiments -remote http://127.0.0.1:8080 -scale 0.05 -runs 200
 package main
 
 import (
@@ -22,15 +27,23 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "target: table2|fig4|fig5|fig6|fig7|fig8a|fig8bc|fig8d|fig9|fig9d|table5|table6|all")
-		scale = flag.Float64("scale", 0.25, "network scale factor")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		runs  = flag.Int("runs", 2000, "Monte-Carlo runs per welfare estimate")
-		items = flag.Int("items", 5, "item count for multi-item experiments")
+		run    = flag.String("run", "all", "target: table2|fig4|fig5|fig6|fig7|fig8a|fig8bc|fig8d|fig9|fig9d|table5|table6|all")
+		scale  = flag.Float64("scale", 0.25, "network scale factor")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		runs   = flag.Int("runs", 2000, "Monte-Carlo runs per welfare estimate")
+		items  = flag.Int("items", 5, "item count for multi-item experiments")
+		remote = flag.String("remote", "", "base URL of a welmaxd or router; runs the mini grid via POST /v1/sweeps")
 	)
 	flag.Parse()
 
 	p := expr.Params{Scale: *scale, Seed: *seed, Runs: *runs}
+	if *remote != "" {
+		if err := runRemote(*remote, p, *items); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	targets := strings.Split(*run, ",")
 	if *run == "all" {
 		targets = []string{"table2", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8bc", "fig8d", "fig9", "fig9d", "table5", "table6"}

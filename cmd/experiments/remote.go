@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"uicwelfare/internal/core"
+	"uicwelfare/internal/expr"
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/sweep"
+)
+
+// runRemote drives the paper's mini evaluation grid through a running
+// welmaxd (or a cluster router — the API is identical) instead of
+// in-process: register the stand-in networks, POST the grid as one
+// /v1/sweeps request, follow per-cell progress over the sweep's SSE
+// stream, and print the per-cell rows plus the grouped welfare
+// aggregates from /v1/sweeps/{id}/results. Against a router, the job-id
+// prefixes in the output show which shard ran each cell.
+func runRemote(base string, p expr.Params, items int) error {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	networks := []string{"flixster", "douban-book"}
+	graphIDs := make([]string, 0, len(networks))
+	for _, net := range networks {
+		body, _ := json.Marshal(service.GraphRequest{Network: net, Scale: p.Scale, Seed: p.Seed})
+		resp, err := client.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("register %s: %w", net, err)
+		}
+		raw, _ := readBody(resp)
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("register %s: status %d: %s", net, resp.StatusCode, raw)
+		}
+		var info service.GraphInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			return fmt.Errorf("register %s: %w", net, err)
+		}
+		fmt.Printf("registered %s as %s (%d nodes, %d edges)\n", net, info.ID, info.Nodes, info.Edges)
+		graphIDs = append(graphIDs, info.ID)
+	}
+
+	spec := sweep.Spec{
+		Name:     "experiments-mini",
+		GraphIDs: graphIDs,
+		Configs:  []string{"config1", "config3"},
+		Budgets:  [][]int{{25, 25}, {50, 50}},
+		Algos:    []string{core.AlgoBundleGRD, core.AlgoItemDisjoint},
+		Runs:     p.Runs,
+		Seed:     p.Seed,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("create sweep: %w", err)
+	}
+	raw, _ := readBody(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("create sweep: status %d: %s", resp.StatusCode, raw)
+	}
+	var accepted struct {
+		SweepID string `json:"sweep_id"`
+		Cells   int    `json:"cells"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(raw, &accepted); err != nil {
+		return fmt.Errorf("create sweep: %w", err)
+	}
+	fmt.Printf("sweep %s accepted: %d cells (trace %s)\n", accepted.SweepID, accepted.Cells, accepted.TraceID)
+
+	if err := followSweep(base, accepted.SweepID); err != nil {
+		return err
+	}
+	return printSweepResults(client, base, accepted.SweepID)
+}
+
+// followSweep tails the sweep's SSE stream, printing one line per cell
+// state change, until the terminal event closes the stream.
+func followSweep(base, sweepID string) error {
+	// No client timeout here: the stream lives until the sweep ends.
+	resp, err := (&http.Client{}).Get(base + "/v1/sweeps/" + sweepID + "/events")
+	if err != nil {
+		return fmt.Errorf("sweep events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sweep events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	eventType := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev service.JobEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				continue
+			}
+			switch {
+			case ev.Cell != "":
+				line := fmt.Sprintf("  cell %-5s %-8s", ev.Cell, ev.CellState)
+				if ev.Node != "" {
+					line += " node=" + ev.Node
+				}
+				if ev.CellJob != "" {
+					line += " job=" + ev.CellJob
+				}
+				if ev.Total > 0 && ev.CellState != string(service.JobRunning) {
+					line += fmt.Sprintf(" (%d/%d)", ev.Done, ev.Total)
+				}
+				fmt.Println(line)
+			case eventType != "progress":
+				fmt.Printf("sweep %s: %s\n", sweepID, eventType)
+				if ev.Error != "" {
+					fmt.Printf("  error: %s\n", ev.Error)
+				}
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sweep events: %w", err)
+	}
+	return nil
+}
+
+// printSweepResults fetches the finished sweep's rows and grouped
+// aggregates and renders them as the usual experiment tables.
+func printSweepResults(client *http.Client, base, sweepID string) error {
+	resp, err := client.Get(base + "/v1/sweeps/" + sweepID + "/results?group_by=graph,config,algo")
+	if err != nil {
+		return fmt.Errorf("sweep results: %w", err)
+	}
+	raw, _ := readBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sweep results: status %d: %s", resp.StatusCode, raw)
+	}
+	var res sweep.ResultsResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return fmt.Errorf("sweep results: %w", err)
+	}
+
+	fmt.Printf("== sweep %s: per-cell results (artifact %s) ==\n", sweepID, res.ArtifactID)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "cell\tgraph\tconfig\tbudgets\talgorithm\tstate\tnode\tjob\twelfare\t±95%\tms")
+	for _, c := range res.Cells {
+		budgets := make([]string, len(c.Budgets))
+		for i, b := range c.Budgets {
+			budgets[i] = fmt.Sprint(b)
+		}
+		welfare, ci := "-", "-"
+		if c.HasWelfare {
+			welfare = fmt.Sprintf("%.1f", c.WelfareMean)
+			ci = fmt.Sprintf("%.1f", 1.96*c.WelfareStdErr)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			c.CellID, c.GraphID, c.Config, strings.Join(budgets, ","), c.Algo,
+			c.State, c.Node, c.JobID, welfare, ci, c.ElapsedMS)
+	}
+	w.Flush()
+
+	fmt.Println("== grouped welfare (graph × config × algorithm) ==")
+	fmt.Fprintln(w, "graph\tconfig\talgorithm\tcells\tmean\tmin\tmax")
+	for _, g := range res.Groups {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.1f\t%.1f\t%.1f\n",
+			g.Key["graph"], g.Key["config"], g.Key["algo"], g.Cells,
+			g.WelfareMean, g.WelfareMin, g.WelfareMax)
+	}
+	w.Flush()
+
+	states := make([]string, 0, len(res.Counts))
+	for s := range res.Counts {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	parts := make([]string, 0, len(states))
+	for _, s := range states {
+		parts = append(parts, fmt.Sprintf("%s=%d", s, res.Counts[s]))
+	}
+	fmt.Printf("cells: %s\n", strings.Join(parts, " "))
+	if res.Counts[string(service.JobFailed)] > 0 {
+		return fmt.Errorf("%d cells failed", res.Counts[string(service.JobFailed)])
+	}
+	return nil
+}
+
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -10,7 +10,13 @@
 // budgets are coalesced onto one dominating sketch build
 // (-batch-window, on by default), and -admission-mb adds cost-based
 // admission control: requests whose predicted sketch cost exceeds the
-// budget answer 429 with a retryable body instead of queueing.
+// budget answer 429 with a retryable body instead of queueing
+// (-admission-queue holds near-budget requests briefly before the 429).
+// POST /v1/sweeps runs a whole experiment grid — graphs × utility
+// configs × ε × budget vectors × planners — as one job: cells stream
+// per-cell progress over SSE and results land as a checksummed .wsr
+// artifact served with filters and group-by aggregation from
+// GET /v1/sweeps/{id}/results.
 //
 // Quick start:
 //
@@ -89,11 +95,16 @@ func main() {
 		cacheTTL   = flag.Duration("cache-ttl", 0, "in-memory sketch lifetime (0 = forever); expired sketches rebuild on next use")
 		batchWin   = flag.Duration("batch-window", 10*time.Millisecond, "gather window coalescing concurrent allocate/warm requests that differ only in budgets onto one dominating sketch build (0 disables batching)")
 		admitMB    = flag.Int("admission-mb", 0, "cost-based admission control: reject allocate/warm requests (429, retryable) whose predicted sketch cost exceeds this many MB (0 disables)")
+		admitQueue = flag.Int("admission-queue", 0, "queue-with-deadline admission: hold up to this many near-budget requests briefly instead of answering 429 (0 disables, needs -admission-mb)")
+		admitWait  = flag.Duration("admission-wait", 2*time.Second, "how long a queued near-budget request waits for admission before the 429 (with -admission-queue)")
+		admitSlack = flag.Float64("admission-slack", 1.5, "queue eligibility: only requests predicted within this factor of -admission-mb queue; further over rejects immediately")
+		sweepCells = flag.Int("sweep-cell-workers", 0, "concurrent sweep cells per POST /v1/sweeps (0 = the -workers count)")
 		nodeID     = flag.String("node", "", "cluster node id: job ids become <node>-j<seq> and /v1/healthz reports it (required behind a router)")
 		route      = flag.String("route", "", "run as a cluster router over these backends: 'b0=http://host:port,b1=...' (ignores backend-only flags except -data-dir and -cluster-token)")
 		probeEvery = flag.Duration("probe-interval", 2*time.Second, "router health-probe cadence (with -route)")
 		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "router per-backend request deadline, SSE excepted (with -route)")
 		token      = flag.String("cluster-token", "", "shared cluster secret: backends require it on import/sketch endpoints, the router attaches it (or set WELMAXD_CLUSTER_TOKEN)")
+		shardConc  = flag.Int("sweep-shard-concurrency", 2, "router: sweep cells kept in flight per backend (with -route)")
 		telemetryF = flag.String("telemetry", "on", "request tracing and latency histograms: on or off")
 		slowMS     = flag.Int("slow-ms", 1000, "log a structured slow-request line (with trace id and per-stage timings) for jobs at or above this many milliseconds (0 disables)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
@@ -116,26 +127,30 @@ func main() {
 		if *dataDir != "" {
 			spillDir = filepath.Join(*dataDir, "catalog")
 		}
-		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken)
+		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken, *shardConc)
 		return
 	}
 
 	svc, err := service.New(service.Options{
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		CacheEntries:   *cacheCap,
-		CacheMB:        *cacheMB,
-		JobRetention:   *retention,
-		AllowPathLoads: *allowPaths,
-		DataDir:        *dataDir,
-		DiskMB:         *diskMB,
-		CacheTTL:       *cacheTTL,
-		BatchWindow:    *batchWin,
-		AdmissionMB:    *admitMB,
-		NodeID:         *nodeID,
-		ClusterToken:   clusterToken,
-		TelemetryOff:   *telemetryF == "off",
-		SlowThreshold:  slowThreshold(*slowMS),
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		CacheEntries:     *cacheCap,
+		CacheMB:          *cacheMB,
+		JobRetention:     *retention,
+		AllowPathLoads:   *allowPaths,
+		DataDir:          *dataDir,
+		DiskMB:           *diskMB,
+		CacheTTL:         *cacheTTL,
+		BatchWindow:      *batchWin,
+		AdmissionMB:      *admitMB,
+		AdmissionQueue:   *admitQueue,
+		AdmissionWait:    *admitWait,
+		AdmissionSlack:   *admitSlack,
+		SweepCellWorkers: *sweepCells,
+		NodeID:           *nodeID,
+		ClusterToken:     clusterToken,
+		TelemetryOff:     *telemetryF == "off",
+		SlowThreshold:    slowThreshold(*slowMS),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -222,19 +237,20 @@ func startPprof(addr string) {
 }
 
 // runRouter serves the cluster routing tier (-route).
-func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string) {
+func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string, shardConc int) {
 	backends, err := cluster.ParseBackends(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
 		os.Exit(1)
 	}
 	rt, err := cluster.New(cluster.Options{
-		Backends:       backends,
-		ProbeInterval:  probeEvery,
-		ProxyTimeout:   proxyTimeout,
-		AllowPathLoads: allowPaths,
-		SpillDir:       spillDir,
-		ClusterToken:   clusterToken,
+		Backends:              backends,
+		ProbeInterval:         probeEvery,
+		ProxyTimeout:          proxyTimeout,
+		AllowPathLoads:        allowPaths,
+		SpillDir:              spillDir,
+		ClusterToken:          clusterToken,
+		SweepShardConcurrency: shardConc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)

@@ -3,9 +3,39 @@ package cluster
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"uicwelfare/internal/telemetry"
 )
+
+// observeOp records one router-initiated cluster operation (placement,
+// rebalance, ship, dispatch) into the
+// welmax_cluster_op_duration_seconds{op} histogram.
+func (r *Router) observeOp(op string, start time.Time) {
+	r.metrics.Observe("welmax_cluster_op_duration_seconds",
+		[]telemetry.Label{{Name: "op", Value: op}}, time.Since(start))
+}
+
+// routerGauges are the router's own point-in-time series, exported
+// alongside the relayed per-backend gauges (no node label: they belong
+// to the routing tier itself).
+func (r *Router) routerGauges() []telemetry.Gauge {
+	stateGauge := func(state string, v int64) telemetry.Gauge {
+		return telemetry.Gauge{
+			Name:   "welmax_cluster_sweep_cells_total",
+			Labels: []telemetry.Label{{Name: "state", Value: state}},
+			Value:  float64(v),
+		}
+	}
+	return []telemetry.Gauge{
+		{Name: "welmax_cluster_rebalances", Value: float64(r.rebalances.Load())},
+		{Name: "welmax_cluster_sketch_ships", Value: float64(r.ships.Load())},
+		{Name: "welmax_cluster_pre_admission_rejects", Value: float64(r.preAdmitRejects.Load())},
+		stateGauge("done", r.sweepCellsDone.Load()),
+		stateGauge("failed", r.sweepCellsFailed.Load()),
+		stateGauge("canceled", r.sweepCellsCanceled.Load()),
+	}
+}
 
 // handleMetrics implements the router's GET /v1/metrics: the cluster's
 // merged latency histograms plus every backend's gauges. Histograms are
@@ -19,7 +49,7 @@ import (
 // a scrape never fails because a shard is down.
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	groups := [][]telemetry.HistSnapshot{r.metrics.Snapshot()}
-	gauges := []telemetry.Gauge{}
+	gauges := r.routerGauges()
 	errs := map[string]string{}
 	for _, res := range r.fanout(req.Context(), http.MethodGet, "/v1/metrics?format=json") {
 		if res.err != nil {

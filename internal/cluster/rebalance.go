@@ -9,16 +9,22 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"uicwelfare/internal/service"
+	"uicwelfare/internal/telemetry"
 )
 
 // syncCatalog runs one adopt + rebalance pass. Passes are serialized:
 // the probe loop, Sync, and tests may all trigger one, and two
-// concurrent passes could ship the same graph twice.
+// concurrent passes could ship the same graph twice. Each pass runs
+// under its own trace: every backend request it issues carries the
+// pass's id, so one grep correlates a rebalance with the imports,
+// exports, and deletes it caused across the shards.
 func (r *Router) syncCatalog(ctx context.Context) {
 	r.syncMu.Lock()
 	defer r.syncMu.Unlock()
+	ctx = telemetry.NewContext(ctx, telemetry.NewTrace("", true))
 	// Clear the drift flag before the pass, never after: a request that
 	// flags new drift while the pass runs must survive into the next
 	// round, and rebalance below only ever re-raises the flag.
@@ -80,7 +86,7 @@ func (r *Router) adopt(ctx context.Context) {
 			r.mu.Lock()
 			adopted := r.catalog[gi.ID] == nil && !r.tombs[gi.ID]
 			if adopted {
-				r.catalog[gi.ID] = &graphRecord{id: gi.ID, name: gi.Name, owner: res.backend}
+				r.catalog[gi.ID] = &graphRecord{id: gi.ID, name: gi.Name, owner: res.backend, nodes: gi.Nodes, edges: gi.Edges}
 			}
 			r.mu.Unlock()
 			if !adopted {
@@ -171,6 +177,7 @@ func (r *Router) rebalance(ctx context.Context) {
 // from a live holder), stream the old owner's warm sketches across (when
 // it is alive to export them), and delete the old copy.
 func (r *Router) moveGraph(ctx context.Context, id, oldOwner, newOwner string) error {
+	defer r.observeOp("rebalance", time.Now())
 	oldAlive := oldOwner != "" && r.members.IsAlive(oldOwner)
 
 	wmg, err := r.loadWMG(id)
@@ -251,10 +258,18 @@ func (r *Router) fetchWMG(ctx context.Context, id, preferred string) ([]byte, er
 // the router never buffers the warm set (which can approach the 1GB
 // ship cap). It returns how many sketches the new owner imported.
 func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, error) {
+	defer r.observeOp("ship", time.Now())
 	fromBase, ok1 := r.members.URLOf(from)
 	toBase, ok2 := r.members.URLOf(to)
 	if !ok1 || !ok2 {
 		return 0, fmt.Errorf("unknown backend %q or %q", from, to)
+	}
+	// Both legs of the ship carry the sync pass's trace id, like every
+	// other router-initiated request (call does this automatically; the
+	// streaming legs here are hand-built).
+	traceID := ""
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		traceID = tr.ID()
 	}
 	ctx, cancel := context.WithTimeout(ctx, r.timeout)
 	defer cancel()
@@ -264,6 +279,9 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	}
 	if r.token != "" {
 		get.Header.Set(service.ClusterTokenHeader, r.token)
+	}
+	if traceID != "" {
+		get.Header.Set(telemetry.TraceHeader, traceID)
 	}
 	exp, err := r.client.Do(get)
 	if err != nil {
@@ -280,6 +298,9 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	}
 	if r.token != "" {
 		post.Header.Set(service.ClusterTokenHeader, r.token)
+	}
+	if traceID != "" {
+		post.Header.Set(telemetry.TraceHeader, traceID)
 	}
 	imp, err := r.client.Do(post)
 	if err != nil {

@@ -45,6 +45,10 @@ type Options struct {
 	// clients hitting token-gated endpoints through the router must
 	// present the token themselves.
 	ClusterToken string
+	// SweepShardConcurrency bounds how many sweep cells the router keeps
+	// in flight per backend at once (default 2): a sweep should load a
+	// shard like a couple of eager clients, not like a thundering herd.
+	SweepShardConcurrency int
 	// Client is the HTTP client for probes and proxying (default: a
 	// plain &http.Client{}; timeouts come from request contexts).
 	Client *http.Client
@@ -81,6 +85,24 @@ type Router struct {
 	syncMu     sync.Mutex
 	rebalances atomic.Int64 // graphs moved to a new owner
 	ships      atomic.Int64 // sketch streams shipped alongside a move
+
+	// Sweep state: the router runs sweeps as jobs in its own JobStore
+	// (ids "router-j7", streamed over the same SSE plumbing as backend
+	// jobs) and dispatches each cell to the owning shard. Finished
+	// results are held like the backend holds its own (bounded map +
+	// .wsr artifact under spillDir/sweeps).
+	jobs               *service.JobStore
+	shardConc          int
+	sweepMu            sync.Mutex
+	sweepResults       map[string]*sweepRecord
+	sweepOrder         []string
+	sweepCellsDone     atomic.Int64
+	sweepCellsFailed   atomic.Int64
+	sweepCellsCanceled atomic.Int64
+	// preAdmitRejects counts cells the router refused to dispatch
+	// because their predicted sketch cost was obviously over the owning
+	// backend's admission budget (satellite: pre-admission at the edge).
+	preAdmitRejects atomic.Int64
 	// dirty marks an unconverged catalog (a move failed, or a graph's
 	// owner is down): the probe loop re-runs syncCatalog every round
 	// while set, not only on membership flips, so transient move
@@ -101,6 +123,11 @@ type graphRecord struct {
 	id    string
 	name  string
 	owner string
+	// nodes/edges cache the graph's size for sweep pre-admission: the
+	// router prices a cell's sketch work with the same core cost
+	// estimators the backends use, and those need n and m.
+	nodes int
+	edges int
 }
 
 // New assembles a router over the given topology. Call Start to begin
@@ -129,21 +156,29 @@ func New(opts Options) (*Router, error) {
 	} else if err := os.MkdirAll(spillDir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: catalog spill dir: %w", err)
 	}
+	if opts.SweepShardConcurrency <= 0 {
+		opts.SweepShardConcurrency = 2
+	}
 	probeTimeout := min(opts.ProbeInterval, 2*time.Second)
+	jobs := service.NewJobStore(0)
+	jobs.SetNodeID("router")
 	return &Router{
-		members:    NewMembership(opts.Backends, client, probeTimeout),
-		client:     client,
-		interval:   opts.ProbeInterval,
-		timeout:    opts.ProxyTimeout,
-		allowPaths: opts.AllowPathLoads,
-		token:      opts.ClusterToken,
-		spillDir:   spillDir,
-		ownSpill:   ownSpill,
-		start:      time.Now(),
-		metrics:    telemetry.NewMetrics(),
-		catalog:    map[string]*graphRecord{},
-		tombs:      map[string]bool{},
-		stop:       make(chan struct{}),
+		members:      NewMembership(opts.Backends, client, probeTimeout),
+		client:       client,
+		interval:     opts.ProbeInterval,
+		timeout:      opts.ProxyTimeout,
+		allowPaths:   opts.AllowPathLoads,
+		token:        opts.ClusterToken,
+		spillDir:     spillDir,
+		ownSpill:     ownSpill,
+		start:        time.Now(),
+		metrics:      telemetry.NewMetrics(),
+		catalog:      map[string]*graphRecord{},
+		tombs:        map[string]bool{},
+		jobs:         jobs,
+		shardConc:    opts.SweepShardConcurrency,
+		sweepResults: map[string]*sweepRecord{},
+		stop:         make(chan struct{}),
 	}, nil
 }
 
@@ -251,6 +286,12 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", r.timed("GET /v1/jobs/{id}", r.proxyJobScoped))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", r.timed("GET /v1/jobs/{id}/events", r.proxyJobScoped))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.timed("DELETE /v1/jobs/{id}", r.proxyJobScoped))
+	mux.HandleFunc("POST /v1/sweeps", r.timed("POST /v1/sweeps", r.handleCreateSweep))
+	mux.HandleFunc("GET /v1/sweeps", r.timed("GET /v1/sweeps", r.handleListSweeps))
+	mux.HandleFunc("GET /v1/sweeps/{id}", r.timed("GET /v1/sweeps/{id}", r.handleGetSweep))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", r.timed("GET /v1/sweeps/{id}/events", r.handleSweepEvents))
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", r.timed("GET /v1/sweeps/{id}/results", r.handleSweepResults))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", r.timed("DELETE /v1/sweeps/{id}", r.handleCancelSweep))
 	mux.HandleFunc("GET /v1/stats", r.timed("GET /v1/stats", r.handleStats))
 	mux.HandleFunc("GET /v1/metrics", r.timed("GET /v1/metrics", r.handleMetrics))
 	mux.HandleFunc("GET /healthz", r.timed("GET /healthz", r.handleHealthz))
@@ -467,8 +508,15 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 
 	// Raw .wmg import, not a JSON-embedded graph: base64 inside a
 	// GraphRequest would hit the backend's request-body cap long before
-	// the graphs the backends themselves can hold.
-	status, raw, err := r.call(req.Context(), http.MethodPost, owner, "/v1/graphs/import", bytes.NewReader(wmg.Bytes()))
+	// the graphs the backends themselves can hold. The placement runs
+	// under the request's trace (adopted or minted here at the edge) and
+	// is timed as a cluster op.
+	tr := telemetry.NewTrace(telemetry.SanitizeID(req.Header.Get(telemetry.TraceHeader)), true)
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	ctx := telemetry.NewContext(req.Context(), tr)
+	placeStart := time.Now()
+	status, raw, err := r.call(ctx, http.MethodPost, owner, "/v1/graphs/import", bytes.NewReader(wmg.Bytes()))
+	r.observeOp("placement", placeStart)
 	if err != nil {
 		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", owner, err))
 		return
@@ -483,9 +531,10 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 		r.mu.Lock()
 		delete(r.tombs, id) // a re-registration revives a deleted id
 		if rec = r.catalog[id]; rec == nil {
-			r.catalog[id] = &graphRecord{id: id, name: name, owner: owner}
+			r.catalog[id] = &graphRecord{id: id, name: name, owner: owner, nodes: g.N(), edges: g.M()}
 		} else {
 			rec.owner = owner
+			rec.nodes, rec.edges = g.N(), g.M()
 		}
 		r.mu.Unlock()
 	}
@@ -569,7 +618,15 @@ type RouterStats struct {
 		Batched           int64 `json:"batched"`
 		CoalescedRequests int64 `json:"coalesced_requests"`
 		AdmissionRejects  int64 `json:"admission_rejects"`
-		UptimeMS          int64 `json:"uptime_ms"`
+		// SweepCells* count the router's sweep-dispatched cells by
+		// terminal state; PreAdmissionRejects counts cells refused at the
+		// router because their predicted cost was obviously over the
+		// owner's admission budget.
+		SweepCellsDone      int64 `json:"sweep_cells_done"`
+		SweepCellsFailed    int64 `json:"sweep_cells_failed"`
+		SweepCellsCanceled  int64 `json:"sweep_cells_canceled"`
+		PreAdmissionRejects int64 `json:"pre_admission_rejects"`
+		UptimeMS            int64 `json:"uptime_ms"`
 	} `json:"cluster"`
 	// Backends maps node name to that backend's full StatsResponse;
 	// unreachable backends appear in Errors instead.
@@ -586,6 +643,10 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 	r.mu.Unlock()
 	out.Cluster.Rebalances = r.rebalances.Load()
 	out.Cluster.SketchShips = r.ships.Load()
+	out.Cluster.SweepCellsDone = r.sweepCellsDone.Load()
+	out.Cluster.SweepCellsFailed = r.sweepCellsFailed.Load()
+	out.Cluster.SweepCellsCanceled = r.sweepCellsCanceled.Load()
+	out.Cluster.PreAdmissionRejects = r.preAdmitRejects.Load()
 	out.Cluster.UptimeMS = time.Since(r.start).Milliseconds()
 	out.Backends = map[string]service.StatsResponse{}
 	for _, res := range r.fanout(ctx, http.MethodGet, "/v1/stats") {
@@ -787,7 +848,11 @@ func copyFlush(dst http.ResponseWriter, src io.Reader) {
 }
 
 // call performs one router-initiated backend request (registration,
-// shipping) under the proxy deadline, returning the status and body.
+// shipping, sweep dispatch) under the proxy deadline, returning the
+// status and body. When the context carries a trace (placement, a
+// catalog sync pass, a sweep), its id is stamped onto the request, so
+// the backend's job records and logs correlate with the router-side
+// operation that caused them.
 func (r *Router) call(ctx context.Context, method, backend, path string, body io.Reader) (int, []byte, error) {
 	base, ok := r.members.URLOf(backend)
 	if !ok {
@@ -801,6 +866,9 @@ func (r *Router) call(ctx context.Context, method, backend, path string, body io
 	}
 	if r.token != "" {
 		req.Header.Set(service.ClusterTokenHeader, r.token)
+	}
+	if tr := telemetry.FromContext(ctx); tr != nil && tr.ID() != "" {
+		req.Header.Set(telemetry.TraceHeader, tr.ID())
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"uicwelfare/internal/batch"
 	"uicwelfare/internal/core"
@@ -40,14 +42,17 @@ func (s *Service) EstimateCost(graphID string, plan *allocatePlan) int64 {
 	return s.costModels.Predict(graphID, raw)
 }
 
-// admitPlan applies cost-based admission control to a validated
-// allocate/warm plan, returning a non-nil *AdmissionError (counted in
-// /v1/stats) when the request must be refused. Admission prices *new*
-// sketch work only: with the exact-budget sketch already resident or in
-// flight — or, under batching, a gathering/in-flight batch group whose
-// current merged vector already covers the request — serving it costs
-// nothing extra, so it is admitted regardless of the prediction.
-func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError {
+// checkAdmission applies cost-based admission control to a validated
+// allocate/warm plan, returning a non-nil *AdmissionError when the
+// request would be refused right now. It is a pure check — callers that
+// actually refuse (or give up waiting) count the reject themselves, so
+// the queued path's periodic re-checks do not inflate the counter.
+// Admission prices *new* sketch work only: with the exact-budget sketch
+// already resident or in flight — or, under batching, a gathering or
+// in-flight batch group whose current merged vector already covers the
+// request — serving it costs nothing extra, so it is admitted
+// regardless of the prediction.
+func (s *Service) checkAdmission(graphID string, plan *allocatePlan) *AdmissionError {
 	if s.admissionBytes <= 0 {
 		return nil
 	}
@@ -75,8 +80,76 @@ func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError 
 	// Otherwise — including planners with no reusable sketch — price the
 	// request's sketch work directly.
 	if est := s.EstimateCost(graphID, plan); est > s.admissionBytes {
-		s.admissionRejects.Add(1)
 		return &AdmissionError{EstimatedBytes: est, BudgetBytes: s.admissionBytes}
 	}
 	return nil
+}
+
+// admitPlan is the immediate form of admission: check once, count the
+// reject, answer. The benchmarks and tests that exercise raw admission
+// semantics go through it.
+func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError {
+	aerr := s.checkAdmission(graphID, plan)
+	if aerr != nil {
+		s.admissionRejects.Add(1)
+	}
+	return aerr
+}
+
+// admissionRecheck is how often a queued request re-prices itself while
+// holding a queue slot.
+const admissionRecheck = 25 * time.Millisecond
+
+// admitOrWait is queue-with-deadline admission: a request refused by
+// checkAdmission whose predicted overshoot is small (estimate within
+// the configured slack factor of the budget) holds a slot in a bounded
+// FIFO and re-checks periodically — a finishing build recalibrates the
+// cost model, a completing warm makes the sketch resident, a batch
+// group forms a covering merged vector — instead of bouncing 429 off
+// every client in a sweep's reject-retry loop. The wait ends at the
+// deadline (counted as a queue timeout plus a reject), on ctx
+// cancellation, or on admission. Requests far over budget, and all
+// requests when the queue is disabled or full, reject immediately as
+// before.
+func (s *Service) admitOrWait(ctx context.Context, graphID string, plan *allocatePlan) *AdmissionError {
+	aerr := s.checkAdmission(graphID, plan)
+	if aerr == nil {
+		return nil
+	}
+	slack := int64(float64(s.admissionBytes) * s.admissionSlack)
+	if s.admissionQueue == nil || aerr.EstimatedBytes > slack {
+		s.admissionRejects.Add(1)
+		return aerr
+	}
+	select {
+	case s.admissionQueue <- struct{}{}:
+	default: // queue full: shed immediately
+		s.admissionRejects.Add(1)
+		return aerr
+	}
+	defer func() { <-s.admissionQueue }()
+	s.admissionQueued.Add(1)
+
+	deadline := time.NewTimer(s.admissionWait)
+	defer deadline.Stop()
+	tick := time.NewTicker(admissionRecheck)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.admissionRejects.Add(1)
+			return aerr
+		case <-deadline.C:
+			s.admissionQueueTimeouts.Add(1)
+			s.admissionRejects.Add(1)
+			return aerr
+		case <-tick.C:
+			if next := s.checkAdmission(graphID, plan); next == nil {
+				s.admissionQueueAdmitted.Add(1)
+				return nil
+			} else {
+				aerr = next // report the freshest estimate on timeout
+			}
+		}
+	}
 }

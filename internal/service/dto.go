@@ -32,6 +32,13 @@
 //	GET    /v1/jobs/{id}               poll a job (queued → running → done | failed | canceled)
 //	GET    /v1/jobs/{id}/events        stream job progress as server-sent events
 //	DELETE /v1/jobs/{id}               cancel an active job / delete a finished one
+//	POST   /v1/sweeps                  expand a declarative experiment grid into cells and
+//	                                   run them through the job pool; returns a sweep id
+//	GET    /v1/sweeps                  list sweeps
+//	GET    /v1/sweeps/{id}             poll a sweep (cell counters in the stats payload)
+//	GET    /v1/sweeps/{id}/events      per-cell progress as server-sent events
+//	GET    /v1/sweeps/{id}/results     filter/group_by aggregation over the result artifact
+//	DELETE /v1/sweeps/{id}             cancel an active sweep / delete a finished one
 //	GET    /v1/stats                   cache/batch/admission/disk counters, jobs by state,
 //	                                   worker utilization
 //	GET    /v1/metrics                 latency histograms + gauges, Prometheus text

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"uicwelfare/internal/progress"
+)
+
+// estimateFlight coalesces identical concurrent estimate requests onto
+// one Monte-Carlo run — the estimate-side analogue of the allocate
+// batcher. Allocates coalesce by merging budget vectors inside a
+// (graph, family, cascade, ε, ℓ) group; estimates have no budgets to
+// merge, so the coalescible unit is the whole request: sweep cells and
+// fan-in clients re-submitting the same (graph, allocation, config,
+// cascade, seed, runs) storm the estimator with byte-identical work,
+// and everyone after the first can share the leader's result. The
+// estimate is deterministic given the request (seeded RNG), so sharing
+// changes nothing observable but the work.
+type estimateFlight struct {
+	mu sync.Mutex
+	m  map[string]*estimateCall
+}
+
+// estimateCall is one in-flight leader run; waiters block on done.
+type estimateCall struct {
+	done chan struct{}
+	res  *EstimateResult
+	err  error
+}
+
+// join returns the key's in-flight call, creating one (leader = true)
+// when none exists.
+func (f *estimateFlight) join(key string) (*estimateCall, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = map[string]*estimateCall{}
+	}
+	if c, ok := f.m[key]; ok {
+		return c, false
+	}
+	c := &estimateCall{done: make(chan struct{})}
+	f.m[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome and releases the key.
+func (f *estimateFlight) complete(key string, c *estimateCall, res *EstimateResult, err error) {
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+}
+
+// estimateKey derives the coalescing key from the request's canonical
+// JSON (struct field order is deterministic). ok = false means the
+// request cannot be keyed and must run uncoalesced.
+func estimateKey(req *EstimateRequest) (string, bool) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// estimateCoalesced resolves an estimate through the flight group:
+// the first request for a key runs it (estimateDirect), concurrent
+// duplicates wait and share the result. A waiter whose leader died of
+// the *leader's* cancellation — not its own — retries as the new
+// leader, mirroring the sketch cache's singleflight semantics.
+func (s *Service) estimateCoalesced(ctx context.Context, req *EstimateRequest, report progress.Func) (*EstimateResult, error) {
+	key, ok := estimateKey(req)
+	if !ok {
+		return s.estimateDirect(ctx, req, report)
+	}
+	for {
+		c, leader := s.estFlight.join(key)
+		if leader {
+			res, err := s.estimateDirect(ctx, req, report)
+			s.estFlight.complete(key, c, res, err)
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.done:
+			if c.err == nil {
+				s.estimatesCoalesced.Add(1)
+				return c.res, nil
+			}
+			if ctx.Err() == nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue // the leader was canceled, not us: run it ourselves
+			}
+			return nil, c.err
+		}
+	}
+}

@@ -37,6 +37,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("GET /v1/jobs/{id}", s.handleGetJob))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.timed("GET /v1/jobs/{id}/events", s.handleJobEvents))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed("DELETE /v1/jobs/{id}", s.handleCancelJob))
+	mux.HandleFunc("POST /v1/sweeps", s.timed("POST /v1/sweeps", s.handleCreateSweep))
+	mux.HandleFunc("GET /v1/sweeps", s.timed("GET /v1/sweeps", s.handleListSweeps))
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.timed("GET /v1/sweeps/{id}", s.handleGetSweep))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.timed("GET /v1/sweeps/{id}/events", s.handleSweepEvents))
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.timed("GET /v1/sweeps/{id}/results", s.handleSweepResults))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.timed("DELETE /v1/sweeps/{id}", s.handleCancelSweep))
 	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.timed("GET /v1/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
@@ -208,7 +214,7 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 	// Warming is exactly the sketch work admission exists to price;
 	// apply the same gate as POST /v1/allocate.
 	endAdmit := tr.StartSpan("admission_check")
-	aerr := s.admitPlan(id, plan)
+	aerr := s.admitOrWait(r.Context(), id, plan)
 	endAdmit()
 	if aerr != nil {
 		writeAdmissionReject(w, aerr)
@@ -301,10 +307,11 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cost-based admission: refuse (retryably) work whose predicted
-	// sketch cost would blow the cache budget, before it ties up a
-	// worker.
+	// sketch cost would blow the cache budget before it ties up a
+	// worker — queueing briefly (admitOrWait) when the overshoot is
+	// small enough that imminent cache/batch churn may admit it.
 	endAdmit := tr.StartSpan("admission_check")
-	aerr := s.admitPlan(req.GraphID, plan)
+	aerr := s.admitOrWait(r.Context(), req.GraphID, plan)
 	endAdmit()
 	if aerr != nil {
 		writeAdmissionReject(w, aerr)
@@ -364,8 +371,16 @@ func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // history first, so subscribing to a finished job yields its events and
 // closes.
 func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	past, ch, unsub, ok := s.jobs.Subscribe(id)
+	StreamJobEvents(w, r, s.jobs, r.PathValue("id"))
+}
+
+// StreamJobEvents serves one job's event stream over SSE from any
+// JobStore: replayed history, live events, terminal frame, and the
+// snapshot resync for subscribers that lost the terminal event.
+// Exported because the cluster router streams its own sweep jobs (it
+// runs a JobStore of its own) through exactly this code path.
+func StreamJobEvents(w http.ResponseWriter, r *http.Request, jobs *JobStore, id string) {
+	past, ch, unsub, ok := jobs.Subscribe(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
@@ -414,7 +429,7 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				// Closed without a terminal event reaching this
 				// subscriber (slow consumer or job removal): resync from
 				// the job snapshot so the client still sees the outcome.
-				if view, ok := s.jobs.Snapshot(id); ok && view.State.Terminal() {
+				if view, ok := jobs.Snapshot(id); ok && view.State.Terminal() {
 					write(JobEvent{Type: string(view.State), TraceID: view.TraceID, Error: view.Error})
 				}
 				return

@@ -49,6 +49,14 @@ type JobEvent struct {
 	// SeedPrefix, on "select"-stage progress events, is the ordered
 	// seed prefix the greedy selection has committed to so far.
 	SeedPrefix []int64 `json:"seed_prefix,omitempty"`
+	// Cell/CellState/CellJob/Node appear on a sweep job's per-cell
+	// progress events: which grid cell changed state ("running", "done",
+	// "failed", "canceled"), the cell's own job id, and the node it ran
+	// on (cluster sweeps).
+	Cell      string `json:"cell,omitempty"`
+	CellState string `json:"cell_state,omitempty"`
+	CellJob   string `json:"cell_job,omitempty"`
+	Node      string `json:"node,omitempty"`
 	// Error carries the failure message on a "failed"/"canceled" event.
 	Error string `json:"error,omitempty"`
 }

@@ -41,9 +41,22 @@ func (s *Service) gauges() []telemetry.Gauge {
 		{Name: "welmax_batch_builds", Value: float64(st.Batch.Batched)},
 		{Name: "welmax_batch_coalesced_requests", Value: float64(st.Batch.CoalescedRequests)},
 		{Name: "welmax_admission_rejects", Value: float64(st.Batch.AdmissionRejects)},
+		// welmax_admission_max_bytes is the configured admission budget
+		// (0 = admission disabled). The router's sweep pre-admission
+		// reads it per backend to price cells at the edge.
+		{Name: "welmax_admission_max_bytes", Value: float64(s.admissionBytes)},
 		{Name: "welmax_jobs_queue_depth", Value: float64(st.QueueDepth)},
 		{Name: "welmax_workers_busy", Value: float64(st.BusyWorkers)},
 		{Name: "welmax_cost_ratio_global", Value: st.Batch.CostRatio},
+		{Name: "welmax_sweep_cells_total",
+			Labels: []telemetry.Label{{Name: "state", Value: "done"}},
+			Value:  float64(st.Sweeps.CellsDone)},
+		{Name: "welmax_sweep_cells_total",
+			Labels: []telemetry.Label{{Name: "state", Value: "failed"}},
+			Value:  float64(st.Sweeps.CellsFailed)},
+		{Name: "welmax_sweep_cells_total",
+			Labels: []telemetry.Label{{Name: "state", Value: "canceled"}},
+			Value:  float64(st.Sweeps.CellsCanceled)},
 	}
 	perGraph := s.costModels.PerGraph()
 	sort.Slice(perGraph, func(i, j int) bool { return perGraph[i].GraphID < perGraph[j].GraphID })

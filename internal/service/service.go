@@ -77,6 +77,25 @@ type Options struct {
 	// instead of queueing work that would blow the cache budget. Zero
 	// disables admission (every request is queued).
 	AdmissionMB int
+	// AdmissionQueue enables queue-with-deadline admission: a request
+	// refused by cost-based admission whose predicted overshoot is small
+	// (estimate ≤ AdmissionSlack × the budget) holds one of this many
+	// FIFO slots and re-checks until AdmissionWait elapses, instead of
+	// answering 429 immediately — sweeps otherwise turn every near-miss
+	// into a client-side reject-retry loop. Zero (the default) keeps the
+	// immediate-429 behavior.
+	AdmissionQueue int
+	// AdmissionWait is how long a queued request may wait for admission
+	// (default 2s).
+	AdmissionWait time.Duration
+	// AdmissionSlack is the queue-eligibility factor: only requests whose
+	// estimate is within this multiple of the admission budget queue;
+	// anything further over rejects immediately (default 1.5).
+	AdmissionSlack float64
+	// SweepCellWorkers bounds how many of a sweep's cells run
+	// concurrently (default: the worker-pool size). Cells are ordinary
+	// pool jobs; this cap keeps one sweep from monopolizing the queue.
+	SweepCellWorkers int
 	// ClusterToken, when set, is the shared secret the cluster-internal
 	// endpoints (POST /v1/graphs/import and the sketch export/import
 	// routes) require in the ClusterTokenHeader. Imported sketches become
@@ -132,6 +151,33 @@ type Service struct {
 	admissionBytes   int64
 	costModels       *store.CostModels
 	admissionRejects atomic.Int64
+	// Queue-with-deadline admission (see Options.AdmissionQueue): the
+	// buffered channel is the bounded FIFO's slot semaphore, nil when
+	// disabled.
+	admissionQueue         chan struct{}
+	admissionWait          time.Duration
+	admissionSlack         float64
+	admissionQueued        atomic.Int64
+	admissionQueueAdmitted atomic.Int64
+	admissionQueueTimeouts atomic.Int64
+
+	// estFlight coalesces identical concurrent estimate requests onto
+	// one Monte-Carlo run (sweep cells issue estimate storms);
+	// estimatesCoalesced counts the waiters served from a leader's run.
+	estFlight          estimateFlight
+	estimatesCoalesced atomic.Int64
+
+	// Sweep subsystem state: sweepCellWorkers bounds per-sweep cell
+	// concurrency; sweepResults retains the last few finished sweeps'
+	// full per-cell rows in memory (the artifact on disk is the durable
+	// copy); the cell counters feed welmax_sweep_cells_total{state}.
+	sweepCellWorkers   int
+	sweepMu            sync.Mutex
+	sweepResults       map[string]*sweepRecord
+	sweepOrder         []string
+	sweepCellsDone     atomic.Int64
+	sweepCellsFailed   atomic.Int64
+	sweepCellsCanceled atomic.Int64
 
 	// telemetryOn gates span recording and histogram observation;
 	// metrics is the latency-histogram registry /v1/metrics serves
@@ -188,6 +234,19 @@ func New(opts Options) (*Service, error) {
 		s.batcher = batch.New(opts.BatchWindow)
 		s.mergedIdx = map[string]mergedSketch{}
 	}
+	if opts.AdmissionQueue > 0 {
+		s.admissionQueue = make(chan struct{}, opts.AdmissionQueue)
+	}
+	if s.admissionWait = opts.AdmissionWait; s.admissionWait <= 0 {
+		s.admissionWait = 2 * time.Second
+	}
+	if s.admissionSlack = opts.AdmissionSlack; s.admissionSlack <= 0 {
+		s.admissionSlack = 1.5
+	}
+	if s.sweepCellWorkers = opts.SweepCellWorkers; s.sweepCellWorkers <= 0 {
+		s.sweepCellWorkers = opts.Workers
+	}
+	s.sweepResults = map[string]*sweepRecord{}
 	s.jobs.SetNodeID(opts.NodeID)
 	if disk != nil {
 		// A TTL expiry must invalidate the disk spill too — otherwise the
@@ -272,7 +331,9 @@ type StatsResponse struct {
 	DiskTier *store.Stats `json:"disk_tier,omitempty"`
 	// Batch reports the budget-coalescing scheduler and the cost-based
 	// admission control (zeros when both are disabled).
-	Batch       BatchStats       `json:"batch"`
+	Batch BatchStats `json:"batch"`
+	// Sweeps reports the experiment-sweep subsystem's cell counters.
+	Sweeps      SweepStats       `json:"sweeps"`
 	Jobs        map[JobState]int `json:"jobs"`
 	Workers     int              `json:"workers"`
 	BusyWorkers int              `json:"busy_workers"`
@@ -303,6 +364,16 @@ type BatchStats struct {
 	AdmissionRejects int64 `json:"admission_rejects"`
 	// AdmissionMaxBytes is the configured admission budget (0 = off).
 	AdmissionMaxBytes int64 `json:"admission_max_bytes,omitempty"`
+	// Queue-with-deadline admission counters: requests that took a queue
+	// slot instead of an immediate 429, how many of those were admitted
+	// by a later re-check, and how many timed out into the 429 they were
+	// originally spared.
+	AdmissionQueued        int64 `json:"admission_queued"`
+	AdmissionQueueAdmitted int64 `json:"admission_queue_admitted"`
+	AdmissionQueueTimeouts int64 `json:"admission_queue_timeouts"`
+	// EstimatesCoalesced counts estimate requests served from another
+	// identical in-flight request's Monte-Carlo run.
+	EstimatesCoalesced int64 `json:"estimates_coalesced"`
 	// CostRatio and CostSamples describe the cost-model calibration:
 	// the learned observed/predicted ratio and how many completed
 	// builds informed it.
@@ -328,9 +399,18 @@ func (s *Service) Stats() StatsResponse {
 		out.DiskTier = &ds
 	}
 	out.Batch = BatchStats{
-		Enabled:           s.batcher != nil,
-		AdmissionRejects:  s.admissionRejects.Load(),
-		AdmissionMaxBytes: s.admissionBytes,
+		Enabled:                s.batcher != nil,
+		AdmissionRejects:       s.admissionRejects.Load(),
+		AdmissionMaxBytes:      s.admissionBytes,
+		AdmissionQueued:        s.admissionQueued.Load(),
+		AdmissionQueueAdmitted: s.admissionQueueAdmitted.Load(),
+		AdmissionQueueTimeouts: s.admissionQueueTimeouts.Load(),
+		EstimatesCoalesced:     s.estimatesCoalesced.Load(),
+	}
+	out.Sweeps = SweepStats{
+		CellsDone:     s.sweepCellsDone.Load(),
+		CellsFailed:   s.sweepCellsFailed.Load(),
+		CellsCanceled: s.sweepCellsCanceled.Load(),
 	}
 	if s.batcher != nil {
 		bs := s.batcher.Stats()
@@ -527,6 +607,12 @@ func resolveEpsEll(eps, ell float64) (float64, float64) {
 	}
 	return eps, ell
 }
+
+// DefaultEpsEll exposes the service-wide approximation-parameter
+// defaults to other tiers — the cluster router's pre-admission pricing
+// must resolve ε/ℓ exactly the way backend admission will, or the two
+// would price different sketches.
+func DefaultEpsEll(eps, ell float64) (float64, float64) { return resolveEpsEll(eps, ell) }
 
 // Allocate synchronously solves one allocation request with no
 // cancellation or progress reporting (the warm-path benchmarks and the
@@ -1001,8 +1087,17 @@ func (s *Service) Estimate(req *EstimateRequest) (*EstimateResult, error) {
 
 // EstimateCtx runs one estimation request under ctx, reporting progress
 // through report (which may be nil); a canceled context aborts the
-// Monte-Carlo loop promptly with ctx.Err().
+// Monte-Carlo loop promptly with ctx.Err(). Identical concurrent
+// requests are coalesced onto one run (see estimateFlight) — sweep
+// cells issue estimate storms, and the seeded estimator makes sharing
+// invisible apart from the saved work.
 func (s *Service) EstimateCtx(ctx context.Context, req *EstimateRequest, report progress.Func) (*EstimateResult, error) {
+	return s.estimateCoalesced(ctx, req, report)
+}
+
+// estimateDirect is the uncoalesced estimate path (the flight group's
+// leader runs here).
+func (s *Service) estimateDirect(ctx context.Context, req *EstimateRequest, report progress.Func) (*EstimateResult, error) {
 	startT := time.Now()
 	entry, alloc, model, err := s.validateEstimate(req)
 	if err != nil {

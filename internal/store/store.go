@@ -55,7 +55,7 @@ type Store struct {
 // Open creates (if needed) and opens a data directory. maxSketchMB
 // bounds the spilled-sketch tier in megabytes; 0 leaves it unbounded.
 func Open(dir string, maxSketchMB int) (*Store, error) {
-	for _, sub := range []string{graphsDir(dir), sketchesDir(dir), jobsDir(dir)} {
+	for _, sub := range []string{graphsDir(dir), sketchesDir(dir), jobsDir(dir), sweepsDir(dir)} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}

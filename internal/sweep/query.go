@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"uicwelfare/internal/store"
+)
+
+// ResultsResponse is the body of GET /v1/sweeps/{id}/results: the
+// (possibly filtered) per-cell rows, per-state counts over the filtered
+// set, and — when ?group_by= names grid dimensions — per-group welfare
+// aggregates.
+type ResultsResponse struct {
+	SweepID string `json:"sweep_id"`
+	Name    string `json:"name,omitempty"`
+	// ArtifactID is the result artifact's content id; clients can verify
+	// a fetched artifact by re-deriving it.
+	ArtifactID string            `json:"artifact_id"`
+	Counts     map[string]int    `json:"counts"`
+	Cells      []store.SweepCell `json:"cells,omitempty"`
+	Groups     []GroupAggregate  `json:"groups,omitempty"`
+}
+
+// GroupAggregate is one ?group_by= bucket: the dimension values that
+// key it and welfare statistics over the bucket's finished cells.
+type GroupAggregate struct {
+	Key map[string]string `json:"key"`
+	// Cells counts the bucket's rows after filtering; Estimated counts
+	// those carrying a welfare estimate (the aggregates' denominator).
+	Cells     int `json:"cells"`
+	Estimated int `json:"estimated"`
+	// Welfare mean/min/max over the bucket's estimated cells.
+	WelfareMean float64 `json:"welfare_mean,omitempty"`
+	WelfareMin  float64 `json:"welfare_min,omitempty"`
+	WelfareMax  float64 `json:"welfare_max,omitempty"`
+}
+
+// cellDim reads one groupable/filterable dimension off a row.
+func cellDim(c *store.SweepCell, dim string) (string, bool) {
+	switch dim {
+	case "graph", "graph_id":
+		return c.GraphID, true
+	case "algo":
+		return c.Algo, true
+	case "config":
+		return c.Config, true
+	case "cascade":
+		return c.Cascade, true
+	case "eps":
+		return fmt.Sprintf("%g", c.Eps), true
+	case "budgets":
+		parts := make([]string, len(c.Budgets))
+		for i, b := range c.Budgets {
+			parts[i] = fmt.Sprintf("%d", b)
+		}
+		return strings.Join(parts, ","), true
+	case "state":
+		return c.State, true
+	case "node":
+		return c.Node, true
+	default:
+		return "", false
+	}
+}
+
+// filterDims are the query parameters Query treats as row filters.
+var filterDims = []string{"graph", "graph_id", "algo", "config", "cascade", "eps", "budgets", "state", "node"}
+
+// Query applies ?<dim>=<value> filters and the ?group_by=<dim,...>
+// aggregation to a result, producing the wire response.
+// ?cells=false omits the per-row listing (aggregates only). Unknown
+// group_by dimensions are an error; unknown query parameters are
+// ignored (the endpoint shares its URL space with transport-level
+// params).
+func Query(res *store.SweepResult, artifactID string, q url.Values) (*ResultsResponse, error) {
+	rows := make([]store.SweepCell, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		keep := true
+		for _, dim := range filterDims {
+			want := q.Get(dim)
+			if want == "" {
+				continue
+			}
+			if got, _ := cellDim(&c, dim); got != want {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rows = append(rows, c)
+		}
+	}
+
+	out := &ResultsResponse{
+		SweepID:    res.SweepID,
+		Name:       res.Name,
+		ArtifactID: artifactID,
+		Counts:     map[string]int{},
+		Cells:      rows,
+	}
+	for i := range rows {
+		out.Counts[rows[i].State]++
+	}
+	if q.Get("cells") == "false" {
+		out.Cells = nil
+	}
+
+	groupBy := q.Get("group_by")
+	if groupBy == "" {
+		return out, nil
+	}
+	dims := strings.Split(groupBy, ",")
+	for i, d := range dims {
+		dims[i] = strings.TrimSpace(d)
+		if _, ok := cellDim(&store.SweepCell{}, dims[i]); !ok {
+			return nil, fmt.Errorf("unknown group_by dimension %q", dims[i])
+		}
+	}
+	type agg struct {
+		key  map[string]string
+		a    GroupAggregate
+		init bool
+	}
+	buckets := map[string]*agg{}
+	var order []string
+	for i := range rows {
+		c := &rows[i]
+		key := map[string]string{}
+		var parts []string
+		for _, d := range dims {
+			v, _ := cellDim(c, d)
+			key[d] = v
+			parts = append(parts, d+"="+v)
+		}
+		bk := strings.Join(parts, "|")
+		b, ok := buckets[bk]
+		if !ok {
+			b = &agg{key: key}
+			buckets[bk] = b
+			order = append(order, bk)
+		}
+		b.a.Cells++
+		if c.State == "done" && c.HasWelfare {
+			w := c.WelfareMean
+			if !b.init {
+				b.a.WelfareMin, b.a.WelfareMax = w, w
+				b.init = true
+			}
+			b.a.Estimated++
+			b.a.WelfareMean += w // running sum; divided by Estimated below
+			if w < b.a.WelfareMin {
+				b.a.WelfareMin = w
+			}
+			if w > b.a.WelfareMax {
+				b.a.WelfareMax = w
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, bk := range order {
+		b := buckets[bk]
+		if b.a.Estimated > 0 {
+			b.a.WelfareMean /= float64(b.a.Estimated)
+		}
+		b.a.Key = b.key
+		out.Groups = append(out.Groups, b.a)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+// Package sweep is the experiment-sweep subsystem's shared core: the
+// declarative grid spec POST /v1/sweeps accepts, its deterministic
+// expansion into cells, and the filter/aggregate queries GET
+// /v1/sweeps/{id}/results serves. The paper's entire evaluation is a
+// parameter sweep (utility distributions × ε × budgets × algorithms
+// over each network); this package turns that shape into a first-class
+// wire object that both the single-node service and the cluster router
+// execute — the service runs cells through its own job pool, the router
+// partitions them by graph owner and dispatches across shards.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Grid caps. Each axis is bounded, and the expanded product is bounded
+// again by MaxCells — a sweep is a batch of ordinary requests, and every
+// cell passes the service's own validation and admission on top.
+const (
+	// MaxCells bounds the expanded grid.
+	MaxCells = 512
+	// MaxAxis bounds each spec axis (graphs, configs, eps, budget
+	// vectors, algos).
+	MaxAxis = 32
+	// MaxRepeats bounds per-cell repetitions.
+	MaxRepeats = 16
+)
+
+// Spec is the declarative grid POST /v1/sweeps accepts: the cross
+// product of graphs × utility configs × ε × budget vectors × planners ×
+// cascades, each combination repeated Repeats times under distinct
+// seeds. Zero-valued axes default (one config1 / default-planner / IC /
+// default-ε cell per graph × budgets combination).
+type Spec struct {
+	// Name is an optional label carried into the result artifact.
+	Name string `json:"name,omitempty"`
+	// GraphIDs are resident graph ids (content-addressed, as returned by
+	// POST /v1/graphs).
+	GraphIDs []string `json:"graph_ids"`
+	// Configs are utility-model configurations ("config1", "config3",
+	// "additive", ... — the paper's utility distributions). Default:
+	// ["config1"].
+	Configs []string `json:"configs,omitempty"`
+	// Eps are RR-sketch approximation parameters; 0 means the service
+	// default. Default: [0].
+	Eps []float64 `json:"eps,omitempty"`
+	// Budgets are budget vectors (one inner vector per cell axis value).
+	Budgets [][]int `json:"budgets"`
+	// Algos are planner registry names; "" means the default planner.
+	// Default: [""].
+	Algos []string `json:"algos,omitempty"`
+	// Cascades are diffusion models ("ic", "lt"); "" means "ic".
+	// Default: ["ic"].
+	Cascades []string `json:"cascades,omitempty"`
+	// Repeats runs each grid point this many times under distinct seeds
+	// (default 1).
+	Repeats int `json:"repeats,omitempty"`
+	// Runs is the per-cell Monte-Carlo welfare-estimate count (0 = no
+	// estimate; the cell result then carries the allocation only).
+	Runs int `json:"runs,omitempty"`
+	// Workers bounds each cell's estimate parallelism (0 = service
+	// default).
+	Workers int `json:"workers,omitempty"`
+	// Items is the per-cell item-count hint forwarded to the utility
+	// model (0 = derived from the budget vector).
+	Items int `json:"items,omitempty"`
+	// Seed is the base RNG seed; repeat r of any grid point uses Seed+r.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Cell is one expanded grid point.
+type Cell struct {
+	Index   int     `json:"index"`
+	ID      string  `json:"id"`
+	GraphID string  `json:"graph_id"`
+	Config  string  `json:"config"`
+	Eps     float64 `json:"eps,omitempty"`
+	Budgets []int   `json:"budgets"`
+	Algo    string  `json:"algo,omitempty"`
+	Cascade string  `json:"cascade"`
+	Rep     int     `json:"rep"`
+	Seed    uint64  `json:"seed"`
+}
+
+// normalize applies the spec's axis defaults in place.
+func (s *Spec) normalize() {
+	if len(s.Configs) == 0 {
+		s.Configs = []string{"config1"}
+	}
+	if len(s.Eps) == 0 {
+		s.Eps = []float64{0}
+	}
+	if len(s.Algos) == 0 {
+		s.Algos = []string{""}
+	}
+	if len(s.Cascades) == 0 {
+		s.Cascades = []string{"ic"}
+	}
+	for i, c := range s.Cascades {
+		if c == "" {
+			s.Cascades[i] = "ic"
+		}
+	}
+	if s.Repeats <= 0 {
+		s.Repeats = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Expand validates the spec's structure and expands it into the
+// deterministic cell list (graphs × configs × eps × budgets × algos ×
+// cascades × repeats, in that nesting order). Semantic validation of
+// each cell — unknown graph/algo/config, workload caps — is the
+// executing service's job; Expand only enforces the grid's shape.
+func Expand(s *Spec) ([]Cell, error) {
+	s.normalize()
+	if len(s.GraphIDs) == 0 {
+		return nil, fmt.Errorf("graph_ids required")
+	}
+	if len(s.Budgets) == 0 {
+		return nil, fmt.Errorf("budgets required (a list of budget vectors)")
+	}
+	for name, n := range map[string]int{
+		"graph_ids": len(s.GraphIDs), "configs": len(s.Configs), "eps": len(s.Eps),
+		"budgets": len(s.Budgets), "algos": len(s.Algos), "cascades": len(s.Cascades),
+	} {
+		if n > MaxAxis {
+			return nil, fmt.Errorf("%s axis has %d values, limit %d", name, n, MaxAxis)
+		}
+	}
+	if s.Repeats > MaxRepeats {
+		return nil, fmt.Errorf("repeats %d exceeds the limit of %d", s.Repeats, MaxRepeats)
+	}
+	for i, b := range s.Budgets {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("budgets[%d] is empty", i)
+		}
+	}
+	total := len(s.GraphIDs) * len(s.Configs) * len(s.Eps) * len(s.Budgets) *
+		len(s.Algos) * len(s.Cascades) * s.Repeats
+	if total > MaxCells {
+		return nil, fmt.Errorf("grid expands to %d cells, limit %d (shrink an axis or split the sweep)", total, MaxCells)
+	}
+	cells := make([]Cell, 0, total)
+	for _, g := range s.GraphIDs {
+		for _, cfg := range s.Configs {
+			for _, eps := range s.Eps {
+				for _, budgets := range s.Budgets {
+					for _, algo := range s.Algos {
+						for _, cascade := range s.Cascades {
+							for rep := 0; rep < s.Repeats; rep++ {
+								i := len(cells)
+								cells = append(cells, Cell{
+									Index:   i,
+									ID:      fmt.Sprintf("c%d", i),
+									GraphID: g,
+									Config:  cfg,
+									Eps:     eps,
+									Budgets: budgets,
+									Algo:    algo,
+									Cascade: cascade,
+									Rep:     rep,
+									Seed:    s.Seed + uint64(rep),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Marshal returns the spec's canonical JSON (the form the result
+// artifact embeds).
+func (s *Spec) Marshal() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Summary is the compact terminal result of a sweep job (JobView.Result
+// for kind "sweep"): state counts plus the content id of the persisted
+// artifact. The full per-cell rows live in the artifact and behind GET
+// /v1/sweeps/{id}/results, not in the job record — job records spill to
+// the audit trail, and a 512-cell result does not belong there.
+type Summary struct {
+	SweepID string `json:"sweep_id"`
+	Name    string `json:"name,omitempty"`
+	Cells   int    `json:"cells"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	// Canceled counts cells abandoned because the sweep itself was
+	// canceled mid-flight.
+	Canceled int `json:"canceled"`
+	// ArtifactID is the content-addressed id of the .wsr result artifact
+	// (doubling as its checksum); Persisted reports whether it was
+	// written to the store tier (false without a data/spill dir — the
+	// result is then served from memory only).
+	ArtifactID string `json:"artifact_id"`
+	Persisted  bool   `json:"persisted"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+}

@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"net/url"
+	"testing"
+
+	"uicwelfare/internal/store"
+)
+
+func TestExpandDefaultsAndOrder(t *testing.T) {
+	s := &Spec{
+		GraphIDs: []string{"g1", "g2"},
+		Budgets:  [][]int{{25, 25}, {50, 50}},
+	}
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	// Defaults collapse every unset axis to one value: 2 graphs × 1
+	// config × 1 eps × 2 budgets × 1 algo × 1 cascade × 1 repeat.
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i || c.ID != "c"+string(rune('0'+i)) {
+			t.Errorf("cell %d: index %d id %s", i, c.Index, c.ID)
+		}
+		if c.Config != "config1" || c.Cascade != "ic" || c.Seed != 1 || c.Algo != "" {
+			t.Errorf("cell %d defaults not applied: %+v", i, c)
+		}
+	}
+	// Graphs are the outermost axis: the first half of the grid is g1.
+	if cells[0].GraphID != "g1" || cells[1].GraphID != "g1" || cells[2].GraphID != "g2" {
+		t.Errorf("unexpected axis nesting: %+v", cells)
+	}
+
+	// Expansion is deterministic: the same spec yields the same cells.
+	again, err := Expand(&Spec{GraphIDs: []string{"g1", "g2"}, Budgets: [][]int{{25, 25}, {50, 50}}})
+	if err != nil {
+		t.Fatalf("re-expand: %v", err)
+	}
+	for i := range cells {
+		if cells[i].ID != again[i].ID || cells[i].GraphID != again[i].GraphID {
+			t.Errorf("expansion not deterministic at %d", i)
+		}
+	}
+}
+
+func TestExpandRepeatsVarySeed(t *testing.T) {
+	s := &Spec{GraphIDs: []string{"g"}, Budgets: [][]int{{10}}, Repeats: 3, Seed: 7}
+	cells, err := Expand(s)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for i, c := range cells {
+		if c.Rep != i || c.Seed != 7+uint64(i) {
+			t.Errorf("repeat %d: rep %d seed %d", i, c.Rep, c.Seed)
+		}
+	}
+}
+
+func TestExpandRejectsBadShapes(t *testing.T) {
+	many := make([]string, MaxAxis+1)
+	for i := range many {
+		many[i] = "g"
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no graphs", Spec{Budgets: [][]int{{1}}}},
+		{"no budgets", Spec{GraphIDs: []string{"g"}}},
+		{"empty budget vector", Spec{GraphIDs: []string{"g"}, Budgets: [][]int{{}}}},
+		{"axis too long", Spec{GraphIDs: many, Budgets: [][]int{{1}}}},
+		{"too many repeats", Spec{GraphIDs: []string{"g"}, Budgets: [][]int{{1}}, Repeats: MaxRepeats + 1}},
+		{"grid too large", Spec{
+			GraphIDs: make32(), Budgets: [][]int{{1}, {2}}, Configs: make32(), Repeats: 2,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Expand(&tc.spec); err == nil {
+				t.Error("expand accepted an invalid spec")
+			}
+		})
+	}
+}
+
+func make32() []string {
+	out := make([]string, MaxAxis)
+	for i := range out {
+		out[i] = "x"
+	}
+	return out
+}
+
+func queryFixture() *store.SweepResult {
+	return &store.SweepResult{
+		SweepID: "n0-j1",
+		Cells: []store.SweepCell{
+			{Index: 0, CellID: "c0", GraphID: "g1", Algo: "bundleGRD", Config: "config1",
+				Cascade: "ic", Budgets: []int{25}, State: "done", HasWelfare: true, WelfareMean: 100},
+			{Index: 1, CellID: "c1", GraphID: "g1", Algo: "bundleGRD", Config: "config1",
+				Cascade: "ic", Budgets: []int{50}, State: "done", HasWelfare: true, WelfareMean: 140},
+			{Index: 2, CellID: "c2", GraphID: "g2", Algo: "item-disj", Config: "config1",
+				Cascade: "ic", Budgets: []int{25}, State: "failed", Error: "boom"},
+			{Index: 3, CellID: "c3", GraphID: "g2", Algo: "bundleGRD", Config: "config3",
+				Cascade: "ic", Budgets: []int{25}, State: "done", HasWelfare: true, WelfareMean: 80},
+		},
+	}
+}
+
+func TestQueryFilterAndCounts(t *testing.T) {
+	res := queryFixture()
+	out, err := Query(res, "sdeadbeef", url.Values{"graph": {"g1"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if out.ArtifactID != "sdeadbeef" {
+		t.Errorf("artifact id %s", out.ArtifactID)
+	}
+	if len(out.Cells) != 2 || out.Counts["done"] != 2 || out.Counts["failed"] != 0 {
+		t.Errorf("filter g1: %d cells, counts %v", len(out.Cells), out.Counts)
+	}
+	out, err = Query(res, "s0", url.Values{"state": {"failed"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(out.Cells) != 1 || out.Cells[0].CellID != "c2" {
+		t.Errorf("filter failed: %+v", out.Cells)
+	}
+	// ?cells=false keeps the counts but drops the row listing.
+	out, err = Query(res, "s0", url.Values{"cells": {"false"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if out.Cells != nil || out.Counts["done"] != 3 {
+		t.Errorf("cells=false: cells %v counts %v", out.Cells, out.Counts)
+	}
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	out, err := Query(queryFixture(), "s0", url.Values{"group_by": {"graph,algo"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(out.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(out.Groups), out.Groups)
+	}
+	byKey := map[string]GroupAggregate{}
+	for _, g := range out.Groups {
+		byKey[g.Key["graph"]+"/"+g.Key["algo"]] = g
+	}
+	g1 := byKey["g1/bundleGRD"]
+	if g1.Cells != 2 || g1.Estimated != 2 {
+		t.Errorf("g1/bundleGRD: %+v", g1)
+	}
+	if g1.WelfareMean != 120 || g1.WelfareMin != 100 || g1.WelfareMax != 140 {
+		t.Errorf("g1/bundleGRD aggregates: %+v", g1)
+	}
+	// A failed cell contributes to Cells but not the welfare aggregates.
+	g2d := byKey["g2/item-disj"]
+	if g2d.Cells != 1 || g2d.Estimated != 0 || g2d.WelfareMean != 0 {
+		t.Errorf("g2/item-disj: %+v", g2d)
+	}
+
+	if _, err := Query(queryFixture(), "s0", url.Values{"group_by": {"nope"}}); err == nil {
+		t.Error("unknown group_by dimension accepted")
+	}
+}

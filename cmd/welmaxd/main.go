@@ -108,6 +108,8 @@ func main() {
 		telemetryF = flag.String("telemetry", "on", "request tracing and latency histograms: on or off")
 		slowMS     = flag.Int("slow-ms", 1000, "log a structured slow-request line (with trace id and per-stage timings) for jobs at or above this many milliseconds (0 disables)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
+		jrnlRing   = flag.Int("journal-ring", 0, "flight-recorder ring capacity in events served by GET /v1/events (0 = default 4096)")
+		jrnlMB     = flag.Int("journal-mb", 0, "flight-recorder on-disk journal budget in MB under <data-dir>/journal (0 = default 32; needs -data-dir to spill)")
 	)
 	flag.Parse()
 
@@ -127,7 +129,7 @@ func main() {
 		if *dataDir != "" {
 			spillDir = filepath.Join(*dataDir, "catalog")
 		}
-		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken, *shardConc)
+		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken, *shardConc, *jrnlRing, *jrnlMB)
 		return
 	}
 
@@ -151,6 +153,8 @@ func main() {
 		ClusterToken:     clusterToken,
 		TelemetryOff:     *telemetryF == "off",
 		SlowThreshold:    slowThreshold(*slowMS),
+		JournalRing:      *jrnlRing,
+		JournalMB:        *jrnlMB,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -237,7 +241,7 @@ func startPprof(addr string) {
 }
 
 // runRouter serves the cluster routing tier (-route).
-func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string, shardConc int) {
+func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string, shardConc, journalRing, journalMB int) {
 	backends, err := cluster.ParseBackends(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -251,6 +255,8 @@ func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowP
 		SpillDir:              spillDir,
 		ClusterToken:          clusterToken,
 		SweepShardConcurrency: shardConc,
+		JournalRing:           journalRing,
+		JournalMB:             journalMB,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)

@@ -1,0 +1,379 @@
+// Command welmaxtop is a polling terminal console for a welmaxd node
+// or cluster router: one screen that answers "what is this process
+// doing right now" from the two observability endpoints every welmaxd
+// already serves — GET /v1/metrics?format=json for gauges and latency
+// histograms, and GET /v1/events for the control-plane flight
+// recorder's typed event tail.
+//
+// Each refresh it shows request throughput and latency per route
+// (rates are computed from successive histogram snapshots, so the
+// first frame shows totals only), the operational gauges worth
+// watching (cache, queue, admission, journal health, per-trace
+// resource totals), and the most recent journal events — ownership
+// flips, sketch ships, admission rejects, batch fires — so a failover
+// or rebalance is visible the moment it happens.
+//
+//	welmaxtop -addr http://localhost:8080
+//	welmaxtop -addr http://localhost:8080 -interval 1s -events 25
+//	welmaxtop -addr http://localhost:8080 -once        # one plain frame (no ANSI), for scripts
+//	welmaxtop -addr http://localhost:8080 -graph g-abc # event tail filtered to one graph
+//
+// Pointing it at a router shows the merged cluster view: the router's
+// /v1/metrics relays every shard's gauges (node-labeled) and its
+// /v1/events merges every shard's journal time-ordered.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"uicwelfare/internal/journal"
+	"uicwelfare/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "welmaxd or router base URL")
+		interval = flag.Duration("interval", 2*time.Second, "refresh cadence")
+		events   = flag.Int("events", 15, "journal events shown in the tail")
+		typeF    = flag.String("type", "", "event tail filter: comma-separated journal event types")
+		graphF   = flag.String("graph", "", "event tail filter: graph id")
+		nodeF    = flag.String("node", "", "event tail filter: node name")
+		once     = flag.Bool("once", false, "render one plain frame (no screen clearing) and exit")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+
+	top := &console{
+		base:   strings.TrimRight(*addr, "/"),
+		client: &http.Client{Timeout: *timeout},
+		tail:   *events,
+		typeF:  *typeF,
+		graphF: *graphF,
+		nodeF:  *nodeF,
+	}
+	if *once {
+		top.refresh()
+		top.render(os.Stdout, false)
+		return
+	}
+	for {
+		top.refresh()
+		top.render(os.Stdout, true)
+		time.Sleep(*interval)
+	}
+}
+
+// console holds the rolling state a frame is rendered from: the last
+// two metrics snapshots (for rates), the event ring, and the events
+// cursor (a string verbatim from the server — a bare sequence number
+// on a backend, a composite node:seq list on a router).
+type console struct {
+	base   string
+	client *http.Client
+	tail   int
+	typeF  string
+	graphF string
+	nodeF  string
+
+	prev     telemetry.Export
+	prevAt   time.Time
+	cur      telemetry.Export
+	curAt    time.Time
+	events   []journal.Event
+	cursor   string
+	lastErrs []string
+}
+
+// eventsPage decodes either tier's GET /v1/events body: next_cursor is
+// a JSON number on a backend and a string on the router, so it lands
+// in a RawMessage and is re-serialized verbatim as the next cursor
+// query parameter.
+type eventsPage struct {
+	Events     []journal.Event   `json:"events"`
+	NextCursor json.RawMessage   `json:"next_cursor"`
+	Partial    bool              `json:"partial,omitempty"`
+	Errors     map[string]string `json:"errors,omitempty"`
+}
+
+func (c *console) refresh() {
+	c.lastErrs = c.lastErrs[:0]
+
+	var export telemetry.Export
+	if err := c.getJSON("/v1/metrics?format=json", &export); err != nil {
+		c.lastErrs = append(c.lastErrs, "metrics: "+err.Error())
+	} else {
+		c.prev, c.prevAt = c.cur, c.curAt
+		c.cur, c.curAt = export, time.Now()
+	}
+
+	vals := url.Values{}
+	vals.Set("limit", strconv.Itoa(journal.MaxLimit))
+	if c.cursor != "" {
+		vals.Set("cursor", c.cursor)
+	}
+	if c.typeF != "" {
+		vals.Set("type", c.typeF)
+	}
+	if c.graphF != "" {
+		vals.Set("graph", c.graphF)
+	}
+	if c.nodeF != "" {
+		vals.Set("node", c.nodeF)
+	}
+	var page eventsPage
+	if err := c.getJSON("/v1/events?"+vals.Encode(), &page); err != nil {
+		c.lastErrs = append(c.lastErrs, "events: "+err.Error())
+		return
+	}
+	if next := strings.Trim(string(page.NextCursor), `"`); next != "" && next != "null" {
+		c.cursor = next
+	}
+	c.events = append(c.events, page.Events...)
+	if len(c.events) > c.tail {
+		c.events = c.events[len(c.events)-c.tail:]
+	}
+	for src, msg := range page.Errors {
+		c.lastErrs = append(c.lastErrs, "events["+src+"]: "+msg)
+	}
+	sort.Strings(c.lastErrs)
+}
+
+func (c *console) getJSON(path string, out any) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// render draws one frame. With ansi it repaints in place (clear +
+// home); without it the frame is plain text suitable for piping.
+func (c *console) render(w io.Writer, ansi bool) {
+	var b strings.Builder
+	if ansi {
+		b.WriteString("\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(&b, "welmaxtop  %s  %s\n", c.base, time.Now().Format("15:04:05"))
+	for _, e := range c.lastErrs {
+		fmt.Fprintf(&b, "  ! %s\n", e)
+	}
+	b.WriteByte('\n')
+
+	c.renderRoutes(&b)
+	c.renderGauges(&b)
+	c.renderEvents(&b)
+	fmt.Fprint(w, b.String())
+}
+
+// renderRoutes shows per-route request throughput and latency from
+// welmax_http_request_duration_seconds, with rates diffed against the
+// previous snapshot.
+func (c *console) renderRoutes(b *strings.Builder) {
+	type row struct {
+		route string
+		count int64
+		rate  float64
+		avgMS float64
+		p95MS float64
+	}
+	prevCount := map[string]int64{}
+	for _, h := range c.prev.Histograms {
+		if h.Name == "welmax_http_request_duration_seconds" {
+			prevCount[labelValue(h.Labels, "route")] += h.Count
+		}
+	}
+	dt := c.curAt.Sub(c.prevAt).Seconds()
+	var rows []row
+	for _, h := range c.cur.Histograms {
+		if h.Name != "welmax_http_request_duration_seconds" || h.Count == 0 {
+			continue
+		}
+		route := labelValue(h.Labels, "route")
+		r := row{route: route, count: h.Count, avgMS: h.SumSeconds / float64(h.Count) * 1e3, p95MS: quantileMS(h, 0.95)}
+		if dt > 0 {
+			if d := h.Count - prevCount[route]; d > 0 {
+				r.rate = float64(d) / dt
+			}
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	fmt.Fprintf(b, "%-36s %10s %8s %9s %9s\n", "ROUTE", "REQS", "REQ/S", "AVG", "P95")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%-36s %10d %8.1f %8.1fms %8.1fms\n", r.route, r.count, r.rate, r.avgMS, r.p95MS)
+	}
+	b.WriteByte('\n')
+}
+
+// watchedGauges are the operational series worth a fixed slot on the
+// board, in display order.
+var watchedGauges = []string{
+	"welmax_graphs",
+	"welmax_jobs_queue_depth",
+	"welmax_workers_busy",
+	"welmax_sketch_cache_entries",
+	"welmax_sketch_cache_hits",
+	"welmax_sketch_cache_misses",
+	"welmax_sketch_cache_evictions",
+	"welmax_batch_builds",
+	"welmax_batch_coalesced_requests",
+	"welmax_admission_rejects",
+	"welmax_cluster_rebalances",
+	"welmax_cluster_sketch_ships",
+	"welmax_journal_events_total",
+	"welmax_journal_dropped_total",
+	"welmax_journal_ring_depth",
+}
+
+func (c *console) renderGauges(b *strings.Builder) {
+	byName := map[string]float64{}
+	var resources []telemetry.Gauge
+	for _, g := range c.cur.Gauges {
+		switch g.Name {
+		case "welmax_resource_total":
+			resources = append(resources, g)
+		default:
+			// Cluster expositions carry the same series once per node;
+			// summing gives the fleet view and is a no-op on one backend.
+			byName[g.Name] += g.Value
+		}
+	}
+	col := 0
+	for _, name := range watchedGauges {
+		v, ok := byName[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(b, "%-32s %12s   ", strings.TrimPrefix(name, "welmax_"), formatValue(v))
+		if col++; col%2 == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	if col%2 != 0 {
+		b.WriteByte('\n')
+	}
+	if len(resources) > 0 {
+		kinds := map[string]float64{}
+		for _, g := range resources {
+			kinds[labelValue(g.Labels, "kind")] += g.Value
+		}
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("resources:")
+		for _, k := range names {
+			fmt.Fprintf(b, "  %s=%s", k, formatValue(kinds[k]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+}
+
+func (c *console) renderEvents(b *strings.Builder) {
+	fmt.Fprintf(b, "EVENTS (last %d)\n", c.tail)
+	if len(c.events) == 0 {
+		b.WriteString("  (none yet)\n")
+		return
+	}
+	for _, e := range c.events {
+		fmt.Fprintf(b, "%s  %-18s %s\n", e.TS.Format("15:04:05.000"), e.Type, eventDetail(e))
+	}
+}
+
+// eventDetail flattens an event's populated fields into one line.
+func eventDetail(e journal.Event) string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("node", e.Node)
+	add("graph", e.Graph)
+	if e.From != "" || e.To != "" {
+		parts = append(parts, e.From+"→"+e.To)
+	}
+	add("job", e.Job)
+	add("sweep", e.Sweep)
+	add("cell", e.Cell)
+	if e.Count != 0 {
+		parts = append(parts, "n="+strconv.FormatInt(e.Count, 10))
+	}
+	if e.Bytes != 0 {
+		parts = append(parts, "bytes="+strconv.FormatInt(e.Bytes, 10))
+	}
+	if e.WaitMS != 0 {
+		parts = append(parts, "wait="+strconv.FormatInt(e.WaitMS, 10)+"ms")
+	}
+	add("reason", e.Reason)
+	add("err", e.Error)
+	add("trace", e.TraceID)
+	return strings.Join(parts, " ")
+}
+
+func labelValue(labels []telemetry.Label, name string) string {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// quantileMS estimates a latency quantile in milliseconds from the
+// snapshot's fixed power-of-two buckets (upper-bound attribution, the
+// usual histogram-quantile pessimism).
+func quantileMS(h telemetry.HistSnapshot, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	bounds := telemetry.BucketBounds()
+	target := int64(float64(h.Count) * q)
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum > target {
+			if i < len(bounds) {
+				return bounds[i] * 1e3
+			}
+			// +Inf bucket: the best available bound is the last finite one.
+			return bounds[len(bounds)-1] * 1e3
+		}
+	}
+	return bounds[len(bounds)-1] * 1e3
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e9:
+		return strconv.FormatFloat(v/1e9, 'f', 1, 64) + "G"
+	case v >= 1e6:
+		return strconv.FormatFloat(v/1e6, 'f', 1, 64) + "M"
+	case v >= 1e4:
+		return strconv.FormatFloat(v/1e3, 'f', 1, 64) + "k"
+	case v == float64(int64(v)):
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+}

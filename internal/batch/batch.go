@@ -67,6 +67,13 @@ type Scheduler struct {
 
 	batches   atomic.Int64 // gather windows that ran a build
 	coalesced atomic.Int64 // requests that joined an existing group
+
+	// onFire, when set, observes every gather window that reaches its
+	// build: the group key, the frozen merged budget vector, and how
+	// many waiters share the build. It runs on the window timer's
+	// goroutine before the build starts, so it must be cheap and must
+	// not call back into the scheduler.
+	onFire func(key string, budgets []int, waiters int)
 }
 
 // group is one gather window's worth of requests. budgets accumulates
@@ -93,6 +100,13 @@ type group struct {
 // wanting batching off should simply not route through the scheduler.
 func New(window time.Duration) *Scheduler {
 	return &Scheduler{window: window, groups: map[string]*group{}}
+}
+
+// SetFireHook installs the scheduler's batch-fire observer (see the
+// onFire field). Install it before the scheduler receives traffic;
+// replacing it while windows are gathering races with fire.
+func (s *Scheduler) SetFireHook(fn func(key string, budgets []int, waiters int)) {
+	s.onFire = fn
 }
 
 // Stats is the scheduler's counter snapshot: Batches counts coalesced
@@ -203,7 +217,8 @@ func (s *Scheduler) fire(key string, g *group, build BuildFunc) {
 	s.mu.Lock()
 	g.building = true
 	merged := append([]int(nil), g.budgets...)
-	dead := g.waiters == 0
+	waiters := g.waiters
+	dead := waiters == 0
 	s.mu.Unlock()
 
 	if dead {
@@ -212,6 +227,9 @@ func (s *Scheduler) fire(key string, g *group, build BuildFunc) {
 		g.err = context.Canceled
 	} else {
 		s.batches.Add(1)
+		if s.onFire != nil {
+			s.onFire(key, merged, waiters)
+		}
 		g.sketch, g.hit, g.err = build(g.buildCtx, merged)
 	}
 

@@ -1,0 +1,506 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"uicwelfare/internal/journal"
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/telemetry"
+)
+
+// The router half of the flight recorder's query surface. GET /v1/events
+// on the router merges the router's own journal (membership transitions,
+// ownership flips, sketch ships, sweep scheduling) with every live
+// shard's journal (cache churn, admission decisions, job spill/replay)
+// into one time-ordered stream, so a failover reads as a single
+// narrative: member_down, ownership_flip, sketch_ship, then the new
+// owner's cache imports — one query, no per-shard stitching.
+
+// ClusterEventsResponse is the router's GET /v1/events body. Cursors
+// are recorder-local sequence numbers, so the merged stream's cursor is
+// composite: "router:4,b0:12,b1:9". Passing it back as ?cursor= resumes
+// every journal exactly where the page ended.
+type ClusterEventsResponse struct {
+	Events     []journal.Event   `json:"events"`
+	NextCursor string            `json:"next_cursor"`
+	Partial    bool              `json:"partial,omitempty"`
+	Errors     map[string]string `json:"errors,omitempty"`
+}
+
+// routerNode is the source name of the router's own journal in composite
+// cursors and merged events.
+const routerNode = "router"
+
+// parseMergedCursor decodes a composite "node:seq,node:seq" cursor. A
+// bare integer is accepted too (applied to every source) so a client
+// can naively resume from zero.
+func parseMergedCursor(raw string) (map[string]uint64, uint64, error) {
+	out := map[string]uint64{}
+	if raw == "" {
+		return out, 0, nil
+	}
+	if n, err := strconv.ParseUint(raw, 10, 64); err == nil {
+		return out, n, nil
+	}
+	for _, part := range strings.Split(raw, ",") {
+		node, seqRaw, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, 0, fmt.Errorf("bad cursor part %q (want node:seq)", part)
+		}
+		seq, err := strconv.ParseUint(seqRaw, 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad cursor part %q (want node:seq)", part)
+		}
+		out[node] = seq
+	}
+	return out, 0, nil
+}
+
+// eventValues re-encodes a journal query (plus a per-source cursor) as
+// the backend endpoint's query parameters.
+func eventValues(q journal.Query, cursor uint64, limit int) url.Values {
+	vals := url.Values{}
+	if cursor > 0 {
+		vals.Set("cursor", strconv.FormatUint(cursor, 10))
+	}
+	if limit > 0 {
+		vals.Set("limit", strconv.Itoa(limit))
+	}
+	if q.Type != "" {
+		vals.Set("type", q.Type)
+	}
+	if q.Graph != "" {
+		vals.Set("graph", q.Graph)
+	}
+	if q.Node != "" {
+		vals.Set("node", q.Node)
+	}
+	if !q.Since.IsZero() {
+		vals.Set("since", q.Since.Format(timeRFC3339Nano))
+	}
+	return vals
+}
+
+const timeRFC3339Nano = "2006-01-02T15:04:05.999999999Z07:00"
+
+// taggedEvent remembers which journal an event came from — the event's
+// own Node field is not enough (the router journals member_up/down under
+// the member's name).
+type taggedEvent struct {
+	src string
+	e   journal.Event
+}
+
+// handleEvents implements the router's GET /v1/events: the merged,
+// time-ordered, cursor-paginated view over the router's and every live
+// shard's journal, with the same type/graph/node/since filters as the
+// backend form. ?stream=1 (or Accept: text/event-stream) switches to a
+// live SSE tail fanned in from every journal. A dead shard contributes
+// nothing but an entry in "errors" with "partial": true — the cluster's
+// history stays readable while a shard is down, which is exactly when
+// it is needed.
+func (r *Router) handleEvents(w http.ResponseWriter, req *http.Request) {
+	values := req.URL.Query()
+	cursors, baseCursor, err := parseMergedCursor(values.Get("cursor"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	values.Del("cursor")
+	q, err := service.ParseEventQuery(values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cursorFor := func(node string) uint64 {
+		if c, ok := cursors[node]; ok {
+			return c
+		}
+		return baseCursor
+	}
+	if values.Get("stream") == "1" || values.Get("stream") == "true" || values.Get("stream") == "sse" ||
+		strings.Contains(req.Header.Get("Accept"), "text/event-stream") {
+		r.streamMergedEvents(w, req, q, cursorFor)
+		return
+	}
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = journal.DefaultLimit
+	}
+	if limit > journal.MaxLimit {
+		limit = journal.MaxLimit
+	}
+
+	// One page per source, merged by time below. Each source also reports
+	// its own next cursor, usable when the merge keeps its whole page.
+	type sourcePage struct {
+		src    string
+		events []journal.Event
+		next   uint64
+	}
+	ownQ := q
+	ownQ.After = cursorFor(routerNode)
+	ownQ.Limit = limit
+	ownEvents, ownNext := r.flight.Events(ownQ)
+	pages := []sourcePage{{src: routerNode, events: ownEvents, next: ownNext}}
+
+	members := r.members.Snapshot()
+	alive := make([]string, 0, len(members))
+	errs := map[string]string{}
+	for _, m := range members {
+		if m.Healthy {
+			alive = append(alive, m.Name)
+		} else {
+			// A shard the prober has marked down is reported, not silently
+			// omitted: the merged history is partial and the reader should
+			// know which journal is missing from it.
+			errs[m.Name] = "backend down"
+		}
+	}
+	shardPages := make([]sourcePage, len(alive))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i, name := range alive {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			path := "/v1/events?" + eventValues(q, cursorFor(name), limit).Encode()
+			status, body, err := r.call(req.Context(), http.MethodGet, name, path, nil)
+			if err != nil || status != http.StatusOK {
+				mu.Lock()
+				if err != nil {
+					errs[name] = err.Error()
+				} else {
+					errs[name] = fmt.Sprintf("status %d", status)
+				}
+				mu.Unlock()
+				return
+			}
+			var resp service.EventsResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				mu.Lock()
+				errs[name] = err.Error()
+				mu.Unlock()
+				return
+			}
+			shardPages[i] = sourcePage{src: name, events: resp.Events, next: resp.NextCursor}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, p := range shardPages {
+		if p.src != "" {
+			pages = append(pages, p)
+		}
+	}
+
+	var merged []taggedEvent
+	for _, p := range pages {
+		for _, e := range p.events {
+			merged = append(merged, taggedEvent{src: p.src, e: e})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].e.TS.Equal(merged[j].e.TS) {
+			return merged[i].e.TS.Before(merged[j].e.TS)
+		}
+		if merged[i].src != merged[j].src {
+			return merged[i].src < merged[j].src
+		}
+		return merged[i].e.Seq < merged[j].e.Seq
+	})
+	page := merged
+	if len(page) > limit {
+		page = page[:limit]
+	}
+
+	// Per-source resume point: a source whose page was fully consumed
+	// advances to its own reported next cursor (which also skips events
+	// its journal filtered out); a source cut by the merge resumes at the
+	// last of its events actually returned.
+	included := map[string]int{}
+	next := map[string]uint64{}
+	for _, p := range pages {
+		next[p.src] = cursorFor(p.src)
+	}
+	for _, te := range page {
+		included[te.src]++
+		if te.e.Seq > next[te.src] {
+			next[te.src] = te.e.Seq
+		}
+	}
+	for _, p := range pages {
+		if included[p.src] == len(p.events) && p.next > next[p.src] {
+			next[p.src] = p.next
+		}
+	}
+	srcs := make([]string, 0, len(next))
+	for s := range next {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	parts := make([]string, 0, len(srcs))
+	for _, s := range srcs {
+		parts = append(parts, fmt.Sprintf("%s:%d", s, next[s]))
+	}
+
+	events := make([]journal.Event, 0, len(page))
+	for _, te := range page {
+		events = append(events, te.e)
+	}
+	out := ClusterEventsResponse{Events: events, NextCursor: strings.Join(parts, ",")}
+	if len(errs) > 0 {
+		out.Partial = true
+		out.Errors = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// streamMergedEvents serves the router's SSE live tail: the router's own
+// retained events first (after the client's cursor), then a fan-in of
+// live events from its own journal and every live shard's SSE tail.
+// Cross-source ordering is arrival order — exact ordering is the query
+// form's job; the tail's job is latency.
+func (r *Router) streamMergedEvents(w http.ResponseWriter, req *http.Request, q journal.Query, cursorFor func(string) uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+
+	// Own journal: subscribe before replaying so no event falls between.
+	sub, unsub := r.flight.Subscribe(256)
+	defer unsub()
+	ownQ := q
+	ownQ.After = cursorFor(routerNode)
+	ownQ.Limit = journal.MaxLimit
+	past, lastOwn := r.flight.Events(ownQ)
+
+	ch := make(chan journal.Event, 256)
+	for _, name := range r.members.Alive() {
+		vals := eventValues(q, cursorFor(name), 0)
+		vals.Set("stream", "1")
+		go r.tailBackendEvents(ctx, name, vals, ch)
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	write := func(e journal.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, e := range past {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e := <-sub:
+			if e.Seq <= lastOwn || !q.Match(e) {
+				continue
+			}
+			if !write(e) {
+				return
+			}
+		case e := <-ch:
+			if !write(e) {
+				return
+			}
+		}
+	}
+}
+
+// tailBackendEvents opens one shard's SSE event tail and forwards every
+// decoded event into ch until ctx ends or the stream breaks (a dead
+// shard simply stops contributing; the client reconnects with its cursor
+// to pick up whatever the shard's ring retained).
+func (r *Router) tailBackendEvents(ctx context.Context, name string, vals url.Values, ch chan<- journal.Event) {
+	base, ok := r.members.URLOf(name)
+	if !ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events?"+vals.Encode(), nil)
+	if err != nil {
+		return
+	}
+	if r.token != "" {
+		req.Header.Set(service.ClusterTokenHeader, r.token)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var e journal.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			continue
+		}
+		select {
+		case ch <- e:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// --- placement introspection -------------------------------------------
+
+// PlacementNode is one backend's standing for a graph in the placement
+// view: its HRW preference rank (0 = first choice), liveness, whether it
+// is the cataloged owner, and what it actually holds right now.
+type PlacementNode struct {
+	Node  string `json:"node"`
+	Rank  int    `json:"rank"`
+	Alive bool   `json:"alive"`
+	Owner bool   `json:"owner"`
+	// Resident reports whether the graph is registered on the node at
+	// this moment (mid-rebalance a graph can be resident on two nodes, or
+	// on none that is alive); ResidentSketches is the node's cached
+	// sketch count for it.
+	Resident         bool `json:"resident"`
+	ResidentSketches int  `json:"resident_sketches,omitempty"`
+}
+
+// PlacementResponse is GET /v1/cluster/placement/{graph_id}: why a graph
+// lives where it lives — the full HRW rank order over the topology, the
+// cataloged owner, per-node residency, and the graph's ownership history
+// (flips, ships, failed rebalances) from the router's journal.
+type PlacementResponse struct {
+	GraphID   string `json:"graph_id"`
+	Name      string `json:"name,omitempty"`
+	Cataloged bool   `json:"cataloged"`
+	// Owner is the cataloged owner; HRWOwner is where HRW places the
+	// graph among the currently-live backends. They differ only while a
+	// rebalance is pending.
+	Owner    string            `json:"owner,omitempty"`
+	HRWOwner string            `json:"hrw_owner,omitempty"`
+	Nodes    []PlacementNode   `json:"nodes"`
+	History  []journal.Event   `json:"history"`
+	Partial  bool              `json:"partial,omitempty"`
+	Errors   map[string]string `json:"errors,omitempty"`
+}
+
+// handlePlacement implements GET /v1/cluster/placement/{graph_id}.
+func (r *Router) handlePlacement(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("graph_id")
+	r.mu.Lock()
+	rec := r.catalog[id]
+	var name, owner string
+	if rec != nil {
+		name, owner = rec.name, rec.owner
+	}
+	r.mu.Unlock()
+
+	all := make([]string, 0, len(r.members.Snapshot()))
+	aliveSet := map[string]bool{}
+	for _, st := range r.members.Snapshot() {
+		all = append(all, st.Name)
+		aliveSet[st.Name] = st.Healthy
+	}
+	ranked := Rank(all, id)
+	hrwOwner, _ := Owner(r.members.Alive(), id)
+
+	// Residency is asked of every live backend directly — the catalog
+	// says where the graph should be, the shards say where it is.
+	type residency struct {
+		resident bool
+		sketches int
+	}
+	res := map[string]residency{}
+	errs := map[string]string{}
+	for _, fr := range r.fanout(req.Context(), http.MethodGet, "/v1/graphs/"+id) {
+		if fr.err != nil {
+			errs[fr.backend] = fr.err.Error()
+			continue
+		}
+		if fr.status == http.StatusNotFound {
+			continue
+		}
+		if fr.status != http.StatusOK {
+			errs[fr.backend] = fmt.Sprintf("status %d", fr.status)
+			continue
+		}
+		var gi service.GraphInfo
+		if err := json.Unmarshal(fr.body, &gi); err != nil {
+			errs[fr.backend] = err.Error()
+			continue
+		}
+		res[fr.backend] = residency{resident: true, sketches: gi.ResidentSketches}
+	}
+
+	nodes := make([]PlacementNode, 0, len(ranked))
+	for i, n := range ranked {
+		nodes = append(nodes, PlacementNode{
+			Node:             n,
+			Rank:             i,
+			Alive:            aliveSet[n],
+			Owner:            n == owner,
+			Resident:         res[n].resident,
+			ResidentSketches: res[n].sketches,
+		})
+	}
+	history, _ := r.flight.Events(journal.Query{Graph: id, Limit: journal.MaxLimit})
+	if history == nil {
+		history = []journal.Event{}
+	}
+	out := PlacementResponse{
+		GraphID:   id,
+		Name:      name,
+		Cataloged: rec != nil,
+		Owner:     owner,
+		HRWOwner:  hrwOwner,
+		Nodes:     nodes,
+		History:   history,
+	}
+	if len(errs) > 0 {
+		out.Partial = true
+		out.Errors = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// edgeTraceID resolves the trace id a router-minted journal event should
+// carry: the context's trace when one is attached, else empty.
+func edgeTraceID(ctx context.Context) string {
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		return tr.ID()
+	}
+	return ""
+}

@@ -23,6 +23,12 @@ type Membership struct {
 
 	mu      sync.RWMutex
 	members []*member
+	// onTransition, when set, observes each health transition (including
+	// the first probe round's unknown→probed) as ProbeAll applies it. It
+	// runs under the membership lock, so it must be cheap and must not
+	// call back into Membership — the router points it at its flight
+	// recorder's O(1) ring append.
+	onTransition func(name string, healthy bool, errMsg string)
 }
 
 type member struct {
@@ -90,12 +96,23 @@ func (m *Membership) ProbeAll(ctx context.Context) (changed bool) {
 	for i, mem := range m.members {
 		if !mem.probed || mem.healthy != results[i].healthy {
 			changed = true
+			if m.onTransition != nil {
+				m.onTransition(mem.backend.Name, results[i].healthy, results[i].errMsg)
+			}
 		}
 		mem.probed = true
 		mem.healthy = results[i].healthy
 		mem.lastErr = results[i].errMsg
 	}
 	return changed
+}
+
+// SetTransitionHook installs the per-member health-transition observer
+// (see the field doc). Call before the first probe round.
+func (m *Membership) SetTransitionHook(fn func(name string, healthy bool, errMsg string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onTransition = fn
 }
 
 // probe checks one backend's /v1/healthz.

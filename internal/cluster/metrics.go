@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"uicwelfare/internal/service"
 	"uicwelfare/internal/telemetry"
 )
 
@@ -27,7 +28,7 @@ func (r *Router) routerGauges() []telemetry.Gauge {
 			Value:  float64(v),
 		}
 	}
-	return []telemetry.Gauge{
+	out := []telemetry.Gauge{
 		{Name: "welmax_cluster_rebalances", Value: float64(r.rebalances.Load())},
 		{Name: "welmax_cluster_sketch_ships", Value: float64(r.ships.Load())},
 		{Name: "welmax_cluster_pre_admission_rejects", Value: float64(r.preAdmitRejects.Load())},
@@ -35,6 +36,10 @@ func (r *Router) routerGauges() []telemetry.Gauge {
 		stateGauge("failed", r.sweepCellsFailed.Load()),
 		stateGauge("canceled", r.sweepCellsCanceled.Load()),
 	}
+	out = append(out, telemetry.BuildInfoGauge())
+	out = append(out, service.JournalGauges(r.flight)...)
+	out = append(out, service.ResourceTotalGauges()...)
+	return out
 }
 
 // handleMetrics implements the router's GET /v1/metrics: the cluster's

@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"uicwelfare/internal/journal"
 	"uicwelfare/internal/service"
 	"uicwelfare/internal/telemetry"
 )
@@ -133,6 +134,8 @@ func (r *Router) rebalance(ctx context.Context) {
 	r.mu.Unlock()
 
 	converged := true
+	started := false
+	moved := 0
 	for _, rec := range records {
 		r.mu.Lock()
 		id, owner := rec.id, rec.owner
@@ -145,8 +148,16 @@ func (r *Router) rebalance(ctx context.Context) {
 		if !ok || want == owner {
 			continue
 		}
+		if !started {
+			started = true
+			r.flight.Record(journal.Event{Type: journal.RebalanceStart, TraceID: edgeTraceID(ctx)})
+		}
 		if err := r.moveGraph(ctx, id, owner, want); err != nil {
 			log.Printf("cluster: move %s %s -> %s: %v", id, owner, want, err)
+			r.flight.Record(journal.Event{
+				Type: journal.RebalanceFailed, Graph: id, From: owner, To: want,
+				TraceID: edgeTraceID(ctx), Error: err.Error(),
+			})
 			converged = false // retried next probe round via the dirty flag
 			continue
 		}
@@ -166,6 +177,16 @@ func (r *Router) rebalance(ctx context.Context) {
 			continue
 		}
 		r.rebalances.Add(1)
+		moved++
+		r.flight.Record(journal.Event{
+			Type: journal.OwnershipFlip, Graph: id, From: owner, To: want,
+			TraceID: edgeTraceID(ctx),
+		})
+	}
+	if started {
+		// The pass-level terminal event; individual move failures above
+		// carry their own rebalance_failed events with the reason.
+		r.flight.Record(journal.Event{Type: journal.RebalanceDone, Count: int64(moved), TraceID: edgeTraceID(ctx)})
 	}
 	if !converged {
 		r.dirty.Store(true)
@@ -215,10 +236,15 @@ func (r *Router) moveGraph(ctx context.Context, id, oldOwner, newOwner string) e
 	if oldAlive {
 		// Best-effort: a failed transfer just means the new owner starts
 		// cold, exactly as if the old owner had died.
-		if shipped, err := r.streamSketches(ctx, id, oldOwner, newOwner); err != nil {
+		if shipped, sentBytes, err := r.streamSketches(ctx, id, oldOwner, newOwner); err != nil {
 			log.Printf("cluster: ship sketches for %s %s -> %s: %v", id, oldOwner, newOwner, err)
 		} else if shipped > 0 {
 			r.ships.Add(1)
+			telemetry.AddResource(ctx, telemetry.ResBytesShipped, sentBytes)
+			r.flight.Record(journal.Event{
+				Type: journal.SketchShip, Graph: id, From: oldOwner, To: newOwner,
+				Count: int64(shipped), Bytes: sentBytes, TraceID: edgeTraceID(ctx),
+			})
 		}
 	}
 
@@ -256,13 +282,15 @@ func (r *Router) fetchWMG(ctx context.Context, id, preferred string) ([]byte, er
 // streamSketches pipes the old owner's sketch export straight into the
 // new owner's import — the response body becomes the request body, so
 // the router never buffers the warm set (which can approach the 1GB
-// ship cap). It returns how many sketches the new owner imported.
-func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, error) {
+// ship cap). It returns how many sketches the new owner imported and
+// how many stream bytes crossed the router (the ship's cost for the
+// flight recorder and the bytes_shipped resource).
+func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, int64, error) {
 	defer r.observeOp("ship", time.Now())
 	fromBase, ok1 := r.members.URLOf(from)
 	toBase, ok2 := r.members.URLOf(to)
 	if !ok1 || !ok2 {
-		return 0, fmt.Errorf("unknown backend %q or %q", from, to)
+		return 0, 0, fmt.Errorf("unknown backend %q or %q", from, to)
 	}
 	// Both legs of the ship carry the sync pass's trace id, like every
 	// other router-initiated request (call does this automatically; the
@@ -275,7 +303,7 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	defer cancel()
 	get, err := http.NewRequestWithContext(ctx, http.MethodGet, fromBase+"/v1/graphs/"+id+"/sketches", nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if r.token != "" {
 		get.Header.Set(service.ClusterTokenHeader, r.token)
@@ -285,16 +313,16 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	}
 	exp, err := r.client.Do(get)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer exp.Body.Close()
 	if exp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("export: status %d", exp.StatusCode)
+		return 0, 0, fmt.Errorf("export: status %d", exp.StatusCode)
 	}
-	post, err := http.NewRequestWithContext(ctx, http.MethodPost, toBase+"/v1/graphs/"+id+"/sketches",
-		io.LimitReader(exp.Body, maxShipBytes))
+	counted := &countingReader{r: io.LimitReader(exp.Body, maxShipBytes)}
+	post, err := http.NewRequestWithContext(ctx, http.MethodPost, toBase+"/v1/graphs/"+id+"/sketches", counted)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if r.token != "" {
 		post.Header.Set(service.ClusterTokenHeader, r.token)
@@ -304,16 +332,29 @@ func (r *Router) streamSketches(ctx context.Context, id, from, to string) (int, 
 	}
 	imp, err := r.client.Do(post)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer imp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(imp.Body, 1<<20))
 	if imp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("import: status %d: %s", imp.StatusCode, raw)
+		return 0, 0, fmt.Errorf("import: status %d: %s", imp.StatusCode, raw)
 	}
 	var body struct {
 		Imported int `json:"imported"`
 	}
 	_ = json.Unmarshal(raw, &body)
-	return body.Imported, nil
+	return body.Imported, counted.n, nil
+}
+
+// countingReader counts the bytes drawn through it — how a ship's
+// stream cost is measured without buffering the stream.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }

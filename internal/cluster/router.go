@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uicwelfare/internal/journal"
 	"uicwelfare/internal/service"
 	"uicwelfare/internal/store"
 	"uicwelfare/internal/telemetry"
@@ -49,6 +50,12 @@ type Options struct {
 	// in flight per backend at once (default 2): a sweep should load a
 	// shard like a couple of eager clients, not like a thundering herd.
 	SweepShardConcurrency int
+	// JournalRing sizes the router's flight-recorder ring (events
+	// retained in memory for GET /v1/events); 0 uses the journal
+	// package default. JournalMB caps the on-disk journal spill under
+	// SpillDir in MiB; 0 uses the package default.
+	JournalRing int
+	JournalMB   int
 	// Client is the HTTP client for probes and proxying (default: a
 	// plain &http.Client{}; timeouts come from request contexts).
 	Client *http.Client
@@ -71,6 +78,10 @@ type Router struct {
 	ownSpill   bool // spillDir is router-created and removed on Close
 	start      time.Time
 	metrics    *telemetry.Metrics
+	// flight is the router's control-plane flight recorder: membership
+	// transitions, ownership flips, sketch ships, sweep dispatch —
+	// queryable through GET /v1/events alongside the shards' journals.
+	flight *journal.Recorder
 
 	mu      sync.Mutex
 	catalog map[string]*graphRecord
@@ -162,7 +173,19 @@ func New(opts Options) (*Router, error) {
 	probeTimeout := min(opts.ProbeInterval, 2*time.Second)
 	jobs := service.NewJobStore(0)
 	jobs.SetNodeID("router")
-	return &Router{
+	flight, err := journal.New(journal.Options{
+		Node:     "router",
+		RingSize: opts.JournalRing,
+		Dir:      filepath.Join(spillDir, "journal"),
+		MaxBytes: int64(opts.JournalMB) << 20,
+	})
+	if err != nil {
+		if ownSpill {
+			os.RemoveAll(spillDir)
+		}
+		return nil, fmt.Errorf("cluster: journal: %w", err)
+	}
+	r := &Router{
 		members:      NewMembership(opts.Backends, client, probeTimeout),
 		client:       client,
 		interval:     opts.ProbeInterval,
@@ -173,14 +196,29 @@ func New(opts Options) (*Router, error) {
 		ownSpill:     ownSpill,
 		start:        time.Now(),
 		metrics:      telemetry.NewMetrics(),
+		flight:       flight,
 		catalog:      map[string]*graphRecord{},
 		tombs:        map[string]bool{},
 		jobs:         jobs,
 		shardConc:    opts.SweepShardConcurrency,
 		sweepResults: map[string]*sweepRecord{},
 		stop:         make(chan struct{}),
-	}, nil
+	}
+	// Every probe-round health transition becomes a member_up/member_down
+	// event, stamped with the member's own node name so ?node= finds it.
+	r.members.SetTransitionHook(func(name string, healthy bool, errMsg string) {
+		typ := journal.MemberUp
+		if !healthy {
+			typ = journal.MemberDown
+		}
+		r.flight.Record(journal.Event{Type: typ, Node: name, Error: errMsg})
+	})
+	return r, nil
 }
+
+// Journal exposes the router's flight recorder (welmaxd wiring and
+// tests).
+func (r *Router) Journal() *journal.Recorder { return r.flight }
 
 // Start runs the probe/rebalance loop: an immediate first sync, then one
 // probe round per interval, rebalancing whenever membership changed.
@@ -209,6 +247,7 @@ func (r *Router) Start() {
 func (r *Router) Close() {
 	close(r.stop)
 	r.wg.Wait()
+	r.flight.Close()
 	if r.ownSpill {
 		os.RemoveAll(r.spillDir)
 	}
@@ -292,6 +331,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", r.timed("GET /v1/sweeps/{id}/events", r.handleSweepEvents))
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", r.timed("GET /v1/sweeps/{id}/results", r.handleSweepResults))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", r.timed("DELETE /v1/sweeps/{id}", r.handleCancelSweep))
+	mux.HandleFunc("GET /v1/events", r.timed("GET /v1/events", r.handleEvents))
+	mux.HandleFunc("GET /v1/cluster/placement/{graph_id}", r.timed("GET /v1/cluster/placement/{graph_id}", r.handlePlacement))
 	mux.HandleFunc("GET /v1/stats", r.timed("GET /v1/stats", r.handleStats))
 	mux.HandleFunc("GET /v1/metrics", r.timed("GET /v1/metrics", r.handleMetrics))
 	mux.HandleFunc("GET /healthz", r.timed("GET /healthz", r.handleHealthz))
@@ -326,9 +367,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // writeRetryable reports a transient routing failure (owner down,
 // backend unreachable): the body carries "retryable": true so clients
-// know the same request may succeed after the next rebalance.
-func writeRetryable(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error(), "retryable": true})
+// know the same request may succeed after the next rebalance, plus the
+// request's trace id (adopted from the client's header or minted here,
+// and echoed on the response) so the failure can be correlated with the
+// flight recorder's events for the same window.
+func writeRetryable(w http.ResponseWriter, req *http.Request, status int, err error) {
+	traceID := telemetry.SanitizeID(req.Header.Get(telemetry.TraceHeader))
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set(telemetry.TraceHeader, traceID)
+	writeJSON(w, status, map[string]any{"error": err.Error(), "retryable": true, "trace_id": traceID})
 }
 
 // maxBodyBytes mirrors the backend's request-body bound.
@@ -380,7 +429,7 @@ func (r *Router) ownerOf(graphID string) (string, error) {
 func (r *Router) proxyGraphScoped(w http.ResponseWriter, req *http.Request) {
 	owner, err := r.ownerOf(req.PathValue("id"))
 	if err != nil {
-		writeRetryable(w, http.StatusBadGateway, err)
+		writeRetryable(w, req, http.StatusBadGateway, err)
 		return
 	}
 	r.proxy(w, req, owner, nil)
@@ -392,7 +441,7 @@ func (r *Router) handleDeleteGraph(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	owner, err := r.ownerOf(id)
 	if err != nil {
-		writeRetryable(w, http.StatusBadGateway, err)
+		writeRetryable(w, req, http.StatusBadGateway, err)
 		return
 	}
 	status := r.proxy(w, req, owner, nil)
@@ -422,7 +471,7 @@ func (r *Router) proxyJobScoped(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if !r.members.IsAlive(node) {
-		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q holding job %s is down", node, id))
+		writeRetryable(w, req, http.StatusBadGateway, fmt.Errorf("backend %q holding job %s is down", node, id))
 		return
 	}
 	r.proxy(w, req, node, nil)
@@ -450,7 +499,7 @@ func (r *Router) handleBodyRouted(w http.ResponseWriter, req *http.Request) {
 	}
 	owner, err := r.ownerOf(peek.GraphID)
 	if err != nil {
-		writeRetryable(w, http.StatusBadGateway, err)
+		writeRetryable(w, req, http.StatusBadGateway, err)
 		return
 	}
 	r.proxy(w, req, owner, body)
@@ -502,7 +551,7 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 	} else if o, ok := Owner(r.members.Alive(), id); ok {
 		owner = o
 	} else {
-		writeRetryable(w, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
+		writeRetryable(w, req, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
 		return
 	}
 
@@ -518,7 +567,7 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 	status, raw, err := r.call(ctx, http.MethodPost, owner, "/v1/graphs/import", bytes.NewReader(wmg.Bytes()))
 	r.observeOp("placement", placeStart)
 	if err != nil {
-		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", owner, err))
+		writeRetryable(w, req, http.StatusBadGateway, fmt.Errorf("backend %q: %w", owner, err))
 		return
 	}
 	if status == http.StatusCreated || status == http.StatusOK {
@@ -548,7 +597,7 @@ func (r *Router) handleCreateGraph(w http.ResponseWriter, req *http.Request) {
 func (r *Router) handleAlgorithms(w http.ResponseWriter, req *http.Request) {
 	alive := r.members.Alive()
 	if len(alive) == 0 {
-		writeRetryable(w, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
+		writeRetryable(w, req, http.StatusServiceUnavailable, fmt.Errorf("no live backends"))
 		return
 	}
 	r.proxy(w, req, alive[0], nil)
@@ -784,7 +833,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, backend string,
 	}
 	resp, err := r.client.Do(out)
 	if err != nil {
-		writeRetryable(w, http.StatusBadGateway, fmt.Errorf("backend %q: %w", backend, err))
+		writeRetryable(w, req, http.StatusBadGateway, fmt.Errorf("backend %q: %w", backend, err))
 		return 0
 	}
 	defer resp.Body.Close()

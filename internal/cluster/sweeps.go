@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"uicwelfare/internal/core"
+	"uicwelfare/internal/journal"
 	"uicwelfare/internal/service"
 	"uicwelfare/internal/store"
 	"uicwelfare/internal/sweep"
@@ -355,6 +356,7 @@ func (r *Router) runRemoteCell(ctx context.Context, sweepJobID string, adm map[s
 		return row
 	}
 	var lastErr error
+	prevOwner := ""
 	for attempt := 0; attempt < maxCellAttempts; attempt++ {
 		if attempt > 0 {
 			select {
@@ -366,8 +368,22 @@ func (r *Router) runRemoteCell(ctx context.Context, sweepJobID string, adm map[s
 		owner, err := r.ownerOf(c.GraphID)
 		if err != nil {
 			lastErr = err // owner down; a rebalance may revive the cell
+			r.flight.Record(journal.Event{
+				Type: journal.SweepRetry, Sweep: sweepJobID, Cell: c.ID, Graph: c.GraphID,
+				Count: int64(attempt + 1), TraceID: edgeTraceID(ctx), Error: err.Error(),
+			})
 			continue
 		}
+		// A retry that re-resolves to a different shard is the sweep
+		// scheduler following a rebalance: journal the failover so the
+		// cell's path across the cluster is reconstructable.
+		if prevOwner != "" && owner != prevOwner {
+			r.flight.Record(journal.Event{
+				Type: journal.SweepShardFailover, Sweep: sweepJobID, Cell: c.ID, Graph: c.GraphID,
+				From: prevOwner, To: owner, TraceID: edgeTraceID(ctx),
+			})
+		}
+		prevOwner = owner
 		if err := r.preAdmit(adm, owner, nodes, edges, c); err != nil {
 			// Obviously over budget wherever it lands: failing now is the
 			// point of pre-admission (no dispatch, no 429 round-trips).
@@ -388,6 +404,10 @@ func (r *Router) runRemoteCell(ctx context.Context, sweepJobID string, adm map[s
 				CellState: string(service.JobRunning), Node: owner,
 			})
 		}
+		r.flight.Record(journal.Event{
+			Type: journal.SweepDispatch, Sweep: sweepJobID, Cell: c.ID, Graph: c.GraphID,
+			To: owner, Count: int64(attempt + 1), TraceID: edgeTraceID(ctx),
+		})
 		outcome, retryable := r.dispatchCell(ctx, &row, owner, body)
 		<-sem
 		switch outcome {
@@ -403,6 +423,14 @@ func (r *Router) runRemoteCell(ctx context.Context, sweepJobID string, adm map[s
 			return cancelRow()
 		case cellRetry:
 			lastErr = retryable
+			msg := ""
+			if retryable != nil {
+				msg = retryable.Error()
+			}
+			r.flight.Record(journal.Event{
+				Type: journal.SweepRetry, Sweep: sweepJobID, Cell: c.ID, Graph: c.GraphID,
+				Count: int64(attempt + 1), TraceID: edgeTraceID(ctx), Error: msg,
+			})
 		}
 	}
 	msg := fmt.Sprintf("gave up after %d attempts", maxCellAttempts)
@@ -529,15 +557,19 @@ func (r *Router) sweepView(id string) (service.JobView, bool) {
 	return view, true
 }
 
+// handleListSweeps mirrors the backend's paginated GET /v1/sweeps over
+// the router's own sweep jobs.
 func (r *Router) handleListSweeps(w http.ResponseWriter, req *http.Request) {
-	all := r.jobs.List("")
-	out := make([]service.JobView, 0, 4)
-	for _, v := range all {
-		if v.Kind == "sweep" {
-			out = append(out, v)
-		}
+	page, next, err := service.PaginateSweeps(r.jobs.List(""), req.URL.Query().Get("limit"), req.URL.Query().Get("cursor"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+	out := map[string]any{"sweeps": page}
+	if next != "" {
+		out["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (r *Router) handleGetSweep(w http.ResponseWriter, req *http.Request) {

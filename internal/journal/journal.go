@@ -1,0 +1,598 @@
+// Package journal is welmaxd's control-plane flight recorder. The data
+// plane got its observability in the telemetry package (traces,
+// histograms, /v1/metrics); this package records the *decisions* around
+// it — membership transitions, ownership flips, sketch ships,
+// rebalances, cache evictions, admission verdicts, sweep dispatch — as
+// typed, timestamped events an operator (or a test) can query after the
+// fact instead of reconstructing incidents from stderr.
+//
+// Events land in a bounded in-memory ring guarded by a single mutex
+// (Record is called from hot paths, some holding other locks, so it
+// does O(1) work and never blocks), feed live subscribers for SSE
+// tails, and are asynchronously spilled as JSONL payloads inside
+// CRC-framed segment files under <data-dir>/journal/ with the same
+// size-budgeted oldest-first rotation the store uses for spilled
+// sketches. The spill is best-effort by design: a full channel drops
+// the disk copy (counted, never blocking the caller) while the ring
+// and subscribers still see the event.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types recorded by the cluster and service tiers. The set is a
+// contract: scripts/cluster_smoke.sh and the HA roadmap work assert
+// against these strings.
+const (
+	MemberUp   = "member_up"
+	MemberDown = "member_down"
+
+	OwnershipFlip   = "ownership_flip"
+	SketchShip      = "sketch_ship"
+	RebalanceStart  = "rebalance_start"
+	RebalanceDone   = "rebalance_done"
+	RebalanceFailed = "rebalance_failed"
+
+	CacheEvict  = "cache_evict"
+	CacheExpire = "cache_expire"
+
+	AdmissionQueue       = "admission_queue"
+	AdmissionReject      = "admission_reject"
+	AdmissionRecalibrate = "admission_recalibrate"
+
+	SweepDispatch      = "sweep_dispatch"
+	SweepRetry         = "sweep_retry"
+	SweepShardFailover = "sweep_shard_failover"
+
+	JobSpill  = "job_spill"
+	JobReplay = "job_replay"
+
+	BatchFire = "batch_fire"
+)
+
+// Event is one control-plane decision. Only Type is always set; the
+// remaining fields are a fixed vocabulary shared by all event types so
+// the journal stays queryable (filter by graph, node, trace) without a
+// per-type schema. Zero-valued fields are omitted from the JSON.
+type Event struct {
+	// Seq is the recorder-local monotonically increasing sequence
+	// number; it doubles as the pagination cursor for GET /v1/events.
+	Seq uint64 `json:"seq"`
+	// TS is the wall-clock record time (the cross-shard merge key).
+	TS   time.Time `json:"ts"`
+	Type string    `json:"type"`
+	// Node is the recording node (stamped by the Recorder).
+	Node    string `json:"node,omitempty"`
+	Graph   string `json:"graph,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Key is a sketch-cache key for cache and batch events.
+	Key string `json:"key,omitempty"`
+	// From/To carry node names for ownership flips and ships.
+	From  string `json:"from,omitempty"`
+	To    string `json:"to,omitempty"`
+	Job   string `json:"job,omitempty"`
+	Sweep string `json:"sweep,omitempty"`
+	Cell  string `json:"cell,omitempty"`
+	// Count and Bytes quantify the event (sketches shipped, entries
+	// evicted, estimated admission cost, ...).
+	Count  int64  `json:"count,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Segment file framing, mirroring the store codec: magic, version,
+// payload length, JSONL payload, CRC-32C — every field verified on
+// read, corrupt segments rejected with typed errors.
+const (
+	// SegmentMagic opens a .wmj journal segment.
+	SegmentMagic = "WMJRNL\x00\x00"
+	// SegmentVersion is the current segment format version.
+	SegmentVersion = 1
+	// SegmentExt is the journal segment file extension.
+	SegmentExt = ".wmj"
+
+	// maxSegmentPayload bounds a declared payload length so a corrupt
+	// header cannot force an absurd allocation.
+	maxSegmentPayload = 1 << 30
+)
+
+var (
+	// ErrBadSegment reports an unreadable segment (wrong magic or
+	// version, truncated, or failed checksum).
+	ErrBadSegment = errors.New("journal: bad segment")
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Options configures a Recorder. The zero value is usable: an
+// in-memory-only journal (no Dir, no spill) with default ring size.
+type Options struct {
+	// Node stamps every recorded event (e.g. "b0", "router").
+	Node string
+	// RingSize bounds the in-memory ring (default 4096 events).
+	RingSize int
+	// Dir enables async segment spill when non-empty; segments are
+	// written directly into it (callers pass <data-dir>/journal).
+	Dir string
+	// SegmentBytes seals a segment once its JSONL payload reaches this
+	// size (default 256 KiB).
+	SegmentBytes int64
+	// MaxBytes bounds the segment directory; oldest segments are
+	// deleted past it (default 32 MiB, 0 keeps the default — the
+	// journal must not grow without bound).
+	MaxBytes int64
+	// FlushInterval seals a non-empty pending segment even below
+	// SegmentBytes, so a quiet journal still reaches disk (default 5s).
+	FlushInterval time.Duration
+}
+
+// Stats is the recorder's self-accounting, exported as gauges.
+type Stats struct {
+	// Recorded counts all events accepted into the ring.
+	Recorded int64 `json:"recorded"`
+	// Dropped counts events whose disk spill was dropped because the
+	// spill channel was full (the ring still saw them).
+	Dropped int64 `json:"dropped"`
+	// RingLen/RingCap describe current ring occupancy.
+	RingLen int `json:"ring_len"`
+	RingCap int `json:"ring_cap"`
+	// Segments counts segment files sealed; SpillErrors counts failed
+	// segment writes.
+	Segments    int64 `json:"segments"`
+	SpillErrors int64 `json:"spill_errors"`
+}
+
+// Recorder is the flight recorder: a bounded ring of recent events,
+// live subscribers, and an optional async disk spill.
+type Recorder struct {
+	node string
+
+	mu   sync.Mutex
+	buf  []Event // ring storage, len(buf) == capacity
+	head int     // index of the oldest event
+	n    int     // events currently in the ring
+	next uint64  // next sequence number (first event gets 1)
+
+	subMu sync.Mutex
+	subs  map[chan Event]struct{}
+
+	recorded    atomic.Int64
+	dropped     atomic.Int64
+	segments    atomic.Int64
+	spillErrors atomic.Int64
+
+	// Spill state (nil/zero when Dir is unset).
+	spill      chan Event
+	dir        string
+	segBytes   int64
+	maxBytes   int64
+	flushEvery time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// New creates a Recorder. When opts.Dir is set the directory is
+// created and the background spill goroutine started; Close flushes
+// and stops it.
+func New(opts Options) (*Recorder, error) {
+	size := opts.RingSize
+	if size <= 0 {
+		size = 4096
+	}
+	r := &Recorder{
+		node: opts.Node,
+		buf:  make([]Event, size),
+		next: 1,
+		subs: make(map[chan Event]struct{}),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		r.dir = opts.Dir
+		r.segBytes = opts.SegmentBytes
+		if r.segBytes <= 0 {
+			r.segBytes = 256 << 10
+		}
+		r.maxBytes = opts.MaxBytes
+		if r.maxBytes <= 0 {
+			r.maxBytes = 32 << 20
+		}
+		r.flushEvery = opts.FlushInterval
+		if r.flushEvery <= 0 {
+			r.flushEvery = 5 * time.Second
+		}
+		r.spill = make(chan Event, 1024)
+		r.stop = make(chan struct{})
+		r.done = make(chan struct{})
+		go r.spillLoop()
+	}
+	return r, nil
+}
+
+// Record stamps and stores one event. It is safe to call from any
+// goroutine, including ones holding unrelated locks: the critical
+// section is O(1), the spill send and subscriber notifies are
+// non-blocking, and nothing here does I/O.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if e.TS.IsZero() {
+		e.TS = time.Now().UTC()
+	}
+	if e.Node == "" {
+		e.Node = r.node
+	}
+	r.mu.Lock()
+	e.Seq = r.next
+	r.next++
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = e
+		r.n++
+	} else {
+		r.buf[r.head] = e
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.mu.Unlock()
+	r.recorded.Add(1)
+
+	if r.spill != nil {
+		select {
+		case r.spill <- e:
+		default:
+			r.dropped.Add(1)
+		}
+	}
+
+	r.subMu.Lock()
+	for ch := range r.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: skip, the ring has the event
+		}
+	}
+	r.subMu.Unlock()
+}
+
+// Query selects events from the ring. The zero value returns the most
+// recent DefaultLimit events.
+type Query struct {
+	// After is the pagination cursor: only events with Seq > After are
+	// returned. 0 starts from the oldest retained event.
+	After uint64
+	// Type, Graph, and Node filter on the corresponding fields when
+	// non-empty. Type may be a comma-separated list.
+	Type  string
+	Graph string
+	Node  string
+	// Since drops events recorded before it when non-zero.
+	Since time.Time
+	// Limit caps the result (default DefaultLimit, max MaxLimit).
+	Limit int
+}
+
+// Query result bounds.
+const (
+	DefaultLimit = 100
+	MaxLimit     = 1000
+)
+
+// Match reports whether the event passes the query's filters (the
+// cursor and limit are handled by Events; Match is exported so the
+// router can filter a merged cross-shard stream with the same rules).
+func (q Query) Match(e Event) bool {
+	if q.Type != "" {
+		ok := false
+		for _, t := range strings.Split(q.Type, ",") {
+			if strings.TrimSpace(t) == e.Type {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.Graph != "" && e.Graph != q.Graph {
+		return false
+	}
+	if q.Node != "" && e.Node != q.Node {
+		return false
+	}
+	if !q.Since.IsZero() && e.TS.Before(q.Since) {
+		return false
+	}
+	return true
+}
+
+// Events returns matching events in sequence order plus the cursor to
+// pass as After on the next call (the last examined sequence number,
+// regardless of filter matches, so pagination advances past filtered
+// spans too). next equals q.After when nothing new was examined.
+func (r *Recorder) Events(q Query) (events []Event, next uint64) {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if limit > MaxLimit {
+		limit = MaxLimit
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next = q.After
+	for i := 0; i < r.n; i++ {
+		e := r.buf[(r.head+i)%len(r.buf)]
+		if e.Seq <= q.After {
+			continue
+		}
+		next = e.Seq
+		if q.Match(e) {
+			events = append(events, e)
+			if len(events) >= limit {
+				break
+			}
+		}
+	}
+	return events, next
+}
+
+// LastSeq returns the most recently assigned sequence number (0 when
+// nothing has been recorded). SSE tails start here.
+func (r *Recorder) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next - 1
+}
+
+// Subscribe registers a live event channel. Slow subscribers miss
+// events rather than blocking recorders; the returned cancel must be
+// called exactly once.
+func (r *Recorder) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	r.subMu.Lock()
+	r.subs[ch] = struct{}{}
+	r.subMu.Unlock()
+	cancel := func() {
+		r.subMu.Lock()
+		delete(r.subs, ch)
+		r.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Stats snapshots the recorder's counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	n, size := r.n, len(r.buf)
+	r.mu.Unlock()
+	return Stats{
+		Recorded:    r.recorded.Load(),
+		Dropped:     r.dropped.Load(),
+		RingLen:     n,
+		RingCap:     size,
+		Segments:    r.segments.Load(),
+		SpillErrors: r.spillErrors.Load(),
+	}
+}
+
+// Close stops the spill goroutine after flushing any pending segment.
+// The ring remains queryable. Close is a no-op for in-memory journals
+// and idempotent otherwise.
+func (r *Recorder) Close() {
+	if r == nil || r.stop == nil {
+		return
+	}
+	select {
+	case <-r.stop:
+		return // already closed
+	default:
+	}
+	close(r.stop)
+	<-r.done
+}
+
+// spillLoop drains the spill channel into a pending JSONL buffer and
+// seals it into a segment file when it reaches the size threshold, on
+// the flush ticker, and at shutdown.
+func (r *Recorder) spillLoop() {
+	defer close(r.done)
+	var pending bytes.Buffer
+	var firstSeq uint64
+	ticker := time.NewTicker(r.flushEvery)
+	defer ticker.Stop()
+
+	add := func(e Event) {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		if pending.Len() == 0 {
+			firstSeq = e.Seq
+		}
+		pending.Write(line)
+		pending.WriteByte('\n')
+		if int64(pending.Len()) >= r.segBytes {
+			r.seal(&pending, firstSeq)
+		}
+	}
+
+	for {
+		select {
+		case e := <-r.spill:
+			add(e)
+		case <-ticker.C:
+			if pending.Len() > 0 {
+				r.seal(&pending, firstSeq)
+			}
+		case <-r.stop:
+			for {
+				select {
+				case e := <-r.spill:
+					add(e)
+					continue
+				default:
+				}
+				break
+			}
+			if pending.Len() > 0 {
+				r.seal(&pending, firstSeq)
+			}
+			return
+		}
+	}
+}
+
+// seal writes the pending JSONL buffer as one CRC-framed segment file
+// (temp + rename, like every store artifact) and enforces the byte
+// budget. The buffer is reset either way: a failed write is counted
+// and dropped, never retried into an ever-growing buffer.
+func (r *Recorder) seal(pending *bytes.Buffer, firstSeq uint64) {
+	payload := pending.Bytes()
+	path := filepath.Join(r.dir, fmt.Sprintf("journal-%016x%s", firstSeq, SegmentExt))
+	err := func() error {
+		tmp, err := os.CreateTemp(r.dir, ".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if err := writeSegmentFrame(tmp, payload); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), path)
+	}()
+	pending.Reset()
+	if err != nil {
+		r.spillErrors.Add(1)
+		return
+	}
+	r.segments.Add(1)
+	r.enforceBudget()
+}
+
+// enforceBudget deletes the oldest segment files until the journal
+// directory fits the byte budget (the store's sketch-eviction idiom).
+func (r *Recorder) enforceBudget() {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), SegmentExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{
+			path:  filepath.Join(r.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= r.maxBytes {
+			return
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// writeSegmentFrame writes one framed segment payload.
+func writeSegmentFrame(w io.Writer, payload []byte) error {
+	var hdr [20]byte
+	copy(hdr[:8], SegmentMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], SegmentVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadSegment decodes one segment file, verifying magic, version,
+// length, and checksum, and returns its events in recorded order.
+func ReadSegment(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [20]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSegment, err)
+	}
+	if string(hdr[:8]) != SegmentMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSegment, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != SegmentVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSegment, v)
+	}
+	size := binary.LittleEndian.Uint64(hdr[12:20])
+	if size > maxSegmentPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrBadSegment, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrBadSegment, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(f, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrBadSegment, err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSegment)
+	}
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(payload))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if json.Unmarshal(sc.Bytes(), &e) == nil {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -140,6 +140,10 @@ const growChunk = 256
 // callers abandoning the build should discard the collection.
 func (c *Collection) GrowCtx(ctx context.Context, target int64, rng *stats.RNG, report func(done, target int64)) error {
 	defer telemetry.StartSpan(ctx, "rrset_grow")()
+	start := int64(c.Len())
+	defer func() {
+		telemetry.AddResource(ctx, telemetry.ResRRSetsGrown, int64(c.Len())-start)
+	}()
 	for int64(c.Len()) < target {
 		if err := ctx.Err(); err != nil {
 			return err

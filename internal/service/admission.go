@@ -7,6 +7,8 @@ import (
 
 	"uicwelfare/internal/batch"
 	"uicwelfare/internal/core"
+	"uicwelfare/internal/journal"
+	"uicwelfare/internal/telemetry"
 )
 
 // AdmissionError reports a request refused by cost-based admission
@@ -92,8 +94,21 @@ func (s *Service) admitPlan(graphID string, plan *allocatePlan) *AdmissionError 
 	aerr := s.checkAdmission(graphID, plan)
 	if aerr != nil {
 		s.admissionRejects.Add(1)
+		s.recordReject(context.Background(), graphID, aerr, 0)
 	}
 	return aerr
+}
+
+// recordReject journals one admission reject with the predicted cost
+// and any time the request spent queued before losing.
+func (s *Service) recordReject(ctx context.Context, graphID string, aerr *AdmissionError, waited time.Duration) {
+	s.flight.Record(journal.Event{
+		Type:    journal.AdmissionReject,
+		Graph:   graphID,
+		TraceID: telemetry.FromContext(ctx).ID(),
+		Bytes:   aerr.EstimatedBytes,
+		WaitMS:  waited.Milliseconds(),
+	})
 }
 
 // admissionRecheck is how often a queued request re-prices itself while
@@ -119,16 +134,30 @@ func (s *Service) admitOrWait(ctx context.Context, graphID string, plan *allocat
 	slack := int64(float64(s.admissionBytes) * s.admissionSlack)
 	if s.admissionQueue == nil || aerr.EstimatedBytes > slack {
 		s.admissionRejects.Add(1)
+		s.recordReject(ctx, graphID, aerr, 0)
 		return aerr
 	}
 	select {
 	case s.admissionQueue <- struct{}{}:
 	default: // queue full: shed immediately
 		s.admissionRejects.Add(1)
+		s.recordReject(ctx, graphID, aerr, 0)
 		return aerr
 	}
 	defer func() { <-s.admissionQueue }()
 	s.admissionQueued.Add(1)
+	queuedAt := time.Now()
+	s.flight.Record(journal.Event{
+		Type:    journal.AdmissionQueue,
+		Graph:   graphID,
+		TraceID: telemetry.FromContext(ctx).ID(),
+		Bytes:   aerr.EstimatedBytes,
+	})
+	// Whatever the outcome, the time spent holding the slot is the
+	// request's queue-wait resource.
+	defer func() {
+		telemetry.AddResource(ctx, telemetry.ResQueueWaitMS, time.Since(queuedAt).Milliseconds())
+	}()
 
 	deadline := time.NewTimer(s.admissionWait)
 	defer deadline.Stop()
@@ -138,10 +167,12 @@ func (s *Service) admitOrWait(ctx context.Context, graphID string, plan *allocat
 		select {
 		case <-ctx.Done():
 			s.admissionRejects.Add(1)
+			s.recordReject(ctx, graphID, aerr, time.Since(queuedAt))
 			return aerr
 		case <-deadline.C:
 			s.admissionQueueTimeouts.Add(1)
 			s.admissionRejects.Add(1)
+			s.recordReject(ctx, graphID, aerr, time.Since(queuedAt))
 			return aerr
 		case <-tick.C:
 			if next := s.checkAdmission(graphID, plan); next == nil {

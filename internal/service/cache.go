@@ -55,6 +55,10 @@ type SketchCache struct {
 	// the key's disk spill (one os.Remove), without which a TTL expiry
 	// would "rebuild" by reloading the identical stale spill from disk.
 	onExpire func(key string)
+	// onEvict, when set, receives each key dropped by LRU/cost eviction
+	// with its priced cost. Also called under the cache lock — the
+	// service wires it to the control-plane journal's O(1) ring append.
+	onEvict func(key string, cost int64)
 }
 
 type cacheEntry struct {
@@ -113,6 +117,13 @@ func (c *SketchCache) SetExpireHook(fn func(key string)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onExpire = fn
+}
+
+// SetEvictHook registers the evicted-key callback (see onEvict).
+func (c *SketchCache) SetEvictHook(fn func(key string, cost int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvict = fn
 }
 
 // sweepExpiredLocked drops every expired completed entry (Stats calls
@@ -259,6 +270,31 @@ func (c *SketchCache) Resident(key string) bool {
 	}
 }
 
+// CountPrefix counts the resident (completed-ok, unexpired, or
+// in-flight) entries whose key starts with prefix. Sketch keys lead
+// with the graph id (see SketchKey), so CountPrefix(graphID+"|") is the
+// graph's sketch residency — what the cluster placement view reports
+// per node.
+func (c *SketchCache) CountPrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		select {
+		case <-e.ready:
+			if e.err == nil && (c.ttl <= 0 || e.expires.IsZero() || c.now().Before(e.expires)) {
+				n++
+			}
+		default:
+			n++
+		}
+	}
+	return n
+}
+
 // evictLocked drops least-recently-used completed entries until the
 // cache fits both the entry bound and the byte budget. The entry under
 // keep and entries still building are never evicted — a single sketch
@@ -285,9 +321,13 @@ func (c *SketchCache) evictLocked(keep string) {
 		if victim == "" {
 			return // everything else is in flight
 		}
-		c.totalCost -= c.entries[victim].cost
+		cost := c.entries[victim].cost
+		c.totalCost -= cost
 		delete(c.entries, victim)
 		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(victim, cost)
+		}
 	}
 }
 

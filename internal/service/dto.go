@@ -93,6 +93,10 @@ type GraphInfo struct {
 	Name  string `json:"name"`
 	Nodes int    `json:"nodes"`
 	Edges int    `json:"edges"`
+	// ResidentSketches counts this node's cached sketches for the graph.
+	// Filled on GET /v1/graphs/{id} (the registry itself cannot see the
+	// cache); the cluster placement view reads it per backend.
+	ResidentSketches int `json:"resident_sketches,omitempty"`
 }
 
 // AllocateRequest is the body of POST /v1/allocate: solve a WelMax

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"uicwelfare/internal/journal"
+)
+
+// EventsResponse is the body of GET /v1/events in query (non-stream)
+// mode. NextCursor is the value to pass as ?cursor= to resume exactly
+// where this page ended; it advances even when every examined event was
+// filtered out, so pagination always terminates.
+type EventsResponse struct {
+	Events []journal.Event `json:"events"`
+	// NextCursor resumes the query; Node tells a merged-stream consumer
+	// whose cursor it is (cursors are recorder-local).
+	NextCursor uint64 `json:"next_cursor"`
+	Node       string `json:"node,omitempty"`
+	// Partial and Errors appear on the router's merged form when one or
+	// more shards could not be queried.
+	Partial bool              `json:"partial,omitempty"`
+	Errors  map[string]string `json:"errors,omitempty"`
+}
+
+// ParseEventQuery decodes the GET /v1/events query parameters
+// (cursor, limit, type, graph, node, since) shared by the backend and
+// router forms of the endpoint.
+func ParseEventQuery(values url.Values) (journal.Query, error) {
+	var q journal.Query
+	if raw := values.Get("cursor"); raw != "" {
+		c, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad cursor %q", raw)
+		}
+		q.After = c
+	}
+	if raw := values.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("bad limit %q", raw)
+		}
+		q.Limit = n
+	}
+	q.Type = values.Get("type")
+	q.Graph = values.Get("graph")
+	q.Node = values.Get("node")
+	if raw := values.Get("since"); raw != "" {
+		ts, err := time.Parse(time.RFC3339Nano, raw)
+		if err != nil {
+			return q, fmt.Errorf("bad since %q (want RFC 3339)", raw)
+		}
+		q.Since = ts
+	}
+	return q, nil
+}
+
+// wantsEventStream reports whether the request asked for the SSE live
+// tail (?stream=1 or an Accept of text/event-stream) instead of the
+// one-shot query form.
+func wantsEventStream(r *http.Request) bool {
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" || v == "sse" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// handleEvents implements GET /v1/events: the control-plane flight
+// recorder's query endpoint (cursor pagination plus type/graph/node/
+// since filters) and, in stream mode, a live SSE tail of matching
+// events.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q, err := ParseEventQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wantsEventStream(r) {
+		StreamEvents(w, r, s.flight, q)
+		return
+	}
+	events, next := s.flight.Events(q)
+	if events == nil {
+		events = []journal.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: events, NextCursor: next, Node: s.nodeID})
+}
+
+// StreamEvents serves a live SSE tail of one recorder's events matching
+// q: the retained ring events after q.After first (so a reconnecting
+// client with a cursor misses nothing the ring still holds), then live
+// events as they are recorded. Each frame's SSE event name is the
+// journal event type. Exported because the cluster router tails its own
+// recorder through exactly this path.
+func StreamEvents(w http.ResponseWriter, r *http.Request, rec *journal.Recorder, q journal.Query) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	// Subscribe before replaying so nothing recorded between the two is
+	// lost; live events the replay already covered dedupe on Seq.
+	ch, cancel := rec.Subscribe(256)
+	defer cancel()
+	replayQ := q
+	replayQ.Limit = journal.MaxLimit
+	past, last := rec.Events(replayQ)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	write := func(e journal.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, e := range past {
+		if !write(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-ch:
+			if e.Seq <= last || !q.Match(e) {
+				continue
+			}
+			if !write(e) {
+				return
+			}
+		}
+	}
+}

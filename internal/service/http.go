@@ -43,6 +43,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.timed("GET /v1/sweeps/{id}/events", s.handleSweepEvents))
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.timed("GET /v1/sweeps/{id}/results", s.handleSweepResults))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.timed("DELETE /v1/sweeps/{id}", s.handleCancelSweep))
+	mux.HandleFunc("GET /v1/events", s.timed("GET /v1/events", s.handleEvents))
 	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.timed("GET /v1/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
@@ -212,12 +213,13 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Warming is exactly the sketch work admission exists to price;
-	// apply the same gate as POST /v1/allocate.
+	// apply the same gate as POST /v1/allocate. The trace rides the
+	// admission context so queue waits and journal events carry its id.
 	endAdmit := tr.StartSpan("admission_check")
-	aerr := s.admitOrWait(r.Context(), id, plan)
+	aerr := s.admitOrWait(telemetry.NewContext(r.Context(), tr), id, plan)
 	endAdmit()
 	if aerr != nil {
-		writeAdmissionReject(w, aerr)
+		writeAdmissionReject(w, aerr, tr.ID())
 		return
 	}
 	s.enqueue(w, "warm", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
@@ -240,7 +242,9 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, entry.Info())
+	info := entry.Info()
+	info.ResidentSketches = s.cache.CountPrefix(entry.ID + "|")
+	writeJSON(w, http.StatusOK, info)
 }
 
 // enqueue creates a job under the request's trace and submits run to
@@ -282,14 +286,17 @@ func (s *Service) enqueue(w http.ResponseWriter, kind string, tr *telemetry.Trac
 // refused by cost-based admission control. The body mirrors the cluster
 // tier's transient-failure contract ("retryable": true) and carries the
 // calibrated cost estimate so clients can see how far over budget they
-// are; the router relays the status and body verbatim, so the contract
-// is identical through a cluster proxy.
-func writeAdmissionReject(w http.ResponseWriter, aerr *AdmissionError) {
+// are, plus the trace id so the reject can be matched against the
+// flight recorder's admission_reject event; the router relays the
+// status and body verbatim, so the contract is identical through a
+// cluster proxy.
+func writeAdmissionReject(w http.ResponseWriter, aerr *AdmissionError, traceID string) {
 	writeJSON(w, http.StatusTooManyRequests, map[string]any{
 		"error":           aerr.Error(),
 		"retryable":       true,
 		"estimated_cost":  aerr.EstimatedBytes,
 		"admission_limit": aerr.BudgetBytes,
+		"trace_id":        traceID,
 	})
 }
 
@@ -309,12 +316,14 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	// Cost-based admission: refuse (retryably) work whose predicted
 	// sketch cost would blow the cache budget before it ties up a
 	// worker — queueing briefly (admitOrWait) when the overshoot is
-	// small enough that imminent cache/batch churn may admit it.
+	// small enough that imminent cache/batch churn may admit it. The
+	// trace rides the admission context so queue waits and journal
+	// events carry its id.
 	endAdmit := tr.StartSpan("admission_check")
-	aerr := s.admitOrWait(r.Context(), req.GraphID, plan)
+	aerr := s.admitOrWait(telemetry.NewContext(r.Context(), tr), req.GraphID, plan)
 	endAdmit()
 	if aerr != nil {
-		writeAdmissionReject(w, aerr)
+		writeAdmissionReject(w, aerr, tr.ID())
 		return
 	}
 	s.enqueue(w, "allocate", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {

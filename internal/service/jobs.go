@@ -88,10 +88,11 @@ type Job struct {
 	Result   any
 	Err      string
 	// TraceID is the request trace that enqueued the job; Stages holds
-	// the trace's accumulated per-stage span timings, attached when the
-	// job finishes.
-	TraceID string
-	Stages  map[string]telemetry.StageStats
+	// the trace's accumulated per-stage span timings and Resources its
+	// accumulated resource counters, attached when the job finishes.
+	TraceID   string
+	Stages    map[string]telemetry.StageStats
+	Resources map[string]int64
 
 	// ctx is canceled by Cancel; the worker threads it through sketch
 	// construction and estimation.
@@ -130,6 +131,10 @@ type JobView struct {
 	// job reaches a terminal state (and spilled to history.jsonl with
 	// the rest of the view).
 	Stages map[string]telemetry.StageStats `json:"stages,omitempty"`
+	// Resources is the trace's per-kind resource accounting
+	// (rr_sets_grown, cache_hits, queue_wait_ms, ...), attached with
+	// Stages — the per-request answer to "what did this job cost".
+	Resources map[string]int64 `json:"resources,omitempty"`
 }
 
 func (j *Job) view() JobView {
@@ -144,6 +149,7 @@ func (j *Job) view() JobView {
 		Error:           j.Err,
 		TraceID:         j.TraceID,
 		Stages:          j.Stages,
+		Resources:       j.Resources,
 	}
 	switch {
 	case j.State == JobRunning:
@@ -389,6 +395,20 @@ func (s *JobStore) SetStages(id string, stages map[string]telemetry.StageStats) 
 	defer s.mu.Unlock()
 	if j := s.jobs[id]; j != nil {
 		j.Stages = stages
+	}
+}
+
+// SetResources attaches a trace's accumulated resource counters to the
+// job (no-op for unknown jobs or empty maps). Like SetStages, workers
+// call it just before Finish.
+func (s *JobStore) SetResources(id string, resources map[string]int64) {
+	if len(resources) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		j.Resources = resources
 	}
 }
 

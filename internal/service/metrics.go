@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"uicwelfare/internal/journal"
 	"uicwelfare/internal/telemetry"
 )
 
@@ -67,6 +68,46 @@ func (s *Service) gauges() []telemetry.Gauge {
 			Value:  g.Ratio,
 		})
 	}
+	out = append(out, telemetry.BuildInfoGauge())
+	out = append(out, JournalGauges(s.flight)...)
+	out = append(out, ResourceTotalGauges()...)
+	return out
+}
+
+// JournalGauges exposes a flight recorder's health: how much it has
+// seen, how full the ring is, and whether the spill path is losing or
+// failing to persist events. Exported because the cluster router
+// renders its own recorder through the same series.
+func JournalGauges(rec *journal.Recorder) []telemetry.Gauge {
+	js := rec.Stats()
+	return []telemetry.Gauge{
+		{Name: "welmax_journal_events_total", Value: float64(js.Recorded)},
+		{Name: "welmax_journal_dropped_total", Value: float64(js.Dropped)},
+		{Name: "welmax_journal_ring_depth", Value: float64(js.RingLen)},
+		{Name: "welmax_journal_ring_capacity", Value: float64(js.RingCap)},
+		{Name: "welmax_journal_segments_total", Value: float64(js.Segments)},
+		{Name: "welmax_journal_spill_errors_total", Value: float64(js.SpillErrors)},
+	}
+}
+
+// ResourceTotalGauges renders the process-wide per-trace resource
+// accumulators as welmax_resource_total{kind}, sorted for a stable
+// exposition order. Exported for the cluster router's exposition.
+func ResourceTotalGauges() []telemetry.Gauge {
+	totals := telemetry.ResourceTotals()
+	kinds := make([]string, 0, len(totals))
+	for k := range totals {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]telemetry.Gauge, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, telemetry.Gauge{
+			Name:   "welmax_resource_total",
+			Labels: []telemetry.Label{{Name: "kind", Value: k}},
+			Value:  float64(totals[k]),
+		})
+	}
 	return out
 }
 
@@ -99,6 +140,7 @@ func (s *Service) observeTrace(kind string, tr *telemetry.Trace, elapsed time.Du
 func (s *Service) finishJob(id, kind string, tr *telemetry.Trace, started time.Time, result any, err error) {
 	elapsed := time.Since(started)
 	s.jobs.SetStages(id, tr.Stages())
+	s.jobs.SetResources(id, tr.Resources())
 	if s.telemetryOn {
 		s.observeTrace(kind, tr, elapsed)
 		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
@@ -121,6 +163,9 @@ func (s *Service) logSlowJob(id, kind string, tr *telemetry.Trace, elapsed time.
 	}
 	if stages := tr.Stages(); len(stages) > 0 {
 		entry["stages"] = stages
+	}
+	if resources := tr.Resources(); len(resources) > 0 {
+		entry["resources"] = resources
 	}
 	if err != nil {
 		entry["error"] = err.Error()

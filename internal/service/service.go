@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"uicwelfare/internal/batch"
 	"uicwelfare/internal/core"
 	"uicwelfare/internal/graph"
+	"uicwelfare/internal/journal"
 	"uicwelfare/internal/progress"
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/store"
@@ -114,6 +116,14 @@ type Options struct {
 	// SlowThreshold is the job duration at or above which a structured
 	// slow-request log line is emitted (default 1s; < 0 disables).
 	SlowThreshold time.Duration
+	// JournalRing bounds the control-plane flight recorder's in-memory
+	// event ring (default 4096). The journal itself is always on — its
+	// ring append is O(1) — but only daemons with a DataDir also spill
+	// segments to <DataDir>/journal.
+	JournalRing int
+	// JournalMB bounds the spilled journal segments in megabytes
+	// (default 32); only meaningful with DataDir set.
+	JournalMB int
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
@@ -188,6 +198,11 @@ type Service struct {
 	metrics       *telemetry.Metrics
 	slowThreshold time.Duration
 	slowLogf      func(format string, args ...any)
+
+	// flight is the control-plane flight recorder: admission verdicts,
+	// cache evictions/expiries, job spills land here and are served by
+	// GET /v1/events. Always non-nil.
+	flight *journal.Recorder
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -230,9 +245,44 @@ func New(opts Options) (*Service, error) {
 	if s.slowThreshold == 0 {
 		s.slowThreshold = time.Second
 	}
+	// The flight recorder journals control-plane decisions. The ring is
+	// in-memory and always on; a data dir additionally spills segments.
+	var journalDir string
+	if opts.DataDir != "" {
+		journalDir = filepath.Join(opts.DataDir, "journal")
+	}
+	flight, err := journal.New(journal.Options{
+		Node:     opts.NodeID,
+		RingSize: opts.JournalRing,
+		Dir:      journalDir,
+		MaxBytes: int64(opts.JournalMB) << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.flight = flight
+	// Evictions and expiries are cache-lock-held callbacks; the journal
+	// ring append is O(1) and non-blocking, which is why it is safe here.
+	s.cache.SetEvictHook(func(key string, cost int64) {
+		gid, _, _ := strings.Cut(key, "|")
+		s.flight.Record(journal.Event{Type: journal.CacheEvict, Graph: gid, Key: key, Bytes: cost})
+	})
 	if opts.BatchWindow > 0 {
 		s.batcher = batch.New(opts.BatchWindow)
 		s.mergedIdx = map[string]mergedSketch{}
+		// Journal every gather window that reaches its build: which
+		// group fired and how many requests share the one sketch. The
+		// hook runs on the window timer's goroutine; the ring append is
+		// O(1) and non-blocking.
+		s.batcher.SetFireHook(func(key string, budgets []int, waiters int) {
+			gid, _, _ := strings.Cut(key, "|")
+			s.flight.Record(journal.Event{
+				Type:  journal.BatchFire,
+				Graph: gid,
+				Key:   key,
+				Count: int64(waiters),
+			})
+		})
 	}
 	if opts.AdmissionQueue > 0 {
 		s.admissionQueue = make(chan struct{}, opts.AdmissionQueue)
@@ -248,29 +298,52 @@ func New(opts Options) (*Service, error) {
 	}
 	s.sweepResults = map[string]*sweepRecord{}
 	s.jobs.SetNodeID(opts.NodeID)
+	// A TTL expiry must invalidate the disk spill too — otherwise the
+	// "rebuild" reloads the identical stale sketch from disk and the
+	// TTL never refreshes anything on a persistent daemon.
+	s.cache.SetExpireHook(func(key string) {
+		gid, _, _ := strings.Cut(key, "|")
+		if disk != nil && gid != "" {
+			disk.DeleteSketch(gid, key)
+		}
+		s.flight.Record(journal.Event{Type: journal.CacheExpire, Graph: gid, Key: key})
+	})
 	if disk != nil {
-		// A TTL expiry must invalidate the disk spill too — otherwise the
-		// "rebuild" reloads the identical stale sketch from disk and the
-		// TTL never refreshes anything on a persistent daemon.
-		s.cache.SetExpireHook(func(key string) {
-			if gid, _, ok := strings.Cut(key, "|"); ok {
-				disk.DeleteSketch(gid, key)
-			}
-		})
 		// Terminal jobs spill to the audit trail; append failures are
 		// counted in the disk tier's spill errors, never fail the job.
-		s.jobs.SetFinalSink(func(v JobView) { _ = disk.AppendJobRecord(v) })
+		s.jobs.SetFinalSink(func(v JobView) {
+			err := disk.AppendJobRecord(v)
+			ev := journal.Event{Type: journal.JobSpill, Job: v.ID, TraceID: v.TraceID}
+			if err != nil {
+				ev.Error = err.Error()
+			}
+			s.flight.Record(ev)
+		})
 		for _, sg := range disk.LoadGraphs() {
 			if _, _, err := s.registry.AddWithID(sg.ID, sg.Name, sg.Graph); err != nil {
 				break // registry full: keep what fit
 			}
 		}
+		// The boot-time re-index is itself a control-plane event: record
+		// how many terminal job records the resurrected audit trail
+		// carries, so an operator can see a restart (and its recovered
+		// history) in the same stream as everything else.
+		if n := len(disk.JobHistory()); n > 0 {
+			s.flight.Record(journal.Event{Type: journal.JobReplay, Count: int64(n)})
+		}
 	}
 	return s, nil
 }
 
-// Close drains the worker pool.
-func (s *Service) Close() { s.pool.Close() }
+// Close drains the worker pool and flushes the flight recorder.
+func (s *Service) Close() {
+	s.pool.Close()
+	s.flight.Close()
+}
+
+// Journal exposes the control-plane flight recorder (the events
+// endpoint, gauges, and tests read it; emitters hold the Service).
+func (s *Service) Journal() *journal.Recorder { return s.flight }
 
 // ResetSketchCache drops all cached in-memory sketches (used by the
 // cold-path benchmark). Safe to call while requests are in flight.
@@ -789,13 +862,25 @@ func (s *Service) buildThroughTiers(ctx context.Context, graphID, key string, g 
 // budgets actually built) against the finished sketch's real resident
 // cost, keyed by the graph it built on (plus the global fallback). Disk
 // loads and cache hits are not observed — they carry no new information
-// about the estimator's bias.
-func (s *Service) observeBuildCost(graphID string, plan *allocatePlan, eps, ell float64, budgets []int, sketch any) {
+// about the estimator's bias. The build's resident bytes also land on
+// the request's resource accounting, and the recalibration itself is
+// journaled — admission verdicts change when the model moves, and the
+// journal is where an operator reconstructs why.
+func (s *Service) observeBuildCost(ctx context.Context, graphID string, plan *allocatePlan, eps, ell float64, budgets []int, sketch any) {
+	cost := store.SketchCost(sketch)
+	telemetry.AddResource(ctx, telemetry.ResSketchBytesBuilt, cost)
 	if plan.meta.CostEstimator == nil {
 		return
 	}
 	raw := plan.meta.CostEstimator(plan.prob.G.N(), plan.prob.G.M(), eps, ell, budgets)
-	s.costModels.Observe(graphID, raw, store.SketchCost(sketch))
+	s.costModels.Observe(graphID, raw, cost)
+	s.flight.Record(journal.Event{
+		Type:    journal.AdmissionRecalibrate,
+		Graph:   graphID,
+		TraceID: telemetry.FromContext(ctx).ID(),
+		Bytes:   cost,
+		Count:   raw,
+	})
 }
 
 // sketchForPlan resolves a sketch-capable plan's sketch. The exact
@@ -820,7 +905,7 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 		return s.buildThroughTiers(ctx, graphID, key, plan.prob.G, func(bctx context.Context) (any, error) {
 			sk, err := sp.BuildSketch(bctx, plan.prob, buildOpts, stats.NewRNG(seed))
 			if err == nil {
-				s.observeBuildCost(graphID, plan, eps, ell, plan.prob.Budgets, sk)
+				s.observeBuildCost(bctx, graphID, plan, eps, ell, plan.prob.Budgets, sk)
 			}
 			return sk, err
 		})
@@ -868,7 +953,7 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 				sk, hit, err := s.buildThroughTiers(bctx, graphID, mergedKey, plan.prob.G, func(bctx context.Context) (any, error) {
 					sk, err := bp.BuildSketchForBudgets(bctx, plan.prob, merged, buildOpts, stats.NewRNG(seed))
 					if err == nil {
-						s.observeBuildCost(graphID, plan, eps, ell, merged, sk)
+						s.observeBuildCost(bctx, graphID, plan, eps, ell, merged, sk)
 					}
 					return sk, err
 				})
@@ -936,6 +1021,7 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 			return nil, err
 		}
 		hit = h
+		countSketchOutcome(ctx, h)
 		endSel := telemetry.StartSpan(ctx, "greedy_select")
 		if pp, ok := sp.(core.ProgressiveSketchPlanner); ok && report != nil {
 			res, err = pp.PlanFromSketchProgress(prob, v, report)
@@ -970,6 +1056,19 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 		s.observeTrace("allocate", tr, time.Since(startT))
 	}
 	return out, nil
+}
+
+// countSketchOutcome lands a request's sketch resolution on its
+// resource accounting: one cache hit when any tier (or a shared batch
+// build) avoided fresh sketch work, one miss otherwise. The acceptance
+// check for warm failover reads exactly this pair next to
+// rr_sets_grown: a warm serve is hits=1, misses=0, rr_sets_grown=0.
+func countSketchOutcome(ctx context.Context, hit bool) {
+	if hit {
+		telemetry.AddResource(ctx, telemetry.ResCacheHits, 1)
+	} else {
+		telemetry.AddResource(ctx, telemetry.ResCacheMisses, 1)
+	}
 }
 
 // planFamily labels a plan's traces and stage histograms: the sketch
@@ -1024,6 +1123,7 @@ func (s *Service) WarmCtx(ctx context.Context, graphID string, req *WarmRequest,
 	if err != nil {
 		return nil, err
 	}
+	countSketchOutcome(ctx, hit)
 	out := &WarmResult{
 		Algorithm:    plan.meta.Name,
 		SketchFamily: plan.meta.SketchFamily,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -397,16 +398,73 @@ func (s *Service) sweepView(id string) (JobView, bool) {
 	return view, true
 }
 
-// handleListSweeps implements GET /v1/sweeps: every retained sweep job.
-func (s *Service) handleListSweeps(w http.ResponseWriter, r *http.Request) {
-	all := s.jobs.List("")
-	out := make([]JobView, 0, 4)
-	for _, v := range all {
-		if v.Kind == "sweep" {
-			out = append(out, v)
+// sweepPageLimit / sweepPageMax bound GET /v1/sweeps pages.
+const (
+	sweepPageLimit = 50
+	sweepPageMax   = 500
+)
+
+// PaginateSweeps filters a JobStore listing down to sweep jobs and
+// pages it newest-first: limitRaw is the raw ?limit= value (default 50,
+// capped at 500) and cursor is the id of the last sweep on the previous
+// page. It returns the page and the cursor for the next one ("" when
+// the listing is exhausted). Exported because the cluster router pages
+// its own sweep listing through exactly this logic.
+func PaginateSweeps(all []JobView, limitRaw, cursor string) ([]JobView, string, error) {
+	limit := sweepPageLimit
+	if limitRaw != "" {
+		n, err := strconv.Atoi(limitRaw)
+		if err != nil || n <= 0 {
+			return nil, "", fmt.Errorf("bad limit %q", limitRaw)
+		}
+		limit = min(n, sweepPageMax)
+	}
+	// JobStore.List is creation order; newest-first is its reverse.
+	sweeps := make([]JobView, 0, len(all))
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].Kind == "sweep" {
+			sweeps = append(sweeps, all[i])
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+	start := 0
+	if cursor != "" {
+		found := false
+		for i := range sweeps {
+			if sweeps[i].ID == cursor {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			// The cursor's sweep aged out of retention (or never existed):
+			// an explicit error beats silently restarting from the top.
+			return nil, "", fmt.Errorf("unknown cursor %q", cursor)
+		}
+	}
+	end := min(start+limit, len(sweeps))
+	page := sweeps[start:end]
+	next := ""
+	if end < len(sweeps) && len(page) > 0 {
+		next = page[len(page)-1].ID
+	}
+	return page, next, nil
+}
+
+// handleListSweeps implements GET /v1/sweeps: retained sweep jobs,
+// newest-first, paginated by ?limit= and ?cursor= (the id of the last
+// sweep on the previous page; the response's next_cursor when another
+// page remains).
+func (s *Service) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	page, next, err := PaginateSweeps(s.jobs.List(""), r.URL.Query().Get("limit"), r.URL.Query().Get("cursor"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := map[string]any{"sweeps": page}
+	if next != "" {
+		out["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleGetSweep implements GET /v1/sweeps/{id}.

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildInfoOnce sync.Once
+	buildVersion  string
+	buildCommit   string
+)
+
+// BuildInfo returns the binary's module version and VCS revision as
+// embedded by the Go toolchain, with "unknown" standing in for whatever
+// the build did not stamp (plain `go build` outside a checkout, test
+// binaries, and so on).
+func BuildInfo() (version, commit string) {
+	buildInfoOnce.Do(func() {
+		buildVersion, buildCommit = "unknown", "unknown"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" {
+			buildVersion = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				buildCommit = s.Value
+			}
+		}
+	})
+	return buildVersion, buildCommit
+}
+
+// BuildInfoGauge renders BuildInfo in the Prometheus build-info idiom:
+// a constant-1 gauge whose labels carry the identity.
+func BuildInfoGauge() Gauge {
+	version, commit := BuildInfo()
+	return Gauge{
+		Name:  "welmax_build_info",
+		Value: 1,
+		Labels: []Label{
+			{Name: "version", Value: version},
+			{Name: "commit", Value: commit},
+		},
+	}
+}

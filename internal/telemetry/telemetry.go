@@ -78,6 +78,38 @@ func (s StageStats) Total() time.Duration {
 	return time.Duration(s.TotalMS * float64(time.Millisecond))
 }
 
+// Resource kinds accumulated per trace by the serving tiers. Like
+// stage names they are an open vocabulary — these constants just keep
+// the recorders and the readers (JobView.Resources, the slow-request
+// log, welmax_resource_total) spelling them identically.
+const (
+	ResRRSetsGrown      = "rr_sets_grown"
+	ResSketchBytesBuilt = "sketch_bytes_built"
+	ResCacheHits        = "cache_hits"
+	ResCacheMisses      = "cache_misses"
+	ResQueueWaitMS      = "queue_wait_ms"
+	ResBytesShipped     = "bytes_shipped"
+)
+
+// resourceTotals aggregates every AddResource across all traces in the
+// process — the backing store of the welmax_resource_total{kind}
+// counters. Bounded by the resource-kind vocabulary, not by traffic.
+var (
+	resTotalsMu sync.Mutex
+	resTotals   = map[string]int64{}
+)
+
+// ResourceTotals snapshots the process-wide per-kind resource counters.
+func ResourceTotals() map[string]int64 {
+	resTotalsMu.Lock()
+	defer resTotalsMu.Unlock()
+	out := make(map[string]int64, len(resTotals))
+	for k, v := range resTotals {
+		out[k] = v
+	}
+	return out
+}
+
 // Trace accumulates per-stage span timings for one request. It stores
 // totals per stage name, not individual span events, so a sketch build
 // recording thousands of rrset_grow spans costs one map entry. A nil
@@ -87,9 +119,10 @@ type Trace struct {
 	id      string
 	enabled bool
 
-	mu     sync.Mutex
-	family string
-	stages map[string]StageStats
+	mu        sync.Mutex
+	family    string
+	stages    map[string]StageStats
+	resources map[string]int64
 }
 
 // NewTrace returns a trace with the given id. enabled=false keeps the
@@ -170,6 +203,44 @@ func (t *Trace) StartSpan(stage string) func() {
 	}
 }
 
+// AddResource accumulates n units of a resource kind against the
+// trace (rr_sets_grown, cache_hits, bytes_shipped, ...) and against
+// the process-wide totals. Like span timings it is gated on Enabled,
+// so -telemetry=off requests pay nothing.
+func (t *Trace) AddResource(kind string, n int64) {
+	if !t.Enabled() || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.resources == nil {
+		t.resources = map[string]int64{}
+	}
+	t.resources[kind] += n
+	t.mu.Unlock()
+	resTotalsMu.Lock()
+	resTotals[kind] += n
+	resTotalsMu.Unlock()
+}
+
+// Resources snapshots the trace's accumulated resource counters (nil
+// when nothing was recorded) — the block that lands on JobView and the
+// slow-request log.
+func (t *Trace) Resources() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.resources) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.resources))
+	for k, v := range t.resources {
+		out[k] = v
+	}
+	return out
+}
+
 // Stages snapshots the accumulated per-stage timings.
 func (t *Trace) Stages() map[string]StageStats {
 	if t == nil {
@@ -211,4 +282,11 @@ func FromContext(ctx context.Context) *Trace {
 // ignorant of whether anyone is tracing.
 func StartSpan(ctx context.Context, stage string) func() {
 	return FromContext(ctx).StartSpan(stage)
+}
+
+// AddResource accumulates a resource count against the trace in ctx; a
+// context without a trace records nothing. Same contract as StartSpan:
+// the library tiers call it without knowing whether anyone is tracing.
+func AddResource(ctx context.Context, kind string, n int64) {
+	FromContext(ctx).AddResource(kind, n)
 }

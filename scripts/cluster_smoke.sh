@@ -99,8 +99,8 @@ wait_job "$JOB" >/dev/null
 echo "allocate through router done ($JOB)"
 
 # --- kill the owner: the router must re-route ---------------------------
-OWNER_PID=$B0_PID; SURVIVOR_URL="http://$B1"; SURVIVOR=b1
-if [ "$OWNER" = b1 ]; then OWNER_PID=$B1_PID; SURVIVOR_URL="http://$B0"; SURVIVOR=b0; fi
+OWNER_PID=$B0_PID; OWNER_ADDR=$B0; SURVIVOR_URL="http://$B1"; SURVIVOR=b1
+if [ "$OWNER" = b1 ]; then OWNER_PID=$B1_PID; OWNER_ADDR=$B1; SURVIVOR_URL="http://$B0"; SURVIVOR=b0; fi
 kill "$OWNER_PID"; wait "$OWNER_PID" 2>/dev/null || true
 echo "killed owner $OWNER"
 
@@ -123,8 +123,63 @@ done
 case "$JOB2" in "$SURVIVOR"-j*) ;; *) fail "post-kill job ${JOB2:-<none>} not on survivor $SURVIVOR" ;; esac
 wait_job "$JOB2" >/dev/null
 
+# --- flight recorder: the failover must be reconstructable --------------
+# The router's journal (merged into GET /v1/events) has to tell the story
+# just observed from outside: the owner went down and the graph's
+# ownership flipped to the survivor.
+EVENTS="$(curl -fsS "$BASE/v1/events?graph=$GRAPH_ID&limit=1000")"
+jq -e --arg from "$OWNER" --arg to "$SURVIVOR" \
+  '.events | map(select(.type == "ownership_flip" and .from == $from and .to == $to)) | length >= 1' \
+  <<<"$EVENTS" >/dev/null || fail "no ownership_flip $OWNER->$SURVIVOR in GET /v1/events?graph=$GRAPH_ID"
+curl -fsS "$BASE/v1/events?type=member_down&node=$OWNER" \
+  | jq -e '.events | length >= 1' >/dev/null \
+  || fail "no member_down for $OWNER in GET /v1/events"
+echo "journal records the failover (member_down $OWNER, ownership_flip $OWNER->$SURVIVOR)"
+
+# The placement explainer must agree with reality: survivor owns it now.
+PLACEMENT="$(curl -fsS "$BASE/v1/cluster/placement/$GRAPH_ID")"
+[ "$(jq -r .owner <<<"$PLACEMENT")" = "$SURVIVOR" ] \
+  || fail "placement reports owner $(jq -r .owner <<<"$PLACEMENT"), want $SURVIVOR"
+
+# --- bring the owner back: sketches ship home, then a warm re-serve -----
+"$BIN" -addr "$OWNER_ADDR" -node "$OWNER" -cluster-token "$TOKEN" & PIDS+=($!)
+wait_healthy "http://$OWNER_ADDR"
+
+# The rebalance must flip ownership home and ship the survivor's warm
+# sketch along; both must be visible in the journal before we re-serve.
+SHIPPED=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/v1/events?graph=$GRAPH_ID&limit=1000" \
+    | jq -e --arg from "$SURVIVOR" --arg to "$OWNER" \
+      '(.events | map(select(.type == "ownership_flip" and .from == $from and .to == $to)) | length >= 1)
+       and (.events | map(select(.type == "sketch_ship" and .to == $to and .count >= 1)) | length >= 1)' \
+      >/dev/null 2>&1; then SHIPPED=yes; break; fi
+  sleep 0.1
+done
+[ "$SHIPPED" = yes ] || fail "journal missing ownership_flip/sketch_ship $SURVIVOR->$OWNER after owner return"
+echo "journal records the return ($SURVIVOR -> $OWNER with sketch ship)"
+
+# The shipped sketch must make the returned owner's first allocate warm.
+JOB3=""
+for _ in $(seq 1 50); do
+  JOB3="$(curl -sS -X POST "$BASE/v1/allocate" \
+    -d "{\"graph_id\":\"$GRAPH_ID\",\"budgets\":[5,5]}" | jq -r '.job_id // empty')"
+  [ -n "$JOB3" ] && break
+  sleep 0.1
+done
+case "$JOB3" in "$OWNER"-j*) ;; *) fail "post-return job ${JOB3:-<none>} not on returned owner $OWNER" ;; esac
+VIEW3="$(wait_job "$JOB3")"
+[ "$(jq -r .result.sketch_cached <<<"$VIEW3")" = true ] \
+  || fail "first allocate after ship-back was not served from the shipped sketch"
+# Resource accounting must agree: a warm serve is a cache hit that grew
+# zero RR sets.
+jq -e '(.resources.cache_hits >= 1) and ((.resources.rr_sets_grown // 0) == 0)' \
+  <<<"$VIEW3" >/dev/null \
+  || fail "warm re-serve resources wrong: $(jq -c .resources <<<"$VIEW3")"
+echo "warm re-serve on returned owner done ($JOB3)"
+
 STATS="$(curl -fsS "$BASE/v1/stats")"
 REBALANCES="$(jq -r .cluster.rebalances <<<"$STATS")"
-[ "$REBALANCES" -ge 1 ] || fail "router reports $REBALANCES rebalances, want >= 1"
+[ "$REBALANCES" -ge 2 ] || fail "router reports $REBALANCES rebalances, want >= 2"
 
-echo "cluster_smoke: OK (graph $GRAPH_ID, owner $OWNER -> $SURVIVOR, rebalances $REBALANCES)"
+echo "cluster_smoke: OK (graph $GRAPH_ID, owner $OWNER -> $SURVIVOR -> $OWNER, rebalances $REBALANCES)"

@@ -55,11 +55,24 @@
 //
 // Observability: every request carries an X-Welmax-Trace-Id (minted at
 // the edge when the client sends none) that follows the job through
-// logs, /v1/jobs records, and SSE events; GET /v1/metrics serves
-// Prometheus-format latency histograms (merged across shards on the
-// router); -pprof-addr exposes net/http/pprof on a separate listener;
-// -slow-ms logs a structured line with per-stage timings for any job
-// slower than the threshold; -telemetry=off disables all of it.
+// logs, /v1/jobs records, and SSE events. Each traced request also
+// records a span tree — parented, monotonic timestamps, per-span
+// resource deltas — kept in a bounded in-memory ring with tail-sampled
+// spill to checksummed segments under <data-dir>/traces (-trace-ring,
+// -trace-mb, -trace-sample; slow, errored, and admission-queued traces
+// are always kept). GET /v1/traces lists retained traces with
+// route/graph/min_ms/since filters and cursor pagination, and
+// GET /v1/traces/{id} returns one trace's spans; on the router both
+// merge across shards, stitching the router's dispatch/proxy spans
+// over the owning backend's execution spans (propagated via
+// X-Welmax-Span-Id) into one cross-tier waterfall. GET /v1/metrics
+// serves Prometheus-format latency histograms (merged across shards on
+// the router); ?format=json adds per-bucket exemplars naming the
+// slowest recent trace so a histogram spike resolves to a concrete
+// waterfall. -pprof-addr exposes net/http/pprof on a separate
+// listener; -slow-ms logs a structured line with per-stage timings for
+// any job slower than the threshold; -telemetry=off disables all of
+// it.
 package main
 
 import (
@@ -110,6 +123,9 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty disables)")
 		jrnlRing   = flag.Int("journal-ring", 0, "flight-recorder ring capacity in events served by GET /v1/events (0 = default 4096)")
 		jrnlMB     = flag.Int("journal-mb", 0, "flight-recorder on-disk journal budget in MB under <data-dir>/journal (0 = default 32; needs -data-dir to spill)")
+		traceRing  = flag.Int("trace-ring", 0, "trace-store ring capacity in retained traces served by GET /v1/traces (0 = default 512)")
+		traceMB    = flag.Int("trace-mb", 0, "trace-store on-disk budget in MB under <data-dir>/traces (0 = default 32; needs -data-dir to spill)")
+		traceSmpl  = flag.Float64("trace-sample", 0.05, "tail-sampling keep probability for fast successful traces; slow, errored, and admission-queued traces are always kept")
 	)
 	flag.Parse()
 
@@ -129,7 +145,25 @@ func main() {
 		if *dataDir != "" {
 			spillDir = filepath.Join(*dataDir, "catalog")
 		}
-		runRouter(*addr, *route, *probeEvery, *proxyTO, *allowPaths, spillDir, clusterToken, *shardConc, *jrnlRing, *jrnlMB)
+		backends, err := cluster.ParseBackends(*route)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "welmaxd:", err)
+			os.Exit(1)
+		}
+		runRouter(*addr, cluster.Options{
+			Backends:              backends,
+			ProbeInterval:         *probeEvery,
+			ProxyTimeout:          *proxyTO,
+			AllowPathLoads:        *allowPaths,
+			SpillDir:              spillDir,
+			ClusterToken:          clusterToken,
+			SweepShardConcurrency: *shardConc,
+			JournalRing:           *jrnlRing,
+			JournalMB:             *jrnlMB,
+			TraceRing:             *traceRing,
+			TraceMB:               *traceMB,
+			TraceSample:           *traceSmpl,
+		})
 		return
 	}
 
@@ -155,6 +189,9 @@ func main() {
 		SlowThreshold:    slowThreshold(*slowMS),
 		JournalRing:      *jrnlRing,
 		JournalMB:        *jrnlMB,
+		TraceRing:        *traceRing,
+		TraceMB:          *traceMB,
+		TraceSample:      *traceSmpl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
@@ -241,23 +278,8 @@ func startPprof(addr string) {
 }
 
 // runRouter serves the cluster routing tier (-route).
-func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowPaths bool, spillDir, clusterToken string, shardConc, journalRing, journalMB int) {
-	backends, err := cluster.ParseBackends(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "welmaxd:", err)
-		os.Exit(1)
-	}
-	rt, err := cluster.New(cluster.Options{
-		Backends:              backends,
-		ProbeInterval:         probeEvery,
-		ProxyTimeout:          proxyTimeout,
-		AllowPathLoads:        allowPaths,
-		SpillDir:              spillDir,
-		ClusterToken:          clusterToken,
-		SweepShardConcurrency: shardConc,
-		JournalRing:           journalRing,
-		JournalMB:             journalMB,
-	})
+func runRouter(addr string, opts cluster.Options) {
+	rt, err := cluster.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
 		os.Exit(1)
@@ -278,7 +300,7 @@ func runRouter(addr, spec string, probeEvery, proxyTimeout time.Duration, allowP
 		_ = srv.Shutdown(ctx)
 	}()
 
-	log.Printf("welmaxd router listening on %s (%d backends)", addr, len(backends))
+	log.Printf("welmaxd router listening on %s (%d backends)", addr, len(opts.Backends))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "welmaxd:", err)
 		os.Exit(1)

@@ -69,11 +69,12 @@ type Scheduler struct {
 	coalesced atomic.Int64 // requests that joined an existing group
 
 	// onFire, when set, observes every gather window that reaches its
-	// build: the group key, the frozen merged budget vector, and how
-	// many waiters share the build. It runs on the window timer's
-	// goroutine before the build starts, so it must be cheap and must
-	// not call back into the scheduler.
-	onFire func(key string, budgets []int, waiters int)
+	// build: the group key, the frozen merged budget vector, how many
+	// waiters share the build, and the trace id of the request that
+	// opened the window ("" when it carried none). It runs on the window
+	// timer's goroutine before the build starts, so it must be cheap and
+	// must not call back into the scheduler.
+	onFire func(key string, budgets []int, waiters int, traceID string)
 }
 
 // group is one gather window's worth of requests. budgets accumulates
@@ -84,6 +85,7 @@ type group struct {
 	budgets  []int
 	building bool
 	waiters  int
+	traceID  string // trace id of the request that opened the window
 
 	buildCtx context.Context
 	cancel   context.CancelFunc
@@ -105,7 +107,7 @@ func New(window time.Duration) *Scheduler {
 // SetFireHook installs the scheduler's batch-fire observer (see the
 // onFire field). Install it before the scheduler receives traffic;
 // replacing it while windows are gathering races with fire.
-func (s *Scheduler) SetFireHook(fn func(key string, budgets []int, waiters int)) {
+func (s *Scheduler) SetFireHook(fn func(key string, budgets []int, waiters int, traceID string)) {
 	s.onFire = fn
 }
 
@@ -177,6 +179,7 @@ func (s *Scheduler) Submit(ctx context.Context, key string, budgets []int, merge
 		g = &group{
 			budgets:  append([]int(nil), budgets...),
 			waiters:  1,
+			traceID:  telemetry.FromContext(ctx).ID(),
 			buildCtx: buildCtx,
 			cancel:   cancel,
 			done:     make(chan struct{}),
@@ -218,6 +221,7 @@ func (s *Scheduler) fire(key string, g *group, build BuildFunc) {
 	g.building = true
 	merged := append([]int(nil), g.budgets...)
 	waiters := g.waiters
+	traceID := g.traceID
 	dead := waiters == 0
 	s.mu.Unlock()
 
@@ -228,7 +232,7 @@ func (s *Scheduler) fire(key string, g *group, build BuildFunc) {
 	} else {
 		s.batches.Add(1)
 		if s.onFire != nil {
-			s.onFire(key, merged, waiters)
+			s.onFire(key, merged, waiters, traceID)
 		}
 		g.sketch, g.hit, g.err = build(g.buildCtx, merged)
 	}

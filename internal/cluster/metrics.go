@@ -38,6 +38,7 @@ func (r *Router) routerGauges() []telemetry.Gauge {
 	}
 	out = append(out, telemetry.BuildInfoGauge())
 	out = append(out, service.JournalGauges(r.flight)...)
+	out = append(out, service.TraceStoreGauges(r.traces)...)
 	out = append(out, service.ResourceTotalGauges()...)
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"uicwelfare/internal/service"
 	"uicwelfare/internal/store"
 	"uicwelfare/internal/telemetry"
+	"uicwelfare/internal/tracestore"
 )
 
 // Options configures a Router.
@@ -56,6 +58,16 @@ type Options struct {
 	// SpillDir in MiB; 0 uses the package default.
 	JournalRing int
 	JournalMB   int
+	// TraceRing sizes the router's trace-store ring (completed router
+	// trace fragments retained for GET /v1/traces); 0 uses the
+	// tracestore default. TraceMB caps its on-disk spill under SpillDir
+	// in MiB; TraceSample is the tail-sampling keep probability for fast
+	// successful traces (errored ones are always kept). TraceSampleAll
+	// forces the sample rate to 1 (tests).
+	TraceRing      int
+	TraceMB        int
+	TraceSample    float64
+	TraceSampleAll bool
 	// Client is the HTTP client for probes and proxying (default: a
 	// plain &http.Client{}; timeouts come from request contexts).
 	Client *http.Client
@@ -82,6 +94,11 @@ type Router struct {
 	// transitions, ownership flips, sketch ships, sweep dispatch —
 	// queryable through GET /v1/events alongside the shards' journals.
 	flight *journal.Recorder
+	// traces holds the router's completed trace fragments — the
+	// dispatch/proxy spans recorded at the edge for each body-routed
+	// request. GET /v1/traces/{id} grafts the owning backend's fragment
+	// under these spans into one cross-tier waterfall.
+	traces *tracestore.Store
 
 	mu      sync.Mutex
 	catalog map[string]*graphRecord
@@ -185,6 +202,21 @@ func New(opts Options) (*Router, error) {
 		}
 		return nil, fmt.Errorf("cluster: journal: %w", err)
 	}
+	traces, err := tracestore.New(tracestore.Options{
+		Node:       "router",
+		RingSize:   opts.TraceRing,
+		SampleRate: opts.TraceSample,
+		SampleAll:  opts.TraceSampleAll,
+		Dir:        filepath.Join(spillDir, "traces"),
+		MaxBytes:   int64(opts.TraceMB) << 20,
+	})
+	if err != nil {
+		flight.Close()
+		if ownSpill {
+			os.RemoveAll(spillDir)
+		}
+		return nil, fmt.Errorf("cluster: trace store: %w", err)
+	}
 	r := &Router{
 		members:      NewMembership(opts.Backends, client, probeTimeout),
 		client:       client,
@@ -197,6 +229,7 @@ func New(opts Options) (*Router, error) {
 		start:        time.Now(),
 		metrics:      telemetry.NewMetrics(),
 		flight:       flight,
+		traces:       traces,
 		catalog:      map[string]*graphRecord{},
 		tombs:        map[string]bool{},
 		jobs:         jobs,
@@ -219,6 +252,9 @@ func New(opts Options) (*Router, error) {
 // Journal exposes the router's flight recorder (welmaxd wiring and
 // tests).
 func (r *Router) Journal() *journal.Recorder { return r.flight }
+
+// Traces exposes the router's trace-fragment store (tests).
+func (r *Router) Traces() *tracestore.Store { return r.traces }
 
 // Start runs the probe/rebalance loop: an immediate first sync, then one
 // probe round per interval, rebalancing whenever membership changed.
@@ -248,6 +284,7 @@ func (r *Router) Close() {
 	close(r.stop)
 	r.wg.Wait()
 	r.flight.Close()
+	r.traces.Close()
 	if r.ownSpill {
 		os.RemoveAll(r.spillDir)
 	}
@@ -332,6 +369,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", r.timed("GET /v1/sweeps/{id}/results", r.handleSweepResults))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", r.timed("DELETE /v1/sweeps/{id}", r.handleCancelSweep))
 	mux.HandleFunc("GET /v1/events", r.timed("GET /v1/events", r.handleEvents))
+	mux.HandleFunc("GET /v1/traces", r.timed("GET /v1/traces", r.handleTraces))
+	mux.HandleFunc("GET /v1/traces/{id}", r.timed("GET /v1/traces/{id}", r.handleTraceGet))
 	mux.HandleFunc("GET /v1/cluster/placement/{graph_id}", r.timed("GET /v1/cluster/placement/{graph_id}", r.handlePlacement))
 	mux.HandleFunc("GET /v1/stats", r.timed("GET /v1/stats", r.handleStats))
 	mux.HandleFunc("GET /v1/metrics", r.timed("GET /v1/metrics", r.handleMetrics))
@@ -343,13 +382,15 @@ func (r *Router) Handler() http.Handler {
 // timed wraps a route handler with the router's own request-latency
 // histogram. The route label is the literal mux pattern (Go 1.22's
 // ServeMux has no Pattern field on the request, so the registration
-// closes over it).
+// closes over it). The trace id the handler echoed on the response (if
+// any) becomes the bucket's exemplar.
 func (r *Router) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		h(w, req)
-		r.metrics.Observe("welmax_http_request_duration_seconds",
-			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start))
+		r.metrics.ObserveEx("welmax_http_request_duration_seconds",
+			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start),
+			w.Header().Get(telemetry.TraceHeader))
 	}
 }
 
@@ -479,30 +520,77 @@ func (r *Router) proxyJobScoped(w http.ResponseWriter, req *http.Request) {
 
 // handleBodyRouted forwards POST /v1/allocate and /v1/estimate: the
 // routing key (graph_id) lives in the JSON body, so it is buffered,
-// peeked, and replayed to the owner.
+// peeked, and replayed to the owner. The hop is traced: a dispatch span
+// covers the routing decision, a proxy child span covers the backend
+// round trip, and the proxy span's id travels in X-Welmax-Span-Id so
+// the backend parents its own spans under it — the two fragments of
+// the trace reassemble into one tree on GET /v1/traces/{id}.
 func (r *Router) handleBodyRouted(w http.ResponseWriter, req *http.Request) {
+	tr := telemetry.NewTrace(telemetry.SanitizeID(req.Header.Get(telemetry.TraceHeader)), true)
+	w.Header().Set(telemetry.TraceHeader, tr.ID())
+	ctx := telemetry.NewContext(req.Context(), tr)
+	route := strings.TrimPrefix(req.URL.Path, "/v1/")
+	dctx, endDispatch := telemetry.WithSpan(ctx, "dispatch")
+	fail := func(status int, err error) {
+		endDispatch()
+		r.recordTrace(tr, route, "", err)
+		writeError(w, status, err)
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	var peek struct {
 		GraphID string `json:"graph_id"`
 	}
 	if err := json.Unmarshal(body, &peek); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if peek.GraphID == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("graph_id required"))
+		fail(http.StatusBadRequest, fmt.Errorf("graph_id required"))
 		return
 	}
 	owner, err := r.ownerOf(peek.GraphID)
 	if err != nil {
+		endDispatch()
+		r.recordTrace(tr, route, peek.GraphID, err)
 		writeRetryable(w, req, http.StatusBadGateway, err)
 		return
 	}
-	r.proxy(w, req, owner, body)
+	pctx, endProxy := telemetry.WithSpan(dctx, "proxy")
+	req.Header.Set(telemetry.TraceHeader, tr.ID())
+	req.Header.Set(telemetry.SpanHeader, telemetry.SpanIDFromContext(pctx))
+	status := r.proxy(w, req.WithContext(pctx), owner, body)
+	endProxy()
+	endDispatch()
+	var perr error
+	if status == 0 {
+		perr = fmt.Errorf("backend %q unreachable", owner)
+	}
+	r.recordTrace(tr, route, peek.GraphID, perr)
+}
+
+// recordTrace offers the router's fragment of one body-routed request
+// to the trace store. The edge fragment covers the 202 exchange, not
+// the backend job that follows it — GET /v1/traces/{id} fetches the
+// backend's own fragment and grafts the two together.
+func (r *Router) recordTrace(tr *telemetry.Trace, route, graphID string, err error) {
+	rec := tracestore.Record{
+		TraceID:      tr.ID(),
+		Route:        route,
+		Graph:        graphID,
+		Start:        tr.Start(),
+		DurationMS:   float64(time.Since(tr.Start())) / float64(time.Millisecond),
+		Spans:        tr.Spans(),
+		SpansDropped: tr.DroppedSpans(),
+		Resources:    tr.Resources(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	r.traces.Add(rec)
 }
 
 // handleCreateGraph implements POST /v1/graphs: materialize the graph on
@@ -946,8 +1034,11 @@ type fanoutResult struct {
 
 // fanout issues the request to every live backend concurrently, each
 // under the proxy deadline — one slow backend delays the merge at most
-// by the deadline, never forever.
+// by the deadline, never forever. When ctx carries a trace, the whole
+// fan-in is one fan_out span on it.
 func (r *Router) fanout(ctx context.Context, method, path string) []fanoutResult {
+	endFan := telemetry.StartSpan(ctx, "fan_out")
+	defer endFan()
 	alive := r.members.Alive()
 	out := make([]fanoutResult, len(alive))
 	var wg sync.WaitGroup

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"uicwelfare/internal/service"
+	"uicwelfare/internal/tracestore"
+)
+
+// The router half of the trace store's query surface. GET /v1/traces on
+// the router merges the router's own retained trace fragments (edge
+// dispatch/proxy spans) with every live shard's, behind the same
+// composite "node:seq" cursor GET /v1/events uses. GET /v1/traces/{id}
+// assembles the cross-tier waterfall: every fragment recorded under the
+// id — the router's and the owning backend's — grafted into one span
+// tree via the parent ids X-Welmax-Span-Id propagation stitched in.
+
+// ClusterTracesResponse is the router's GET /v1/traces body. Cursors
+// are store-local sequence numbers, so the merged cursor is composite:
+// "router:4,b0:12,b1:9".
+type ClusterTracesResponse struct {
+	Traces     []tracestore.Record `json:"traces"`
+	NextCursor string              `json:"next_cursor"`
+	Partial    bool                `json:"partial,omitempty"`
+	Errors     map[string]string   `json:"errors,omitempty"`
+}
+
+// traceValues re-encodes a trace query (plus a per-source cursor) as
+// the backend endpoint's query parameters.
+func traceValues(q tracestore.Query, cursor uint64, limit int) url.Values {
+	vals := url.Values{}
+	if cursor > 0 {
+		vals.Set("cursor", strconv.FormatUint(cursor, 10))
+	}
+	if limit > 0 {
+		vals.Set("limit", strconv.Itoa(limit))
+	}
+	if q.Route != "" {
+		vals.Set("route", q.Route)
+	}
+	if q.Graph != "" {
+		vals.Set("graph", q.Graph)
+	}
+	if q.MinMS > 0 {
+		vals.Set("min_ms", strconv.FormatFloat(q.MinMS, 'f', -1, 64))
+	}
+	if !q.Since.IsZero() {
+		vals.Set("since", q.Since.Format(timeRFC3339Nano))
+	}
+	return vals
+}
+
+// taggedTrace remembers which store a summary came from — records are
+// already node-stamped, but the composite cursor needs the source name
+// even for records a store imported from elsewhere.
+type taggedTrace struct {
+	src string
+	rec tracestore.Record
+}
+
+// handleTraces implements the router's GET /v1/traces: the merged,
+// time-ordered, cursor-paginated view over the router's and every live
+// shard's retained trace summaries, with the same route/graph/min_ms/
+// since filters as the backend form. A dead shard contributes nothing
+// but an entry in "errors" with "partial": true.
+func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
+	values := req.URL.Query()
+	cursors, baseCursor, err := parseMergedCursor(values.Get("cursor"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	values.Del("cursor")
+	q, err := service.ParseTraceQuery(values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cursorFor := func(node string) uint64 {
+		if c, ok := cursors[node]; ok {
+			return c
+		}
+		return baseCursor
+	}
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = tracestore.DefaultLimit
+	}
+	if limit > tracestore.MaxLimit {
+		limit = tracestore.MaxLimit
+	}
+
+	type sourcePage struct {
+		src     string
+		records []tracestore.Record
+		next    uint64
+	}
+	ownQ := q
+	ownQ.After = cursorFor(routerNode)
+	ownQ.Limit = limit
+	ownRecords, ownNext := r.traces.Traces(ownQ)
+	pages := []sourcePage{{src: routerNode, records: ownRecords, next: ownNext}}
+
+	members := r.members.Snapshot()
+	alive := make([]string, 0, len(members))
+	errs := map[string]string{}
+	for _, m := range members {
+		if m.Healthy {
+			alive = append(alive, m.Name)
+		} else {
+			errs[m.Name] = "backend down"
+		}
+	}
+	shardPages := make([]sourcePage, len(alive))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i, name := range alive {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			path := "/v1/traces?" + traceValues(q, cursorFor(name), limit).Encode()
+			status, body, err := r.call(req.Context(), http.MethodGet, name, path, nil)
+			if err != nil || status != http.StatusOK {
+				mu.Lock()
+				if err != nil {
+					errs[name] = err.Error()
+				} else {
+					errs[name] = fmt.Sprintf("status %d", status)
+				}
+				mu.Unlock()
+				return
+			}
+			var resp service.TracesResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				mu.Lock()
+				errs[name] = err.Error()
+				mu.Unlock()
+				return
+			}
+			shardPages[i] = sourcePage{src: name, records: resp.Traces, next: resp.NextCursor}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, p := range shardPages {
+		if p.src != "" {
+			pages = append(pages, p)
+		}
+	}
+
+	var merged []taggedTrace
+	for _, p := range pages {
+		for _, rec := range p.records {
+			merged = append(merged, taggedTrace{src: p.src, rec: rec})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].rec.Start.Equal(merged[j].rec.Start) {
+			return merged[i].rec.Start.Before(merged[j].rec.Start)
+		}
+		if merged[i].src != merged[j].src {
+			return merged[i].src < merged[j].src
+		}
+		return merged[i].rec.Seq < merged[j].rec.Seq
+	})
+	page := merged
+	if len(page) > limit {
+		page = page[:limit]
+	}
+
+	// Per-source resume point, exactly as the merged events endpoint
+	// computes it: a source fully consumed advances to its own next
+	// cursor; a source cut by the merge resumes at its last returned
+	// record.
+	included := map[string]int{}
+	next := map[string]uint64{}
+	for _, p := range pages {
+		next[p.src] = cursorFor(p.src)
+	}
+	for _, tt := range page {
+		included[tt.src]++
+		if tt.rec.Seq > next[tt.src] {
+			next[tt.src] = tt.rec.Seq
+		}
+	}
+	for _, p := range pages {
+		if included[p.src] == len(p.records) && p.next > next[p.src] {
+			next[p.src] = p.next
+		}
+	}
+	srcs := make([]string, 0, len(next))
+	for s := range next {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	parts := make([]string, 0, len(srcs))
+	for _, s := range srcs {
+		parts = append(parts, fmt.Sprintf("%s:%d", s, next[s]))
+	}
+
+	records := make([]tracestore.Record, 0, len(page))
+	for _, tt := range page {
+		records = append(records, tt.rec)
+	}
+	out := ClusterTracesResponse{Traces: records, NextCursor: strings.Join(parts, ",")}
+	if len(errs) > 0 {
+		out.Partial = true
+		out.Errors = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceGet implements the router's GET /v1/traces/{id}: the
+// cross-tier waterfall. Every live shard (and the router's own store)
+// is asked for its fragment of the id; all fragments found are grafted
+// into one tree — the backend's spans carry the router's proxy span as
+// their parent, so the assembly is pure concatenation plus a sort. 404
+// means no store anywhere retained the id.
+func (r *Router) handleTraceGet(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	var fragments []tracestore.Record
+	if rec, ok := r.traces.Get(id); ok {
+		fragments = append(fragments, rec)
+	}
+	errs := map[string]string{}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, name := range r.members.Alive() {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			status, body, err := r.call(req.Context(), http.MethodGet, name, "/v1/traces/"+url.PathEscape(id), nil)
+			if err != nil {
+				mu.Lock()
+				errs[name] = err.Error()
+				mu.Unlock()
+				return
+			}
+			if status == http.StatusNotFound {
+				return // that shard never saw (or sampled out) the trace
+			}
+			if status != http.StatusOK {
+				mu.Lock()
+				errs[name] = fmt.Sprintf("status %d", status)
+				mu.Unlock()
+				return
+			}
+			var tree service.TraceTreeResponse
+			if err := json.Unmarshal(body, &tree); err != nil {
+				mu.Lock()
+				errs[name] = err.Error()
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			fragments = append(fragments, treeToRecord(tree))
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	for _, m := range r.members.Snapshot() {
+		if !m.Healthy {
+			errs[m.Name] = "backend down"
+		}
+	}
+	if len(fragments) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (expired, sampled out, or never seen)", id))
+		return
+	}
+	// The root fragment anchors the response envelope: prefer the one
+	// whose spans start earliest — normally the router's own, which
+	// opened the trace at the edge.
+	sort.SliceStable(fragments, func(i, j int) bool {
+		return fragments[i].Start.Before(fragments[j].Start)
+	})
+	out := service.TraceTree(fragments[0])
+	for _, frag := range fragments[1:] {
+		out.AddRecord(frag)
+		// The whole-request figures come from the fragment that saw the
+		// most: a backend job outlives the router's 202 exchange.
+		if frag.DurationMS > out.DurationMS {
+			out.DurationMS = frag.DurationMS
+		}
+		if out.Error == "" {
+			out.Error = frag.Error
+		}
+		if out.Graph == "" {
+			out.Graph = frag.Graph
+		}
+		out.SpansDropped += frag.SpansDropped
+	}
+	if len(errs) > 0 {
+		out.Partial = true
+		out.Errors = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// treeToRecord converts one backend's tree response back into a record
+// so AddRecord can graft it. Span node stamps survive via the per-span
+// Node field taking precedence in AddRecord when the record-level Node
+// is empty — here every span keeps its own stamp.
+func treeToRecord(tree service.TraceTreeResponse) tracestore.Record {
+	rec := tracestore.Record{
+		TraceID:      tree.TraceID,
+		Route:        tree.Route,
+		Graph:        tree.Graph,
+		Start:        tree.Start,
+		DurationMS:   tree.DurationMS,
+		Error:        tree.Error,
+		Kept:         tree.Kept,
+		SpansDropped: tree.SpansDropped,
+		Resources:    tree.Resources,
+	}
+	for _, sp := range tree.Spans {
+		rec.Spans = append(rec.Spans, sp.Span)
+	}
+	if len(tree.Spans) > 0 {
+		rec.Node = tree.Spans[0].Node
+	}
+	return rec
+}

@@ -278,11 +278,12 @@ type Query struct {
 	// After is the pagination cursor: only events with Seq > After are
 	// returned. 0 starts from the oldest retained event.
 	After uint64
-	// Type, Graph, and Node filter on the corresponding fields when
-	// non-empty. Type may be a comma-separated list.
+	// Type, Graph, Node, and Trace filter on the corresponding fields
+	// when non-empty. Type may be a comma-separated list.
 	Type  string
 	Graph string
 	Node  string
+	Trace string
 	// Since drops events recorded before it when non-zero.
 	Since time.Time
 	// Limit caps the result (default DefaultLimit, max MaxLimit).
@@ -315,6 +316,9 @@ func (q Query) Match(e Event) bool {
 		return false
 	}
 	if q.Node != "" && e.Node != q.Node {
+		return false
+	}
+	if q.Trace != "" && e.TraceID != q.Trace {
 		return false
 	}
 	if !q.Since.IsZero() && e.TS.Before(q.Since) {

@@ -81,6 +81,13 @@ func TestQueryFilters(t *testing.T) {
 	if len(got) != 0 || next != 3 {
 		t.Fatalf("all-filtered query: %d events, next %d (want 0, 3)", len(got), next)
 	}
+	r.Record(Event{Type: AdmissionReject, Graph: "g1", TraceID: "t-42", TS: base.Add(3 * time.Second)})
+	if got, _ := r.Events(Query{Trace: "t-42"}); len(got) != 1 || got[0].Type != AdmissionReject {
+		t.Fatalf("trace filter: %+v, want the one t-42 event", got)
+	}
+	if got, _ := r.Events(Query{Trace: "t-nope"}); len(got) != 0 {
+		t.Fatalf("trace filter matched %d events for an unknown id", len(got))
+	}
 }
 
 func TestSegmentSpillAndRotation(t *testing.T) {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"uicwelfare/internal/telemetry"
 )
 
 // SketchCache is the in-memory tier of the sketch cache: a
@@ -56,9 +58,11 @@ type SketchCache struct {
 	// would "rebuild" by reloading the identical stale spill from disk.
 	onExpire func(key string)
 	// onEvict, when set, receives each key dropped by LRU/cost eviction
-	// with its priced cost. Also called under the cache lock — the
-	// service wires it to the control-plane journal's O(1) ring append.
-	onEvict func(key string, cost int64)
+	// with its priced cost and the trace id of the request whose insert
+	// displaced it ("" when the trigger carried no trace, e.g. a
+	// rebalance import). Also called under the cache lock — the service
+	// wires it to the control-plane journal's O(1) ring append.
+	onEvict func(key string, cost int64, traceID string)
 }
 
 type cacheEntry struct {
@@ -120,7 +124,7 @@ func (c *SketchCache) SetExpireHook(fn func(key string)) {
 }
 
 // SetEvictHook registers the evicted-key callback (see onEvict).
-func (c *SketchCache) SetEvictHook(fn func(key string, cost int64)) {
+func (c *SketchCache) SetEvictHook(fn func(key string, cost int64, traceID string)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onEvict = fn
@@ -186,7 +190,10 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 	e.lastUsed = c.tick
 	c.entries[key] = e
 	c.misses++
-	c.evictLocked(key)
+	// Evictions this insert causes are attributed to its trace, so the
+	// journal can answer "which request displaced my warm sketch".
+	traceID := telemetry.FromContext(ctx).ID()
+	c.evictLocked(key, traceID)
 	c.mu.Unlock()
 
 	e.sketch, e.err = build()
@@ -205,7 +212,7 @@ func (c *SketchCache) GetOrBuildCtx(ctx context.Context, key string, build func(
 			e.expires = c.now().Add(c.ttl)
 		}
 		c.totalCost += e.cost
-		c.evictLocked(key)
+		c.evictLocked(key, traceID)
 	}
 	c.mu.Unlock()
 	close(e.ready)
@@ -299,9 +306,10 @@ func (c *SketchCache) CountPrefix(prefix string) int {
 // cache fits both the entry bound and the byte budget. The entry under
 // keep and entries still building are never evicted — a single sketch
 // over the budget is kept until something else displaces it (evicting
-// the only copy would just force an immediate rebuild). Caller holds
-// c.mu.
-func (c *SketchCache) evictLocked(keep string) {
+// the only copy would just force an immediate rebuild). traceID names
+// the request whose insert triggered the eviction (for the journal
+// hook); "" when none. Caller holds c.mu.
+func (c *SketchCache) evictLocked(keep, traceID string) {
 	for len(c.entries) > c.maxEntries || (c.maxCost > 0 && c.totalCost > c.maxCost) {
 		victim := ""
 		var oldest uint64
@@ -326,7 +334,7 @@ func (c *SketchCache) evictLocked(keep string) {
 		delete(c.entries, victim)
 		c.evictions++
 		if c.onEvict != nil {
-			c.onEvict(victim, cost)
+			c.onEvict(victim, cost, traceID)
 		}
 	}
 }
@@ -363,7 +371,7 @@ func (c *SketchCache) Put(key string, sketch any) bool {
 	e.lastUsed = c.tick
 	c.entries[key] = e
 	c.totalCost += e.cost
-	c.evictLocked(key)
+	c.evictLocked(key, "")
 	return true
 }
 

@@ -29,8 +29,8 @@ type EventsResponse struct {
 }
 
 // ParseEventQuery decodes the GET /v1/events query parameters
-// (cursor, limit, type, graph, node, since) shared by the backend and
-// router forms of the endpoint.
+// (cursor, limit, type, graph, node, trace, since) shared by the
+// backend and router forms of the endpoint.
 func ParseEventQuery(values url.Values) (journal.Query, error) {
 	var q journal.Query
 	if raw := values.Get("cursor"); raw != "" {
@@ -50,6 +50,7 @@ func ParseEventQuery(values url.Values) (journal.Query, error) {
 	q.Type = values.Get("type")
 	q.Graph = values.Get("graph")
 	q.Node = values.Get("node")
+	q.Trace = values.Get("trace")
 	if raw := values.Get("since"); raw != "" {
 		ts, err := time.Parse(time.RFC3339Nano, raw)
 		if err != nil {

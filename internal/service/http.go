@@ -44,6 +44,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.timed("GET /v1/sweeps/{id}/results", s.handleSweepResults))
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.timed("DELETE /v1/sweeps/{id}", s.handleCancelSweep))
 	mux.HandleFunc("GET /v1/events", s.timed("GET /v1/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/traces", s.timed("GET /v1/traces", s.handleTraces))
+	mux.HandleFunc("GET /v1/traces/{id}", s.timed("GET /v1/traces/{id}", s.handleTraceGet))
 	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
 	mux.HandleFunc("GET /v1/metrics", s.timed("GET /v1/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.timed("GET /healthz", s.handleHealthz))
@@ -53,7 +55,9 @@ func (s *Service) Handler() http.Handler {
 
 // timed wraps a handler with per-route latency observation. SSE
 // streams are observed too — their "latency" is the stream lifetime,
-// which is the honest figure for a streaming route.
+// which is the honest figure for a streaming route. The observation
+// carries the request's trace id (echoed on the response by newTrace)
+// as the bucket's exemplar, so a slow route points at a slow trace.
 func (s *Service) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.telemetryOn {
@@ -62,16 +66,23 @@ func (s *Service) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		start := time.Now()
 		h(w, r)
-		s.metrics.Observe("welmax_http_request_duration_seconds",
-			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start))
+		s.metrics.ObserveEx("welmax_http_request_duration_seconds",
+			[]telemetry.Label{{Name: "route", Value: route}}, time.Since(start),
+			w.Header().Get(telemetry.TraceHeader))
 	}
 }
 
 // newTrace mints (or adopts, when the client sent a sanitizable
 // X-Welmax-Trace-Id) the request's trace and echoes the id on the
 // response, so the caller can correlate the job it is about to receive.
+// A sanitizable X-Welmax-Span-Id becomes the trace's parent span: the
+// router sends its proxy span's id here, so every span this process
+// records nests under the router's waterfall.
 func (s *Service) newTrace(w http.ResponseWriter, r *http.Request) *telemetry.Trace {
 	tr := telemetry.NewTrace(telemetry.SanitizeID(r.Header.Get(telemetry.TraceHeader)), s.telemetryOn)
+	if parent := r.Header.Get(telemetry.SpanHeader); parent != "" {
+		tr.SetParent(telemetry.SanitizeID(parent))
+	}
 	w.Header().Set(telemetry.TraceHeader, tr.ID())
 	return tr
 }
@@ -222,7 +233,7 @@ func (s *Service) handleWarmGraph(w http.ResponseWriter, r *http.Request) {
 		writeAdmissionReject(w, aerr, tr.ID())
 		return
 	}
-	s.enqueue(w, "warm", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "warm", id, tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.WarmCtx(ctx, id, &req, report)
 	})
 }
@@ -253,7 +264,9 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // report. The trace travels in the job context so span timings land on
 // it, and finishJob attaches them to the job record when the run ends.
 // It answers 202 with the job id, or 503 when the queue is full.
-func (s *Service) enqueue(w http.ResponseWriter, kind string, tr *telemetry.Trace, req any, run func(ctx context.Context, report progress.Func) (any, error)) {
+// graphID labels the trace-store record so /v1/traces can filter by
+// graph; it is advisory only and may be empty.
+func (s *Service) enqueue(w http.ResponseWriter, kind, graphID string, tr *telemetry.Trace, req any, run func(ctx context.Context, report progress.Func) (any, error)) {
 	job := s.jobs.Create(kind, tr.ID(), req)
 	ok := s.pool.Submit(func() {
 		ctx, ok := s.jobs.Start(job.ID)
@@ -272,7 +285,7 @@ func (s *Service) enqueue(w http.ResponseWriter, kind string, tr *telemetry.Trac
 				SeedPrefix: ev.SeedPrefix,
 			})
 		})
-		s.finishJob(job.ID, kind, tr, started, result, err)
+		s.finishJob(job.ID, kind, graphID, tr, started, result, err)
 	})
 	if !ok {
 		s.jobs.Remove(job.ID)
@@ -326,7 +339,7 @@ func (s *Service) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeAdmissionReject(w, aerr, tr.ID())
 		return
 	}
-	s.enqueue(w, "allocate", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "allocate", req.GraphID, tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.AllocateCtx(ctx, &req, report)
 	})
 }
@@ -341,7 +354,7 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.enqueue(w, "estimate", tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
+	s.enqueue(w, "estimate", req.GraphID, tr, &req, func(ctx context.Context, report progress.Func) (any, error) {
 		return s.EstimateCtx(ctx, &req, report)
 	})
 }

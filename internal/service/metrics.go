@@ -8,6 +8,7 @@ import (
 
 	"uicwelfare/internal/journal"
 	"uicwelfare/internal/telemetry"
+	"uicwelfare/internal/tracestore"
 )
 
 // handleMetrics implements GET /v1/metrics: the backend's latency
@@ -70,8 +71,30 @@ func (s *Service) gauges() []telemetry.Gauge {
 	}
 	out = append(out, telemetry.BuildInfoGauge())
 	out = append(out, JournalGauges(s.flight)...)
+	out = append(out, TraceStoreGauges(s.traces)...)
 	out = append(out, ResourceTotalGauges()...)
 	return out
+}
+
+// TraceStoreGauges exposes a trace store's tail-sampling health: how
+// many completed traces were offered, how many the sampler kept versus
+// discarded, and whether the spill path is losing segments. Exported
+// because the cluster router renders its own store through the same
+// series. A nil store (telemetry off) contributes nothing.
+func TraceStoreGauges(ts *tracestore.Store) []telemetry.Gauge {
+	if ts == nil {
+		return nil
+	}
+	st := ts.Stats()
+	return []telemetry.Gauge{
+		{Name: "welmax_trace_offered_total", Value: float64(st.Offered)},
+		{Name: "welmax_trace_kept_total", Value: float64(st.Kept)},
+		{Name: "welmax_trace_sampled_out_total", Value: float64(st.SampledOut)},
+		{Name: "welmax_trace_ring_depth", Value: float64(st.RingLen)},
+		{Name: "welmax_trace_ring_capacity", Value: float64(st.RingCap)},
+		{Name: "welmax_trace_segments_total", Value: float64(st.Segments)},
+		{Name: "welmax_trace_spill_errors_total", Value: float64(st.SpillErrors)},
+	}
 }
 
 // JournalGauges exposes a flight recorder's health: how much it has
@@ -114,9 +137,11 @@ func ResourceTotalGauges() []telemetry.Gauge {
 // observeTrace records a finished unit of work into the histograms: its
 // total duration under welmax_job_duration_seconds{kind} and each of
 // its trace's stages under welmax_stage_duration_seconds{stage,family}.
+// The trace id rides along as the bucket exemplar, so the histogram can
+// answer "which trace was that slow one" (GET /v1/traces/{id}).
 func (s *Service) observeTrace(kind string, tr *telemetry.Trace, elapsed time.Duration) {
-	s.metrics.Observe("welmax_job_duration_seconds",
-		[]telemetry.Label{{Name: "kind", Value: kind}}, elapsed)
+	s.metrics.ObserveEx("welmax_job_duration_seconds",
+		[]telemetry.Label{{Name: "kind", Value: kind}}, elapsed, tr.ID())
 	stages := tr.Stages()
 	if len(stages) == 0 {
 		return
@@ -125,6 +150,10 @@ func (s *Service) observeTrace(kind string, tr *telemetry.Trace, elapsed time.Du
 	if family == "" {
 		family = "none"
 	}
+	// Stage histograms carry no exemplars: the drill-down runs from the
+	// route- and kind-level series, and skipping the per-stage exemplar
+	// bookkeeping keeps the warm path inside the telemetry overhead
+	// budget (scripts/bench_snapshot.sh guards it).
 	for stage, st := range stages {
 		s.metrics.Observe("welmax_stage_duration_seconds",
 			[]telemetry.Label{{Name: "stage", Value: stage}, {Name: "family", Value: family}}, st.Total())
@@ -133,17 +162,34 @@ func (s *Service) observeTrace(kind string, tr *telemetry.Trace, elapsed time.Du
 
 // finishJob is the worker-side epilogue of every HTTP-enqueued job: it
 // attaches the trace's span timings to the job record, feeds the
-// histograms, emits the structured slow-request log line when the run
+// histograms, offers the completed trace to the trace store's
+// tail-sampler, emits the structured slow-request log line when the run
 // crossed the threshold, and finalizes the job. It runs whether the job
 // succeeded, failed, or was canceled — slow failures are exactly the
 // requests worth finding in the log.
-func (s *Service) finishJob(id, kind string, tr *telemetry.Trace, started time.Time, result any, err error) {
+func (s *Service) finishJob(id, kind, graphID string, tr *telemetry.Trace, started time.Time, result any, err error) {
 	elapsed := time.Since(started)
 	s.jobs.SetStages(id, tr.Stages())
 	s.jobs.SetResources(id, tr.Resources())
 	if s.telemetryOn {
 		s.observeTrace(kind, tr, elapsed)
-		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+		rec := tracestore.Record{
+			TraceID:      tr.ID(),
+			Route:        kind,
+			Graph:        graphID,
+			Start:        tr.Start(),
+			DurationMS:   float64(elapsed) / float64(time.Millisecond),
+			Slow:         s.slowThreshold > 0 && elapsed >= s.slowThreshold,
+			Queued:       tr.Resources()[telemetry.ResQueueWaitMS] > 0,
+			Spans:        tr.Spans(),
+			SpansDropped: tr.DroppedSpans(),
+			Resources:    tr.Resources(),
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		s.traces.Add(rec)
+		if rec.Slow {
 			s.logSlowJob(id, kind, tr, elapsed, err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"uicwelfare/internal/stats"
 	"uicwelfare/internal/store"
 	"uicwelfare/internal/telemetry"
+	"uicwelfare/internal/tracestore"
 	"uicwelfare/internal/uic"
 	"uicwelfare/internal/utility"
 )
@@ -124,6 +125,22 @@ type Options struct {
 	// JournalMB bounds the spilled journal segments in megabytes
 	// (default 32); only meaningful with DataDir set.
 	JournalMB int
+	// TraceRing bounds the trace store's in-memory ring of completed
+	// traces (default 512). The store follows the telemetry switch:
+	// TelemetryOff disables it entirely (GET /v1/traces serves empty).
+	TraceRing int
+	// TraceMB bounds the spilled trace segments in megabytes (default
+	// 32); only meaningful with DataDir set.
+	TraceMB int
+	// TraceSample is the probability of keeping a completed trace that
+	// was neither slow nor errored nor admission-queued (those are
+	// always kept — tail sampling). Zero keeps only the always-kept
+	// classes; 1 keeps everything.
+	TraceSample float64
+	// TraceSampleAll forces TraceSample to 1 (tests and single-node
+	// debugging; the zero-value Options otherwise samples out every
+	// fast success).
+	TraceSampleAll bool
 }
 
 // Service owns the daemon's state: the graph registry, the RR-sketch
@@ -203,6 +220,11 @@ type Service struct {
 	// cache evictions/expiries, job spills land here and are served by
 	// GET /v1/events. Always non-nil.
 	flight *journal.Recorder
+
+	// traces retains completed request traces (span trees) for GET
+	// /v1/traces, tail-sampled; nil when telemetry is off (a nil store
+	// keeps nothing, so record sites need no gate of their own).
+	traces *tracestore.Store
 }
 
 // New assembles a Service and starts its worker pool. With a data
@@ -261,11 +283,35 @@ func New(opts Options) (*Service, error) {
 		return nil, err
 	}
 	s.flight = flight
+	// The trace store follows the telemetry switch: without spans there
+	// is nothing worth retaining. A data dir additionally spills
+	// CRC-framed segments under <DataDir>/traces.
+	if s.telemetryOn {
+		var traceDir string
+		if opts.DataDir != "" {
+			traceDir = filepath.Join(opts.DataDir, "traces")
+		}
+		s.traces, err = tracestore.New(tracestore.Options{
+			Node:       opts.NodeID,
+			RingSize:   opts.TraceRing,
+			SampleRate: opts.TraceSample,
+			SampleAll:  opts.TraceSampleAll,
+			Dir:        traceDir,
+			MaxBytes:   int64(opts.TraceMB) << 20,
+		})
+		if err != nil {
+			flight.Close()
+			return nil, err
+		}
+	}
 	// Evictions and expiries are cache-lock-held callbacks; the journal
-	// ring append is O(1) and non-blocking, which is why it is safe here.
-	s.cache.SetEvictHook(func(key string, cost int64) {
+	// ring append is O(1) and non-blocking, which is why it is safe
+	// here. The trace id is the evicting request's — the eviction is a
+	// side effect of that request's insert, and carrying its id makes
+	// the trace's control-plane fallout greppable (?trace=).
+	s.cache.SetEvictHook(func(key string, cost int64, traceID string) {
 		gid, _, _ := strings.Cut(key, "|")
-		s.flight.Record(journal.Event{Type: journal.CacheEvict, Graph: gid, Key: key, Bytes: cost})
+		s.flight.Record(journal.Event{Type: journal.CacheEvict, Graph: gid, Key: key, Bytes: cost, TraceID: traceID})
 	})
 	if opts.BatchWindow > 0 {
 		s.batcher = batch.New(opts.BatchWindow)
@@ -273,14 +319,16 @@ func New(opts Options) (*Service, error) {
 		// Journal every gather window that reaches its build: which
 		// group fired and how many requests share the one sketch. The
 		// hook runs on the window timer's goroutine; the ring append is
-		// O(1) and non-blocking.
-		s.batcher.SetFireHook(func(key string, budgets []int, waiters int) {
+		// O(1) and non-blocking. The trace id is the group's first
+		// submitter's — the request whose miss opened the window.
+		s.batcher.SetFireHook(func(key string, budgets []int, waiters int, traceID string) {
 			gid, _, _ := strings.Cut(key, "|")
 			s.flight.Record(journal.Event{
-				Type:  journal.BatchFire,
-				Graph: gid,
-				Key:   key,
-				Count: int64(waiters),
+				Type:    journal.BatchFire,
+				Graph:   gid,
+				Key:     key,
+				Count:   int64(waiters),
+				TraceID: traceID,
 			})
 		})
 	}
@@ -335,11 +383,17 @@ func New(opts Options) (*Service, error) {
 	return s, nil
 }
 
-// Close drains the worker pool and flushes the flight recorder.
+// Close drains the worker pool and flushes the flight recorder and the
+// trace store.
 func (s *Service) Close() {
 	s.pool.Close()
 	s.flight.Close()
+	s.traces.Close()
 }
+
+// Traces exposes the trace store (nil with telemetry off; handlers go
+// through GET /v1/traces).
+func (s *Service) Traces() *tracestore.Store { return s.traces }
 
 // Journal exposes the control-plane flight recorder (the events
 // endpoint, gauges, and tests read it; emitters hold the Service).

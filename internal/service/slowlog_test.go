@@ -43,7 +43,7 @@ func TestSlowJobLog(t *testing.T) {
 	end()
 	job := s.jobs.Create("allocate", tr.ID(), nil)
 	s.jobs.Start(job.ID)
-	s.finishJob(job.ID, "allocate", tr, time.Now().Add(-2*time.Second), "done", nil)
+	s.finishJob(job.ID, "allocate", "", tr, time.Now().Add(-2*time.Second), "done", nil)
 
 	lines := got()
 	if len(lines) != 1 {
@@ -95,7 +95,7 @@ func TestSlowJobLogDisabled(t *testing.T) {
 		tr := telemetry.NewTrace("trace-quiet", true)
 		job := s.jobs.Create("allocate", tr.ID(), nil)
 		s.jobs.Start(job.ID)
-		s.finishJob(job.ID, "allocate", tr, time.Now().Add(-2*time.Second), nil, nil)
+		s.finishJob(job.ID, "allocate", "", tr, time.Now().Add(-2*time.Second), nil, nil)
 		if lines := got(); len(lines) != 0 {
 			t.Errorf("%s: slow log fired: %q", name, lines)
 		}

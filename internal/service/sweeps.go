@@ -132,7 +132,9 @@ func (s *Service) runSweep(jobID string, tr *telemetry.Trace, spec *sweep.Spec, 
 	started := time.Now()
 	ctx = telemetry.NewContext(ctx, tr)
 	summary, err := s.executeSweep(ctx, jobID, spec, cells)
-	s.finishJob(jobID, "sweep", tr, started, summary, err)
+	// A sweep spans multiple graphs; its trace record carries no single
+	// graph label.
+	s.finishJob(jobID, "sweep", "", tr, started, summary, err)
 }
 
 // executeSweep fans the cells out over the worker pool with bounded
@@ -378,7 +380,7 @@ func (s *Service) submitCell(traceID string, req *AllocateRequest) (string, <-ch
 				SeedPrefix: ev.SeedPrefix,
 			})
 		})
-		s.finishJob(job.ID, "cell", tr, started, res, err)
+		s.finishJob(job.ID, "cell", req.GraphID, tr, started, res, err)
 		out <- cellOutcome{res: res, err: err}
 	})
 	if !ok {

@@ -70,16 +70,43 @@ type Label struct {
 	Value string `json:"value"`
 }
 
+// Exemplar links one histogram bucket back to a concrete trace: the
+// trace id of the bucket's slowest recent observation. It is the hook
+// that turns an aggregate latency distribution into something an
+// operator can drill into — fetch the trace id from the slowest
+// occupied bucket and GET /v1/traces/{id} shows where the time went.
+type Exemplar struct {
+	Bucket  int     `json:"bucket"`
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// exemplarTTL bounds how long a slow observation pins its bucket's
+// exemplar: past it any new observation replaces the stale one, so the
+// exported trace ids stay "slowest recent", not "slowest ever" (whose
+// trace may long since have left the trace store).
+const exemplarTTL = 5 * time.Minute
+
+// exemplarCell is one bucket's retained exemplar.
+type exemplarCell struct {
+	traceID string
+	seconds float64
+	at      time.Time
+}
+
 // HistSnapshot is one histogram series' point-in-time state: the JSON
 // form backends serve at /v1/metrics?format=json and the router merges
 // across shards. Buckets are non-cumulative counts per BucketBounds
-// position (last = +Inf).
+// position (last = +Inf). Exemplars, when present, is sparse: one
+// entry per bucket that has a retained exemplar. It rides only the
+// JSON form — Prometheus text exposition is unchanged.
 type HistSnapshot struct {
-	Name       string  `json:"name"`
-	Labels     []Label `json:"labels,omitempty"`
-	Count      int64   `json:"count"`
-	SumSeconds float64 `json:"sum_seconds"`
-	Buckets    []int64 `json:"buckets"`
+	Name       string     `json:"name"`
+	Labels     []Label    `json:"labels,omitempty"`
+	Count      int64      `json:"count"`
+	SumSeconds float64    `json:"sum_seconds"`
+	Buckets    []int64    `json:"buckets"`
+	Exemplars  []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Gauge is one point-in-time numeric metric (counters are exported
@@ -108,6 +135,40 @@ type histSeries struct {
 	name   string
 	labels []Label
 	hist   Histogram
+
+	exMu sync.Mutex
+	ex   [NumBuckets]exemplarCell
+}
+
+// observeExemplar retains traceID as the bucket's exemplar if it is
+// the slowest observation the bucket has seen recently (or the first,
+// or the incumbent has aged out).
+func (s *histSeries) observeExemplar(bucket int, traceID string, d time.Duration) {
+	secs := float64(d) / float64(time.Second)
+	now := time.Now()
+	s.exMu.Lock()
+	c := &s.ex[bucket]
+	if c.traceID == "" || secs >= c.seconds || now.Sub(c.at) > exemplarTTL {
+		*c = exemplarCell{traceID: traceID, seconds: secs, at: now}
+	}
+	s.exMu.Unlock()
+}
+
+// exemplars snapshots the series' unexpired exemplars, sparse by
+// bucket (nil when none).
+func (s *histSeries) exemplars() []Exemplar {
+	now := time.Now()
+	var out []Exemplar
+	s.exMu.Lock()
+	for i := range s.ex {
+		c := s.ex[i]
+		if c.traceID == "" || now.Sub(c.at) > exemplarTTL {
+			continue
+		}
+		out = append(out, Exemplar{Bucket: i, TraceID: c.traceID, Seconds: c.seconds})
+	}
+	s.exMu.Unlock()
+	return out
 }
 
 // NewMetrics returns an empty registry.
@@ -132,6 +193,13 @@ func seriesKey(name string, labels []Label) string {
 // Observe records one duration into the named series, creating it on
 // first use.
 func (m *Metrics) Observe(name string, labels []Label, d time.Duration) {
+	m.ObserveEx(name, labels, d, "")
+}
+
+// ObserveEx is Observe with an exemplar: a non-empty traceID is
+// retained as the bucket's exemplar when it is the slowest recent
+// observation to land there (see Exemplar).
+func (m *Metrics) ObserveEx(name string, labels []Label, d time.Duration, traceID string) {
 	key := seriesKey(name, labels)
 	m.mu.RLock()
 	s := m.series[key]
@@ -145,6 +213,12 @@ func (m *Metrics) Observe(name string, labels []Label, d time.Duration) {
 		m.mu.Unlock()
 	}
 	s.hist.Observe(d)
+	if traceID != "" {
+		if d < 0 {
+			d = 0
+		}
+		s.observeExemplar(bucketIndex(d), traceID, d)
+	}
 }
 
 // Snapshot captures every series. Bucket reads race benignly with
@@ -169,6 +243,7 @@ func (m *Metrics) Snapshot() []HistSnapshot {
 		for i := range snap.Buckets {
 			snap.Buckets[i] = s.hist.buckets[i].Load()
 		}
+		snap.Exemplars = s.exemplars()
 		out = append(out, snap)
 	}
 	sortSnapshots(out)
@@ -190,6 +265,7 @@ func MergeSnapshots(groups ...[]HistSnapshot) []HistSnapshot {
 				cp.Labels = append([]Label(nil), s.Labels...)
 				cp.Buckets = make([]int64, NumBuckets)
 				copy(cp.Buckets, s.Buckets)
+				cp.Exemplars = append([]Exemplar(nil), s.Exemplars...)
 				merged[key] = &cp
 				order = append(order, key)
 				continue
@@ -199,6 +275,7 @@ func MergeSnapshots(groups ...[]HistSnapshot) []HistSnapshot {
 			for i := 0; i < len(s.Buckets) && i < len(dst.Buckets); i++ {
 				dst.Buckets[i] += s.Buckets[i]
 			}
+			dst.Exemplars = mergeExemplars(dst.Exemplars, s.Exemplars)
 		}
 	}
 	out := make([]HistSnapshot, 0, len(order))
@@ -206,6 +283,31 @@ func MergeSnapshots(groups ...[]HistSnapshot) []HistSnapshot {
 		out = append(out, *merged[key])
 	}
 	sortSnapshots(out)
+	return out
+}
+
+// mergeExemplars unions two sparse exemplar lists by bucket, keeping
+// the slower observation when both sources have one — on the router's
+// merged export every bucket still names the cluster-wide slowest
+// recent trace.
+func mergeExemplars(a, b []Exemplar) []Exemplar {
+	if len(b) == 0 {
+		return a
+	}
+	byBucket := map[int]Exemplar{}
+	for _, e := range a {
+		byBucket[e.Bucket] = e
+	}
+	for _, e := range b {
+		if cur, ok := byBucket[e.Bucket]; !ok || e.Seconds > cur.Seconds {
+			byBucket[e.Bucket] = e
+		}
+	}
+	out := make([]Exemplar, 0, len(byBucket))
+	for _, e := range byBucket {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
 	return out
 }
 

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// findSpan returns the first recorded span with the given stage.
+func findSpan(t *testing.T, spans []Span, stage string) Span {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Stage == stage {
+			return sp
+		}
+	}
+	t.Fatalf("no %q span in %+v", stage, spans)
+	return Span{}
+}
+
+func TestWithSpanParenting(t *testing.T) {
+	tr := NewTrace("abc", true)
+	ctx := NewContext(context.Background(), tr)
+
+	dctx, endDispatch := WithSpan(ctx, "dispatch")
+	pctx, endProxy := WithSpan(dctx, "proxy")
+	if SpanIDFromContext(pctx) == SpanIDFromContext(dctx) {
+		t.Fatal("nested WithSpan did not thread a new current span")
+	}
+	endProxy()
+	endDispatch()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	dispatch := findSpan(t, spans, "dispatch")
+	proxy := findSpan(t, spans, "proxy")
+	if dispatch.Parent != "" {
+		t.Errorf("root span parent = %q, want empty", dispatch.Parent)
+	}
+	if proxy.Parent != dispatch.ID {
+		t.Errorf("proxy parent = %q, want dispatch id %q", proxy.Parent, dispatch.ID)
+	}
+	if proxy.StartUnixNS < dispatch.StartUnixNS {
+		t.Errorf("child started before parent: %d < %d", proxy.StartUnixNS, dispatch.StartUnixNS)
+	}
+	if dispatch.DurationMS < proxy.DurationMS {
+		t.Errorf("parent (%.3fms) shorter than child (%.3fms)", dispatch.DurationMS, proxy.DurationMS)
+	}
+	if dispatch.ID == proxy.ID {
+		t.Error("span ids not unique")
+	}
+}
+
+func TestTraceParentAdoptedByRootSpans(t *testing.T) {
+	// A backend trace adopts the router's proxy span id as its parent
+	// (X-Welmax-Span-Id); spans opened with no current span chain to it,
+	// so the cross-process tree assembles without a shared clock.
+	tr := NewTrace("abc", true)
+	tr.SetParent("router-span-7")
+	if tr.Parent() != "router-span-7" {
+		t.Fatalf("Parent = %q", tr.Parent())
+	}
+	ctx := NewContext(context.Background(), tr)
+	if got := SpanIDFromContext(ctx); got != "router-span-7" {
+		t.Fatalf("SpanIDFromContext with no current span = %q, want the trace parent", got)
+	}
+	StartSpan(ctx, "admission_check")()
+	sctx, end := WithSpan(ctx, "greedy_select")
+	StartSpan(sctx, "rrset_grow")()
+	end()
+
+	spans := tr.Spans()
+	if admission := findSpan(t, spans, "admission_check"); admission.Parent != "router-span-7" {
+		t.Errorf("admission_check parent = %q, want trace parent", admission.Parent)
+	}
+	greedy := findSpan(t, spans, "greedy_select")
+	if greedy.Parent != "router-span-7" {
+		t.Errorf("greedy_select parent = %q, want trace parent", greedy.Parent)
+	}
+	if grow := findSpan(t, spans, "rrset_grow"); grow.Parent != greedy.ID {
+		t.Errorf("rrset_grow parent = %q, want greedy id %q", grow.Parent, greedy.ID)
+	}
+}
+
+func TestSpanResourceDeltas(t *testing.T) {
+	tr := NewTrace("abc", true)
+	ctx := NewContext(context.Background(), tr)
+	sctx, end := WithSpan(ctx, "rrset_grow")
+	AddResource(sctx, ResRRSetsGrown, 5)
+	AddResource(sctx, ResRRSetsGrown, 2)
+	end()
+	AddResource(ctx, ResCacheHits, 1) // no current span: trace total only
+
+	sp := findSpan(t, tr.Spans(), "rrset_grow")
+	if sp.Resources[ResRRSetsGrown] != 7 {
+		t.Errorf("span delta = %v, want rrsets_grown 7", sp.Resources)
+	}
+	if sp.Resources[ResCacheHits] != 0 {
+		t.Errorf("span absorbed an out-of-span resource: %v", sp.Resources)
+	}
+	totals := tr.Resources()
+	if totals[ResRRSetsGrown] != 7 || totals[ResCacheHits] != 1 {
+		t.Errorf("trace totals = %v", totals)
+	}
+}
+
+func TestSpanCapCountsDrops(t *testing.T) {
+	tr := NewTrace("abc", true)
+	ctx := NewContext(context.Background(), tr)
+	const extra = 40
+	for i := 0; i < MaxSpans+extra; i++ {
+		StartSpan(ctx, "batch_gather")()
+	}
+	if got := len(tr.Spans()); got != MaxSpans {
+		t.Fatalf("retained %d spans, want the %d cap", got, MaxSpans)
+	}
+	if got := tr.DroppedSpans(); got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+	// Aggregate stage stats still see every call.
+	if got := tr.Stages()["batch_gather"].Count; got != MaxSpans+extra {
+		t.Fatalf("stage count = %d, want %d", got, MaxSpans+extra)
+	}
+}
+
+func TestDisabledAndNilTraceSpans(t *testing.T) {
+	off := NewTrace("id", false)
+	ctx := NewContext(context.Background(), off)
+	sctx, end := WithSpan(ctx, "x")
+	AddResource(sctx, ResCacheHits, 1)
+	end()
+	if off.Spans() != nil || off.Resources() != nil {
+		t.Fatal("disabled trace recorded spans")
+	}
+	var nilTrace *Trace
+	if nilTrace.Spans() != nil || nilTrace.DroppedSpans() != 0 || nilTrace.Parent() != "" {
+		t.Fatal("nil trace must read as empty")
+	}
+	nilTrace.SetParent("p")
+	nilTrace.AddResource(ResCacheHits, 1)
+	sctx, end = WithSpan(context.Background(), "x") // no trace in context
+	AddResource(sctx, ResCacheHits, 1)
+	end()
+}
+
+func TestObserveExExemplars(t *testing.T) {
+	m := NewMetrics()
+	lbl := []Label{{Name: "route", Value: "POST /v1/allocate"}}
+	m.ObserveEx("h", lbl, 3*time.Millisecond, "t-slow")
+	m.ObserveEx("h", lbl, 2500*time.Microsecond, "t-faster") // same bucket, faster: incumbent stays
+	m.ObserveEx("h", lbl, 100*time.Millisecond, "t-outlier")
+	m.Observe("h", lbl, time.Second) // no trace id: never an exemplar
+
+	snaps := m.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d series", len(snaps))
+	}
+	ex := snaps[0].Exemplars
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want one per occupied traced bucket", ex)
+	}
+	byBucket := map[int]Exemplar{}
+	for _, e := range ex {
+		byBucket[e.Bucket] = e
+	}
+	if got := byBucket[bucketIndex(3*time.Millisecond)]; got.TraceID != "t-slow" {
+		t.Errorf("bucket exemplar = %+v, want the slower t-slow", got)
+	}
+	if got := byBucket[bucketIndex(100*time.Millisecond)]; got.TraceID != "t-outlier" || got.Seconds < 0.09 {
+		t.Errorf("outlier exemplar = %+v", got)
+	}
+}
+
+func TestMergeSnapshotsKeepsSlowerExemplar(t *testing.T) {
+	a := NewMetrics()
+	b := NewMetrics()
+	lbl := []Label{{Name: "route", Value: "POST /v1/allocate"}}
+	a.ObserveEx("h", lbl, 3*time.Millisecond, "t-a")
+	b.ObserveEx("h", lbl, 3500*time.Microsecond, "t-b") // same bucket, slower
+	b.ObserveEx("h", lbl, time.Second, "t-b-slow")
+	merged := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if len(merged) != 1 {
+		t.Fatalf("got %d series", len(merged))
+	}
+	byBucket := map[int]Exemplar{}
+	for _, e := range merged[0].Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	if got := byBucket[bucketIndex(3*time.Millisecond)]; got.TraceID != "t-b" {
+		t.Errorf("merged bucket kept %+v, want the slower shard's t-b", got)
+	}
+	if got := byBucket[bucketIndex(time.Second)]; got.TraceID != "t-b-slow" {
+		t.Errorf("merge lost the unshared bucket: %+v", merged[0].Exemplars)
+	}
+}

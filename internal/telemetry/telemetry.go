@@ -6,11 +6,16 @@
 // cluster router can all record into one shared vocabulary:
 //
 //   - a Trace is minted per request (or adopted from the TraceHeader),
-//     travels in the context, and accumulates how often each named
-//     stage ran and how long it took in total — bounded state, however
-//     many spans a build records;
+//     travels in the context, and records real spans — start timestamp,
+//     duration, parent span id, per-span resource deltas — capped per
+//     trace with counted drops, alongside the bounded per-stage
+//     aggregate totals that job records keep;
 //   - StartSpan(ctx, stage) times one stage occurrence and is a no-op
-//     without a trace in ctx (library callers pay nothing);
+//     without a trace in ctx (library callers pay nothing); WithSpan
+//     additionally threads the new span through the context so nested
+//     spans parent under it, and SpanHeader carries the parent id
+//     across the router→shard hop so both processes' spans assemble
+//     into one tree;
 //   - Metrics is a registry of labeled histograms whose bucket
 //     increments are plain atomics, exportable as Prometheus text or as
 //     a JSON Export the cluster router merges across shards.
@@ -20,6 +25,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +37,18 @@ import (
 // id back so a client can correlate its request with job records, SSE
 // events, and slow-request logs.
 const TraceHeader = "X-Welmax-Trace-Id"
+
+// SpanHeader is the HTTP header carrying the caller's current span id
+// alongside TraceHeader. The cluster router sets it on the backend hop
+// so the backend's spans parent under the router's proxy span and the
+// two processes' fragments assemble into one tree.
+const SpanHeader = "X-Welmax-Span-Id"
+
+// MaxSpans bounds the span records retained per trace. A sketch build
+// can legitimately record many spans; past the cap the aggregate
+// per-stage totals keep accumulating and the trace counts the dropped
+// span records instead of growing without bound.
+const MaxSpans = 512
 
 // maxTraceIDLen bounds adopted trace ids: the id is echoed into logs,
 // job records, and SSE frames, so an unbounded client-chosen value
@@ -63,6 +81,44 @@ func SanitizeID(id string) string {
 		return NewTraceID()
 	}
 	return string(clean)
+}
+
+// spanPrefix is this process's span-id prefix: 4 random bytes minted
+// at init. Span ids are prefix + a process-local counter, so minting
+// one is an atomic add (cheap enough for the build hot path) while ids
+// stay unique across the router and backend halves of one trace.
+var spanPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "spanrand"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var spanCounter atomic.Uint64
+
+// newSpanID mints a process-unique span id in one allocation.
+func newSpanID() string {
+	buf := make([]byte, 0, len(spanPrefix)+14)
+	buf = append(buf, spanPrefix...)
+	buf = append(buf, '-')
+	buf = strconv.AppendUint(buf, spanCounter.Add(1), 36)
+	return string(buf)
+}
+
+// Span is one recorded stage occurrence within a trace: when it
+// started (wall clock; durations are measured on the monotonic clock),
+// how long it ran, which span it ran under, and the resource deltas
+// attributed to it while it was open. Parent is empty for spans rooted
+// at the trace itself (or at the inbound SpanHeader parent on a
+// backend).
+type Span struct {
+	ID          string           `json:"id"`
+	Parent      string           `json:"parent,omitempty"`
+	Stage       string           `json:"stage"`
+	StartUnixNS int64            `json:"start_unix_ns"`
+	DurationMS  float64          `json:"duration_ms"`
+	Resources   map[string]int64 `json:"resources,omitempty"`
 }
 
 // StageStats is the accumulated timing of one named stage within a
@@ -110,25 +166,62 @@ func ResourceTotals() map[string]int64 {
 	return out
 }
 
-// Trace accumulates per-stage span timings for one request. It stores
-// totals per stage name, not individual span events, so a sketch build
-// recording thousands of rrset_grow spans costs one map entry. A nil
+// Trace accumulates the spans of one request. Two representations are
+// kept: bounded per-stage aggregate totals (the wire form job records
+// store, however many spans a build records) and the individual span
+// records themselves — start timestamp, duration, parent id, per-span
+// resource deltas — capped at MaxSpans with counted drops. A nil
 // *Trace is valid everywhere and records nothing; a disabled trace
 // keeps its id (cheap correlation stays on) but drops span timings.
 type Trace struct {
 	id      string
 	enabled bool
+	start   time.Time
 
 	mu        sync.Mutex
 	family    string
+	parent    string // inbound SpanHeader parent; roots top-level spans
 	stages    map[string]StageStats
 	resources map[string]int64
+	spans     []Span
+	openRes   map[string]map[string]int64 // resource deltas of still-open spans
+	dropped   int64                       // span records lost to the MaxSpans cap
 }
 
 // NewTrace returns a trace with the given id. enabled=false keeps the
 // id for correlation but makes every span a no-op (-telemetry=off).
 func NewTrace(id string, enabled bool) *Trace {
-	return &Trace{id: id, enabled: enabled}
+	return &Trace{id: id, enabled: enabled, start: time.Now()}
+}
+
+// Start returns the trace's creation time (zero on a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// SetParent records the inbound parent span id (the caller's current
+// span, from SpanHeader): top-level spans of this trace parent under
+// it, which is what stitches a backend's spans under the router's.
+func (t *Trace) SetParent(spanID string) {
+	if t == nil || spanID == "" {
+		return
+	}
+	t.mu.Lock()
+	t.parent = spanID
+	t.mu.Unlock()
+}
+
+// Parent returns the inbound parent span id ("" when none).
+func (t *Trace) Parent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parent
 }
 
 // ID returns the trace id ("" on a nil trace).
@@ -188,19 +281,87 @@ func (t *Trace) Record(stage string, d time.Duration) {
 // a span early (e.g. a cache-lookup span ended when the build callback
 // starts, or a batch-gather span ended from the scheduler's timer
 // goroutine) can also defer it safely. On a nil or disabled trace both
-// directions are no-ops.
+// directions are no-ops. The span parents under the trace's inbound
+// parent; use WithSpan (or startSpan) to nest under another span.
 func (t *Trace) StartSpan(stage string) func() {
+	_, end := t.startSpan(stage, t.Parent())
+	return end
+}
+
+// startSpan starts one span under the given parent id, returning the
+// new span's id and the idempotent end function. On a nil or disabled
+// trace the id is "" and the end function a no-op.
+func (t *Trace) startSpan(stage, parent string) (string, func()) {
 	if !t.Enabled() {
-		return func() {}
+		return "", func() {}
 	}
+	id := newSpanID()
 	start := time.Now()
 	var ended atomic.Bool
-	return func() {
+	return id, func() {
 		if ended.Swap(true) {
 			return
 		}
-		t.Record(stage, time.Since(start))
+		t.finishSpan(Span{ID: id, Parent: parent, Stage: stage, StartUnixNS: start.UnixNano()}, time.Since(start))
 	}
+}
+
+// finishSpan records one completed span: the stage aggregate always
+// accumulates; the span record itself is retained up to MaxSpans (past
+// it only the drop counter advances) and picks up whatever resource
+// deltas were attributed to the span while it was open.
+func (t *Trace) finishSpan(sp Span, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sp.DurationMS = float64(d) / float64(time.Millisecond)
+	t.mu.Lock()
+	if t.stages == nil {
+		t.stages = map[string]StageStats{}
+	}
+	st := t.stages[sp.Stage]
+	st.Count++
+	st.TotalMS += sp.DurationMS
+	t.stages[sp.Stage] = st
+	if res := t.openRes[sp.ID]; res != nil {
+		sp.Resources = res
+		delete(t.openRes, sp.ID)
+	}
+	switch {
+	case t.spans == nil:
+		// Pre-size for a typical request (a handful of stages) so the
+		// hot path never regrows the slice span by span.
+		t.spans = make([]Span, 0, 8)
+		t.spans = append(t.spans, sp)
+	case len(t.spans) < MaxSpans:
+		t.spans = append(t.spans, sp)
+	default:
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans snapshots the retained span records (nil when none).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// DroppedSpans returns how many span records the MaxSpans cap dropped.
+func (t *Trace) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // AddResource accumulates n units of a resource kind against the
@@ -208,6 +369,14 @@ func (t *Trace) StartSpan(stage string) func() {
 // the process-wide totals. Like span timings it is gated on Enabled,
 // so -telemetry=off requests pay nothing.
 func (t *Trace) AddResource(kind string, n int64) {
+	t.addResource("", kind, n)
+}
+
+// addResource is AddResource with optional attribution to a still-open
+// span: when spanID is non-empty the delta also lands on that span's
+// record when it finishes (deltas for spans the cap later drops are
+// discarded with the record).
+func (t *Trace) addResource(spanID, kind string, n int64) {
 	if !t.Enabled() || n == 0 {
 		return
 	}
@@ -216,6 +385,17 @@ func (t *Trace) AddResource(kind string, n int64) {
 		t.resources = map[string]int64{}
 	}
 	t.resources[kind] += n
+	if spanID != "" {
+		if t.openRes == nil {
+			t.openRes = map[string]map[string]int64{}
+		}
+		res := t.openRes[spanID]
+		if res == nil {
+			res = map[string]int64{}
+			t.openRes[spanID] = res
+		}
+		res[kind] += n
+	}
 	t.mu.Unlock()
 	resTotalsMu.Lock()
 	resTotals[kind] += n
@@ -258,35 +438,85 @@ func (t *Trace) Stages() map[string]StageStats {
 	return out
 }
 
-// ctxKey keys the trace in a context.
+// ctxKey keys the span context in a context.
 type ctxKey struct{}
 
-// NewContext returns ctx carrying t. Attaching a nil trace returns ctx
-// unchanged.
+// spanCtx is what actually travels in the context: the trace plus the
+// id of the span currently open at this point of the call tree, so
+// nested StartSpan calls parent correctly.
+type spanCtx struct {
+	t    *Trace
+	span string // "" = parent is the trace's inbound parent
+}
+
+// NewContext returns ctx carrying t (with no current span — top-level
+// spans parent under the trace's inbound parent). Attaching a nil
+// trace returns ctx unchanged.
 func NewContext(ctx context.Context, t *Trace) context.Context {
 	if t == nil {
 		return ctx
 	}
-	return context.WithValue(ctx, ctxKey{}, t)
+	return context.WithValue(ctx, ctxKey{}, spanCtx{t: t})
 }
 
 // FromContext returns the trace carried by ctx, or nil.
 func FromContext(ctx context.Context) *Trace {
-	t, _ := ctx.Value(ctxKey{}).(*Trace)
-	return t
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	return sc.t
 }
 
-// StartSpan times one occurrence of stage against the trace in ctx; a
-// context without a trace gets a no-op end function. This is the hook
-// the library tiers (rrset, imm, prima, batch) call — they stay
-// ignorant of whether anyone is tracing.
+// SpanIDFromContext returns the id of the span currently open in ctx,
+// falling back to the trace's inbound parent and then to "". The
+// router uses it to stamp SpanHeader on the backend hop.
+func SpanIDFromContext(ctx context.Context) string {
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	if sc.span != "" {
+		return sc.span
+	}
+	return sc.t.Parent()
+}
+
+// StartSpan times one occurrence of stage against the trace in ctx,
+// parenting it under the span currently open in ctx; a context without
+// a trace gets a no-op end function. This is the hook the library
+// tiers (rrset, imm, prima, batch) call — they stay ignorant of
+// whether anyone is tracing.
 func StartSpan(ctx context.Context, stage string) func() {
-	return FromContext(ctx).StartSpan(stage)
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	parent := sc.span
+	if parent == "" {
+		parent = sc.t.Parent()
+	}
+	_, end := sc.t.startSpan(stage, parent)
+	return end
 }
 
-// AddResource accumulates a resource count against the trace in ctx; a
-// context without a trace records nothing. Same contract as StartSpan:
-// the library tiers call it without knowing whether anyone is tracing.
+// WithSpan is StartSpan, but additionally returns a context carrying
+// the new span as current, so spans started under the returned context
+// nest beneath it. Without a trace (or disabled) it returns ctx
+// unchanged and a no-op end.
+func WithSpan(ctx context.Context, stage string) (context.Context, func()) {
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	if !sc.t.Enabled() {
+		return ctx, func() {}
+	}
+	parent := sc.span
+	if parent == "" {
+		parent = sc.t.Parent()
+	}
+	id, end := sc.t.startSpan(stage, parent)
+	return context.WithValue(ctx, ctxKey{}, spanCtx{t: sc.t, span: id}), end
+}
+
+// AddResource accumulates a resource count against the trace in ctx —
+// and against the span currently open in ctx, so span records carry
+// the resource deltas of the work done under them. A context without a
+// trace records nothing. Same contract as StartSpan: the library tiers
+// call it without knowing whether anyone is tracing.
 func AddResource(ctx context.Context, kind string, n int64) {
-	FromContext(ctx).AddResource(kind, n)
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	if sc.t == nil {
+		return
+	}
+	sc.t.addResource(sc.span, kind, n)
 }

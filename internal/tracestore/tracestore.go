@@ -1,0 +1,652 @@
+// Package tracestore retains completed request traces — the span trees
+// the telemetry package records — for after-the-fact inspection via
+// GET /v1/traces. It is the data-plane sibling of internal/journal:
+// the journal records control-plane *decisions*, the trace store keeps
+// the per-request *timelines* those decisions acted on.
+//
+// Completed traces land in a bounded in-memory ring guarded by a
+// single mutex (Add is called at request completion, so it does O(1)
+// work and never blocks) and are asynchronously spilled as JSONL
+// payloads inside CRC-framed segment files under <data-dir>/traces,
+// with the journal's size-budgeted oldest-first rotation. Admission is
+// tail-sampled: every trace that was slow, errored, or queued by
+// admission control is kept, and fast successes are kept with a
+// configurable probability — the interesting traces survive without
+// the store having to retain every warm cache hit.
+package tracestore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uicwelfare/internal/telemetry"
+)
+
+// Keep reasons stamped on retained records, so a reader can tell why a
+// trace survived tail sampling.
+const (
+	KeptSlow    = "slow"
+	KeptError   = "error"
+	KeptQueued  = "queued"
+	KeptSampled = "sampled"
+)
+
+// Record is one completed trace: identity, the request it served, the
+// whole-request envelope (start, duration, outcome), and the retained
+// span records with their per-span resource deltas. On the router tier
+// Node distinguishes the router's fragment from the backend's; the two
+// fragments of one trace id assemble into a single tree through the
+// parent ids their spans carry.
+type Record struct {
+	// Seq is the store-local sequence number; it doubles as the
+	// pagination cursor for GET /v1/traces.
+	Seq     uint64 `json:"seq"`
+	TraceID string `json:"trace_id"`
+	Node    string `json:"node,omitempty"`
+	// Route names the serving surface ("allocate", "warm", "proxy", ...).
+	Route string `json:"route,omitempty"`
+	Graph string `json:"graph,omitempty"`
+
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Error      string    `json:"error,omitempty"`
+	// Slow and Queued mark why the trace bypassed sampling; Kept names
+	// the final keep reason (slow, error, queued, sampled).
+	Slow   bool   `json:"slow,omitempty"`
+	Queued bool   `json:"queued,omitempty"`
+	Kept   string `json:"kept,omitempty"`
+
+	Spans        []telemetry.Span `json:"spans,omitempty"`
+	SpansDropped int64            `json:"spans_dropped,omitempty"`
+	Resources    map[string]int64 `json:"resources,omitempty"`
+}
+
+// Summary returns the record without its span records — the list form
+// GET /v1/traces pages through (the full tree is one GET
+// /v1/traces/{id} away).
+func (r Record) Summary() Record {
+	r.Spans = nil
+	return r
+}
+
+// Segment file framing, mirroring the journal codec: magic, version,
+// payload length, JSONL payload, CRC-32C — every field verified on
+// read, corrupt segments rejected with typed errors.
+const (
+	// SegmentMagic opens a .wmt trace segment.
+	SegmentMagic = "WMTRCE\x00\x00"
+	// SegmentVersion is the current segment format version.
+	SegmentVersion = 1
+	// SegmentExt is the trace segment file extension.
+	SegmentExt = ".wmt"
+
+	// maxSegmentPayload bounds a declared payload length so a corrupt
+	// header cannot force an absurd allocation.
+	maxSegmentPayload = 1 << 30
+)
+
+var (
+	// ErrBadSegment reports an unreadable segment (wrong magic or
+	// version, truncated, or failed checksum).
+	ErrBadSegment = errors.New("tracestore: bad segment")
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Options configures a Store. The zero value is usable: an
+// in-memory-only store (no Dir, no spill) that keeps every trace.
+type Options struct {
+	// Node stamps every record (e.g. "b0", "router").
+	Node string
+	// RingSize bounds the in-memory ring (default 512 traces).
+	RingSize int
+	// SampleRate is the probability of keeping a trace that is neither
+	// slow nor errored nor queued, clamped to [0, 1]. Negative keeps
+	// none of them; the default (0 on the zero value) is rescued to 1
+	// by SampleAll for tests — welmaxd passes -trace-sample.
+	SampleRate float64
+	// SampleAll forces SampleRate 1 (keep everything); the zero-value
+	// Options then keeps every trace rather than silently none.
+	SampleAll bool
+	// Dir enables async segment spill when non-empty (callers pass
+	// <data-dir>/traces).
+	Dir string
+	// SegmentBytes seals a segment once its JSONL payload reaches this
+	// size (default 256 KiB).
+	SegmentBytes int64
+	// MaxBytes bounds the segment directory; oldest segments are
+	// deleted past it (default 32 MiB; the store must not grow without
+	// bound).
+	MaxBytes int64
+	// FlushInterval seals a non-empty pending segment even below
+	// SegmentBytes, so a quiet store still reaches disk (default 5s).
+	FlushInterval time.Duration
+}
+
+// Stats is the store's self-accounting, exported as gauges.
+type Stats struct {
+	// Offered counts every trace presented to Add; Kept the ones
+	// retained; SampledOut the fast successes sampling discarded.
+	Offered    int64 `json:"offered"`
+	Kept       int64 `json:"kept"`
+	SampledOut int64 `json:"sampled_out"`
+	// Dropped counts records whose disk spill was dropped because the
+	// spill channel was full (the ring still saw them).
+	Dropped int64 `json:"dropped"`
+	RingLen int   `json:"ring_len"`
+	RingCap int   `json:"ring_cap"`
+	// Segments counts segment files sealed; SpillErrors counts failed
+	// segment writes.
+	Segments    int64 `json:"segments"`
+	SpillErrors int64 `json:"spill_errors"`
+}
+
+// Store holds the bounded trace ring and the optional disk spill.
+type Store struct {
+	node   string
+	sample float64
+
+	mu   sync.Mutex
+	buf  []Record // ring storage, len(buf) == capacity
+	head int      // index of the oldest record
+	n    int      // records currently in the ring
+	next uint64   // next sequence number (first record gets 1)
+	rng  *rand.Rand
+
+	offered     atomic.Int64
+	kept        atomic.Int64
+	sampledOut  atomic.Int64
+	dropped     atomic.Int64
+	segments    atomic.Int64
+	spillErrors atomic.Int64
+
+	// Spill state (nil/zero when Dir is unset).
+	spill      chan Record
+	dir        string
+	segBytes   int64
+	maxBytes   int64
+	flushEvery time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// New creates a Store. When opts.Dir is set the directory is created
+// and the background spill goroutine started; Close flushes and stops
+// it.
+func New(opts Options) (*Store, error) {
+	size := opts.RingSize
+	if size <= 0 {
+		size = 512
+	}
+	sample := opts.SampleRate
+	if opts.SampleAll {
+		sample = 1
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	s := &Store{
+		node:   opts.Node,
+		sample: sample,
+		buf:    make([]Record, size),
+		next:   1,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("tracestore: %w", err)
+		}
+		s.dir = opts.Dir
+		s.segBytes = opts.SegmentBytes
+		if s.segBytes <= 0 {
+			s.segBytes = 256 << 10
+		}
+		s.maxBytes = opts.MaxBytes
+		if s.maxBytes <= 0 {
+			s.maxBytes = 32 << 20
+		}
+		s.flushEvery = opts.FlushInterval
+		if s.flushEvery <= 0 {
+			s.flushEvery = 5 * time.Second
+		}
+		s.spill = make(chan Record, 256)
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.spillLoop()
+	}
+	return s, nil
+}
+
+// Add offers one completed trace to the store. Tail sampling decides
+// retention: slow, errored, and admission-queued traces are always
+// kept; the rest survive with the configured sample probability. Add
+// reports whether the record was kept. Safe from any goroutine; a nil
+// store keeps nothing.
+func (s *Store) Add(rec Record) bool {
+	if s == nil {
+		return false
+	}
+	s.offered.Add(1)
+	if rec.Node == "" {
+		rec.Node = s.node
+	}
+	if rec.Start.IsZero() {
+		rec.Start = time.Now().UTC()
+	}
+	switch {
+	case rec.Error != "":
+		rec.Kept = KeptError
+	case rec.Slow:
+		rec.Kept = KeptSlow
+	case rec.Queued:
+		rec.Kept = KeptQueued
+	default:
+		s.mu.Lock()
+		keep := s.rng.Float64() < s.sample
+		s.mu.Unlock()
+		if !keep {
+			s.sampledOut.Add(1)
+			return false
+		}
+		rec.Kept = KeptSampled
+	}
+	s.mu.Lock()
+	rec.Seq = s.next
+	s.next++
+	if s.n < len(s.buf) {
+		s.buf[(s.head+s.n)%len(s.buf)] = rec
+		s.n++
+	} else {
+		s.buf[s.head] = rec
+		s.head = (s.head + 1) % len(s.buf)
+	}
+	s.mu.Unlock()
+	s.kept.Add(1)
+
+	if s.spill != nil {
+		select {
+		case s.spill <- rec:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	return true
+}
+
+// Query selects traces from the ring. The zero value returns the most
+// recent DefaultLimit traces.
+type Query struct {
+	// After is the pagination cursor: only records with Seq > After are
+	// returned. 0 starts from the oldest retained record.
+	After uint64
+	// Route and Graph filter on the corresponding fields when non-empty.
+	Route string
+	Graph string
+	// MinMS drops traces faster than this many milliseconds.
+	MinMS float64
+	// Since drops traces started before it when non-zero.
+	Since time.Time
+	// Limit caps the result (default DefaultLimit, max MaxLimit).
+	Limit int
+}
+
+// Query result bounds.
+const (
+	DefaultLimit = 50
+	MaxLimit     = 500
+)
+
+// Match reports whether the record passes the query's filters (the
+// cursor and limit are handled by Traces; Match is exported so the
+// router can filter a merged cross-shard page with the same rules).
+func (q Query) Match(r Record) bool {
+	if q.Route != "" && r.Route != q.Route {
+		return false
+	}
+	if q.Graph != "" && r.Graph != q.Graph {
+		return false
+	}
+	if q.MinMS > 0 && r.DurationMS < q.MinMS {
+		return false
+	}
+	if !q.Since.IsZero() && r.Start.Before(q.Since) {
+		return false
+	}
+	return true
+}
+
+// Traces returns matching trace summaries (spans stripped) in sequence
+// order plus the cursor to pass as After on the next call — the last
+// examined sequence number, regardless of filter matches, so
+// pagination advances past filtered spans of the ring too. next equals
+// q.After when nothing new was examined.
+func (s *Store) Traces(q Query) (records []Record, next uint64) {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if limit > MaxLimit {
+		limit = MaxLimit
+	}
+	if s == nil {
+		return nil, q.After
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next = q.After
+	for i := 0; i < s.n; i++ {
+		r := s.buf[(s.head+i)%len(s.buf)]
+		if r.Seq <= q.After {
+			continue
+		}
+		next = r.Seq
+		if q.Match(r) {
+			records = append(records, r.Summary())
+			if len(records) >= limit {
+				break
+			}
+		}
+	}
+	return records, next
+}
+
+// Get returns the full record (spans included) for a trace id. The
+// ring is searched newest-first; on a miss the spilled segments are
+// scanned newest-first, so a trace that aged out of the ring is still
+// retrievable while its segment survives the byte budget.
+func (s *Store) Get(id string) (Record, bool) {
+	if s == nil || id == "" {
+		return Record{}, false
+	}
+	s.mu.Lock()
+	for i := s.n - 1; i >= 0; i-- {
+		r := s.buf[(s.head+i)%len(s.buf)]
+		if r.TraceID == id {
+			s.mu.Unlock()
+			return r, true
+		}
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return Record{}, false
+	}
+	return s.getFromDisk(id)
+}
+
+// getFromDisk scans spilled segments newest-first for the trace id.
+func (s *Store) getFromDisk(id string) (Record, bool) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Record{}, false
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), SegmentExt) {
+			names = append(names, e.Name())
+		}
+	}
+	// Segment names embed the first record's sequence number in hex, so
+	// lexical order is chronological; scan newest first.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		recs, err := ReadSegment(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].TraceID == id {
+				return recs[i], true
+			}
+		}
+	}
+	return Record{}, false
+}
+
+// LastSeq returns the most recently assigned sequence number (0 when
+// nothing has been kept).
+func (s *Store) LastSeq() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next - 1
+}
+
+// Stats snapshots the store's counters. A nil store reports zeros.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	n, size := s.n, len(s.buf)
+	s.mu.Unlock()
+	return Stats{
+		Offered:     s.offered.Load(),
+		Kept:        s.kept.Load(),
+		SampledOut:  s.sampledOut.Load(),
+		Dropped:     s.dropped.Load(),
+		RingLen:     n,
+		RingCap:     size,
+		Segments:    s.segments.Load(),
+		SpillErrors: s.spillErrors.Load(),
+	}
+}
+
+// Close stops the spill goroutine after flushing any pending segment.
+// The ring remains queryable. Close is a no-op for in-memory stores
+// and idempotent otherwise.
+func (s *Store) Close() {
+	if s == nil || s.stop == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+		return // already closed
+	default:
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// spillLoop drains the spill channel into a pending JSONL buffer and
+// seals it into a segment file when it reaches the size threshold, on
+// the flush ticker, and at shutdown.
+func (s *Store) spillLoop() {
+	defer close(s.done)
+	var pending bytes.Buffer
+	var firstSeq uint64
+	ticker := time.NewTicker(s.flushEvery)
+	defer ticker.Stop()
+
+	add := func(r Record) {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return
+		}
+		if pending.Len() == 0 {
+			firstSeq = r.Seq
+		}
+		pending.Write(line)
+		pending.WriteByte('\n')
+		if int64(pending.Len()) >= s.segBytes {
+			s.seal(&pending, firstSeq)
+		}
+	}
+
+	for {
+		select {
+		case r := <-s.spill:
+			add(r)
+		case <-ticker.C:
+			if pending.Len() > 0 {
+				s.seal(&pending, firstSeq)
+			}
+		case <-s.stop:
+			for {
+				select {
+				case r := <-s.spill:
+					add(r)
+					continue
+				default:
+				}
+				break
+			}
+			if pending.Len() > 0 {
+				s.seal(&pending, firstSeq)
+			}
+			return
+		}
+	}
+}
+
+// seal writes the pending JSONL buffer as one CRC-framed segment file
+// (temp + rename, like every store artifact) and enforces the byte
+// budget. The buffer is reset either way: a failed write is counted
+// and dropped, never retried into an ever-growing buffer.
+func (s *Store) seal(pending *bytes.Buffer, firstSeq uint64) {
+	payload := pending.Bytes()
+	path := filepath.Join(s.dir, fmt.Sprintf("traces-%016x%s", firstSeq, SegmentExt))
+	err := func() error {
+		tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if err := writeSegmentFrame(tmp, payload); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), path)
+	}()
+	pending.Reset()
+	if err != nil {
+		s.spillErrors.Add(1)
+		return
+	}
+	s.segments.Add(1)
+	s.enforceBudget()
+}
+
+// enforceBudget deletes the oldest segment files until the trace
+// directory fits the byte budget.
+func (s *Store) enforceBudget() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), SegmentExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{
+			path:  filepath.Join(s.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= s.maxBytes {
+			return
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}
+
+// writeSegmentFrame writes one framed segment payload.
+func writeSegmentFrame(w io.Writer, payload []byte) error {
+	var hdr [20]byte
+	copy(hdr[:8], SegmentMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], SegmentVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadSegment decodes one segment file, verifying magic, version,
+// length, and checksum, and returns its records in kept order.
+func ReadSegment(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [20]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSegment, err)
+	}
+	if string(hdr[:8]) != SegmentMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSegment, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != SegmentVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadSegment, v)
+	}
+	size := binary.LittleEndian.Uint64(hdr[12:20])
+	if size > maxSegmentPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrBadSegment, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrBadSegment, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(f, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrBadSegment, err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSegment)
+	}
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(payload))
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		var r Record
+		if json.Unmarshal(sc.Bytes(), &r) == nil {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

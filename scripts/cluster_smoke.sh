@@ -50,13 +50,15 @@ go build -o "$BIN" ./cmd/welmaxd
 # authenticated import/sketch-ship path the router uses when rebalancing.
 TOKEN="smoke-secret"
 
-"$BIN" -addr "$B0" -node b0 -cluster-token "$TOKEN" & PIDS+=($!); B0_PID=$!
-"$BIN" -addr "$B1" -node b1 -cluster-token "$TOKEN" & PIDS+=($!); B1_PID=$!
+# -trace-sample 1 keeps every trace: the smoke asserts on a specific
+# trace id below and must not lose it to tail sampling.
+"$BIN" -addr "$B0" -node b0 -cluster-token "$TOKEN" -trace-sample 1 & PIDS+=($!); B0_PID=$!
+"$BIN" -addr "$B1" -node b1 -cluster-token "$TOKEN" -trace-sample 1 & PIDS+=($!); B1_PID=$!
 wait_healthy "http://$B0"
 wait_healthy "http://$B1"
 
 "$BIN" -addr "$ROUTER" -route "b0=http://$B0,b1=http://$B1" -probe-interval 300ms \
-  -cluster-token "$TOKEN" & PIDS+=($!)
+  -cluster-token "$TOKEN" -trace-sample 1 & PIDS+=($!)
 wait_healthy "$BASE"
 
 # Wait for the first probe round to mark both backends up.
@@ -142,7 +144,7 @@ PLACEMENT="$(curl -fsS "$BASE/v1/cluster/placement/$GRAPH_ID")"
   || fail "placement reports owner $(jq -r .owner <<<"$PLACEMENT"), want $SURVIVOR"
 
 # --- bring the owner back: sketches ship home, then a warm re-serve -----
-"$BIN" -addr "$OWNER_ADDR" -node "$OWNER" -cluster-token "$TOKEN" & PIDS+=($!)
+"$BIN" -addr "$OWNER_ADDR" -node "$OWNER" -cluster-token "$TOKEN" -trace-sample 1 & PIDS+=($!)
 wait_healthy "http://$OWNER_ADDR"
 
 # The rebalance must flip ownership home and ship the survivor's warm
@@ -177,6 +179,21 @@ jq -e '(.resources.cache_hits >= 1) and ((.resources.rr_sets_grown // 0) == 0)' 
   <<<"$VIEW3" >/dev/null \
   || fail "warm re-serve resources wrong: $(jq -c .resources <<<"$VIEW3")"
 echo "warm re-serve on returned owner done ($JOB3)"
+
+# --- trace waterfall: exemplar -> cross-tier span tree -------------------
+# The merged export's slowest job-duration exemplar must name a
+# retrievable trace, and the assembled tree must span both tiers: the
+# router's edge spans grafted over the owning shard's execution spans.
+EXEMPLAR="$(curl -fsS "$BASE/v1/metrics?format=json" \
+  | jq -r '[.histograms[] | select(.name == "welmax_job_duration_seconds") | .exemplars[]?]
+           | max_by(.seconds) | .trace_id // empty')"
+[ -n "$EXEMPLAR" ] || fail "no job-duration exemplar on the router's merged metrics"
+TREE="$(curl -fsS "$BASE/v1/traces/$EXEMPLAR")" \
+  || fail "exemplar trace $EXEMPLAR did not resolve via GET /v1/traces/{id}"
+jq -e '(.spans | map(select(.node == "router" and (.stage == "dispatch" or .stage == "proxy"))) | length >= 2)
+   and (.spans | map(select(.node != "router")) | length >= 1)' <<<"$TREE" >/dev/null \
+  || fail "trace $EXEMPLAR waterfall lacks router+shard spans: $(jq -c '[.spans[] | {node, stage}]' <<<"$TREE")"
+echo "exemplar trace $EXEMPLAR assembles a cross-tier waterfall ($(jq '.spans | length' <<<"$TREE") spans)"
 
 STATS="$(curl -fsS "$BASE/v1/stats")"
 REBALANCES="$(jq -r .cluster.rebalances <<<"$STATS")"

@@ -8,7 +8,13 @@
 // daemon keeps its graph ids and answers its first repeated allocate
 // from a warm path. Concurrent allocate requests that differ only in
 // budgets are coalesced onto one dominating sketch build
-// (-batch-window, on by default), and -admission-mb adds cost-based
+// (-batch-window, on by default). Sketch builds shard RR-set sampling
+// across -sketch-workers goroutines (GOMAXPROCS by default; 1 restores
+// the legacy serial path) with deterministic per-worker RNG streams,
+// and a batched build whose group already holds a resident
+// near-dominating sketch extends it — appending RR sets and re-running
+// selection — instead of rebuilding (sketch_extends / rr_sets_appended
+// in /v1/stats). -admission-mb adds cost-based
 // admission control: requests whose predicted sketch cost exceeds the
 // budget answer 429 with a retryable body instead of queueing
 // (-admission-queue holds near-budget requests briefly before the 429).
@@ -97,6 +103,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 2, "allocation/estimation worker count")
+		sketchWkrs = flag.Int("sketch-workers", 0, "RR-set growth parallelism inside each sketch build (0 = GOMAXPROCS, 1 = legacy serial)")
 		queueCap   = flag.Int("queue", 64, "job queue capacity")
 		cacheCap   = flag.Int("cache", 64, "sketch cache capacity (entries)")
 		cacheMB    = flag.Int("cache-mb", 0, "sketch cache budget in MB of approximate resident cost (0 = entry bound only)")
@@ -169,6 +176,7 @@ func main() {
 
 	svc, err := service.New(service.Options{
 		Workers:          *workers,
+		SketchWorkers:    *sketchWkrs,
 		QueueCap:         *queueCap,
 		CacheEntries:     *cacheCap,
 		CacheMB:          *cacheMB,

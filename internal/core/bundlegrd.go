@@ -22,6 +22,11 @@ type Options struct {
 	// Progress, when non-nil, receives sketch-construction events from
 	// the planner as RR sampling proceeds.
 	Progress progress.Func
+	// SketchWorkers is the RR-set growth parallelism handed to the
+	// sketch builders (prima/imm Options.Workers): sampling shards
+	// across this many goroutines with deterministic per-worker RNG
+	// streams. 0 or 1 keeps the legacy serial path.
+	SketchWorkers int
 }
 
 // Result is an allocation plus the effort statistics the experiments

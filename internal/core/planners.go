@@ -36,12 +36,12 @@ func init() {
 
 // primaOptions translates allocator options for the PRIMA sketch builder.
 func primaOptions(opts Options) prima.Options {
-	return prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress}
+	return prima.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress, Workers: opts.SketchWorkers}
 }
 
 // immOptions translates allocator options for the IMM sketch builder.
 func immOptions(opts Options) imm.Options {
-	return imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress}
+	return imm.Options{Eps: opts.Eps, Ell: opts.Ell, Cascade: opts.Cascade, Progress: opts.Progress, Workers: opts.SketchWorkers}
 }
 
 // bundleGRDPlanner adapts BundleGRD to the registry. The sketch seam is
@@ -93,6 +93,17 @@ func (bundleGRDPlanner) MergeBudgets(a, b []int) []int {
 // budget vector (the batch scheduler's dominating build).
 func (bundleGRDPlanner) BuildSketchForBudgets(ctx context.Context, p *Problem, budgets []int, opts Options, rng *stats.RNG) (any, error) {
 	return prima.BuildSketchCtx(ctx, p.G, budgets, primaOptions(opts), rng)
+}
+
+// ExtendSketch grows a resident PRIMA sketch built for oldBudgets into
+// one serving newBudgets (the service's delta-build seam).
+func (bundleGRDPlanner) ExtendSketch(ctx context.Context, p *Problem, sketch any, oldBudgets, newBudgets []int, opts Options, rng *stats.RNG) (any, error) {
+	sk, ok := sketch.(*prima.Sketch)
+	if !ok {
+		return nil, fmt.Errorf("core: %s expects a *prima.Sketch, got %T", AlgoBundleGRD, sketch)
+	}
+	po := primaOptions(opts)
+	return prima.ExtendSketchCtx(ctx, p.G, sk, oldBudgets, po, newBudgets, po, rng)
 }
 
 // itemDisjointPlanner adapts ItemDisjoint to the registry. The sketch
@@ -154,6 +165,21 @@ func (itemDisjointPlanner) BuildSketchForBudgets(ctx context.Context, p *Problem
 		k = budgets[0]
 	}
 	return imm.BuildSketchCtx(ctx, p.G, k, immOptions(opts), rng)
+}
+
+// ExtendSketch grows a resident IMM sketch to serve the merged total
+// budget (the service's delta-build seam). oldBudgets is unused: the
+// IMM sketch carries its own K and lower bound.
+func (itemDisjointPlanner) ExtendSketch(ctx context.Context, p *Problem, sketch any, _, newBudgets []int, opts Options, rng *stats.RNG) (any, error) {
+	sk, ok := sketch.(*imm.Sketch)
+	if !ok {
+		return nil, fmt.Errorf("core: %s expects an *imm.Sketch, got %T", AlgoItemDisjoint, sketch)
+	}
+	k := 0
+	if len(newBudgets) > 0 {
+		k = newBudgets[0]
+	}
+	return imm.ExtendSketchCtx(ctx, p.G, sk, k, immOptions(opts), rng)
 }
 
 // bundleDisjointPlanner adapts BundleDisjoint. Its adaptive sequence of

@@ -126,6 +126,24 @@ type BatchSketchPlanner interface {
 	BuildSketchForBudgets(ctx context.Context, p *Problem, budgets []int, opts Options, rng *stats.RNG) (any, error)
 }
 
+// ExtendSketchPlanner is the optional capability of batch planners
+// whose resident sketch can grow into a larger one instead of being
+// rebuilt: both RR-sketch families append i.i.d. RR sets to a cloned
+// collection and re-run selection, so a sketch built for budgets b
+// becomes one serving MergeBudgets(b, b') at the marginal sampling
+// cost. The service's batched path uses it as a delta-build when a
+// near-dominating sketch is already resident.
+type ExtendSketchPlanner interface {
+	BatchSketchPlanner
+	// ExtendSketch grows sketch — resident, built for oldBudgets under
+	// the same (graph, family, cascade, ε, ℓ) group — into one serving
+	// newBudgets. The input sketch is never mutated (growth happens on
+	// a clone), so concurrent readers of the resident sketch are safe.
+	// Sketches with no collection to append to (degenerate whole-graph
+	// builds) return an error; callers fall back to a cold build.
+	ExtendSketch(ctx context.Context, p *Problem, sketch any, oldBudgets, newBudgets []int, opts Options, rng *stats.RNG) (any, error)
+}
+
 // Factory builds a fresh planner instance. Lookup invokes it per
 // resolution, so stateful planners get one instance per run; Register
 // additionally probes it once at registration time to validate the

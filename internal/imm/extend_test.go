@@ -1,0 +1,127 @@
+package imm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/rrset"
+	"uicwelfare/internal/stats"
+)
+
+func evalSpread(g *graph.Graph, seeds []graph.NodeID, seed uint64) float64 {
+	eval := rrset.NewCollection(g)
+	eval.Grow(20000, stats.NewRNG(seed))
+	return float64(g.N()) * eval.FractionCovered(seeds)
+}
+
+// TestParallelBuildWelfareMatchesSerial: IMM sketches built with
+// parallel RR-set growth select seed sets whose estimated spread is
+// within sampling tolerance of the serial build's, across three graph
+// families.
+func TestParallelBuildWelfareMatchesSerial(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"barabasi-albert": graph.BarabasiAlbert(300, 3, stats.NewRNG(201)).WeightedCascade(),
+		"watts-strogatz":  graph.WattsStrogatz(300, 6, 0.2, stats.NewRNG(202)).WeightedCascade(),
+		"power-law":       graph.PowerLawGraph(300, 2.2, 5, stats.NewRNG(203)).WeightedCascade(),
+	}
+	const k = 8
+	for name, g := range families {
+		serial, err := BuildSketchCtx(context.Background(), g, k, Options{}, stats.NewRNG(7))
+		if err != nil {
+			t.Fatalf("%s: serial build: %v", name, err)
+		}
+		par, err := BuildSketchCtx(context.Background(), g, k, Options{Workers: 4}, stats.NewRNG(8))
+		if err != nil {
+			t.Fatalf("%s: parallel build: %v", name, err)
+		}
+		ss := evalSpread(g, serial.Select().Seeds, 903)
+		ps := evalSpread(g, par.Select().Seeds, 903)
+		if math.Abs(ss-ps) > 0.15*math.Max(ss, ps)+1 {
+			t.Errorf("%s: serial spread %.2f vs parallel %.2f beyond tolerance", name, ss, ps)
+		}
+	}
+}
+
+// TestExtendSketchMatchesColdBuild: an IMM sketch extended to a larger
+// total budget must match a cold build at that budget — same selection
+// size, spread within tolerance, base sketch untouched.
+func TestExtendSketchMatchesColdBuild(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, stats.NewRNG(204)).WeightedCascade()
+	opts := Options{Workers: 2}
+	base, err := BuildSketchCtx(context.Background(), g, 5, opts, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLen := base.NumRRSets()
+
+	const newK = 12
+	ext, err := ExtendSketchCtx(context.Background(), g, base, newK, opts, stats.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := BuildSketchCtx(context.Background(), g, newK, opts, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.NumRRSets() != baseLen {
+		t.Fatalf("extension mutated base sketch: %d sets, had %d", base.NumRRSets(), baseLen)
+	}
+	if ext.K != newK {
+		t.Fatalf("extended K = %d, want %d", ext.K, newK)
+	}
+	if ext.NumRRSets() <= baseLen {
+		t.Fatalf("extension did not grow the collection: %d <= %d", ext.NumRRSets(), baseLen)
+	}
+	eres, cres := ext.Select(), cold.Select()
+	if len(eres.Seeds) != len(cres.Seeds) {
+		t.Fatalf("selection sizes differ: extended %d vs cold %d", len(eres.Seeds), len(cres.Seeds))
+	}
+	es := evalSpread(g, eres.Seeds, 904)
+	cs := evalSpread(g, cres.Seeds, 904)
+	if math.Abs(es-cs) > 0.15*math.Max(es, cs)+1 {
+		t.Errorf("extended spread %.2f vs cold %.2f beyond tolerance", es, cs)
+	}
+}
+
+// TestExtendSketchDominatedSharesCollection: extending to k' <= K needs
+// no new samples and shares the base collection read-only.
+func TestExtendSketchDominatedSharesCollection(t *testing.T) {
+	g := graph.BarabasiAlbert(250, 3, stats.NewRNG(205)).WeightedCascade()
+	base, err := BuildSketchCtx(context.Background(), g, 10, Options{}, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtendSketchCtx(context.Background(), g, base, 4, Options{}, stats.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Col != base.Col {
+		t.Fatal("dominated extension should share the base collection")
+	}
+	if ext.K != 10 {
+		t.Fatalf("K = %d, want retained 10", ext.K)
+	}
+}
+
+// TestExtendSketchRejections: degenerate and invalid-budget extensions
+// error so callers fall back to a cold build.
+func TestExtendSketchRejections(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, stats.NewRNG(206)).WeightedCascade()
+	rng := stats.NewRNG(31)
+	if _, err := ExtendSketchCtx(context.Background(), g, nil, 5, Options{}, rng); err == nil {
+		t.Fatal("nil sketch extended")
+	}
+	base, err := BuildSketchCtx(context.Background(), g, 5, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtendSketchCtx(context.Background(), g, base, 0, Options{}, rng); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := ExtendSketchCtx(context.Background(), g, base, 100, Options{}, rng); err == nil {
+		t.Fatal("whole-graph budget accepted")
+	}
+}

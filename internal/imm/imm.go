@@ -24,6 +24,11 @@ type Options struct {
 	// Progress, when non-nil, receives StageSketch events as the RR-set
 	// collection grows (each adaptive round and the final regeneration).
 	Progress progress.Func
+	// Workers is the RR-set growth parallelism: each grow phase shards
+	// sampling across this many goroutines with deterministic per-worker
+	// RNG streams (rrset.GrowParallelCtx). 0 or 1 keeps the legacy
+	// serial path — the library zero value changes nothing.
+	Workers int
 }
 
 // withDefaults fills in unset fields.
@@ -122,7 +127,7 @@ func BuildSketchCtx(ctx context.Context, g *graph.Graph, k int, opts Options, rn
 	round := 0
 	grow := func(target int64) error {
 		round++
-		return col.GrowCtx(ctx, target, rng, func(done, total int64) {
+		return col.GrowParallelCtx(ctx, target, rng, opts.Workers, func(done, total int64) {
 			if opts.Progress != nil {
 				opts.Progress(progress.Event{Stage: progress.StageSketch, Round: round, Done: int(done), Total: int(total)})
 			}

@@ -3,6 +3,7 @@ package rrset
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"uicwelfare/internal/graph"
 	"uicwelfare/internal/stats"
@@ -31,6 +32,13 @@ type Collection struct {
 	coverOf [][]int32
 
 	sampler *Sampler
+
+	// Parallel-grow state (see GrowParallelCtx): pooled per-worker
+	// samplers reused across adaptive rounds, and the width statistic
+	// accumulated by parallel workers (read/written atomically — workers
+	// add while EdgesVisited may be read for progress displays).
+	parSamplers []*Sampler
+	parEdges    int64
 }
 
 // NewCollection returns an empty collection for g.
@@ -108,8 +116,11 @@ func (c *Collection) Len() int { return len(c.offsets) - 1 }
 // TotalSize returns the total number of node memberships across all sets.
 func (c *Collection) TotalSize() int64 { return int64(len(c.members)) }
 
-// EdgesVisited returns the cumulative width statistic of all samples.
-func (c *Collection) EdgesVisited() int64 { return c.sampler.EdgesVisited }
+// EdgesVisited returns the cumulative width statistic of all samples,
+// including sets sampled by parallel workers (see GrowParallelCtx).
+func (c *Collection) EdgesVisited() int64 {
+	return c.sampler.EdgesVisited + atomic.LoadInt64(&c.parEdges)
+}
 
 // Add samples one more RR set.
 func (c *Collection) Add(rng *stats.RNG) {

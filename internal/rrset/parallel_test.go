@@ -1,0 +1,261 @@
+package rrset
+
+import (
+	"context"
+	"testing"
+
+	"uicwelfare/internal/graph"
+	"uicwelfare/internal/stats"
+)
+
+// growTestGraph is a graph big enough that parallel growth spans many
+// chunks and every worker gets work.
+func growTestGraph() *graph.Graph {
+	rng := stats.NewRNG(1001)
+	return graph.ErdosRenyi(200, 1200, rng).WeightedCascade()
+}
+
+func sameCollections(t *testing.T, a, b *Collection) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("set counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	am, bm := a.Members(), b.Members()
+	if len(am) != len(bm) {
+		t.Fatalf("member counts differ: %d vs %d", len(am), len(bm))
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("members diverge at %d: %d vs %d", i, am[i], bm[i])
+		}
+	}
+	ao, bo := a.Offsets(), b.Offsets()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("offsets diverge at %d: %d vs %d", i, ao[i], bo[i])
+		}
+	}
+}
+
+// TestGrowParallelDeterministicForFixedSeedAndWorkers is the
+// reproducibility contract: for a fixed (seed, workers) pair the grown
+// collection is byte-identical across runs regardless of goroutine
+// scheduling.
+func TestGrowParallelDeterministicForFixedSeedAndWorkers(t *testing.T) {
+	g := growTestGraph()
+	const target, workers = 2000, 4
+	var runs [3]*Collection
+	for i := range runs {
+		c := NewCollection(g)
+		if err := c.GrowParallelCtx(context.Background(), target, stats.NewRNG(7), workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() < target {
+			t.Fatalf("run %d grew %d sets, want >= %d", i, c.Len(), target)
+		}
+		runs[i] = c
+	}
+	sameCollections(t, runs[0], runs[1])
+	sameCollections(t, runs[0], runs[2])
+}
+
+// TestGrowParallelWorkersOneMatchesSerial: workers <= 1 must be the
+// legacy serial path bit-for-bit — same RNG draws, same Members and
+// Offsets as GrowCtx on the same seed.
+func TestGrowParallelWorkersOneMatchesSerial(t *testing.T) {
+	g := growTestGraph()
+	const target = 1500
+	for _, workers := range []int{0, 1} {
+		serial := NewCollection(g)
+		if err := serial.GrowCtx(context.Background(), target, stats.NewRNG(11), nil); err != nil {
+			t.Fatal(err)
+		}
+		par := NewCollection(g)
+		if err := par.GrowParallelCtx(context.Background(), target, stats.NewRNG(11), workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		sameCollections(t, serial, par)
+	}
+}
+
+// TestGrowParallelIncrementalReproducible: growing to an intermediate
+// target and then extending must reproduce exactly when the same
+// (seed sequence, workers) is replayed — the property ExtendSketch's
+// determinism rests on.
+func TestGrowParallelIncrementalReproducible(t *testing.T) {
+	g := growTestGraph()
+	const mid, final, workers = 700, 1900, 3
+	grow := func() *Collection {
+		c := NewCollection(g)
+		rng := stats.NewRNG(23)
+		if err := c.GrowParallelCtx(context.Background(), mid, rng, workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.GrowParallelCtx(context.Background(), final, rng, workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sameCollections(t, grow(), grow())
+}
+
+// TestGrowParallelAdvancesCallerRNGOnce: a parallel grow must consume
+// exactly one draw from the caller's stream, so serial work interleaved
+// with parallel grows stays reproducible.
+func TestGrowParallelAdvancesCallerRNGOnce(t *testing.T) {
+	g := growTestGraph()
+	rng := stats.NewRNG(31)
+	c := NewCollection(g)
+	if err := c.GrowParallelCtx(context.Background(), 600, rng, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref := stats.NewRNG(31)
+	ref.Uint64() // the base-seed draw
+	if got, want := rng.Uint64(), ref.Uint64(); got != want {
+		t.Fatalf("caller stream advanced by more than one draw: next=%d want %d", got, want)
+	}
+}
+
+// TestGrowParallelCancellationLeavesCollectionUntouched: a context
+// canceled before (or during) the grow must leave Members/Offsets
+// exactly as they were — no partial merge.
+func TestGrowParallelCancellationLeavesCollectionUntouched(t *testing.T) {
+	g := growTestGraph()
+	c := NewCollection(g)
+	if err := c.GrowParallelCtx(context.Background(), 400, stats.NewRNG(5), 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantMembers := c.Len(), len(c.Members())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.GrowParallelCtx(ctx, 5000, stats.NewRNG(6), 4, nil); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Len() != wantLen || len(c.Members()) != wantMembers {
+		t.Fatalf("canceled grow mutated collection: %d sets / %d members, want %d / %d",
+			c.Len(), len(c.Members()), wantLen, wantMembers)
+	}
+	// The collection must still be growable after a canceled attempt.
+	if err := c.GrowParallelCtx(context.Background(), int64(wantLen)+300, stats.NewRNG(7), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < wantLen+300 {
+		t.Fatalf("post-cancel grow stalled at %d sets", c.Len())
+	}
+}
+
+// TestGrowParallelProgressMonotone: the report callback must observe a
+// non-decreasing done count that finishes exactly at the final length.
+func TestGrowParallelProgressMonotone(t *testing.T) {
+	g := growTestGraph()
+	c := NewCollection(g)
+	last := int64(-1)
+	calls := 0
+	err := c.GrowParallelCtx(context.Background(), 2100, stats.NewRNG(13), 4, func(done, target int64) {
+		calls++
+		if done < last {
+			t.Errorf("progress went backwards: %d after %d", done, last)
+		}
+		if target != 2100 {
+			t.Errorf("target = %d, want 2100", target)
+		}
+		last = done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("report never called")
+	}
+	if last != int64(c.Len()) {
+		t.Fatalf("final reported done = %d, want collection length %d", last, c.Len())
+	}
+}
+
+// TestGrowParallelEdgesVisited: the width statistic must accumulate
+// across parallel workers and keep accumulating on subsequent serial
+// growth.
+func TestGrowParallelEdgesVisited(t *testing.T) {
+	g := growTestGraph()
+	c := NewCollection(g)
+	if err := c.GrowParallelCtx(context.Background(), 800, stats.NewRNG(17), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	afterPar := c.EdgesVisited()
+	if afterPar == 0 {
+		t.Fatal("EdgesVisited not tracked through parallel workers")
+	}
+	if err := c.GrowCtx(context.Background(), 1100, stats.NewRNG(18), nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.EdgesVisited() <= afterPar {
+		t.Fatalf("EdgesVisited did not keep accumulating: %d then %d", afterPar, c.EdgesVisited())
+	}
+}
+
+// TestCloneIsolation: growing a clone must not perturb the original's
+// storage, inverted index, or greedy selection — the contract that lets
+// ExtendSketch run while the resident sketch serves readers.
+func TestCloneIsolation(t *testing.T) {
+	g := growTestGraph()
+	orig := NewCollection(g)
+	if err := orig.GrowParallelCtx(context.Background(), 900, stats.NewRNG(19), 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := orig.Len()
+	wantMembers := append([]graph.NodeID(nil), orig.Members()...)
+	wantSeeds, wantCov := orig.NodeSelection(10)
+	wantSeedsCopy := append([]graph.NodeID(nil), wantSeeds...)
+
+	cl := orig.Clone()
+	sameCollections(t, orig, cl)
+	if err := cl.GrowParallelCtx(context.Background(), 2500, stats.NewRNG(20), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Len() < 2500 {
+		t.Fatalf("clone grew to %d, want >= 2500", cl.Len())
+	}
+
+	if orig.Len() != wantLen {
+		t.Fatalf("original length changed: %d, want %d", orig.Len(), wantLen)
+	}
+	for i, v := range orig.Members() {
+		if v != wantMembers[i] {
+			t.Fatalf("original members changed at %d", i)
+		}
+	}
+	gotSeeds, gotCov := orig.NodeSelection(10)
+	if gotCov != wantCov {
+		t.Fatalf("original coverage changed: %g, want %g", gotCov, wantCov)
+	}
+	for i := range gotSeeds {
+		if gotSeeds[i] != wantSeedsCopy[i] {
+			t.Fatalf("original selection changed at %d: %d vs %d", i, gotSeeds[i], wantSeedsCopy[i])
+		}
+	}
+	// The clone's width statistic must have carried over and grown.
+	if cl.EdgesVisited() <= orig.EdgesVisited() {
+		t.Fatalf("clone EdgesVisited %d did not grow past original %d", cl.EdgesVisited(), orig.EdgesVisited())
+	}
+}
+
+// TestGrowParallelSelectionQuality: a parallel-built collection is
+// statistically interchangeable with a serial one — greedy coverage at
+// the same budget must agree within a loose tolerance.
+func TestGrowParallelSelectionQuality(t *testing.T) {
+	g := growTestGraph()
+	serial := NewCollection(g)
+	if err := serial.GrowCtx(context.Background(), 3000, stats.NewRNG(29), nil); err != nil {
+		t.Fatal(err)
+	}
+	par := NewCollection(g)
+	if err := par.GrowParallelCtx(context.Background(), 3000, stats.NewRNG(37), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, covS := serial.NodeSelection(8)
+	_, covP := par.NodeSelection(8)
+	if diff := covS - covP; diff > 0.1 || diff < -0.1 {
+		t.Fatalf("coverage diverges: serial %g vs parallel %g", covS, covP)
+	}
+}

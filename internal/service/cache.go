@@ -277,6 +277,32 @@ func (c *SketchCache) Resident(key string) bool {
 	}
 }
 
+// Peek returns the completed, unexpired sketch under key without
+// waiting on in-flight builds, touching LRU order, or counting a hit or
+// miss. The batched extend path uses it from inside a build callback:
+// blocking there on another key's in-flight entry could deadlock, and a
+// miss must not disturb the counters the benchmarks assert on.
+func (c *SketchCache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil, false
+		}
+		if c.ttl > 0 && !e.expires.IsZero() && !c.now().Before(e.expires) {
+			return nil, false
+		}
+		return e.sketch, true
+	default:
+		return nil, false
+	}
+}
+
 // CountPrefix counts the resident (completed-ok, unexpired, or
 // in-flight) entries whose key starts with prefix. Sketch keys lead
 // with the graph id (see SketchKey), so CountPrefix(graphID+"|") is the

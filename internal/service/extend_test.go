@@ -1,0 +1,120 @@
+package service_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"uicwelfare/internal/service"
+)
+
+// TestBatchedAllocateExtendsResidentSketch is the delta-build
+// acceptance scenario: a second batched allocate whose budgets exceed
+// the resident merged sketch must be served by *extending* that sketch
+// — sketch_extends goes up, and the RR sets appended are strictly fewer
+// than the extended sketch's total (i.e. fewer rr_sets_grown than the
+// cold build that total represents).
+func TestBatchedAllocateExtendsResidentSketch(t *testing.T) {
+	e := newEnv(t, service.Options{BatchWindow: 30 * time.Millisecond})
+	id := e.registerGraph(t)
+
+	// Cold batch build for {8,9}; its merged sketch is recorded and
+	// stays resident.
+	if _, err := e.svc.Allocate(&service.AllocateRequest{GraphID: id, Budgets: []int{8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.svc.Stats()
+	if st.Batch.SketchExtends != 0 {
+		t.Fatalf("cold build counted as extension: %d", st.Batch.SketchExtends)
+	}
+
+	// Budgets beyond the resident vector: near-dominating, so the
+	// scheduler extends instead of cold-building.
+	res, err := e.svc.Allocate(&service.AllocateRequest{GraphID: id, Budgets: []int{12, 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Allocation.Seeds[1]); got != 13 {
+		t.Fatalf("item 1 got %d seeds, want 13", got)
+	}
+
+	st = e.svc.Stats()
+	if st.Batch.SketchExtends < 1 {
+		t.Fatalf("sketch_extends = %d, want >= 1", st.Batch.SketchExtends)
+	}
+	if st.Batch.RRSetsAppended <= 0 {
+		t.Fatalf("rr_sets_appended = %d, want > 0", st.Batch.RRSetsAppended)
+	}
+	if res.NumRRSets <= 0 || st.Batch.RRSetsAppended >= int64(res.NumRRSets) {
+		t.Fatalf("extension appended %d of %d RR sets — not cheaper than a cold build",
+			st.Batch.RRSetsAppended, res.NumRRSets)
+	}
+
+	// A later request whose budgets are contained in the extended
+	// vector is served resident — no further build or extension.
+	res3, err := e.svc.Allocate(&service.AllocateRequest{GraphID: id, Budgets: []int{9, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.SketchCached {
+		t.Fatal("request dominated by the extended sketch missed it")
+	}
+	if after := e.svc.Stats(); after.Batch.SketchExtends != st.Batch.SketchExtends {
+		t.Fatalf("dominated request triggered another extension: %d -> %d",
+			st.Batch.SketchExtends, after.Batch.SketchExtends)
+	}
+}
+
+// TestConcurrentAllocatesDuringExtend pins concurrent readers of the
+// resident sketch against an in-flight extension — the -race regression
+// test for ExtendSketch's clone-don't-mutate contract.
+func TestConcurrentAllocatesDuringExtend(t *testing.T) {
+	e := newEnv(t, service.Options{BatchWindow: 20 * time.Millisecond})
+	id := e.registerGraph(t)
+
+	// Seed the resident sketch the readers and the extension both use.
+	if _, err := e.svc.Allocate(&service.AllocateRequest{GraphID: id, Budgets: []int{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	// Readers: dominated budgets, served read-only from the resident
+	// sketch while the extension clones and grows it.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 3; j++ {
+				if _, err := e.svc.Allocate(&service.AllocateRequest{
+					GraphID: id,
+					Budgets: []int{i + 2, 5},
+				}); err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	// Writers: budgets past the resident vector force extensions.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if _, err := e.svc.Allocate(&service.AllocateRequest{
+				GraphID: id,
+				Budgets: []int{10 + 3*i, 11 + 3*i},
+			}); err != nil {
+				t.Errorf("extender %d: %v", i, err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if st := e.svc.Stats(); st.Batch.SketchExtends < 1 {
+		t.Fatalf("sketch_extends = %d, want >= 1 (extension path never exercised)", st.Batch.SketchExtends)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,11 @@ import (
 type Options struct {
 	// Workers is the allocation/estimation worker-pool size (default 2).
 	Workers int
+	// SketchWorkers is the RR-set growth parallelism inside each sketch
+	// build (welmaxd -sketch-workers): sampling shards across this many
+	// goroutines with deterministic per-worker RNG streams. 0 (the
+	// default) resolves to GOMAXPROCS; 1 keeps the legacy serial path.
+	SketchWorkers int
 	// QueueCap bounds the job queue (default 64).
 	QueueCap int
 	// CacheEntries bounds the sketch cache (default 64).
@@ -158,10 +164,21 @@ type Service struct {
 	clusterToken string
 	cacheTTL     time.Duration
 
+	// sketchWorkers is the resolved RR-set growth parallelism handed to
+	// every sketch build (Options.SketchWorkers, with 0 resolved to
+	// GOMAXPROCS at construction).
+	sketchWorkers int
+
 	// batcher coalesces concurrent mixed-budget sketch builds; nil when
 	// batching is disabled (BatchWindow 0).
 	batcher     *batch.Scheduler
 	batchWindow time.Duration
+	// sketchExtends counts batched builds served by extending a resident
+	// near-dominating sketch instead of cold-building; rrSetsAppended
+	// counts the RR sets those extensions appended (the delta the cold
+	// build would have resampled from zero).
+	sketchExtends  atomic.Int64
+	rrSetsAppended atomic.Int64
 	// mergedIdx remembers, per batch group key, the budget vector and
 	// cache key of the most recent batch-built sketch, so a later
 	// request dominated by it is served from (and admitted against) the
@@ -236,6 +253,9 @@ func New(opts Options) (*Service, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
+	if opts.SketchWorkers <= 0 {
+		opts.SketchWorkers = runtime.GOMAXPROCS(0)
+	}
 	// Open the disk tier before starting the worker pool: a failed Open
 	// must not leave the pool's goroutines running behind the error.
 	var disk *store.Store
@@ -257,6 +277,7 @@ func New(opts Options) (*Service, error) {
 		clusterToken:   opts.ClusterToken,
 		cacheTTL:       opts.CacheTTL,
 		batchWindow:    opts.BatchWindow,
+		sketchWorkers:  opts.SketchWorkers,
 		admissionBytes: int64(opts.AdmissionMB) << 20,
 		costModels:     store.NewCostModels(),
 		telemetryOn:    !opts.TelemetryOff,
@@ -486,6 +507,11 @@ type BatchStats struct {
 	// were answered from a shared build instead of building their own
 	// sketch.
 	CoalescedRequests int64 `json:"coalesced_requests"`
+	// SketchExtends counts batched builds served by extending a resident
+	// near-dominating sketch (a delta-build) instead of cold-building;
+	// RRSetsAppended counts the RR sets those extensions appended.
+	SketchExtends  int64 `json:"sketch_extends"`
+	RRSetsAppended int64 `json:"rr_sets_appended"`
 	// AdmissionRejects counts requests refused with 429 because their
 	// predicted sketch cost exceeded the admission budget.
 	AdmissionRejects int64 `json:"admission_rejects"`
@@ -527,6 +553,8 @@ func (s *Service) Stats() StatsResponse {
 	}
 	out.Batch = BatchStats{
 		Enabled:                s.batcher != nil,
+		SketchExtends:          s.sketchExtends.Load(),
+		RRSetsAppended:         s.rrSetsAppended.Load(),
 		AdmissionRejects:       s.admissionRejects.Load(),
 		AdmissionMaxBytes:      s.admissionBytes,
 		AdmissionQueued:        s.admissionQueued.Load(),
@@ -690,7 +718,7 @@ func (s *Service) validateAllocate(req *AllocateRequest) (*allocatePlan, error) 
 		prob:    prob,
 		planner: planner,
 		meta:    meta,
-		opts:    core.Options{Eps: req.Eps, Ell: req.Ell, Cascade: cascade},
+		opts:    core.Options{Eps: req.Eps, Ell: req.Ell, Cascade: cascade, SketchWorkers: s.sketchWorkers},
 	}, nil
 }
 
@@ -1003,16 +1031,49 @@ func (s *Service) sketchForPlan(ctx context.Context, graphID string, sp core.Ske
 				// submitting request's trace so build-stage spans land on
 				// it rather than vanishing.
 				bctx = telemetry.NewContext(bctx, telemetry.FromContext(ctx))
-				mergedKey := SketchKey(graphID, family, cascade, eps, ell, merged)
+				// Delta-build seam: when the group's previous batch-built
+				// sketch is still resident but does not dominate the new
+				// merged vector (a *near*-dominating sketch — a full
+				// dominance hit was already served before Submit), extend
+				// it to the union of the two vectors instead of
+				// cold-building. Peek never waits: blocking here on the
+				// old key's entry could deadlock the build callback.
+				target := merged
+				var baseSketch any
+				var baseBudgets []int
+				ep, canExtend := bp.(core.ExtendSketchPlanner)
+				if canExtend {
+					if rec, ok := s.lookupMerged(groupKey); ok {
+						if base, resident := s.cache.Peek(rec.key); resident && numRRSets(base) > 0 {
+							baseSketch, baseBudgets = base, rec.budgets
+							target = bp.MergeBudgets(rec.budgets, merged)
+						}
+					}
+				}
+				mergedKey := SketchKey(graphID, family, cascade, eps, ell, target)
 				sk, hit, err := s.buildThroughTiers(bctx, graphID, mergedKey, plan.prob.G, func(bctx context.Context) (any, error) {
-					sk, err := bp.BuildSketchForBudgets(bctx, plan.prob, merged, buildOpts, stats.NewRNG(seed))
+					if baseSketch != nil {
+						esk, eerr := ep.ExtendSketch(bctx, plan.prob, baseSketch, baseBudgets, target, buildOpts, stats.NewRNG(seed))
+						if eerr == nil {
+							s.sketchExtends.Add(1)
+							s.rrSetsAppended.Add(int64(numRRSets(esk) - numRRSets(baseSketch)))
+							s.observeBuildCost(bctx, graphID, plan, eps, ell, target, esk)
+							return esk, nil
+						}
+						if bctx.Err() != nil {
+							return nil, eerr
+						}
+						// Not extendable (degenerate family state, shape
+						// mismatch): fall through to the cold build.
+					}
+					sk, err := bp.BuildSketchForBudgets(bctx, plan.prob, target, buildOpts, stats.NewRNG(seed))
 					if err == nil {
-						s.observeBuildCost(bctx, graphID, plan, eps, ell, merged, sk)
+						s.observeBuildCost(bctx, graphID, plan, eps, ell, target, sk)
 					}
 					return sk, err
 				})
 				if err == nil {
-					s.recordMerged(groupKey, merged, mergedKey)
+					s.recordMerged(groupKey, target, mergedKey)
 				}
 				return sk, hit, err
 			})
@@ -1110,6 +1171,15 @@ func (s *Service) AllocateCtx(ctx context.Context, req *AllocateRequest, report 
 		s.observeTrace("allocate", tr, time.Since(startT))
 	}
 	return out, nil
+}
+
+// numRRSets reads a sketch's final-collection size through the shared
+// NumRRSets seam (0 for degenerate sketches or foreign types).
+func numRRSets(sketch any) int {
+	if sized, ok := sketch.(interface{ NumRRSets() int }); ok {
+		return sized.NumRRSets()
+	}
+	return 0
 }
 
 // countSketchOutcome lands a request's sketch resolution on its

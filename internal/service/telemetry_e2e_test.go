@@ -68,6 +68,11 @@ func TestTraceIDEndToEnd(t *testing.T) {
 	}
 	for _, stage := range []string{"cache_lookup", "rrset_grow", "greedy_select", "estimate"} {
 		st, ok := view.Stages[stage]
+		if stage == "rrset_grow" && !ok {
+			// RR-set growth runs serial or parallel depending on
+			// GOMAXPROCS; either span name satisfies the check.
+			st, ok = view.Stages["rrset_grow_parallel"]
+		}
 		if !ok || st.Count < 1 {
 			t.Errorf("stage %q missing from job stages %v", stage, view.Stages)
 		}
@@ -151,13 +156,18 @@ func TestMetricsUnderConcurrentAllocates(t *testing.T) {
 		`welmax_http_request_duration_seconds_bucket{route="POST /v1/allocate",le="+Inf"}`,
 		`welmax_job_duration_seconds_count{kind="allocate"} 6`,
 		`welmax_stage_duration_seconds_count{stage="greedy_select",family="prima"}`,
-		`welmax_stage_duration_seconds_count{stage="rrset_grow",family="prima"}`,
 		"# TYPE welmax_job_duration_seconds histogram",
 		"welmax_graphs 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics text missing %q", want)
 		}
+	}
+	// Growth is serial or parallel depending on GOMAXPROCS; the stage
+	// histogram must carry whichever span the build actually emitted.
+	if !strings.Contains(text, `welmax_stage_duration_seconds_count{stage="rrset_grow",family="prima"}`) &&
+		!strings.Contains(text, `welmax_stage_duration_seconds_count{stage="rrset_grow_parallel",family="prima"}`) {
+		t.Errorf("metrics text missing the rrset_grow / rrset_grow_parallel stage histogram")
 	}
 
 	var export telemetry.Export

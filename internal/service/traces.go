@@ -42,16 +42,16 @@ type TraceSpan struct {
 // X-Welmax-Span-Id propagation. Spans are sorted by start time, the
 // natural waterfall order.
 type TraceTreeResponse struct {
-	TraceID      string            `json:"trace_id"`
-	Route        string            `json:"route,omitempty"`
-	Graph        string            `json:"graph,omitempty"`
-	Start        time.Time         `json:"start"`
-	DurationMS   float64           `json:"duration_ms"`
-	Error        string            `json:"error,omitempty"`
-	Kept         string            `json:"kept,omitempty"`
-	Spans        []TraceSpan       `json:"spans"`
-	SpansDropped int64             `json:"spans_dropped,omitempty"`
-	Resources    map[string]int64  `json:"resources,omitempty"`
+	TraceID      string           `json:"trace_id"`
+	Route        string           `json:"route,omitempty"`
+	Graph        string           `json:"graph,omitempty"`
+	Start        time.Time        `json:"start"`
+	DurationMS   float64          `json:"duration_ms"`
+	Error        string           `json:"error,omitempty"`
+	Kept         string           `json:"kept,omitempty"`
+	Spans        []TraceSpan      `json:"spans"`
+	SpansDropped int64            `json:"spans_dropped,omitempty"`
+	Resources    map[string]int64 `json:"resources,omitempty"`
 	// Partial and Errors appear on the router's merged form when a
 	// backend fragment could not be fetched.
 	Partial bool              `json:"partial,omitempty"`

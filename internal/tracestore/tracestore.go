@@ -628,9 +628,9 @@ func ReadSegment(path string) ([]Record, error) {
 	if size > maxSegmentPayload {
 		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrBadSegment, size)
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrBadSegment, err)
+	payload, err := readSegmentPayload(f, size)
+	if err != nil {
+		return nil, err
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(f, sum[:]); err != nil {
@@ -649,4 +649,27 @@ func ReadSegment(path string) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// readSegmentPayload reads a declared-size payload growing the buffer
+// geometrically as bytes actually arrive, so a forged multi-GiB length
+// field in a tiny file is rejected after a short read instead of
+// committing the declared allocation up front.
+func readSegmentPayload(r io.Reader, size uint64) ([]byte, error) {
+	const initialCap = 64 << 10
+	payload := make([]byte, min(size, initialCap))
+	read := 0
+	for {
+		n, err := io.ReadFull(r, payload[read:])
+		read += n
+		if err != nil {
+			return nil, fmt.Errorf("%w: payload: read %d of %d bytes: %v", ErrBadSegment, read, size, err)
+		}
+		if uint64(len(payload)) == size {
+			return payload, nil
+		}
+		grown := make([]byte, min(size, 2*uint64(len(payload))))
+		copy(grown, payload)
+		payload = grown
+	}
 }

@@ -1,26 +1,53 @@
 #!/usr/bin/env bash
-# bench_snapshot.sh — one point on the perf trajectory.
+# bench_snapshot.sh — one point on the perf trajectory, and the perf
+# regression gate.
 #
 # Runs the service-layer allocate benchmarks and writes BENCH_allocate.json
 # with a stable schema (benchmark name -> ns/op and sketchbuilds/op, plus
-# the commit and date), so successive CI runs are directly comparable.
-# Also the telemetry overhead guard: the warm allocate path with tracing
-# and histograms on must cost < 5% over the same path with -telemetry
-# off. Each benchmark runs COUNT times and the minimum ns/op is compared
-# — min-of-N is the standard way to strip scheduler noise from a
-# threshold check.
+# the commit, date, and the sketch-growth parallelism in effect), so
+# successive CI runs are directly comparable. Then two guards:
+#
+#   1. Telemetry overhead: the warm allocate path with tracing and
+#      histograms on must cost < 5% over the same path with -telemetry
+#      off. Each benchmark runs COUNT times and the minimum ns/op is
+#      compared — min-of-N is the standard way to strip scheduler noise
+#      from a threshold check.
+#   2. Regression gate against the committed baseline snapshot: the warm
+#      path must not regress more than MAX_REGRESS_PCT in ns/op, and no
+#      benchmark's sketchbuilds/op may grow — a build-count increase
+#      means a caching or batching seam silently broke, which wall time
+#      alone can hide.
 #
 # Env knobs: BENCH_TIME (default 50x), BENCH_COUNT (default 3),
-# OUT (default BENCH_allocate.json).
+# OUT (default BENCH_allocate.json), BASELINE (default: the committed
+# OUT read before overwriting), MAX_REGRESS_PCT (default 10),
+# BENCH_GATE=off to skip the baseline comparison (e.g. when refreshing
+# the baseline on different hardware).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-50x}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT="${OUT:-BENCH_allocate.json}"
+BASELINE="${BASELINE:-$OUT}"
+MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-10}"
+BENCH_GATE="${BENCH_GATE:-on}"
+
+# The service defaults RR-set growth parallelism inside each sketch
+# build to GOMAXPROCS (-sketch-workers 0); record the effective value so
+# snapshots from differently-sized machines stay interpretable.
+SKETCH_WORKERS="${SKETCH_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+baseline_copy="$(mktemp)"
+trap 'rm -f "$raw" "$baseline_copy"' EXIT
+
+# Snapshot the committed baseline before OUT is overwritten.
+have_baseline=0
+if [ "$BENCH_GATE" = "on" ] && [ -f "$BASELINE" ]; then
+    cp "$BASELINE" "$baseline_copy"
+    have_baseline=1
+fi
 
 go test -run '^$' -bench 'BenchmarkServiceAllocate|BenchmarkBatchedAllocate' \
     -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$raw"
@@ -31,7 +58,7 @@ date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 # Reduce the -count repetitions to min ns/op (and min sketchbuilds/op —
 # it is deterministic per benchmark, so min == the value) per name, then
 # emit the stable JSON shape.
-awk -v commit="$commit" -v date="$date" '
+awk -v commit="$commit" -v date="$date" -v workers="$SKETCH_WORKERS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -46,7 +73,7 @@ awk -v commit="$commit" -v date="$date" '
     if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {
-    printf "{\n  \"schema\": 1,\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", commit, date
+    printf "{\n  \"schema\": 2,\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"sketch_workers\": %d,\n  \"benchmarks\": [\n", commit, date, workers
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, minNS[name]
@@ -58,9 +85,21 @@ END {
 echo "wrote $OUT:"
 cat "$OUT"
 
+# extract <file> <benchmark-name> <field> -> value (empty when absent)
+extract() {
+    awk -F'"' -v want="$2" -v field="$3" '
+        $2 == "name" && $4 == want {
+            if (match($0, "\"" field "\": [0-9.]+")) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: /, "", v)
+                print v
+            }
+        }' "$1"
+}
+
 # --- telemetry overhead guard ------------------------------------------
-on="$(awk -F'"' '/"name": "BenchmarkServiceAllocate\/warm"/ {print $0}' "$OUT" | grep -oE 'ns_per_op": [0-9.]+' | grep -oE '[0-9.]+')"
-off="$(awk -F'"' '/"name": "BenchmarkServiceAllocate\/warm-notelemetry"/ {print $0}' "$OUT" | grep -oE 'ns_per_op": [0-9.]+' | grep -oE '[0-9.]+')"
+on="$(extract "$OUT" "BenchmarkServiceAllocate/warm" ns_per_op)"
+off="$(extract "$OUT" "BenchmarkServiceAllocate/warm-notelemetry" ns_per_op)"
 if [ -z "$on" ] || [ -z "$off" ]; then
     echo "bench_snapshot: warm/warm-notelemetry results missing, cannot check overhead" >&2
     exit 1
@@ -73,3 +112,39 @@ awk -v on="$on" -v off="$off" 'BEGIN {
         exit 1
     }
 }'
+
+# --- regression gate vs the committed baseline -------------------------
+if [ "$have_baseline" != 1 ]; then
+    echo "bench_snapshot: no baseline snapshot (BENCH_GATE=$BENCH_GATE), skipping regression gate"
+    exit 0
+fi
+
+fail=0
+
+base_warm="$(extract "$baseline_copy" "BenchmarkServiceAllocate/warm" ns_per_op)"
+if [ -n "$base_warm" ]; then
+    if ! awk -v now="$on" -v base="$base_warm" -v lim="$MAX_REGRESS_PCT" 'BEGIN {
+        pct = (now - base) / base * 100
+        printf "warm-path vs baseline: %+.2f%% (now %.0f ns/op, baseline %.0f ns/op, limit +%s%%)\n", pct, now, base, lim
+        exit (pct > lim + 0) ? 1 : 0
+    }'; then
+        echo "FAIL: warm allocate path regressed more than ${MAX_REGRESS_PCT}% vs $BASELINE" >&2
+        fail=1
+    fi
+fi
+
+# sketchbuilds/op must not grow for any benchmark present in both
+# snapshots.
+for name in $(awk -F'"' '$2 == "name" {print $4}' "$baseline_copy"); do
+    base_b="$(extract "$baseline_copy" "$name" sketchbuilds_per_op)"
+    now_b="$(extract "$OUT" "$name" sketchbuilds_per_op)"
+    [ -n "$base_b" ] && [ -n "$now_b" ] || continue
+    if ! awk -v now="$now_b" -v base="$base_b" 'BEGIN { exit (now > base) ? 1 : 0 }'; then
+        echo "FAIL: $name sketchbuilds/op grew: $base_b -> $now_b" >&2
+        fail=1
+    else
+        echo "$name sketchbuilds/op: $base_b -> $now_b (ok)"
+    fi
+done
+
+exit "$fail"
